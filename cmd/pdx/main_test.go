@@ -1,0 +1,217 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture redirects the command output and exit hook for one test.
+func capture(t *testing.T) (*bytes.Buffer, *int) {
+	t.Helper()
+	buf := &bytes.Buffer{}
+	exitCode := -1
+	oldStdout, oldExit := stdout, exit
+	stdout = buf
+	exit = func(code int) { exitCode = code }
+	t.Cleanup(func() { stdout, exit = oldStdout, oldExit })
+	return buf, &exitCode
+}
+
+func writeFile(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func fixtures(t *testing.T) (setting, source, queries string) {
+	t.Helper()
+	dir := t.TempDir()
+	setting = writeFile(t, dir, "setting.pde", `
+setting example1
+source E/2
+target H/2
+st: E(x,z), E(z,y) -> H(x,y)
+ts: H(x,y) -> E(x,y)
+`)
+	source = writeFile(t, dir, "source.facts", "E(a,b). E(b,c). E(a,c).")
+	queries = writeFile(t, dir, "q.cq", "q(x,y) :- H(x,y)\nqb :- H(x,y), H(y,z)")
+	return
+}
+
+func TestCmdSolve(t *testing.T) {
+	setting, source, _ := fixtures(t)
+	out, code := capture(t)
+	if err := cmdSolve([]string{"-setting", setting, "-source", source, "-witness"}); err != nil {
+		t.Fatal(err)
+	}
+	if *code != -1 {
+		t.Errorf("exit called with %d on a solvable instance", *code)
+	}
+	got := out.String()
+	if !strings.Contains(got, "solution exists: true (strategy: tractable)") {
+		t.Errorf("output = %q", got)
+	}
+	if !strings.Contains(got, "H(a, c).") {
+		t.Errorf("witness missing from output: %q", got)
+	}
+}
+
+func TestCmdSolveNoSolution(t *testing.T) {
+	setting, _, _ := fixtures(t)
+	dir := t.TempDir()
+	source := writeFile(t, dir, "path.facts", "E(a,b). E(b,c).")
+	out, code := capture(t)
+	if err := cmdSolve([]string{"-setting", setting, "-source", source}); err != nil {
+		t.Fatal(err)
+	}
+	if *code != 3 {
+		t.Errorf("exit code = %d, want 3", *code)
+	}
+	if !strings.Contains(out.String(), "solution exists: false") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestCmdCertain(t *testing.T) {
+	setting, source, queries := fixtures(t)
+	out, _ := capture(t)
+	if err := cmdCertain([]string{"-setting", setting, "-source", source, "-queries", queries}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "q: 1 certain answer(s)") {
+		t.Errorf("open query output = %q", got)
+	}
+	if !strings.Contains(got, "(a, c)") {
+		t.Errorf("certain tuple missing: %q", got)
+	}
+	if !strings.Contains(got, "qb: certain = false") {
+		t.Errorf("boolean query output = %q", got)
+	}
+}
+
+func TestCmdClassify(t *testing.T) {
+	setting, _, _ := fixtures(t)
+	out, _ := capture(t)
+	if err := cmdClassify([]string{"-setting", setting}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "in C_tract") {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestCmdChase(t *testing.T) {
+	setting, source, _ := fixtures(t)
+	out, _ := capture(t)
+	if err := cmdChase([]string{"-setting", setting, "-source", source}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "J_can (1 facts") || !strings.Contains(got, "H(a, c).") {
+		t.Errorf("J_can missing: %q", got)
+	}
+	if !strings.Contains(got, "I_can (1 facts") || !strings.Contains(got, "E(a, c).") {
+		t.Errorf("I_can missing: %q", got)
+	}
+}
+
+func TestCmdCheck(t *testing.T) {
+	setting, source, _ := fixtures(t)
+	dir := t.TempDir()
+	good := writeFile(t, dir, "good.facts", "H(a,c).")
+	bad := writeFile(t, dir, "bad.facts", "H(c,a).")
+
+	out, code := capture(t)
+	if err := cmdCheck([]string{"-setting", setting, "-source", source, "-candidate", good}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "candidate IS a solution") || *code != -1 {
+		t.Errorf("good candidate: output=%q code=%d", out.String(), *code)
+	}
+
+	out2, code2 := capture(t)
+	if err := cmdCheck([]string{"-setting", setting, "-source", source, "-candidate", bad}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2.String(), "candidate is NOT a solution") || *code2 != 3 {
+		t.Errorf("bad candidate: output=%q code=%d", out2.String(), *code2)
+	}
+}
+
+func TestCmdRepair(t *testing.T) {
+	setting, _, _ := fixtures(t)
+	dir := t.TempDir()
+	source := writeFile(t, dir, "src.facts", "E(a,a).")
+	target := writeFile(t, dir, "tgt.facts", "H(a,a). H(b,b).")
+	queries := writeFile(t, dir, "q.cq", "q(x) :- H(x, x)")
+	out, _ := capture(t)
+	if err := cmdRepair([]string{"-setting", setting, "-source", source, "-target", target, "-queries", queries}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "repairs: 1") {
+		t.Errorf("repair count missing: %q", got)
+	}
+	if !strings.Contains(got, "dropped 1 fact(s)") {
+		t.Errorf("removed count missing: %q", got)
+	}
+	if !strings.Contains(got, "q: 1 certain answer(s) under repairs") {
+		t.Errorf("repair-certain missing: %q", got)
+	}
+}
+
+func TestCmdErrors(t *testing.T) {
+	setting, source, _ := fixtures(t)
+	if err := cmdSolve([]string{"-source", source}); err == nil {
+		t.Error("missing -setting accepted")
+	}
+	if err := cmdSolve([]string{"-setting", setting}); err == nil {
+		t.Error("missing -source accepted")
+	}
+	if err := cmdCertain([]string{"-setting", setting, "-source", source}); err == nil {
+		t.Error("missing -queries accepted")
+	}
+	if err := cmdCheck([]string{"-setting", setting, "-source", source}); err == nil {
+		t.Error("missing -candidate accepted")
+	}
+	dir := t.TempDir()
+	broken := writeFile(t, dir, "broken.pde", "nonsense here")
+	if err := cmdClassify([]string{"-setting", broken}); err == nil {
+		t.Error("broken setting file accepted")
+	}
+}
+
+func TestCmdDatalog(t *testing.T) {
+	dir := t.TempDir()
+	program := writeFile(t, dir, "tc.dl", "T(x, y) :- E(x, y)\nT(x, z) :- T(x, y), E(y, z)")
+	edb := writeFile(t, dir, "edb.facts", "E(a,b). E(b,c).")
+	out, _ := capture(t)
+	if err := cmdDatalog([]string{"-program", program, "-edb", edb}); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "5 facts (3 derived)") {
+		t.Errorf("output = %q", got)
+	}
+	if !strings.Contains(got, "T(a, c).") {
+		t.Errorf("closure fact missing: %q", got)
+	}
+
+	out2, _ := capture(t)
+	if err := cmdDatalog([]string{"-program", program, "-edb", edb, "-idb-only"}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out2.String(), "E(a, b).") {
+		t.Errorf("-idb-only leaked EDB facts: %q", out2.String())
+	}
+	if err := cmdDatalog([]string{"-program", program}); err == nil {
+		t.Error("missing -edb accepted")
+	}
+}

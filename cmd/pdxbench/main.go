@@ -1,0 +1,55 @@
+// Command pdxbench regenerates every experiment of the reproduction:
+// one experiment per theorem, lemma, example, and boundary construction
+// of the peer data exchange paper (see DESIGN.md for the index and
+// EXPERIMENTS.md for recorded outputs).
+//
+// Usage:
+//
+//	pdxbench              # run all experiments
+//	pdxbench -exp EXP-T3  # run one experiment
+//	pdxbench -list        # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+type experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer) error
+}
+
+func main() {
+	expID := flag.String("exp", "", "run a single experiment by id (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	exps := allExperiments()
+	if *list {
+		for _, e := range exps {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+	ran := 0
+	for _, e := range exps {
+		if *expID != "" && e.ID != *expID {
+			continue
+		}
+		ran++
+		fmt.Printf("== %s — %s ==\n", e.ID, e.Title)
+		if err := e.Run(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "pdxbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if ran == 0 {
+		fmt.Fprintf(os.Stderr, "pdxbench: unknown experiment %q (use -list)\n", *expID)
+		os.Exit(2)
+	}
+}

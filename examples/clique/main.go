@@ -1,0 +1,105 @@
+// NP-hardness demo: the CLIQUE reduction of Theorem 3.
+//
+// The source publishes an inequality relation D over k anchors, the
+// equality relation S over graph vertices, and the edge relation E. The
+// single source-to-target tgd forces a 4-ary P-fact per anchor pair;
+// the target-to-source tgds force the invented values to trace out a
+// k-clique of the graph. Deciding whether a solution exists therefore
+// decides k-CLIQUE — which is why SOL(P) is NP-complete in general, and
+// why this setting sits just outside the tractable class C_tract.
+//
+// Run with: go run ./examples/clique
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pde"
+)
+
+const settingSrc = `
+setting clique
+source D/2, S/2, E/2
+target P/4
+st: D(x,y) -> exists z, w: P(x,z,y,w)
+ts: P(x,z,y,w) -> E(z,w)
+ts: P(x,z,y,w), P(y,z2,y2,w2) -> S(w,z2)
+`
+
+func main() {
+	setting, err := pde.ParseSetting(settingSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := pde.Classify(setting)
+	fmt.Println("classification:", rep.Summary())
+	fmt.Println()
+
+	// Two graphs on five vertices: C5 (no triangle) and C5 plus the
+	// chord/extra edges closing the triangle 0-1-2.
+	cycle := [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}}
+	withTriangle := append(append([][2]int{}, cycle...), [2]int{0, 2})
+
+	for _, tc := range []struct {
+		name  string
+		edges [][2]int
+		k     int
+	}{
+		{"C5, k=3 (no triangle)", cycle, 3},
+		{"C5 + chord {0,2}, k=3 (triangle 0-1-2)", withTriangle, 3},
+	} {
+		source := buildInstance(tc.edges, 5, tc.k)
+		res, err := pde.FindSolution(setting, source, pde.NewInstance())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: solution exists = %v (strategy: %s)\n", tc.name, res.Exists, res.Strategy)
+		if res.Exists {
+			fmt.Println("  the witness solution maps the anchors onto a clique:")
+			for _, line := range lines(pde.FormatInstance(res.Solution)) {
+				fmt.Println("   ", line)
+			}
+		}
+	}
+}
+
+// buildInstance constructs I(G, k) per the Theorem 3 reduction: D is
+// the inequality relation on k anchors, S the equality relation on the
+// vertices, E the symmetric edge relation.
+func buildInstance(edges [][2]int, n, k int) *pde.Instance {
+	i := pde.NewInstance()
+	for a := 1; a <= k; a++ {
+		for b := 1; b <= k; b++ {
+			if a != b {
+				i.Add("D", anchor(a), anchor(b))
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		i.Add("S", vertex(v), vertex(v))
+	}
+	for _, e := range edges {
+		i.Add("E", vertex(e[0]), vertex(e[1]))
+		i.Add("E", vertex(e[1]), vertex(e[0]))
+	}
+	return i
+}
+
+func anchor(a int) pde.Value { return pde.Const(fmt.Sprintf("a%d", a)) }
+func vertex(v int) pde.Value { return pde.Const(fmt.Sprintf("v%d", v)) }
+
+func lines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+// Multi-PDE: several authoritative source peers feeding one target
+// peer, as in Section 2 of the paper. Two registries (a European and an
+// American one) both publish protein data into one university database;
+// the university restricts each exchange with its own target-to-source
+// constraints. The paper shows such a multi-PDE setting is equivalent
+// to a single PDE whose source schema is the union of the peers' —
+// which is exactly how this example solves it.
+//
+// Run with: go run ./examples/multipeer
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/pde"
+)
+
+func main() {
+	// Peer 1: the European registry.
+	peer1, err := pde.ParseSetting(`
+setting euro-registry
+source EuroProtein/2
+target Catalog/2
+st: EuroProtein(acc, name) -> Catalog(acc, name)
+ts: Catalog(acc, name) -> EuroProtein(acc, name)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Peer 2: the American registry (separate schema, same target).
+	peer2, err := pde.ParseSetting(`
+setting us-registry
+source UsProtein/2
+target Catalog/2
+st: UsProtein(acc, name) -> Catalog(acc, name)
+ts: Catalog(acc, name) -> UsProtein(acc, name)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Share one target schema object so the multi-setting validates.
+	peer2.Target = peer1.Target
+
+	multi := &core.MultiSetting{Name: "registries", Peers: []*core.Setting{peer1, peer2}}
+	combined, err := multi.Combine()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("combined setting:")
+	fmt.Print(pde.FormatSetting(combined))
+	fmt.Println()
+
+	euro, err := pde.ParseInstance(`
+EuroProtein(P68871, 'hemoglobin beta')
+EuroProtein(P01308, insulin)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	us, err := pde.ParseInstance(`
+UsProtein(P68871, 'hemoglobin beta')
+UsProtein(Q9H0H5, racgap1)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sources := []*pde.Instance{euro, us}
+	union, err := multi.CombineSources(sources)
+	if err != nil {
+		log.Fatal(err)
+	}
+	target := pde.NewInstance()
+
+	// Note the tension: each peer's ts constraint says every Catalog
+	// entry must come from THAT peer, so only entries known to both
+	// registries can be exchanged... and P01308 is known only to the
+	// European registry, which its st constraint nevertheless forces
+	// into the catalog. No solution can satisfy both peers.
+	res, err := pde.ExistsSolution(combined, union, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exchange with strict mirror constraints: solution exists = %v\n", res.Exists)
+
+	// Relax the target-to-source constraints: the university accepts an
+	// entry if EITHER registry vouches for it. In PDE terms each peer's
+	// ts-tgd gains the other registry's relation as an alternative —
+	// expressible with a disjunctive ts dependency on the combined
+	// setting.
+	relaxed, err := pde.ParseSetting(`
+setting registries-relaxed
+source EuroProtein/2, UsProtein/2
+target Catalog/2
+st: EuroProtein(acc, name) -> Catalog(acc, name)
+st: UsProtein(acc, name) -> Catalog(acc, name)
+tsd: Catalog(acc, name) -> EuroProtein(acc, name) | UsProtein(acc, name)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res2, err := pde.FindSolution(relaxed, union, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exchange with either-registry vouching: solution exists = %v\n", res2.Exists)
+	if res2.Exists {
+		fmt.Println("the shared catalog:")
+		fmt.Println(pde.FormatInstance(res2.Solution))
+		ok, err := multi.IsSolution(sources, target, res2.Solution)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("also a solution of the strict multi-PDE setting: %v\n", ok)
+	}
+}

@@ -1,0 +1,91 @@
+// Quickstart: Example 1 of the peer data exchange paper, end to end.
+//
+// The source peer publishes a binary relation E; the target peer stores
+// H. The source offers every E-path of length two as an H-edge
+// (source-to-target tgd); the target only accepts H-edges that are
+// themselves E-edges (target-to-source tgd). We ask, for three source
+// instances, whether the target can be populated consistently — and
+// what is certain about the result.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pde"
+)
+
+func main() {
+	setting, err := pde.ParseSetting(`
+setting example1
+source E/2
+target H/2
+st: E(x,z), E(z,y) -> H(x,y)
+ts: H(x,y) -> E(x,y)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	rep := pde.Classify(setting)
+	fmt.Println("classification:", rep.Summary())
+	fmt.Println()
+
+	cases := []struct{ name, facts string }{
+		{"path a->b->c", "E(a,b). E(b,c)."},
+		{"self-loop a->a", "E(a,a)."},
+		{"closed triangle", "E(a,b). E(b,c). E(a,c)."},
+	}
+	for _, c := range cases {
+		source, err := pde.ParseInstance(c.facts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		target := pde.NewInstance() // the target starts empty
+
+		res, err := pde.FindSolution(setting, source, target)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s: solution exists = %v (strategy: %s)\n", c.name, res.Exists, res.Strategy)
+		if res.Exists {
+			fmt.Println("  one solution:")
+			for _, line := range splitLines(pde.FormatInstance(res.Solution)) {
+				fmt.Println("   ", line)
+			}
+		}
+	}
+	fmt.Println()
+
+	// Certain answers: which H-facts hold in EVERY solution?
+	queries, err := pde.ParseQueries("q(x, y) :- H(x, y)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	source, _ := pde.ParseInstance("E(a,b). E(b,c). E(a,c).")
+	ans, err := pde.CertainAnswers(setting, source, pde.NewInstance(), queries[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("certain H-facts on the closed triangle:")
+	for _, t := range ans.Answers {
+		fmt.Println("  H" + t.String())
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}

@@ -1,0 +1,180 @@
+package certain_test
+
+import (
+	"testing"
+
+	"repro/internal/certain"
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/rel"
+)
+
+// TestSolutionsExaminedCounts: the evaluator reports how many image
+// solutions it inspected and short-circuits on a counterexample.
+func TestSolutionsExaminedCounts(t *testing.T) {
+	s := &core.Setting{
+		Name:   "many",
+		Source: rel.SchemaOf("A", 1, "B", 1),
+		Target: rel.SchemaOf("T", 2),
+		ST: []dep.TGD{{
+			Label: "st",
+			Body:  []dep.Atom{dep.NewAtom("A", dep.Var("x"))},
+			Head:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("u"))},
+		}},
+		TS: []dep.TGD{{
+			Label: "ts",
+			Body:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("y"))},
+			Head:  []dep.Atom{dep.NewAtom("A", dep.Var("x"))},
+		}},
+	}
+	i := rel.NewInstance()
+	i.Add("A", rel.Const("a"))
+	i.Add("B", rel.Const("c1"))
+	i.Add("B", rel.Const("c2"))
+	// Query true in every solution: T(a, ·) exists by Σst.
+	qTrue := certain.UCQ{{Name: "q", Body: []dep.Atom{dep.NewAtom("T", dep.Cst("a"), dep.Var("y"))}}}
+	res, err := certain.Boolean(s, i, rel.NewInstance(), qTrue, certain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Certain || res.SolutionsExamined < 2 {
+		t.Errorf("res = %+v, want certain over several image solutions", res)
+	}
+	// Query false in some solution: T(a, c1) fails when the null keeps
+	// fresh or maps elsewhere; the evaluator must stop early.
+	qSometimes := certain.UCQ{{Name: "q2", Body: []dep.Atom{dep.NewAtom("T", dep.Cst("a"), dep.Cst("c1"))}}}
+	res2, err := certain.Boolean(s, i, rel.NewInstance(), qSometimes, certain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Certain {
+		t.Error("q2 should not be certain")
+	}
+	if res2.SolutionsExamined < 1 {
+		t.Errorf("res2 = %+v", res2)
+	}
+}
+
+// TestUnionCertain: a union is certain when every solution satisfies
+// SOME disjunct, even if no single disjunct is certain by itself.
+func TestUnionCertain(t *testing.T) {
+	// Σst forces T(a, u) with u existential; Σts restricts u to c1 or c2
+	// via a disjunctive-free trick: B(x) relations for both candidates
+	// and ts: T(x,y) -> B2(y)... simpler: use the egd-free setting where
+	// u can be kept fresh, and craft a union with one disjunct matching
+	// any T fact.
+	s := &core.Setting{
+		Name:   "union",
+		Source: rel.SchemaOf("A", 1),
+		Target: rel.SchemaOf("T", 2),
+		ST: []dep.TGD{{
+			Label: "st",
+			Body:  []dep.Atom{dep.NewAtom("A", dep.Var("x"))},
+			Head:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("u"))},
+		}},
+	}
+	i := rel.NewInstance()
+	i.Add("A", rel.Const("a"))
+	u := certain.UCQ{
+		{Name: "q", Body: []dep.Atom{dep.NewAtom("T", dep.Cst("a"), dep.Cst("a"))}},
+		{Name: "q", Body: []dep.Atom{dep.NewAtom("T", dep.Cst("a"), dep.Var("y"))}},
+	}
+	res, err := certain.Boolean(s, i, rel.NewInstance(), u, certain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Certain {
+		t.Error("union with a universally-true disjunct should be certain")
+	}
+	// The first disjunct alone is not certain.
+	res1, err := certain.Boolean(s, i, rel.NewInstance(), u[:1], certain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Certain {
+		t.Error("T(a,a) alone should not be certain")
+	}
+}
+
+// TestAnswersExcludeNullTuples: open-query answers carrying nulls are
+// never certain.
+func TestAnswersExcludeNullTuples(t *testing.T) {
+	s := &core.Setting{
+		Name:   "nulls",
+		Source: rel.SchemaOf("A", 1),
+		Target: rel.SchemaOf("T", 2),
+		ST: []dep.TGD{{
+			Label: "st",
+			Body:  []dep.Atom{dep.NewAtom("A", dep.Var("x"))},
+			Head:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("u"))},
+		}},
+	}
+	i := rel.NewInstance()
+	i.Add("A", rel.Const("a"))
+	q := certain.UCQ{{Name: "q", Head: []string{"x", "y"}, Body: []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("y"))}}}
+	res, err := certain.Answers(s, i, rel.NewInstance(), q, certain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 0 {
+		t.Errorf("answers = %v; the second column is never a fixed constant", res.Answers)
+	}
+	// Projecting only the constant column yields a certain answer.
+	q2 := certain.UCQ{{Name: "q2", Head: []string{"x"}, Body: []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("y"))}}}
+	res2, err := certain.Answers(s, i, rel.NewInstance(), q2, certain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Answers) != 1 || res2.Answers[0].String() != "(a)" {
+		t.Errorf("answers = %v, want [(a)]", res2.Answers)
+	}
+}
+
+// TestCertainWithDisjunctiveTS: certain answers work over settings with
+// disjunctive target-to-source dependencies (the solver enumerates
+// image solutions for them too).
+func TestCertainWithDisjunctiveTS(t *testing.T) {
+	s := &core.Setting{
+		Name:   "disj",
+		Source: rel.SchemaOf("A", 1, "R", 1, "G", 1),
+		Target: rel.SchemaOf("C", 2),
+		ST: []dep.TGD{{
+			Label: "st",
+			Body:  []dep.Atom{dep.NewAtom("A", dep.Var("x"))},
+			Head:  []dep.Atom{dep.NewAtom("C", dep.Var("x"), dep.Var("u"))},
+		}},
+		TSDisj: []dep.DisjunctiveTGD{{
+			Label: "tsd",
+			Body:  []dep.Atom{dep.NewAtom("C", dep.Var("x"), dep.Var("u"))},
+			Disjuncts: [][]dep.Atom{
+				{dep.NewAtom("R", dep.Var("u"))},
+				{dep.NewAtom("G", dep.Var("u"))},
+			},
+		}},
+	}
+	i := rel.NewInstance()
+	i.Add("A", rel.Const("a"))
+	i.Add("R", rel.Const("red"))
+	i.Add("G", rel.Const("green"))
+	// Every solution colors a with red or green: the union is certain,
+	// neither single color is.
+	union := certain.UCQ{
+		{Name: "q", Body: []dep.Atom{dep.NewAtom("C", dep.Cst("a"), dep.Cst("red"))}},
+		{Name: "q", Body: []dep.Atom{dep.NewAtom("C", dep.Cst("a"), dep.Cst("green"))}},
+	}
+	res, err := certain.Boolean(s, i, rel.NewInstance(), union, certain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Certain {
+		t.Error("red-or-green should be certain")
+	}
+	red := union[:1]
+	resRed, err := certain.Boolean(s, i, rel.NewInstance(), red, certain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resRed.Certain {
+		t.Error("red alone should not be certain")
+	}
+}

@@ -1,0 +1,251 @@
+package certain_test
+
+import (
+	"testing"
+
+	"repro/internal/certain"
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/graph"
+	"repro/internal/hom"
+	"repro/internal/reductions"
+	"repro/internal/rel"
+)
+
+func example1Setting() *core.Setting {
+	return &core.Setting{
+		Name:   "example1",
+		Source: rel.SchemaOf("E", 2),
+		Target: rel.SchemaOf("H", 2),
+		ST: []dep.TGD{{
+			Label: "st",
+			Body:  []dep.Atom{dep.NewAtom("E", dep.Var("x"), dep.Var("z")), dep.NewAtom("E", dep.Var("z"), dep.Var("y"))},
+			Head:  []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y"))},
+		}},
+		TS: []dep.TGD{{
+			Label: "ts",
+			Body:  []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y"))},
+			Head:  []dep.Atom{dep.NewAtom("E", dep.Var("x"), dep.Var("y"))},
+		}},
+	}
+}
+
+func edges(pairs ...[2]string) *rel.Instance {
+	inst := rel.NewInstance()
+	for _, p := range pairs {
+		inst.Add("E", rel.Const(p[0]), rel.Const(p[1]))
+	}
+	return inst
+}
+
+// pathQuery is the Boolean query of Section 2:
+// q = exists x, y, z: H(x,y) ∧ H(y,z).
+func pathQuery() certain.UCQ {
+	return certain.UCQ{{
+		Name: "q",
+		Body: []dep.Atom{
+			dep.NewAtom("H", dep.Var("x"), dep.Var("y")),
+			dep.NewAtom("H", dep.Var("y"), dep.Var("z")),
+		},
+	}}
+}
+
+// TestPaperSection2CertainExamples reproduces the two certain-answer
+// evaluations stated right after Definition 4:
+// certain(q, ({E(a,a)}, ∅)) = true and
+// certain(q, ({E(a,b), E(b,c), E(a,c)}, ∅)) = false.
+func TestPaperSection2CertainExamples(t *testing.T) {
+	s := example1Setting()
+	q := pathQuery()
+	if err := q.Validate(s.Target); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := certain.Boolean(s, edges([2]string{"a", "a"}), rel.NewInstance(), q, certain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Certain || !res.SolutionExists {
+		t.Errorf("certain(q, ({E(a,a)}, ∅)) = %v, want true", res.Certain)
+	}
+
+	res, err = certain.Boolean(s, edges([2]string{"a", "b"}, [2]string{"b", "c"}, [2]string{"a", "c"}), rel.NewInstance(), q, certain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Certain {
+		t.Error("certain(q, (triangle, ∅)) should be false: {H(a,c)} is a solution without an H-path of length 2")
+	}
+}
+
+func TestCertainVacuousWhenNoSolution(t *testing.T) {
+	s := example1Setting()
+	res, err := certain.Boolean(s, edges([2]string{"a", "b"}, [2]string{"b", "c"}), rel.NewInstance(), pathQuery(), certain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SolutionExists {
+		t.Fatal("path instance should have no solution")
+	}
+	if !res.Certain {
+		t.Error("certain over an empty set of solutions must be true")
+	}
+}
+
+func TestCertainOpenQuery(t *testing.T) {
+	s := example1Setting()
+	q := certain.UCQ{{
+		Name: "q",
+		Head: []string{"x", "y"},
+		Body: []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y"))},
+	}}
+	i := edges([2]string{"a", "b"}, [2]string{"b", "c"}, [2]string{"a", "c"})
+	res, err := certain.Answers(s, i, rel.NewInstance(), q, certain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SolutionExists {
+		t.Fatal("solutions exist")
+	}
+	// Every solution must contain H(a,c) (forced by Σst); nothing else
+	// is certain.
+	if len(res.Answers) != 1 || res.Answers[0].String() != "(a, c)" {
+		t.Errorf("certain answers = %v, want [(a, c)]", res.Answers)
+	}
+}
+
+func TestCertainOpenQueryWithJFacts(t *testing.T) {
+	s := example1Setting()
+	q := certain.UCQ{{
+		Name: "q",
+		Head: []string{"x", "y"},
+		Body: []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y"))},
+	}}
+	i := edges([2]string{"a", "b"}, [2]string{"b", "c"}, [2]string{"a", "c"})
+	j := rel.NewInstance()
+	j.Add("H", rel.Const("a"), rel.Const("b"))
+	res, err := certain.Answers(s, i, j, q, certain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// J's facts persist in every solution: both (a,b) and (a,c) certain.
+	if len(res.Answers) != 2 {
+		t.Errorf("certain answers = %v, want [(a, b) (a, c)]", res.Answers)
+	}
+}
+
+// TestTheorem3CertainClique reproduces the coNP-hardness construction:
+// with anchors drawn from V and q = exists x: P(x,x,x,x),
+// certain(q, (I(G,k), ∅)) = false iff G has a k-clique.
+func TestTheorem3CertainClique(t *testing.T) {
+	s := reductions.CliqueSetting()
+	q := certain.UCQ{{Name: "q", Body: reductions.CliqueQuery()}}
+	if err := q.Validate(s.Target); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		k    int
+	}{
+		{"triangle-k3", graph.Complete(3), 3},
+		{"path4-k3", graph.Path(4), 3},
+		{"k4-k4", graph.Complete(4), 4},
+		{"cycle5-k3", graph.Cycle(5), 3},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			i, j := reductions.CliqueInstanceOverVertices(tc.g, tc.k)
+			res, err := certain.Boolean(s, i, j, q, certain.Options{Solve: core.SolveOptions{MaxNodes: 50_000_000}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			hasClique := tc.g.HasClique(tc.k)
+			if res.Certain != !hasClique {
+				t.Errorf("certain=%v, want %v (HasClique=%v)", res.Certain, !hasClique, hasClique)
+			}
+		})
+	}
+}
+
+func TestCQValidate(t *testing.T) {
+	target := rel.SchemaOf("H", 2)
+	good := certain.CQ{Name: "q", Head: []string{"x"}, Body: []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y"))}}
+	if err := good.Validate(target); err != nil {
+		t.Errorf("valid query rejected: %v", err)
+	}
+	badRel := certain.CQ{Name: "q", Body: []dep.Atom{dep.NewAtom("Z", dep.Var("x"))}}
+	if err := badRel.Validate(target); err == nil {
+		t.Error("unknown relation accepted")
+	}
+	badHead := certain.CQ{Name: "q", Head: []string{"z"}, Body: []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y"))}}
+	if err := badHead.Validate(target); err == nil {
+		t.Error("unbound head variable accepted")
+	}
+	badArity := certain.CQ{Name: "q", Body: []dep.Atom{dep.NewAtom("H", dep.Var("x"))}}
+	if err := badArity.Validate(target); err == nil {
+		t.Error("arity violation accepted")
+	}
+	empty := certain.CQ{Name: "q"}
+	if err := empty.Validate(target); err == nil {
+		t.Error("empty body accepted")
+	}
+}
+
+func TestUCQValidateHeadArity(t *testing.T) {
+	target := rel.SchemaOf("H", 2)
+	u := certain.UCQ{
+		{Name: "q", Head: []string{"x"}, Body: []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y"))}},
+		{Name: "q", Body: []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y"))}},
+	}
+	if err := u.Validate(target); err == nil {
+		t.Error("mixed head arities accepted")
+	}
+	if err := (certain.UCQ{}).Validate(target); err == nil {
+		t.Error("empty UCQ accepted")
+	}
+}
+
+func TestCQEvalDirect(t *testing.T) {
+	inst := rel.NewInstance()
+	inst.Add("H", rel.Const("a"), rel.Const("b"))
+	inst.Add("H", rel.Const("b"), rel.Const("c"))
+	q := certain.CQ{Name: "q", Head: []string{"x"}, Body: []dep.Atom{
+		dep.NewAtom("H", dep.Var("x"), dep.Var("y")),
+		dep.NewAtom("H", dep.Var("y"), dep.Var("z")),
+	}}
+	got := q.Eval(inst, hom.Options{})
+	if len(got) != 1 || got[0][0] != rel.Const("a") {
+		t.Errorf("Eval = %v, want [(a)]", got)
+	}
+	if !q.EvalBool(inst, hom.Options{}) {
+		t.Error("EvalBool = false")
+	}
+}
+
+func TestUCQEvalUnion(t *testing.T) {
+	inst := rel.NewInstance()
+	inst.Add("H", rel.Const("a"), rel.Const("b"))
+	u := certain.UCQ{
+		{Name: "q1", Head: []string{"x"}, Body: []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y"))}},
+		{Name: "q2", Head: []string{"y"}, Body: []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y"))}},
+	}
+	got := u.Eval(inst, hom.Options{})
+	if len(got) != 2 {
+		t.Errorf("union eval = %v, want [(a) (b)]", got)
+	}
+}
+
+func TestCQStringRendering(t *testing.T) {
+	q := certain.CQ{Name: "q", Head: []string{"x"}, Body: []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y"))}}
+	if got := q.String(); got != "q(x) :- H(x, y)" {
+		t.Errorf("String = %q", got)
+	}
+	b := certain.CQ{Name: "p", Body: []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("x"))}}
+	if got := b.String(); got != "p :- H(x, x)" {
+		t.Errorf("String = %q", got)
+	}
+	if b.IsBoolean() != true || q.IsBoolean() {
+		t.Error("IsBoolean wrong")
+	}
+}

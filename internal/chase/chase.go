@@ -1,0 +1,348 @@
+// Package chase implements the chase procedure used by the peer data
+// exchange paper: the standard (restricted) chase with tgds and egds of
+// Fagin, Kolaitis, Miller, Popa, an oblivious variant for ablation
+// studies, and the solution-aware chase of Definitions 6 and 7, which
+// witnesses existential variables with values drawn from a given
+// solution instead of fresh labeled nulls.
+package chase
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dep"
+	"repro/internal/hom"
+	"repro/internal/rel"
+)
+
+// ErrBudgetExhausted is returned when the chase did not reach a fixpoint
+// within the configured step budget. With weakly acyclic tgds this never
+// happens for the default budget (the chase terminates in polynomially
+// many steps, Lemma 1); with cyclic tgds it is the expected outcome.
+var ErrBudgetExhausted = errors.New("chase: step budget exhausted before fixpoint")
+
+// DefaultMaxSteps is the step budget applied when Options.MaxSteps is 0.
+const DefaultMaxSteps = 200000
+
+// BudgetHint suggests a step budget for chasing an instance of the
+// given size with a weakly acyclic set of tgds, derived from the
+// maximum position rank r (dep.MaxRank): the chase creates at most
+// polynomially many facts with the polynomial degree governed by r, so
+// the hint grows as size^(r+2), clamped to at least DefaultMaxSteps.
+// For non-weakly-acyclic sets it returns DefaultMaxSteps — no finite
+// budget is guaranteed to suffice, and hitting it is the expected
+// diagnosis. The hint is a heuristic ceiling for honest termination
+// detection, not a tight bound.
+func BudgetHint(tgds []dep.TGD, size int) int {
+	r, err := dep.MaxRank(tgds)
+	if err != nil {
+		return DefaultMaxSteps
+	}
+	if size < 2 {
+		size = 2
+	}
+	budget := 1
+	for e := 0; e < r+2; e++ {
+		if budget > 1<<40/size {
+			return 1 << 40 // saturate well below overflow
+		}
+		budget *= size
+	}
+	if budget < DefaultMaxSteps {
+		return DefaultMaxSteps
+	}
+	return budget
+}
+
+// Options configures a chase run.
+type Options struct {
+	// MaxSteps bounds the number of chase steps; 0 means
+	// DefaultMaxSteps.
+	MaxSteps int
+	// Oblivious switches tgd steps to the oblivious chase: a trigger
+	// fires once regardless of whether the head is already satisfied.
+	// Exists for the ablation benchmarks; the paper's constructions use
+	// the restricted chase.
+	Oblivious bool
+	// Nulls supplies fresh labeled nulls; if nil, a source seeded past
+	// the nulls of the start instance is created.
+	Nulls *rel.NullSource
+	// Hom configures the homomorphism searches.
+	Hom hom.Options
+}
+
+// Result reports the outcome of a chase run.
+type Result struct {
+	// Instance is the chased instance: the fixpoint on success, the
+	// instance at failure or budget exhaustion otherwise.
+	Instance *rel.Instance
+	// Steps is the number of chase steps applied.
+	Steps int
+	// Failed reports a failing chase: an egd tried to equate two
+	// distinct constants.
+	Failed bool
+	// FailedOn is the label of the dependency that failed.
+	FailedOn string
+}
+
+func (o Options) maxSteps() int {
+	if o.MaxSteps > 0 {
+		return o.MaxSteps
+	}
+	return DefaultMaxSteps
+}
+
+func (o Options) nulls(start *rel.Instance) *rel.NullSource {
+	if o.Nulls != nil {
+		return o.Nulls
+	}
+	ns := &rel.NullSource{}
+	ns.SeenIn(start)
+	return ns
+}
+
+// Run chases the start instance with the dependencies until fixpoint,
+// failure, or budget exhaustion. The start instance is not mutated.
+// Disjunctive tgds cannot be chased and cause an error.
+func Run(start *rel.Instance, deps []dep.Dependency, opts Options) (*Result, error) {
+	for _, d := range deps {
+		if _, ok := d.(dep.DisjunctiveTGD); ok {
+			return nil, fmt.Errorf("chase: cannot chase disjunctive tgd %s", d.DepLabel())
+		}
+	}
+	st := &state{
+		inst:   start.Clone(),
+		opts:   opts,
+		nulls:  opts.nulls(start),
+		budget: opts.maxSteps(),
+	}
+	if opts.Oblivious {
+		st.fired = make(map[string]bool)
+	}
+	return st.run(deps, nil)
+}
+
+// RunSolutionAware performs the solution-aware chase of Definitions 6–7:
+// it chases start with the dependencies, but witnesses the existential
+// variables of tgds using values from the witness instance, which must
+// contain start and satisfy the tgds in deps. No fresh nulls are ever
+// created. The returned instance is contained in witness whenever start
+// is (this is the property Lemma 2 exploits to extract small solutions).
+func RunSolutionAware(start *rel.Instance, deps []dep.Dependency, witness *rel.Instance, opts Options) (*Result, error) {
+	for _, d := range deps {
+		if _, ok := d.(dep.DisjunctiveTGD); ok {
+			return nil, fmt.Errorf("chase: cannot chase disjunctive tgd %s", d.DepLabel())
+		}
+	}
+	st := &state{
+		inst:   start.Clone(),
+		opts:   opts,
+		nulls:  opts.nulls(start),
+		budget: opts.maxSteps(),
+	}
+	if opts.Oblivious {
+		st.fired = make(map[string]bool)
+	}
+	return st.run(deps, witness)
+}
+
+type state struct {
+	inst   *rel.Instance
+	opts   Options
+	nulls  *rel.NullSource
+	budget int
+	steps  int
+	fired  map[string]bool // oblivious mode: trigger keys already fired
+}
+
+func (st *state) run(deps []dep.Dependency, witness *rel.Instance) (*Result, error) {
+	for {
+		progressed, failed, failedOn, err := st.round(deps, witness)
+		if err != nil {
+			return &Result{Instance: st.inst, Steps: st.steps}, err
+		}
+		if failed {
+			return &Result{Instance: st.inst, Steps: st.steps, Failed: true, FailedOn: failedOn}, nil
+		}
+		if !progressed {
+			return &Result{Instance: st.inst, Steps: st.steps}, nil
+		}
+	}
+}
+
+// round applies one pass over all dependencies, firing every applicable
+// trigger found against the instance as it evolves. It reports whether
+// any step was applied.
+func (st *state) round(deps []dep.Dependency, witness *rel.Instance) (progressed, failed bool, failedOn string, err error) {
+	for _, d := range deps {
+		switch d := d.(type) {
+		case dep.TGD:
+			p, e := st.tgdPass(d, witness)
+			if e != nil {
+				return false, false, "", e
+			}
+			progressed = progressed || p
+		case dep.EGD:
+			p, f, e := st.egdPass(d)
+			if e != nil {
+				return false, false, "", e
+			}
+			if f {
+				return progressed, true, d.Label, nil
+			}
+			progressed = progressed || p
+		default:
+			return false, false, "", fmt.Errorf("chase: unsupported dependency type %T", d)
+		}
+	}
+	return progressed, failed, failedOn, nil
+}
+
+// tgdPass collects the triggers of d against the current instance and
+// fires those still unsatisfied. Triggers are collected up front so the
+// enumeration never observes its own insertions; new triggers created by
+// the fired steps are picked up by the next round.
+func (st *state) tgdPass(d dep.TGD, witness *rel.Instance) (bool, error) {
+	uvars := d.UniversalVars()
+	var triggers []hom.Binding
+	hom.ForEach(d.Body, st.inst, nil, st.opts.Hom, func(b hom.Binding) bool {
+		if st.opts.Oblivious {
+			key := triggerKey(d.Label, uvars, b)
+			if st.fired[key] {
+				return true
+			}
+		} else if hom.Exists(d.Head, st.inst, restrict(b, uvars), st.opts.Hom) {
+			return true
+		}
+		triggers = append(triggers, restrict(b, uvars))
+		return true
+	})
+	progressed := false
+	for _, b := range triggers {
+		if st.opts.Oblivious {
+			key := triggerKey(d.Label, uvars, b)
+			if st.fired[key] {
+				continue
+			}
+			st.fired[key] = true
+		} else if hom.Exists(d.Head, st.inst, b, st.opts.Hom) {
+			// Re-check: an earlier firing in this pass may have
+			// satisfied this trigger (restricted chase).
+			continue
+		}
+		if err := st.fire(d, b, witness); err != nil {
+			return progressed, err
+		}
+		progressed = true
+	}
+	return progressed, nil
+}
+
+// fire applies one tgd step for the trigger b.
+func (st *state) fire(d dep.TGD, b hom.Binding, witness *rel.Instance) error {
+	if st.steps >= st.budget {
+		return fmt.Errorf("%w (after %d steps, chasing %s)", ErrBudgetExhausted, st.steps, d.Label)
+	}
+	st.steps++
+	ext := b.Clone()
+	if exist := d.ExistentialVars(); len(exist) > 0 {
+		if witness == nil {
+			for _, v := range exist {
+				ext[v] = st.nulls.Fresh()
+			}
+		} else {
+			// Solution-aware step: extend the trigger homomorphism into
+			// the witness, which satisfies the tgd, so an extension is
+			// guaranteed when the trigger facts lie inside the witness.
+			w, ok := hom.FindOne(d.Head, witness, b, st.opts.Hom)
+			if !ok {
+				return fmt.Errorf("chase: solution-aware step for %s found no witness extension; witness does not satisfy the tgds", d.Label)
+			}
+			for _, v := range exist {
+				ext[v] = w[v]
+			}
+		}
+	}
+	for _, a := range d.Head {
+		st.inst.AddTuple(a.Rel, groundAtom(a, ext))
+	}
+	return nil
+}
+
+// egdPass applies egd steps until d has no active trigger or the chase
+// fails. Each merge rebuilds the instance, so the pass restarts its
+// trigger scan after every step.
+func (st *state) egdPass(d dep.EGD) (progressed, failed bool, err error) {
+	for {
+		var l, r rel.Value
+		found := false
+		hom.ForEach(d.Body, st.inst, nil, st.opts.Hom, func(b hom.Binding) bool {
+			if b[d.Left] != b[d.Right] {
+				l, r = b[d.Left], b[d.Right]
+				found = true
+				return false
+			}
+			return true
+		})
+		if !found {
+			return progressed, false, nil
+		}
+		if st.steps >= st.budget {
+			return progressed, false, fmt.Errorf("%w (after %d steps, chasing %s)", ErrBudgetExhausted, st.steps, d.Label)
+		}
+		st.steps++
+		if l.IsConst() && r.IsConst() {
+			return progressed, true, nil
+		}
+		// Replace a null by the other value; if one side is a constant
+		// the null is replaced by the constant.
+		from, to := l, r
+		if from.IsConst() {
+			from, to = to, from
+		}
+		st.inst = st.inst.ReplaceValue(from, to)
+		progressed = true
+	}
+}
+
+func restrict(b hom.Binding, vars []string) hom.Binding {
+	out := make(hom.Binding, len(vars))
+	for _, v := range vars {
+		out[v] = b[v]
+	}
+	return out
+}
+
+func groundAtom(a dep.Atom, b hom.Binding) rel.Tuple {
+	t := make(rel.Tuple, len(a.Args))
+	for i, term := range a.Args {
+		if term.IsConst {
+			t[i] = rel.Const(term.Name)
+		} else {
+			v, ok := b[term.Name]
+			if !ok {
+				panic(fmt.Sprintf("chase: unbound variable %s grounding %s", term.Name, a))
+			}
+			t[i] = v
+		}
+	}
+	return t
+}
+
+func triggerKey(label string, vars []string, b hom.Binding) string {
+	parts := make([]string, 0, len(vars)+1)
+	parts = append(parts, label)
+	sorted := append([]string(nil), vars...)
+	sort.Strings(sorted)
+	for _, v := range sorted {
+		val := b[v]
+		kind := "c"
+		if val.IsNull() {
+			kind = "n"
+		}
+		parts = append(parts, v+"="+kind+val.String())
+	}
+	return strings.Join(parts, "|")
+}

@@ -1,0 +1,140 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/oracle"
+	"repro/internal/rel"
+)
+
+// TestSolverAgainstExhaustiveOracle cross-validates the complete solver
+// against brute-force enumeration of all small target instances, over
+// randomly generated tiny settings (including target egds, full target
+// tgds, and disjunctive target-to-source dependencies). The cmd/pdxfuzz
+// tool runs the same harness at much larger trial counts.
+func TestSolverAgainstExhaustiveOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 120; trial++ {
+		s := oracle.RandomSetting(rng)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid setting: %v", trial, err)
+		}
+		i, j := oracle.RandomInstance(rng)
+		want, err := oracle.ExhaustiveSOL(s, i, j, oracle.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, witness, _, err := core.ExistsSolutionGeneric(s, i, j, core.SolveOptions{MaxNodes: 10_000_000})
+		if err != nil {
+			t.Fatalf("trial %d: solver error: %v", trial, err)
+		}
+		if got != want {
+			t.Errorf("trial %d: solver=%v oracle=%v\nst: %v\nts: %v / %v\nT: %v\nI:\n%s\nJ:\n%s",
+				trial, got, want, s.ST, s.TS, s.TSDisj, s.T, i, j)
+		}
+		if got && !s.IsSolution(i, j, witness) {
+			t.Errorf("trial %d: witness not a solution", trial)
+		}
+	}
+}
+
+// TestTractableAgainstExhaustiveOracle cross-validates the Figure 3
+// algorithm on the random settings that land in C_tract.
+func TestTractableAgainstExhaustiveOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	checked := 0
+	for trial := 0; trial < 300 && checked < 60; trial++ {
+		s := oracle.RandomSetting(rng)
+		i, j := oracle.RandomInstance(rng)
+		if !s.Classify().InCtract {
+			continue
+		}
+		checked++
+		want, err := oracle.ExhaustiveSOL(s, i, j, oracle.Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := core.ExistsSolutionTractable(s, i, j, core.TractableOptions{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got != want {
+			t.Errorf("trial %d: tractable=%v oracle=%v\nst: %v\nts: %v\nI:\n%s\nJ:\n%s",
+				trial, got, want, s.ST, s.TS, i, j)
+		}
+	}
+	if checked < 20 {
+		t.Fatalf("only %d C_tract settings generated; generator drifted", checked)
+	}
+}
+
+// TestSolverOracleFixedSeeds re-runs a few interesting shapes with
+// deterministic instances, so regressions localize without the random
+// layer.
+func TestSolverOracleFixedSeeds(t *testing.T) {
+	// Existential st + join ts + egd: the shape most likely to stress
+	// the pre-chase + backjumping machinery.
+	s := &core.Setting{
+		Name:   "fixed",
+		Source: rel.SchemaOf("A", 1, "B", 2),
+		Target: rel.SchemaOf("T", 2),
+		ST: []dep.TGD{{
+			Label: "st",
+			Body:  []dep.Atom{dep.NewAtom("A", dep.Var("x"))},
+			Head:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("u"))},
+		}},
+		TS: []dep.TGD{{
+			Label: "ts",
+			Body:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("y")), dep.NewAtom("T", dep.Var("y"), dep.Var("z"))},
+			Head:  []dep.Atom{dep.NewAtom("A", dep.Var("x"))},
+		}},
+		T: []dep.Dependency{dep.EGD{
+			Label: "t-key",
+			Body:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("y")), dep.NewAtom("T", dep.Var("x"), dep.Var("z"))},
+			Left:  "y", Right: "z",
+		}},
+	}
+	for _, tc := range []struct {
+		name  string
+		build func() (*rel.Instance, *rel.Instance)
+	}{
+		{"A(a) only", func() (*rel.Instance, *rel.Instance) {
+			i := rel.NewInstance()
+			i.Add("A", rel.Const("a"))
+			return i, rel.NewInstance()
+		}},
+		{"A(a) with J=T(a,a)", func() (*rel.Instance, *rel.Instance) {
+			i := rel.NewInstance()
+			i.Add("A", rel.Const("a"))
+			j := rel.NewInstance()
+			j.Add("T", rel.Const("a"), rel.Const("a"))
+			return i, j
+		}},
+		{"A(a),A(b) with J=T(a,b)", func() (*rel.Instance, *rel.Instance) {
+			i := rel.NewInstance()
+			i.Add("A", rel.Const("a"))
+			i.Add("A", rel.Const("b"))
+			j := rel.NewInstance()
+			j.Add("T", rel.Const("a"), rel.Const("b"))
+			return i, j
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			i, j := tc.build()
+			want, err := oracle.ExhaustiveSOL(s, i, j, oracle.Config{MaxFacts: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, _, _, err := core.ExistsSolutionGeneric(s, i, j, core.SolveOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("solver=%v oracle=%v", got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,97 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// TestTractableScalesToThousands: the Figure 3 algorithm handles
+// thousands of facts in well under a second — the polynomial promise of
+// Theorem 4 at a usable scale (not just asymptotically).
+func TestTractableScalesToThousands(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	s := workload.LAVSetting()
+	rng := rand.New(rand.NewSource(61))
+	i, j := workload.LAVInstance(5000, true, rng)
+	start := time.Now()
+	ok, trace, err := core.ExistsSolutionTractable(s, i, j, core.TractableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if !ok {
+		t.Fatal("solvable instance rejected")
+	}
+	if trace.JCan.NumFacts() != 5000 {
+		t.Errorf("|J_can| = %d", trace.JCan.NumFacts())
+	}
+	if elapsed > 20*time.Second {
+		t.Errorf("5000-person instance took %v; the polynomial algorithm regressed", elapsed)
+	}
+	t.Logf("n=5000 decided in %v (|I_can|=%d, %d blocks)", elapsed, trace.ICan.NumFacts(), trace.Blocks)
+}
+
+// TestGenericScalesOnEasyFamily: the complete solver with backjumping
+// handles hundreds of independent nulls quickly on both solvable and
+// unsolvable instances (no exponential blowup on structurally easy
+// inputs).
+func TestGenericScalesOnEasyFamily(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	s := workload.LAVSetting()
+	rng := rand.New(rand.NewSource(62))
+	for _, solvable := range []bool{true, false} {
+		i, j := workload.LAVInstance(300, solvable, rng)
+		start := time.Now()
+		got, _, stats, err := core.ExistsSolutionGeneric(s, i, j, core.SolveOptions{MaxNodes: 10_000_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != solvable {
+			t.Errorf("solvable=%v got=%v", solvable, got)
+		}
+		if elapsed := time.Since(start); elapsed > 20*time.Second {
+			t.Errorf("solvable=%v took %v (nodes=%d)", solvable, elapsed, stats.Nodes)
+		}
+		// Backjumping keeps the node count linear in the null count.
+		if stats.Nodes > int64(4*stats.NullCount+8) {
+			t.Errorf("solvable=%v: nodes=%d for %d nulls; backjumping regressed", solvable, stats.Nodes, stats.NullCount)
+		}
+	}
+}
+
+// TestGenomicEndToEndScale: the full motivating scenario at a few
+// thousand proteins, through the public-path pieces (solve + witness +
+// verification).
+func TestGenomicEndToEndScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test")
+	}
+	s := workload.GenomicSetting()
+	rng := rand.New(rand.NewSource(63))
+	i, j := workload.GenomicInstance(2000, true, rng)
+	sol, trace, err := core.FindSolutionTractable(s, i, j, core.TractableOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol == nil {
+		t.Fatal("no solution at scale")
+	}
+	if !s.IsSolution(i, j, sol) {
+		t.Fatal("scale witness invalid")
+	}
+	// 2000 gene products + 2000 paper refs expected.
+	if sol.NumFacts() != 4000 {
+		t.Errorf("|solution| = %d, want 4000", sol.NumFacts())
+	}
+	if trace.MaxBlockNulls > 1 {
+		t.Errorf("C_tract block bound violated: %d", trace.MaxBlockNulls)
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/chase"
+	"repro/internal/dep"
+	"repro/internal/hom"
+	"repro/internal/rel"
+)
+
+// TractableTrace records the intermediate artifacts of the
+// ExistsSolution algorithm of Figure 3, for inspection, testing, and the
+// block-size experiment of Theorem 6.
+type TractableTrace struct {
+	// JCan is the canonical target instance: the target part of the
+	// chase of (I, J) with Σst.
+	JCan *rel.Instance
+	// ICan is the canonical source instance: the source part of the
+	// chase of (JCan, ∅) with Σts.
+	ICan *rel.Instance
+	// Blocks is the number of blocks of ICan.
+	Blocks int
+	// MaxBlockNulls is the largest number of nulls in any block of ICan;
+	// Theorem 6 bounds it by a constant for settings in C_tract.
+	MaxBlockNulls int
+	// FailedBlock is the index of the first block with no homomorphism
+	// into I, or -1 if all blocks mapped.
+	FailedBlock int
+	// StepsST and StepsTS count the chase steps of the two phases.
+	StepsST, StepsTS int
+}
+
+// TractableOptions configures ExistsSolutionTractable.
+type TractableOptions struct {
+	// Hom configures homomorphism search (NoIndex enables the ablation).
+	Hom hom.Options
+	// WholeInstanceHom skips the block decomposition and searches one
+	// homomorphism from the whole ICan into I. Semantically equivalent
+	// (Proposition 1) but exponentially slower in general; exists for
+	// the ablation benchmark.
+	WholeInstanceHom bool
+	// SkipCondition1Check runs the algorithm even when condition 1 of
+	// C_tract fails. The answer may then be incorrect (Theorem 5 needs
+	// condition 1); used only by tests demonstrating exactly that.
+	SkipCondition1Check bool
+	// MaxChaseSteps bounds each chase phase; 0 means the chase default.
+	MaxChaseSteps int
+}
+
+// ExistsSolutionTractable implements the algorithm of Figure 3 of the
+// paper: chase (I, J) with Σst to obtain J_can, chase (J_can, ∅) with
+// Σts to obtain I_can, and accept iff every block of I_can has a
+// homomorphism into I.
+//
+// Correctness requires condition 1 of C_tract (Theorem 5) and Σt = ∅;
+// polynomial running time additionally requires condition 2 (Theorems 4
+// and 6). The function refuses settings with target constraints or
+// disjunctive target-to-source dependencies, and — unless
+// SkipCondition1Check is set — settings violating condition 1.
+func ExistsSolutionTractable(s *Setting, i, j *rel.Instance, opts TractableOptions) (bool, *TractableTrace, error) {
+	if len(s.T) > 0 {
+		return false, nil, fmt.Errorf("core: ExistsSolutionTractable: setting %s has target constraints", s.Name)
+	}
+	if len(s.TSDisj) > 0 {
+		return false, nil, fmt.Errorf("core: ExistsSolutionTractable: setting %s has disjunctive Σts", s.Name)
+	}
+	if !opts.SkipCondition1Check {
+		if rep := dep.ClassifyCtract(s.ST, s.TS, nil); !rep.Cond1 {
+			return false, nil, fmt.Errorf("core: ExistsSolutionTractable: setting %s violates condition 1 of C_tract; the algorithm would be unsound: %s", s.Name, rep.Summary())
+		}
+	}
+
+	trace, err := canonicalInstances(s, i, j, opts)
+	if err != nil {
+		return false, nil, err
+	}
+	trace.FailedBlock = -1
+
+	if opts.WholeInstanceHom {
+		ok := hom.Exists(hom.InstanceAtoms(trace.ICan), i, nil, opts.Hom)
+		if !ok {
+			trace.FailedBlock = 0
+		}
+		return ok, trace, nil
+	}
+
+	blocks := hom.Blocks(trace.ICan)
+	trace.Blocks = len(blocks)
+	for _, b := range blocks {
+		if len(b.Nulls) > trace.MaxBlockNulls {
+			trace.MaxBlockNulls = len(b.Nulls)
+		}
+	}
+	for idx, b := range blocks {
+		if !blockMapsInto(b, i, opts.Hom) {
+			trace.FailedBlock = idx
+			return false, trace, nil
+		}
+	}
+	return true, trace, nil
+}
+
+// canonicalInstances runs the two chase phases of Figure 3 and fills in
+// JCan, ICan, and the step counts.
+func canonicalInstances(s *Setting, i, j *rel.Instance, opts TractableOptions) (*TractableTrace, error) {
+	nulls := &rel.NullSource{}
+	nulls.SeenIn(i)
+	nulls.SeenIn(j)
+	copts := chase.Options{Nulls: nulls, Hom: opts.Hom, MaxSteps: opts.MaxChaseSteps}
+
+	// Phase 1: (I, J_can) := chase of (I, J) with Σst.
+	res1, err := chase.Run(rel.Union(i, j), s.StDeps(), copts)
+	if err != nil {
+		return nil, fmt.Errorf("core: chasing Σst: %w", err)
+	}
+	jcan := res1.Instance.Restrict(s.Target)
+
+	// Phase 2: (J_can, I_can) := chase of (J_can, ∅) with Σts.
+	res2, err := chase.Run(jcan, s.TsDeps(), copts)
+	if err != nil {
+		return nil, fmt.Errorf("core: chasing Σts: %w", err)
+	}
+	ican := res2.Instance.Restrict(s.Source)
+
+	return &TractableTrace{
+		JCan:    jcan,
+		ICan:    ican,
+		StepsST: res1.Steps,
+		StepsTS: res2.Steps,
+	}, nil
+}
+
+func blockMapsInto(b hom.Block, i *rel.Instance, opts hom.Options) bool {
+	return hom.BlockHomExists(b, i, opts)
+}
+
+// FindSolutionTractable runs the Figure 3 algorithm and, on acceptance,
+// constructs the witness solution J_img of the Theorem 5 proof: it finds
+// a homomorphism h from I_can to I, extends it to h_J (identity outside
+// Dom(I_can)), and returns h_J(J_can).
+func FindSolutionTractable(s *Setting, i, j *rel.Instance, opts TractableOptions) (*rel.Instance, *TractableTrace, error) {
+	ok, trace, err := ExistsSolutionTractable(s, i, j, opts)
+	if err != nil {
+		return nil, trace, err
+	}
+	if !ok {
+		return nil, trace, nil
+	}
+	h, found := hom.FindInstanceHom(trace.ICan, i, opts.Hom)
+	if !found {
+		// Cannot happen: ExistsSolutionTractable accepted.
+		return nil, trace, fmt.Errorf("core: internal inconsistency: accepted but no homomorphism from I_can to I")
+	}
+	// h_J: apply h on the shared nulls, identity elsewhere. MapValues
+	// ignores values absent from the map, which is exactly the identity
+	// default.
+	jimg := trace.JCan.MapValues(h)
+	return jimg, trace, nil
+}

@@ -1,0 +1,227 @@
+// Package datalog implements positive Datalog with semi-naive
+// evaluation. It completes the peer data management model of Section 2
+// of the peer data exchange paper: Halevy et al.'s PDMS allows
+// *definitional mappings* — Datalog programs whose rules have single
+// peer relations in heads and bodies — alongside the inclusion and
+// equality mappings. The paper's PDE-to-PDMS translation uses no
+// definitional mappings, but package pdms supports them through this
+// engine so the full mapping language of [14] is representable.
+package datalog
+
+import (
+	"fmt"
+
+	"repro/internal/dep"
+	"repro/internal/hom"
+	"repro/internal/rel"
+)
+
+// Rule is a positive Datalog rule head :- body. Safety requires every
+// head variable to occur in the body.
+type Rule struct {
+	// Label identifies the rule in errors.
+	Label string
+	// Head is the derived atom.
+	Head dep.Atom
+	// Body is the conjunction of subgoals.
+	Body []dep.Atom
+}
+
+// String renders the rule.
+func (r Rule) String() string {
+	s := r.Head.String() + " :- "
+	for i, a := range r.Body {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.String()
+	}
+	return s
+}
+
+// Validate checks safety and schema conformance.
+func (r Rule) Validate(schema *rel.Schema) error {
+	if len(r.Body) == 0 {
+		return fmt.Errorf("datalog: rule %s has an empty body", r.Label)
+	}
+	atoms := append([]dep.Atom{r.Head}, r.Body...)
+	for _, a := range atoms {
+		ar, ok := schema.Arity(a.Rel)
+		if !ok {
+			return fmt.Errorf("datalog: rule %s: relation %s not in schema", r.Label, a.Rel)
+		}
+		if ar != len(a.Args) {
+			return fmt.Errorf("datalog: rule %s: atom %s has %d arguments, relation has arity %d", r.Label, a, len(a.Args), ar)
+		}
+	}
+	bodyVars := make(map[string]bool)
+	for _, a := range r.Body {
+		for _, v := range a.Vars() {
+			bodyVars[v] = true
+		}
+	}
+	for _, v := range r.Head.Vars() {
+		if !bodyVars[v] {
+			return fmt.Errorf("datalog: rule %s is unsafe: head variable %s not in body", r.Label, v)
+		}
+	}
+	return nil
+}
+
+// Program is a set of positive Datalog rules.
+type Program struct {
+	Rules []Rule
+}
+
+// Validate checks every rule.
+func (p *Program) Validate(schema *rel.Schema) error {
+	if len(p.Rules) == 0 {
+		return fmt.Errorf("datalog: empty program")
+	}
+	for _, r := range p.Rules {
+		if err := r.Validate(schema); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// IDB returns the set of derived (intensional) relation names: those
+// appearing in some rule head.
+func (p *Program) IDB() map[string]bool {
+	out := make(map[string]bool)
+	for _, r := range p.Rules {
+		out[r.Head.Rel] = true
+	}
+	return out
+}
+
+// Options configures evaluation.
+type Options struct {
+	// MaxDerivations bounds the number of derived facts; 0 means
+	// 1,000,000. Positive Datalog always terminates, but the bound
+	// keeps accidental cross products honest.
+	MaxDerivations int
+	// Hom configures the subgoal matching.
+	Hom hom.Options
+}
+
+func (o Options) maxDerivations() int {
+	if o.MaxDerivations > 0 {
+		return o.MaxDerivations
+	}
+	return 1_000_000
+}
+
+// Eval computes the minimal model of the program over the given
+// extensional database: the least fixpoint containing edb. The input is
+// not mutated; the result holds edb plus every derived fact.
+//
+// Evaluation is semi-naive: each round matches every rule with at least
+// one subgoal bound to the previous round's delta, so already-joined
+// combinations are not re-derived.
+func (p *Program) Eval(edb *rel.Instance, opts Options) (*rel.Instance, error) {
+	full := edb.Clone()
+	delta := edb.Clone()
+	budget := opts.maxDerivations()
+	derived := 0
+
+	for delta.NumFacts() > 0 {
+		next := rel.NewInstance()
+		for _, r := range p.Rules {
+			if err := fireSemiNaive(r, full, delta, next, opts, &derived, budget); err != nil {
+				return nil, err
+			}
+		}
+		// Move the genuinely new facts into full; they form the next
+		// delta.
+		delta = rel.NewInstance()
+		for _, f := range next.Facts() {
+			if full.AddFact(f) {
+				delta.AddFact(f)
+			}
+		}
+	}
+	return full, nil
+}
+
+// fireSemiNaive derives the immediate consequences of rule r where at
+// least one subgoal matches a delta fact. For each subgoal position we
+// match that subgoal against delta and the remaining subgoals against
+// full; duplicates across positions are deduplicated by the instance.
+func fireSemiNaive(r Rule, full, delta, out *rel.Instance, opts Options, derived *int, budget int) error {
+	for pivot := range r.Body {
+		pivotAtom := r.Body[pivot]
+		if delta.Relation(pivotAtom.Rel) == nil {
+			continue
+		}
+		rest := make([]dep.Atom, 0, len(r.Body)-1)
+		rest = append(rest, r.Body[:pivot]...)
+		rest = append(rest, r.Body[pivot+1:]...)
+		var evalErr error
+		hom.ForEach([]dep.Atom{pivotAtom}, delta, nil, opts.Hom, func(b hom.Binding) bool {
+			hom.ForEach(rest, full, b, opts.Hom, func(b2 hom.Binding) bool {
+				t := make(rel.Tuple, len(r.Head.Args))
+				for i, term := range r.Head.Args {
+					if term.IsConst {
+						t[i] = rel.Const(term.Name)
+					} else {
+						t[i] = b2[term.Name]
+					}
+				}
+				if out.AddTuple(r.Head.Rel, t) {
+					*derived++
+					if *derived > budget {
+						evalErr = fmt.Errorf("datalog: derivation budget of %d exceeded (rule %s)", budget, r.Label)
+						return false
+					}
+				}
+				return true
+			})
+			return evalErr == nil
+		})
+		if evalErr != nil {
+			return evalErr
+		}
+	}
+	return nil
+}
+
+// Naive evaluates the program by naive fixpoint iteration (every rule
+// against the full instance each round). It exists as the reference
+// implementation for differential tests and ablation benchmarks.
+func (p *Program) Naive(edb *rel.Instance, opts Options) (*rel.Instance, error) {
+	full := edb.Clone()
+	budget := opts.maxDerivations()
+	derived := 0
+	for {
+		added := false
+		for _, r := range p.Rules {
+			var bindings []hom.Binding
+			hom.ForEach(r.Body, full, nil, opts.Hom, func(b hom.Binding) bool {
+				bindings = append(bindings, b)
+				return true
+			})
+			for _, b := range bindings {
+				t := make(rel.Tuple, len(r.Head.Args))
+				for i, term := range r.Head.Args {
+					if term.IsConst {
+						t[i] = rel.Const(term.Name)
+					} else {
+						t[i] = b[term.Name]
+					}
+				}
+				if full.AddTuple(r.Head.Rel, t) {
+					added = true
+					derived++
+					if derived > budget {
+						return nil, fmt.Errorf("datalog: derivation budget of %d exceeded (rule %s)", budget, r.Label)
+					}
+				}
+			}
+		}
+		if !added {
+			return full, nil
+		}
+	}
+}

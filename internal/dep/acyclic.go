@@ -1,0 +1,177 @@
+package dep
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Position identifies an attribute position (R, i) of a relation symbol:
+// the i-th column (0-based) of relation Rel.
+type Position struct {
+	Rel string
+	Idx int
+}
+
+// String renders the position as R.i.
+func (p Position) String() string { return fmt.Sprintf("%s.%d", p.Rel, p.Idx) }
+
+// DependencyGraph is the position graph of Definition 5: nodes are
+// positions, edges are ordinary or special. There can be both an
+// ordinary and a special edge between the same pair of nodes.
+type DependencyGraph struct {
+	nodes    map[Position]bool
+	ordinary map[Position]map[Position]bool
+	special  map[Position]map[Position]bool
+}
+
+// BuildDependencyGraph constructs the dependency graph of a set of tgds
+// per Definition 5 of the paper:
+//
+// For every tgd body(x) -> exists y head(x, y), and every body variable x
+// that occurs in the head: for every occurrence of x at a body position
+// (R, Ai) add an ordinary edge to every position (S, Bj) where x occurs
+// in the head, and a special edge to every position (T, Ck) where an
+// existentially quantified variable occurs in the head.
+func BuildDependencyGraph(tgds []TGD) *DependencyGraph {
+	g := &DependencyGraph{
+		nodes:    make(map[Position]bool),
+		ordinary: make(map[Position]map[Position]bool),
+		special:  make(map[Position]map[Position]bool),
+	}
+	for _, d := range tgds {
+		for _, a := range d.Body {
+			for i := range a.Args {
+				g.nodes[Position{a.Rel, i}] = true
+			}
+		}
+		for _, a := range d.Head {
+			for i := range a.Args {
+				g.nodes[Position{a.Rel, i}] = true
+			}
+		}
+		bodyVars := varSet(d.Body)
+		headVarOcc := make(map[string][]Position)
+		var existPositions []Position
+		for _, a := range d.Head {
+			for i, t := range a.Args {
+				if t.IsConst {
+					continue
+				}
+				pos := Position{a.Rel, i}
+				if bodyVars[t.Name] {
+					headVarOcc[t.Name] = append(headVarOcc[t.Name], pos)
+				} else {
+					existPositions = append(existPositions, pos)
+				}
+			}
+		}
+		for _, a := range d.Body {
+			for i, t := range a.Args {
+				if t.IsConst {
+					continue
+				}
+				// Only body variables that occur in the head contribute
+				// edges.
+				if _, occurs := headVarOcc[t.Name]; !occurs {
+					continue
+				}
+				from := Position{a.Rel, i}
+				for _, to := range headVarOcc[t.Name] {
+					g.addEdge(from, to, false)
+				}
+				for _, to := range existPositions {
+					g.addEdge(from, to, true)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func (g *DependencyGraph) addEdge(from, to Position, special bool) {
+	m := g.ordinary
+	if special {
+		m = g.special
+	}
+	if m[from] == nil {
+		m[from] = make(map[Position]bool)
+	}
+	m[from][to] = true
+}
+
+// Nodes returns the graph's positions in sorted order.
+func (g *DependencyGraph) Nodes() []Position {
+	out := make([]Position, 0, len(g.nodes))
+	for p := range g.nodes {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Rel != out[j].Rel {
+			return out[i].Rel < out[j].Rel
+		}
+		return out[i].Idx < out[j].Idx
+	})
+	return out
+}
+
+// HasOrdinaryEdge reports whether there is an ordinary edge from a to b.
+func (g *DependencyGraph) HasOrdinaryEdge(a, b Position) bool {
+	return g.ordinary[a][b]
+}
+
+// HasSpecialEdge reports whether there is a special edge from a to b.
+func (g *DependencyGraph) HasSpecialEdge(a, b Position) bool {
+	return g.special[a][b]
+}
+
+// HasCycleThroughSpecialEdge reports whether the graph contains a cycle
+// that traverses at least one special edge. Per Definition 5, a set of
+// tgds is weakly acyclic iff its dependency graph has no such cycle.
+//
+// The check: for every special edge (u, v), the set is not weakly
+// acyclic iff u is reachable from v (using edges of either kind), which
+// closes a cycle through the special edge. We compute reachability by
+// DFS from each special-edge head; the graph is small (positions of a
+// fixed setting), so this is cheap.
+func (g *DependencyGraph) HasCycleThroughSpecialEdge() bool {
+	for u, tos := range g.special {
+		for v := range tos {
+			if g.reaches(v, u) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (g *DependencyGraph) reaches(from, to Position) bool {
+	if from == to {
+		return true
+	}
+	seen := map[Position]bool{from: true}
+	stack := []Position{from}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, succs := range []map[Position]map[Position]bool{g.ordinary, g.special} {
+			for next := range succs[cur] {
+				if next == to {
+					return true
+				}
+				if !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+	}
+	return false
+}
+
+// WeaklyAcyclic reports whether the set of tgds is weakly acyclic
+// (Definition 5). Weakly acyclic sets include all sets of full tgds and
+// all acyclic sets of inclusion dependencies; the chase with a weakly
+// acyclic set terminates in polynomially many steps.
+func WeaklyAcyclic(tgds []TGD) bool {
+	return !BuildDependencyGraph(tgds).HasCycleThroughSpecialEdge()
+}

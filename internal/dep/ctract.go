@@ -1,0 +1,222 @@
+package dep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// MarkedPositions computes the marked positions of the target schema per
+// Definition 8: the i-th position of target relation T is marked if some
+// source-to-target tgd has a head conjunct T(z1, ..., zn) where z_i is
+// existentially quantified.
+func MarkedPositions(st []TGD) map[Position]bool {
+	marked := make(map[Position]bool)
+	for _, d := range st {
+		body := varSet(d.Body)
+		for _, a := range d.Head {
+			for i, t := range a.Args {
+				if !t.IsConst && !body[t.Name] {
+					marked[Position{a.Rel, i}] = true
+				}
+			}
+		}
+	}
+	return marked
+}
+
+// MarkedVars computes the marked variables of a target-to-source tgd
+// per Definition 8: a variable z is marked in alpha(x) -> exists w
+// beta(x, w) if (1) z appears at a marked position of a conjunct of
+// alpha, or (2) z is existentially quantified. The two cases are
+// mutually exclusive (an existential variable never appears in alpha).
+func MarkedVars(ts TGD, markedPos map[Position]bool) map[string]bool {
+	marked := make(map[string]bool)
+	for _, a := range ts.Body {
+		for i, t := range a.Args {
+			if !t.IsConst && markedPos[Position{a.Rel, i}] {
+				marked[t.Name] = true
+			}
+		}
+	}
+	for _, v := range ts.ExistentialVars() {
+		marked[v] = true
+	}
+	return marked
+}
+
+// CtractReport is the result of classifying the source-to-target and
+// target-to-source constraints of a PDE setting against Definition 9.
+type CtractReport struct {
+	// InCtract is true when condition 1 holds together with condition
+	// 2.1 or condition 2.2.
+	InCtract bool
+	// Cond1 holds when, in every target-to-source tgd, every marked
+	// variable appears at most once in the left-hand side.
+	Cond1 bool
+	// Cond21 holds when the left-hand side of every target-to-source
+	// tgd consists of exactly one literal.
+	Cond21 bool
+	// Cond22 holds when, for every target-to-source tgd D and every pair
+	// of marked variables x, y of D appearing together in a conjunct of
+	// the right-hand side of D, either x and y appear together in some
+	// conjunct of the left-hand side, or neither appears in the
+	// left-hand side at all.
+	Cond22 bool
+	// HasDisjunctiveTS reports whether the setting uses disjunctive
+	// target-to-source dependencies; such settings are outside C_tract
+	// (Section 4 shows they encode 3-colorability).
+	HasDisjunctiveTS bool
+	// MarkedPositions lists the marked target positions, sorted.
+	MarkedPositions []Position
+	// MarkedVarsByTGD maps each target-to-source tgd label to its sorted
+	// marked variables.
+	MarkedVarsByTGD map[string][]string
+	// Violations holds human-readable explanations for each condition
+	// that failed.
+	Violations []string
+}
+
+// ClassifyCtract decides membership of a PDE setting (with no target
+// constraints) in the tractable class C_tract of Definition 9, and
+// explains any violations. Target constraints are not part of the
+// classification: by definition C_tract requires an empty Σt, which the
+// caller checks separately.
+func ClassifyCtract(st, ts []TGD, tsDisj []DisjunctiveTGD) CtractReport {
+	markedPos := MarkedPositions(st)
+	rep := CtractReport{
+		Cond1:           true,
+		Cond21:          true,
+		Cond22:          true,
+		MarkedVarsByTGD: make(map[string][]string),
+	}
+	for p := range markedPos {
+		rep.MarkedPositions = append(rep.MarkedPositions, p)
+	}
+	sort.Slice(rep.MarkedPositions, func(i, j int) bool {
+		a, b := rep.MarkedPositions[i], rep.MarkedPositions[j]
+		if a.Rel != b.Rel {
+			return a.Rel < b.Rel
+		}
+		return a.Idx < b.Idx
+	})
+
+	if len(tsDisj) > 0 {
+		rep.HasDisjunctiveTS = true
+		rep.Violations = append(rep.Violations,
+			"target-to-source dependencies with disjunctive heads are outside C_tract")
+	}
+
+	for _, d := range ts {
+		marked := MarkedVars(d, markedPos)
+		rep.MarkedVarsByTGD[d.Label] = SortedVarNames(marked)
+
+		// Condition 1: every marked variable occurs at most once in the
+		// left-hand side.
+		occ := make(map[string]int)
+		for _, a := range d.Body {
+			for _, t := range a.Args {
+				if !t.IsConst {
+					occ[t.Name]++
+				}
+			}
+		}
+		for v, n := range occ {
+			if marked[v] && n > 1 {
+				rep.Cond1 = false
+				rep.Violations = append(rep.Violations, fmt.Sprintf(
+					"condition 1: marked variable %s appears %d times in the left-hand side of %s",
+					v, n, d.Label))
+			}
+		}
+
+		// Condition 2.1: exactly one literal in the left-hand side.
+		if len(d.Body) != 1 {
+			rep.Cond21 = false
+		}
+
+		// Condition 2.2: pairs of marked variables co-occurring in a
+		// right-hand-side conjunct must co-occur in a left-hand-side
+		// conjunct or be absent from the left-hand side entirely.
+		lhsVars := varSet(d.Body)
+		coLHS := coOccurrence(d.Body)
+		for _, a := range d.Head {
+			vars := a.Vars()
+			for i := 0; i < len(vars); i++ {
+				for j := i + 1; j < len(vars); j++ {
+					x, y := vars[i], vars[j]
+					if !marked[x] || !marked[y] {
+						continue
+					}
+					if coLHS[pairKey(x, y)] {
+						continue // 2.2(a)
+					}
+					if !lhsVars[x] && !lhsVars[y] {
+						continue // 2.2(b)
+					}
+					rep.Cond22 = false
+					rep.Violations = append(rep.Violations, fmt.Sprintf(
+						"condition 2.2: marked variables %s and %s co-occur in head conjunct %s of %s but neither 2.2(a) nor 2.2(b) holds",
+						x, y, a, d.Label))
+				}
+			}
+		}
+	}
+
+	sort.Strings(rep.Violations)
+	rep.InCtract = !rep.HasDisjunctiveTS && rep.Cond1 && (rep.Cond21 || rep.Cond22)
+	if !rep.Cond21 && !rep.InCtract {
+		// Record the 2.1 failure only when it matters for the verdict,
+		// to keep reports for 2.2-settings uncluttered.
+		if rep.Cond1 && !rep.Cond22 {
+			rep.Violations = append(rep.Violations,
+				"condition 2.1: some target-to-source tgd has more than one literal in its left-hand side")
+		}
+	}
+	return rep
+}
+
+// Summary renders a one-paragraph explanation of the classification.
+func (r CtractReport) Summary() string {
+	var b strings.Builder
+	if r.InCtract {
+		b.WriteString("setting is in C_tract (condition 1 holds")
+		switch {
+		case r.Cond21 && r.Cond22:
+			b.WriteString(", conditions 2.1 and 2.2 both hold)")
+		case r.Cond21:
+			b.WriteString(", condition 2.1 holds)")
+		default:
+			b.WriteString(", condition 2.2 holds)")
+		}
+	} else {
+		b.WriteString("setting is NOT in C_tract")
+		if len(r.Violations) > 0 {
+			b.WriteString(": ")
+			b.WriteString(strings.Join(r.Violations, "; "))
+		}
+	}
+	return b.String()
+}
+
+// coOccurrence returns the set of variable pairs co-occurring in at
+// least one atom of the list.
+func coOccurrence(atoms []Atom) map[string]bool {
+	pairs := make(map[string]bool)
+	for _, a := range atoms {
+		vars := a.Vars()
+		for i := 0; i < len(vars); i++ {
+			for j := i + 1; j < len(vars); j++ {
+				pairs[pairKey(vars[i], vars[j])] = true
+			}
+		}
+	}
+	return pairs
+}
+
+func pairKey(a, b string) string {
+	if a > b {
+		a, b = b, a
+	}
+	return a + "\x00" + b
+}

@@ -1,0 +1,252 @@
+package dep
+
+import (
+	"strings"
+	"testing"
+)
+
+// cliqueST / cliqueTS are the constraints of the Theorem 3 reduction:
+//
+//	Σst: D(x,y) -> exists z, w: P(x,z,y,w)
+//	Σts: P(x,z,y,w) -> E(z,w)
+//	     P(x,z,y,w), P(x,z2,y2,w2) -> S(z,z2)
+func cliqueST() []TGD {
+	return []TGD{{
+		Label: "st-D",
+		Body:  []Atom{NewAtom("D", Var("x"), Var("y"))},
+		Head:  []Atom{NewAtom("P", Var("x"), Var("z"), Var("y"), Var("w"))},
+	}}
+}
+
+func cliqueTS() []TGD {
+	return []TGD{
+		{
+			Label: "ts-E",
+			Body:  []Atom{NewAtom("P", Var("x"), Var("z"), Var("y"), Var("w"))},
+			Head:  []Atom{NewAtom("E", Var("z"), Var("w"))},
+		},
+		{
+			Label: "ts-S",
+			Body: []Atom{
+				NewAtom("P", Var("x"), Var("z"), Var("y"), Var("w")),
+				NewAtom("P", Var("x"), Var("z2"), Var("y2"), Var("w2")),
+			},
+			Head: []Atom{NewAtom("S", Var("z"), Var("z2"))},
+		},
+	}
+}
+
+func TestMarkedPositionsCliqueSetting(t *testing.T) {
+	marked := MarkedPositions(cliqueST())
+	// The paper: "the marked positions are the second and the fourth
+	// position of P" (1-based), i.e. P.1 and P.3 here.
+	want := []Position{{"P", 1}, {"P", 3}}
+	if len(marked) != 2 {
+		t.Fatalf("marked positions = %v, want %v", marked, want)
+	}
+	for _, p := range want {
+		if !marked[p] {
+			t.Errorf("position %v not marked", p)
+		}
+	}
+}
+
+func TestMarkedVarsCliqueSetting(t *testing.T) {
+	marked := MarkedPositions(cliqueST())
+	ts := cliqueTS()
+	// First ts tgd: marked variables are z and w.
+	m1 := MarkedVars(ts[0], marked)
+	if len(m1) != 2 || !m1["z"] || !m1["w"] {
+		t.Errorf("marked vars of ts-E = %v, want {z, w}", SortedVarNames(m1))
+	}
+	// Second ts tgd: marked variables are z, w, z2, w2.
+	m2 := MarkedVars(ts[1], marked)
+	if len(m2) != 4 || !m2["z"] || !m2["w"] || !m2["z2"] || !m2["w2"] {
+		t.Errorf("marked vars of ts-S = %v, want {z, w, z2, w2}", SortedVarNames(m2))
+	}
+	if m2["x"] || m2["y"] {
+		t.Error("unmarked variables x/y reported marked")
+	}
+}
+
+// TestMarkedVarsSectionFourExample reproduces the small illustration of
+// Definition 8:
+//
+//	Σst: S(x1,x2) -> exists y: T(x1,y)
+//	Σts: T(x1,x2) -> exists w: S(w,x2)
+//
+// Only the second position of T is marked; the marked variables of the
+// ts tgd are x2 and w.
+func TestMarkedVarsSectionFourExample(t *testing.T) {
+	st := []TGD{{
+		Label: "st",
+		Body:  []Atom{NewAtom("S", Var("x1"), Var("x2"))},
+		Head:  []Atom{NewAtom("T", Var("x1"), Var("y"))},
+	}}
+	ts := TGD{
+		Label: "ts",
+		Body:  []Atom{NewAtom("T", Var("x1"), Var("x2"))},
+		Head:  []Atom{NewAtom("S", Var("w"), Var("x2"))},
+	}
+	marked := MarkedPositions(st)
+	if len(marked) != 1 || !marked[Position{"T", 1}] {
+		t.Fatalf("marked positions = %v, want {T.1}", marked)
+	}
+	mv := MarkedVars(ts, marked)
+	if len(mv) != 2 || !mv["x2"] || !mv["w"] {
+		t.Errorf("marked vars = %v, want {x2, w}", SortedVarNames(mv))
+	}
+}
+
+func TestCliqueSettingOutsideCtract(t *testing.T) {
+	rep := ClassifyCtract(cliqueST(), cliqueTS(), nil)
+	if rep.InCtract {
+		t.Fatal("clique reduction setting must be outside C_tract")
+	}
+	// Condition 1 holds (every marked variable appears once in each lhs).
+	if !rep.Cond1 {
+		t.Errorf("condition 1 should hold; violations: %v", rep.Violations)
+	}
+	// Condition 2.1 fails (ts-S has two body literals) and condition 2.2
+	// fails (z and z2 co-occur in S(z,z2) but not in any body conjunct,
+	// while both occur in the body).
+	if rep.Cond21 {
+		t.Error("condition 2.1 should fail")
+	}
+	if rep.Cond22 {
+		t.Error("condition 2.2 should fail")
+	}
+	if !strings.Contains(rep.Summary(), "NOT in C_tract") {
+		t.Errorf("summary = %q", rep.Summary())
+	}
+}
+
+func TestLAVSettingInCtract(t *testing.T) {
+	// Arbitrary Σst with existentials; Σts all LAV.
+	st := []TGD{{
+		Label: "st",
+		Body:  []Atom{NewAtom("A", Var("x"), Var("y"))},
+		Head:  []Atom{NewAtom("T", Var("x"), Var("u"), Var("v"))},
+	}}
+	ts := []TGD{{
+		Label: "ts",
+		Body:  []Atom{NewAtom("T", Var("a"), Var("b"), Var("c"))},
+		Head:  []Atom{NewAtom("A", Var("a"), Var("d"))},
+	}}
+	rep := ClassifyCtract(st, ts, nil)
+	if !rep.InCtract {
+		t.Fatalf("LAV ts setting must be in C_tract: %s", rep.Summary())
+	}
+	if !rep.Cond1 || !rep.Cond21 {
+		t.Errorf("expected conditions 1 and 2.1 to hold: %+v", rep)
+	}
+}
+
+func TestFullSTSettingInCtract(t *testing.T) {
+	// Full Σst; Σts with joins and existentials. Per the paper, full
+	// source-to-target tgds put the setting in C_tract via condition 2.2.
+	st := []TGD{{
+		Label: "st",
+		Body:  []Atom{NewAtom("A", Var("x"), Var("y"))},
+		Head:  []Atom{NewAtom("T", Var("x"), Var("y"))},
+	}}
+	ts := []TGD{{
+		Label: "ts",
+		Body:  []Atom{NewAtom("T", Var("a"), Var("b")), NewAtom("T", Var("b"), Var("c"))},
+		Head:  []Atom{NewAtom("A", Var("a"), Var("u")), NewAtom("A", Var("u"), Var("v"))},
+	}}
+	rep := ClassifyCtract(st, ts, nil)
+	if !rep.InCtract {
+		t.Fatalf("full-st setting must be in C_tract: %s", rep.Summary())
+	}
+	if !rep.Cond22 {
+		t.Error("expected condition 2.2 to hold for full Σst")
+	}
+}
+
+func TestCondition1Violation(t *testing.T) {
+	// Marked variable repeated in the lhs: T(x,x) with T.1 marked... use
+	// the paper's Lemma 5 counterexample shape: a marked variable y
+	// occurring in two body literals.
+	st := []TGD{{
+		Label: "st",
+		Body:  []Atom{NewAtom("A", Var("x"))},
+		Head:  []Atom{NewAtom("T1", Var("x"), Var("y")), NewAtom("T2", Var("y"), Var("z"))},
+	}}
+	ts := []TGD{{
+		Label: "ts",
+		Body:  []Atom{NewAtom("T1", Var("x"), Var("y")), NewAtom("T2", Var("y"), Var("z"))},
+		Head:  []Atom{NewAtom("A", Var("x"))},
+	}}
+	rep := ClassifyCtract(st, ts, nil)
+	if rep.Cond1 {
+		t.Fatal("condition 1 must fail: marked y appears twice in lhs")
+	}
+	if rep.InCtract {
+		t.Fatal("setting violating condition 1 must be outside C_tract")
+	}
+}
+
+func TestDisjunctiveOutsideCtract(t *testing.T) {
+	d := DisjunctiveTGD{
+		Label:     "d",
+		Body:      []Atom{NewAtom("T", Var("x"))},
+		Disjuncts: [][]Atom{{NewAtom("A", Var("x"))}},
+	}
+	rep := ClassifyCtract(nil, nil, []DisjunctiveTGD{d})
+	if rep.InCtract {
+		t.Fatal("disjunctive ts must be outside C_tract")
+	}
+	if !rep.HasDisjunctiveTS {
+		t.Error("HasDisjunctiveTS not set")
+	}
+}
+
+func TestCond22PairAbsentFromLHS(t *testing.T) {
+	// Two existential variables co-occurring in the head: 2.2(b) applies.
+	st := []TGD{{
+		Label: "st",
+		Body:  []Atom{NewAtom("A", Var("x"))},
+		Head:  []Atom{NewAtom("T", Var("x"))},
+	}}
+	ts := []TGD{{
+		Label: "ts",
+		Body:  []Atom{NewAtom("T", Var("x")), NewAtom("T", Var("y"))},
+		Head:  []Atom{NewAtom("B", Var("u"), Var("v"))},
+	}}
+	rep := ClassifyCtract(st, ts, nil)
+	if !rep.Cond22 {
+		t.Errorf("2.2(b) case should satisfy condition 2.2: %v", rep.Violations)
+	}
+	if !rep.InCtract {
+		t.Errorf("setting should be in C_tract: %s", rep.Summary())
+	}
+}
+
+func TestCond22PairTogetherInLHS(t *testing.T) {
+	// Marked variables co-occur in a body conjunct: 2.2(a) applies.
+	st := []TGD{{
+		Label: "st",
+		Body:  []Atom{NewAtom("A", Var("x"))},
+		Head:  []Atom{NewAtom("T", Var("x"), Var("u"), Var("v"))},
+	}}
+	ts := []TGD{{
+		Label: "ts",
+		Body:  []Atom{NewAtom("T", Var("a"), Var("b"), Var("c"))},
+		Head:  []Atom{NewAtom("B", Var("b"), Var("c"))},
+	}}
+	rep := ClassifyCtract(st, ts, nil)
+	if !rep.Cond22 {
+		t.Errorf("2.2(a) case should satisfy condition 2.2: %v", rep.Violations)
+	}
+}
+
+func TestEmptySettingInCtract(t *testing.T) {
+	rep := ClassifyCtract(nil, nil, nil)
+	if !rep.InCtract {
+		t.Error("empty setting must be in C_tract")
+	}
+	if !strings.Contains(rep.Summary(), "in C_tract") {
+		t.Errorf("summary = %q", rep.Summary())
+	}
+}

@@ -1,0 +1,426 @@
+// Package dep implements the dependency language of the peer data
+// exchange paper: tuple-generating dependencies (tgds),
+// equality-generating dependencies (egds), and — for the boundary
+// example of Section 4 — tgds with disjunctive right-hand sides.
+//
+// The package also implements the syntactic analyses the paper builds on:
+// weak acyclicity of a set of tgds (Definition 5), marked positions and
+// marked variables (Definition 8), and membership in the tractable class
+// C_tract (Definition 9).
+package dep
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/rel"
+)
+
+// Term is either a variable or a constant occurring in an atom of a
+// dependency or query.
+type Term struct {
+	// IsConst reports whether the term is a constant; otherwise it is a
+	// variable.
+	IsConst bool
+	// Name is the variable name or the constant text.
+	Name string
+}
+
+// Var returns a variable term.
+func Var(name string) Term { return Term{Name: name} }
+
+// Cst returns a constant term.
+func Cst(text string) Term { return Term{IsConst: true, Name: text} }
+
+// Value converts a constant term to a rel.Value. It panics on variables.
+func (t Term) Value() rel.Value {
+	if !t.IsConst {
+		panic("dep: Value on variable term")
+	}
+	return rel.Const(t.Name)
+}
+
+// String renders the term; constants are single-quoted.
+func (t Term) String() string {
+	if t.IsConst {
+		return "'" + t.Name + "'"
+	}
+	return t.Name
+}
+
+// Atom is a relational atom R(t1, ..., tn).
+type Atom struct {
+	Rel  string
+	Args []Term
+}
+
+// NewAtom builds an atom.
+func NewAtom(relName string, args ...Term) Atom {
+	return Atom{Rel: relName, Args: args}
+}
+
+// Vars returns the variable names occurring in the atom, in order of
+// first occurrence.
+func (a Atom) Vars() []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, t := range a.Args {
+		if !t.IsConst && !seen[t.Name] {
+			seen[t.Name] = true
+			out = append(out, t.Name)
+		}
+	}
+	return out
+}
+
+// String renders the atom.
+func (a Atom) String() string {
+	var b strings.Builder
+	b.WriteString(a.Rel)
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(t.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// varsOf collects the variable names of a list of atoms in order of
+// first occurrence.
+func varsOf(atoms []Atom) []string {
+	var out []string
+	seen := make(map[string]bool)
+	for _, a := range atoms {
+		for _, t := range a.Args {
+			if !t.IsConst && !seen[t.Name] {
+				seen[t.Name] = true
+				out = append(out, t.Name)
+			}
+		}
+	}
+	return out
+}
+
+// varSet collects the variable names of a list of atoms as a set.
+func varSet(atoms []Atom) map[string]bool {
+	set := make(map[string]bool)
+	for _, a := range atoms {
+		for _, t := range a.Args {
+			if !t.IsConst {
+				set[t.Name] = true
+			}
+		}
+	}
+	return set
+}
+
+// Dependency is a tgd or an egd. The chase dispatches on the concrete
+// type.
+type Dependency interface {
+	// DepLabel returns a human-readable identifier for error messages
+	// and traces.
+	DepLabel() string
+	// BodyAtoms returns the left-hand-side atoms.
+	BodyAtoms() []Atom
+	// String renders the dependency in the surface syntax.
+	String() string
+	// Validate checks well-formedness against the schema holding the
+	// body relations and the schema holding the head relations (equal
+	// for target dependencies).
+	Validate(body, head *rel.Schema) error
+}
+
+// TGD is a tuple-generating dependency
+//
+//	forall x ( body(x) -> exists y head(x, y) )
+//
+// The universally quantified variables are exactly the variables of the
+// body; head variables not occurring in the body are existentially
+// quantified.
+type TGD struct {
+	Label string
+	Body  []Atom
+	Head  []Atom
+}
+
+// DepLabel implements Dependency.
+func (d TGD) DepLabel() string { return d.Label }
+
+// BodyAtoms implements Dependency.
+func (d TGD) BodyAtoms() []Atom { return d.Body }
+
+// UniversalVars returns the body variables in order of first occurrence.
+func (d TGD) UniversalVars() []string { return varsOf(d.Body) }
+
+// ExistentialVars returns the head variables that do not occur in the
+// body, in order of first occurrence.
+func (d TGD) ExistentialVars() []string {
+	body := varSet(d.Body)
+	var out []string
+	seen := make(map[string]bool)
+	for _, a := range d.Head {
+		for _, t := range a.Args {
+			if !t.IsConst && !body[t.Name] && !seen[t.Name] {
+				seen[t.Name] = true
+				out = append(out, t.Name)
+			}
+		}
+	}
+	return out
+}
+
+// IsFull reports whether the tgd has no existentially quantified
+// variables (a "full tgd" in the paper's terminology).
+func (d TGD) IsFull() bool { return len(d.ExistentialVars()) == 0 }
+
+// IsLAV reports whether the tgd is a local-as-view dependency: exactly
+// one body atom with no repeated variables and no constants. This is
+// the shape required by condition (2.1) of C_tract together with
+// condition (1).
+func (d TGD) IsLAV() bool {
+	if len(d.Body) != 1 {
+		return false
+	}
+	seen := make(map[string]bool)
+	for _, t := range d.Body[0].Args {
+		if t.IsConst {
+			return false
+		}
+		if seen[t.Name] {
+			return false
+		}
+		seen[t.Name] = true
+	}
+	return true
+}
+
+// IsGAV reports whether the tgd is a global-as-view dependency: a single
+// head atom with no existential variables.
+func (d TGD) IsGAV() bool {
+	return len(d.Head) == 1 && d.IsFull()
+}
+
+// String renders the tgd with explicit existential quantifiers, as the
+// paper writes them.
+func (d TGD) String() string {
+	var b strings.Builder
+	for i, a := range d.Body {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteString(" -> ")
+	if ex := d.ExistentialVars(); len(ex) > 0 {
+		b.WriteString("exists ")
+		b.WriteString(strings.Join(ex, ", "))
+		b.WriteString(": ")
+	}
+	for i, a := range d.Head {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	return b.String()
+}
+
+// Validate implements Dependency. body is the schema the body atoms must
+// belong to, head the schema for head atoms.
+func (d TGD) Validate(body, head *rel.Schema) error {
+	if len(d.Body) == 0 {
+		return fmt.Errorf("dep: tgd %s has empty body", d.Label)
+	}
+	if len(d.Head) == 0 {
+		return fmt.Errorf("dep: tgd %s has empty head", d.Label)
+	}
+	if err := validateAtoms(d.Label, d.Body, body); err != nil {
+		return err
+	}
+	return validateAtoms(d.Label, d.Head, head)
+}
+
+// EGD is an equality-generating dependency
+//
+//	forall x ( body(x) -> z1 = z2 )
+//
+// where z1 and z2 are variables of the body.
+type EGD struct {
+	Label string
+	Body  []Atom
+	// Left and Right are the variable names equated by the dependency.
+	Left, Right string
+}
+
+// DepLabel implements Dependency.
+func (d EGD) DepLabel() string { return d.Label }
+
+// BodyAtoms implements Dependency.
+func (d EGD) BodyAtoms() []Atom { return d.Body }
+
+// String renders the egd.
+func (d EGD) String() string {
+	var b strings.Builder
+	for i, a := range d.Body {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	fmt.Fprintf(&b, " -> %s = %s", d.Left, d.Right)
+	return b.String()
+}
+
+// Validate implements Dependency; egds have both sides over the same
+// schema, so head is ignored.
+func (d EGD) Validate(body, _ *rel.Schema) error {
+	if len(d.Body) == 0 {
+		return fmt.Errorf("dep: egd %s has empty body", d.Label)
+	}
+	if err := validateAtoms(d.Label, d.Body, body); err != nil {
+		return err
+	}
+	vars := varSet(d.Body)
+	if !vars[d.Left] {
+		return fmt.Errorf("dep: egd %s equates variable %s not in body", d.Label, d.Left)
+	}
+	if !vars[d.Right] {
+		return fmt.Errorf("dep: egd %s equates variable %s not in body", d.Label, d.Right)
+	}
+	return nil
+}
+
+// DisjunctiveTGD is a tgd whose right-hand side is a disjunction of
+// conjunctions of atoms. The paper uses one (Section 4) to show that
+// allowing disjunction in target-to-source dependencies crosses the
+// intractability boundary (via 3-colorability). Disjunctive tgds are
+// supported by the constraint checker and the generic solver but are not
+// chased.
+type DisjunctiveTGD struct {
+	Label string
+	Body  []Atom
+	// Disjuncts are the alternative conjunctive heads; the dependency is
+	// satisfied at a trigger when at least one disjunct is.
+	Disjuncts [][]Atom
+}
+
+// DepLabel implements Dependency.
+func (d DisjunctiveTGD) DepLabel() string { return d.Label }
+
+// BodyAtoms implements Dependency.
+func (d DisjunctiveTGD) BodyAtoms() []Atom { return d.Body }
+
+// ExistentialVars returns, per disjunct, the variables not bound by the
+// body.
+func (d DisjunctiveTGD) ExistentialVars(disjunct int) []string {
+	body := varSet(d.Body)
+	var out []string
+	seen := make(map[string]bool)
+	for _, a := range d.Disjuncts[disjunct] {
+		for _, t := range a.Args {
+			if !t.IsConst && !body[t.Name] && !seen[t.Name] {
+				seen[t.Name] = true
+				out = append(out, t.Name)
+			}
+		}
+	}
+	return out
+}
+
+// String renders the disjunctive tgd.
+func (d DisjunctiveTGD) String() string {
+	var b strings.Builder
+	for i, a := range d.Body {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteString(" -> ")
+	for i, disj := range d.Disjuncts {
+		if i > 0 {
+			b.WriteString(" | ")
+		}
+		b.WriteByte('(')
+		for j, a := range disj {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+		b.WriteByte(')')
+	}
+	return b.String()
+}
+
+// Validate implements Dependency.
+func (d DisjunctiveTGD) Validate(body, head *rel.Schema) error {
+	if len(d.Body) == 0 {
+		return fmt.Errorf("dep: disjunctive tgd %s has empty body", d.Label)
+	}
+	if len(d.Disjuncts) == 0 {
+		return fmt.Errorf("dep: disjunctive tgd %s has no disjuncts", d.Label)
+	}
+	if err := validateAtoms(d.Label, d.Body, body); err != nil {
+		return err
+	}
+	for _, disj := range d.Disjuncts {
+		if len(disj) == 0 {
+			return fmt.Errorf("dep: disjunctive tgd %s has an empty disjunct", d.Label)
+		}
+		if err := validateAtoms(d.Label, disj, head); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func validateAtoms(label string, atoms []Atom, s *rel.Schema) error {
+	for _, a := range atoms {
+		ar, ok := s.Arity(a.Rel)
+		if !ok {
+			return fmt.Errorf("dep: %s: relation %s not in schema {%s}", label, a.Rel, s)
+		}
+		if ar != len(a.Args) {
+			return fmt.Errorf("dep: %s: atom %s has %d arguments, relation has arity %d", label, a, len(a.Args), ar)
+		}
+	}
+	return nil
+}
+
+// TGDs filters a dependency list down to its tgds.
+func TGDs(deps []Dependency) []TGD {
+	var out []TGD
+	for _, d := range deps {
+		if t, ok := d.(TGD); ok {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// EGDs filters a dependency list down to its egds.
+func EGDs(deps []Dependency) []EGD {
+	var out []EGD
+	for _, d := range deps {
+		if e, ok := d.(EGD); ok {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SortedVarNames returns the names in a set, sorted; used for
+// deterministic reporting.
+func SortedVarNames(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

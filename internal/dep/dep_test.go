@@ -1,0 +1,198 @@
+package dep
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/rel"
+)
+
+// pathTGD is the running example from Section 2 of the paper:
+// E(x,z), E(z,y) -> H(x,y).
+func pathTGD() TGD {
+	return TGD{
+		Label: "st1",
+		Body:  []Atom{NewAtom("E", Var("x"), Var("z")), NewAtom("E", Var("z"), Var("y"))},
+		Head:  []Atom{NewAtom("H", Var("x"), Var("y"))},
+	}
+}
+
+// existTGD is H(x,y) -> exists z: E(x,z), E(z,y).
+func existTGD() TGD {
+	return TGD{
+		Label: "ts1",
+		Body:  []Atom{NewAtom("H", Var("x"), Var("y"))},
+		Head:  []Atom{NewAtom("E", Var("x"), Var("z")), NewAtom("E", Var("z"), Var("y"))},
+	}
+}
+
+func TestTGDVariableClassification(t *testing.T) {
+	d := existTGD()
+	if got := d.UniversalVars(); len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Errorf("UniversalVars = %v", got)
+	}
+	if got := d.ExistentialVars(); len(got) != 1 || got[0] != "z" {
+		t.Errorf("ExistentialVars = %v", got)
+	}
+	if d.IsFull() {
+		t.Error("tgd with existential z reported full")
+	}
+	if !pathTGD().IsFull() {
+		t.Error("full tgd not recognized")
+	}
+}
+
+func TestTGDShapePredicates(t *testing.T) {
+	lav := TGD{
+		Label: "lav",
+		Body:  []Atom{NewAtom("H", Var("x"), Var("y"))},
+		Head:  []Atom{NewAtom("E", Var("x"), Var("y"))},
+	}
+	if !lav.IsLAV() {
+		t.Error("single-literal no-repeat body not recognized as LAV")
+	}
+	repeated := TGD{
+		Label: "rep",
+		Body:  []Atom{NewAtom("H", Var("x"), Var("x"))},
+		Head:  []Atom{NewAtom("E", Var("x"), Var("x"))},
+	}
+	if repeated.IsLAV() {
+		t.Error("repeated variable body must not be LAV")
+	}
+	multi := pathTGD()
+	if multi.IsLAV() {
+		t.Error("two-literal body must not be LAV")
+	}
+	if !multi.IsGAV() {
+		t.Error("single-head full tgd must be GAV")
+	}
+	if existTGD().IsGAV() {
+		t.Error("existential tgd must not be GAV")
+	}
+	withConst := TGD{
+		Label: "c",
+		Body:  []Atom{NewAtom("H", Var("x"), Cst("a"))},
+		Head:  []Atom{NewAtom("E", Var("x"), Var("x"))},
+	}
+	if withConst.IsLAV() {
+		t.Error("body with constant must not be LAV")
+	}
+}
+
+func TestTGDString(t *testing.T) {
+	if got := existTGD().String(); got != "H(x, y) -> exists z: E(x, z), E(z, y)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := pathTGD().String(); strings.Contains(got, "exists") {
+		t.Errorf("full tgd rendered with exists: %q", got)
+	}
+}
+
+func TestTGDValidate(t *testing.T) {
+	src := rel.SchemaOf("E", 2)
+	tgt := rel.SchemaOf("H", 2)
+	if err := pathTGD().Validate(src, tgt); err != nil {
+		t.Errorf("valid tgd rejected: %v", err)
+	}
+	// Body relation in wrong schema.
+	if err := pathTGD().Validate(tgt, src); err == nil {
+		t.Error("tgd over wrong schemas accepted")
+	}
+	// Arity error.
+	badArity := TGD{
+		Label: "bad",
+		Body:  []Atom{NewAtom("E", Var("x"))},
+		Head:  []Atom{NewAtom("H", Var("x"), Var("x"))},
+	}
+	if err := badArity.Validate(src, tgt); err == nil {
+		t.Error("arity-violating tgd accepted")
+	}
+	empty := TGD{Label: "e", Head: []Atom{NewAtom("H", Var("x"), Var("x"))}}
+	if err := empty.Validate(src, tgt); err == nil {
+		t.Error("empty-body tgd accepted")
+	}
+	noHead := TGD{Label: "h", Body: []Atom{NewAtom("E", Var("x"), Var("y"))}}
+	if err := noHead.Validate(src, tgt); err == nil {
+		t.Error("empty-head tgd accepted")
+	}
+}
+
+func TestEGDValidate(t *testing.T) {
+	tgt := rel.SchemaOf("P", 4)
+	egd := EGD{
+		Label: "e1",
+		Body: []Atom{
+			NewAtom("P", Var("x"), Var("z"), Var("y"), Var("w")),
+			NewAtom("P", Var("x"), Var("z2"), Var("y2"), Var("w2")),
+		},
+		Left:  "z",
+		Right: "z2",
+	}
+	if err := egd.Validate(tgt, nil); err != nil {
+		t.Errorf("valid egd rejected: %v", err)
+	}
+	bad := egd
+	bad.Left = "nope"
+	if err := bad.Validate(tgt, nil); err == nil {
+		t.Error("egd equating unknown variable accepted")
+	}
+	if got := egd.String(); !strings.Contains(got, "z = z2") {
+		t.Errorf("egd String = %q", got)
+	}
+}
+
+func TestDisjunctiveTGDValidate(t *testing.T) {
+	tgt := rel.SchemaOf("Ep", 2, "C", 2)
+	src := rel.SchemaOf("R", 1, "B", 1, "G", 1)
+	d := DisjunctiveTGD{
+		Label: "3col",
+		Body:  []Atom{NewAtom("Ep", Var("x"), Var("y")), NewAtom("C", Var("x"), Var("u")), NewAtom("C", Var("y"), Var("v"))},
+		Disjuncts: [][]Atom{
+			{NewAtom("R", Var("u")), NewAtom("B", Var("v"))},
+			{NewAtom("R", Var("u")), NewAtom("G", Var("v"))},
+		},
+	}
+	if err := d.Validate(tgt, src); err != nil {
+		t.Errorf("valid disjunctive tgd rejected: %v", err)
+	}
+	if got := d.String(); !strings.Contains(got, " | ") {
+		t.Errorf("disjunctive String = %q", got)
+	}
+	empty := DisjunctiveTGD{Label: "x", Body: d.Body}
+	if err := empty.Validate(tgt, src); err == nil {
+		t.Error("disjunct-free tgd accepted")
+	}
+}
+
+func TestDependencyFilters(t *testing.T) {
+	deps := []Dependency{pathTGD(), EGD{Label: "e", Body: []Atom{NewAtom("H", Var("x"), Var("y"))}, Left: "x", Right: "y"}}
+	if len(TGDs(deps)) != 1 {
+		t.Error("TGDs filter wrong")
+	}
+	if len(EGDs(deps)) != 1 {
+		t.Error("EGDs filter wrong")
+	}
+}
+
+func TestAtomVars(t *testing.T) {
+	a := NewAtom("P", Var("x"), Cst("c"), Var("x"), Var("y"))
+	vars := a.Vars()
+	if len(vars) != 2 || vars[0] != "x" || vars[1] != "y" {
+		t.Errorf("Vars = %v", vars)
+	}
+	if got := a.String(); got != "P(x, 'c', x, y)" {
+		t.Errorf("atom String = %q", got)
+	}
+}
+
+func TestTermValue(t *testing.T) {
+	if Cst("a").Value() != rel.Const("a") {
+		t.Error("Cst Value mismatch")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Value on variable must panic")
+		}
+	}()
+	_ = Var("x").Value()
+}

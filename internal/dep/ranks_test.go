@@ -1,0 +1,135 @@
+package dep
+
+import "testing"
+
+func TestRanksFullTgdsAreZero(t *testing.T) {
+	tgds := []TGD{
+		{
+			Label: "f1",
+			Body:  []Atom{NewAtom("A", Var("x"), Var("y"))},
+			Head:  []Atom{NewAtom("B", Var("y"), Var("x"))},
+		},
+		{
+			Label: "f2",
+			Body:  []Atom{NewAtom("B", Var("x"), Var("y"))},
+			Head:  []Atom{NewAtom("A", Var("x"), Var("y"))},
+		},
+	}
+	ranks, err := PositionRanks(tgds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, r := range ranks {
+		if r != 0 {
+			t.Errorf("rank(%s) = %d, want 0 for full tgds", p, r)
+		}
+	}
+	if m, _ := MaxRank(tgds); m != 0 {
+		t.Errorf("MaxRank = %d", m)
+	}
+}
+
+func TestRanksChainDepth(t *testing.T) {
+	// T0 -> T1 -> T2 -> T3 with an existential per hop: the existential
+	// position of T_i has rank i.
+	var tgds []TGD
+	names := []string{"T0", "T1", "T2", "T3"}
+	for i := 0; i+1 < len(names); i++ {
+		tgds = append(tgds, TGD{
+			Label: "chain",
+			Body:  []Atom{NewAtom(names[i], Var("x"), Var("y"))},
+			Head:  []Atom{NewAtom(names[i+1], Var("y"), Var("z"))},
+		})
+	}
+	ranks, err := PositionRanks(tgds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lvl := 1; lvl < len(names); lvl++ {
+		p := Position{names[lvl], 1} // z lands at position 1
+		if ranks[p] != lvl {
+			t.Errorf("rank(%s) = %d, want %d", p, ranks[p], lvl)
+		}
+	}
+	if m, _ := MaxRank(tgds); m != 3 {
+		t.Errorf("MaxRank = %d, want 3", m)
+	}
+}
+
+func TestRanksRejectNonWeaklyAcyclic(t *testing.T) {
+	tgds := []TGD{{
+		Label: "cyc",
+		Body:  []Atom{NewAtom("T", Var("x"), Var("y"))},
+		Head:  []Atom{NewAtom("T", Var("y"), Var("z"))},
+	}}
+	if _, err := PositionRanks(tgds); err == nil {
+		t.Error("non-weakly-acyclic set accepted")
+	}
+	if _, err := MaxRank(tgds); err == nil {
+		t.Error("MaxRank accepted a cyclic set")
+	}
+}
+
+func TestRanksOrdinaryCycleAllowed(t *testing.T) {
+	// Ordinary cycle (full tgds both ways) feeding an existential: the
+	// cycle itself is rank 0, the existential target is rank 1.
+	tgds := []TGD{
+		{
+			Label: "f1",
+			Body:  []Atom{NewAtom("A", Var("x"), Var("y"))},
+			Head:  []Atom{NewAtom("B", Var("x"), Var("y"))},
+		},
+		{
+			Label: "f2",
+			Body:  []Atom{NewAtom("B", Var("x"), Var("y"))},
+			Head:  []Atom{NewAtom("A", Var("x"), Var("y"))},
+		},
+		{
+			Label: "ex",
+			Body:  []Atom{NewAtom("A", Var("x"), Var("y"))},
+			Head:  []Atom{NewAtom("C", Var("x"), Var("w"))},
+		},
+	}
+	ranks, err := PositionRanks(tgds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranks[Position{"A", 0}] != 0 || ranks[Position{"B", 0}] != 0 {
+		t.Errorf("cycle positions should be rank 0: %v", ranks)
+	}
+	if ranks[Position{"C", 1}] != 1 {
+		t.Errorf("rank(C.1) = %d, want 1", ranks[Position{"C", 1}])
+	}
+}
+
+func TestRanksDiamond(t *testing.T) {
+	// Two paths into D.1: one with 1 special edge, one with 2; the rank
+	// takes the max.
+	tgds := []TGD{
+		{ // A.0 -> D.1 special via one hop path A->D
+			Label: "short",
+			Body:  []Atom{NewAtom("A", Var("x"))},
+			Head:  []Atom{NewAtom("D", Var("x"), Var("w"))},
+		},
+		{ // A.0 -> M.1 special
+			Label: "mid",
+			Body:  []Atom{NewAtom("A", Var("x"))},
+			Head:  []Atom{NewAtom("M", Var("x"), Var("w"))},
+		},
+		{ // M.1 -> D.1 special (w existential, m propagated)
+			Label: "long",
+			Body:  []Atom{NewAtom("M", Var("x"), Var("m"))},
+			Head:  []Atom{NewAtom("D", Var("m"), Var("w"))},
+		},
+	}
+	ranks, err := PositionRanks(tgds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranks[Position{"D", 1}] != 2 {
+		t.Errorf("rank(D.1) = %d, want 2 (long path)", ranks[Position{"D", 1}])
+	}
+	if ranks[Position{"D", 0}] != 1 {
+		t.Errorf("rank(D.0) = %d, want 1 (carries M's existential)", ranks[Position{"D", 0}])
+	}
+}

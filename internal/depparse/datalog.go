@@ -1,0 +1,75 @@
+package depparse
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/datalog"
+)
+
+// ParseDatalog parses a positive Datalog program: one rule per line in
+// rule syntax, with '#' comments. Unlike query heads, rule heads are
+// full atoms and may contain constants:
+//
+//	T(x, y)        :- E(x, y)
+//	T(x, z)        :- T(x, y), E(y, z)
+//	Flag(x, 'bad') :- E(x, x)
+//
+// Bare identifiers are variables; constants are single-quoted or
+// numeric, as in dependencies.
+func ParseDatalog(src string) (*datalog.Program, error) {
+	p := &datalog.Program{}
+	count := 0
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		count++
+		rule, err := parseDatalogRule(line, lineNo+1, fmt.Sprintf("r%d", count))
+		if err != nil {
+			return nil, err
+		}
+		p.Rules = append(p.Rules, rule)
+	}
+	if len(p.Rules) == 0 {
+		return nil, fmt.Errorf("depparse: empty datalog program")
+	}
+	return p, nil
+}
+
+func parseDatalogRule(line string, lineNo int, label string) (datalog.Rule, error) {
+	pk := newPeeker(newLexer(line, lineNo))
+	head, err := parseAtom(pk)
+	if err != nil {
+		return datalog.Rule{}, err
+	}
+	if _, err := pk.expect(tokTurnstile); err != nil {
+		return datalog.Rule{}, err
+	}
+	body, err := parseAtomList(pk)
+	if err != nil {
+		return datalog.Rule{}, err
+	}
+	if _, err := pk.expect(tokEOF); err != nil {
+		return datalog.Rule{}, err
+	}
+	return datalog.Rule{Label: label, Head: head, Body: body}, nil
+}
+
+// FormatDatalog renders a program in the ParseDatalog format.
+func FormatDatalog(p *datalog.Program) string {
+	var b strings.Builder
+	for _, r := range p.Rules {
+		b.WriteString(r.Head.String())
+		b.WriteString(" :- ")
+		for i, a := range r.Body {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.String())
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

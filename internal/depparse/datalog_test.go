@@ -1,0 +1,81 @@
+package depparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/datalog"
+	"repro/internal/rel"
+)
+
+func TestParseDatalogTransitiveClosure(t *testing.T) {
+	src := `
+# transitive closure
+T(x, y) :- E(x, y)
+T(x, z) :- T(x, y), E(y, z)
+`
+	p, err := ParseDatalog(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules) != 2 {
+		t.Fatalf("rules = %d", len(p.Rules))
+	}
+	if err := p.Validate(rel.SchemaOf("E", 2, "T", 2)); err != nil {
+		t.Fatalf("parsed program invalid: %v", err)
+	}
+	edb := rel.NewInstance()
+	edb.Add("E", rel.Const("a"), rel.Const("b"))
+	edb.Add("E", rel.Const("b"), rel.Const("c"))
+	res, err := p.Eval(edb, datalog.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Contains(rel.Fact{Rel: "T", Args: rel.Tuple{rel.Const("a"), rel.Const("c")}}) {
+		t.Errorf("closure missing:\n%s", res)
+	}
+}
+
+func TestParseDatalogHeadConstants(t *testing.T) {
+	p, err := ParseDatalog("Flag(x, 'bad') :- E(x, x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := p.Rules[0].Head
+	if !head.Args[1].IsConst || head.Args[1].Name != "bad" {
+		t.Errorf("head constant = %+v", head.Args[1])
+	}
+}
+
+func TestParseDatalogErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"T(x,y)",
+		"T(x,y) :-",
+		":- E(x,y)",
+		"T(x,y) :- E(x,y) trailing",
+	} {
+		if _, err := ParseDatalog(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestDatalogRoundTrip(t *testing.T) {
+	src := "T(x, y) :- E(x, y)\nT(x, z) :- T(x, y), E(y, z)\n"
+	p, err := ParseDatalog(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatDatalog(p)
+	back, err := ParseDatalog(text)
+	if err != nil {
+		t.Fatalf("round trip failed: %v\n%s", err, text)
+	}
+	if len(back.Rules) != len(p.Rules) {
+		t.Errorf("round trip lost rules:\n%s", text)
+	}
+	if !strings.Contains(text, "T(x, z) :- T(x, y), E(y, z)") {
+		t.Errorf("format = %q", text)
+	}
+}

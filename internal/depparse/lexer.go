@@ -1,0 +1,214 @@
+// Package depparse implements the text formats of the library: setting
+// files (schemas and dependencies), instance files (facts), and query
+// files (conjunctive queries). The formats are line-oriented and
+// documented on the parsing functions; see also the examples directory.
+package depparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokQuoted
+	tokNumber
+	tokLParen
+	tokRParen
+	tokComma
+	tokArrow     // ->
+	tokEquals    // =
+	tokColon     // :
+	tokPipe      // |
+	tokSlash     // /
+	tokPeriod    // .
+	tokTurnstile // :-
+)
+
+func (k tokenKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of input"
+	case tokIdent:
+		return "identifier"
+	case tokQuoted:
+		return "quoted constant"
+	case tokNumber:
+		return "number"
+	case tokLParen:
+		return "'('"
+	case tokRParen:
+		return "')'"
+	case tokComma:
+		return "','"
+	case tokArrow:
+		return "'->'"
+	case tokEquals:
+		return "'='"
+	case tokColon:
+		return "':'"
+	case tokPipe:
+		return "'|'"
+	case tokSlash:
+		return "'/'"
+	case tokPeriod:
+		return "'.'"
+	case tokTurnstile:
+		return "':-'"
+	}
+	return "unknown token"
+}
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// lexer tokenizes one logical line.
+type lexer struct {
+	src  string
+	pos  int
+	line int // 1-based source line, for errors
+}
+
+func newLexer(src string, line int) *lexer {
+	return &lexer{src: src, line: line}
+}
+
+func (lx *lexer) errorf(pos int, format string, args ...any) error {
+	return fmt.Errorf("line %d, column %d: %s", lx.line, pos+1, fmt.Sprintf(format, args...))
+}
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	for lx.pos < len(lx.src) && (lx.src[lx.pos] == ' ' || lx.src[lx.pos] == '\t') {
+		lx.pos++
+	}
+	if lx.pos >= len(lx.src) {
+		return token{kind: tokEOF, pos: lx.pos}, nil
+	}
+	start := lx.pos
+	c := lx.src[lx.pos]
+	switch {
+	case c == '#':
+		lx.pos = len(lx.src)
+		return token{kind: tokEOF, pos: start}, nil
+	case c == '(':
+		lx.pos++
+		return token{kind: tokLParen, text: "(", pos: start}, nil
+	case c == ')':
+		lx.pos++
+		return token{kind: tokRParen, text: ")", pos: start}, nil
+	case c == ',':
+		lx.pos++
+		return token{kind: tokComma, text: ",", pos: start}, nil
+	case c == '|':
+		lx.pos++
+		return token{kind: tokPipe, text: "|", pos: start}, nil
+	case c == '/':
+		lx.pos++
+		return token{kind: tokSlash, text: "/", pos: start}, nil
+	case c == '.':
+		lx.pos++
+		return token{kind: tokPeriod, text: ".", pos: start}, nil
+	case c == '=':
+		lx.pos++
+		return token{kind: tokEquals, text: "=", pos: start}, nil
+	case c == '-':
+		if strings.HasPrefix(lx.src[lx.pos:], "->") {
+			lx.pos += 2
+			return token{kind: tokArrow, text: "->", pos: start}, nil
+		}
+		return token{}, lx.errorf(start, "unexpected '-'")
+	case c == ':':
+		if strings.HasPrefix(lx.src[lx.pos:], ":-") {
+			lx.pos += 2
+			return token{kind: tokTurnstile, text: ":-", pos: start}, nil
+		}
+		lx.pos++
+		return token{kind: tokColon, text: ":", pos: start}, nil
+	case c == '\'':
+		lx.pos++
+		var b strings.Builder
+		for lx.pos < len(lx.src) {
+			if lx.src[lx.pos] == '\'' {
+				lx.pos++
+				return token{kind: tokQuoted, text: b.String(), pos: start}, nil
+			}
+			b.WriteByte(lx.src[lx.pos])
+			lx.pos++
+		}
+		return token{}, lx.errorf(start, "unterminated quoted constant")
+	case unicode.IsDigit(rune(c)):
+		for lx.pos < len(lx.src) && isIdentByte(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		return token{kind: tokNumber, text: lx.src[start:lx.pos], pos: start}, nil
+	case isIdentStart(c):
+		for lx.pos < len(lx.src) && isIdentByte(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		return token{kind: tokIdent, text: lx.src[start:lx.pos], pos: start}, nil
+	}
+	return token{}, lx.errorf(start, "unexpected character %q", c)
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentByte(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}
+
+// peeker wraps the lexer with one-token lookahead.
+type peeker struct {
+	lx            *lexer
+	have          bool
+	ahead         token
+	rememberedErr error
+}
+
+func newPeeker(lx *lexer) *peeker { return &peeker{lx: lx} }
+
+func (p *peeker) peek() (token, error) {
+	if p.rememberedErr != nil {
+		return token{}, p.rememberedErr
+	}
+	if !p.have {
+		t, err := p.lx.next()
+		if err != nil {
+			p.rememberedErr = err
+			return token{}, err
+		}
+		p.ahead = t
+		p.have = true
+	}
+	return p.ahead, nil
+}
+
+func (p *peeker) next() (token, error) {
+	t, err := p.peek()
+	if err != nil {
+		return token{}, err
+	}
+	p.have = false
+	return t, nil
+}
+
+func (p *peeker) expect(kind tokenKind) (token, error) {
+	t, err := p.next()
+	if err != nil {
+		return token{}, err
+	}
+	if t.kind != kind {
+		return token{}, p.lx.errorf(t.pos, "expected %s, got %s %q", kind, t.kind, t.text)
+	}
+	return t, nil
+}

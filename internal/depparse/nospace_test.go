@@ -1,0 +1,13 @@
+package depparse
+
+import "testing"
+
+func TestNoSpaceArrow(t *testing.T) {
+	s, err := ParseSetting("source A/1\ntarget H/2\nst: A(x)->H(x,x)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.ST) != 1 {
+		t.Fatal("st not parsed")
+	}
+}

@@ -1,0 +1,380 @@
+package depparse
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/rel"
+)
+
+// ParseSetting parses a peer data exchange setting from its text form.
+// The format is line-oriented; blank lines and '#' comments are ignored:
+//
+//	setting example1              # optional name
+//	source E/2, D/2               # source relations with arities
+//	target H/2
+//	st: E(x,z), E(z,y) -> H(x,y)              # source-to-target tgd
+//	ts: H(x,y) -> E(x,y)                      # target-to-source tgd
+//	ts: H(x,y) -> exists z: E(x,z), E(z,y)    # explicit existentials
+//	t:  H(x,y), H(x,z) -> y = z               # target egd
+//	t:  H(x,y) -> H(y,x)                      # target tgd
+//	tsd: C(x,u), C(y,v) -> R(u) | G(u), B(v)  # disjunctive ts tgd
+//
+// In dependencies, bare identifiers are variables; constants are
+// single-quoted ('a') or numeric (42). The 'exists v1, v2:' prefix is
+// optional — head variables absent from the body are existential either
+// way — but when present it must list exactly those variables.
+func ParseSetting(src string) (*core.Setting, error) {
+	s := &core.Setting{Source: rel.NewSchema(), Target: rel.NewSchema()}
+	counters := map[string]int{}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		n := lineNo + 1
+		switch {
+		case strings.HasPrefix(line, "setting"):
+			s.Name = strings.TrimSpace(strings.TrimPrefix(line, "setting"))
+		case strings.HasPrefix(line, "source"):
+			if err := parseSchemaDecl(strings.TrimPrefix(line, "source"), n, s.Source); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(line, "target"):
+			if err := parseSchemaDecl(strings.TrimPrefix(line, "target"), n, s.Target); err != nil {
+				return nil, err
+			}
+		case strings.HasPrefix(line, "st:"):
+			counters["st"]++
+			d, err := parseTGD(strings.TrimPrefix(line, "st:"), n, fmt.Sprintf("st%d", counters["st"]))
+			if err != nil {
+				return nil, err
+			}
+			s.ST = append(s.ST, d)
+		case strings.HasPrefix(line, "tsd:"):
+			counters["tsd"]++
+			d, err := parseDisjunctiveTGD(strings.TrimPrefix(line, "tsd:"), n, fmt.Sprintf("tsd%d", counters["tsd"]))
+			if err != nil {
+				return nil, err
+			}
+			s.TSDisj = append(s.TSDisj, d)
+		case strings.HasPrefix(line, "ts:"):
+			counters["ts"]++
+			d, err := parseTGD(strings.TrimPrefix(line, "ts:"), n, fmt.Sprintf("ts%d", counters["ts"]))
+			if err != nil {
+				return nil, err
+			}
+			s.TS = append(s.TS, d)
+		case strings.HasPrefix(line, "t:"):
+			counters["t"]++
+			d, err := parseTargetDep(strings.TrimPrefix(line, "t:"), n, fmt.Sprintf("t%d", counters["t"]))
+			if err != nil {
+				return nil, err
+			}
+			s.T = append(s.T, d)
+		default:
+			return nil, fmt.Errorf("line %d: unrecognized directive %q (want setting/source/target/st:/ts:/tsd:/t:)", n, line)
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// parseSchemaDecl parses "E/2, D/2" into the schema.
+func parseSchemaDecl(src string, line int, schema *rel.Schema) error {
+	p := newPeeker(newLexer(src, line))
+	for {
+		name, err := p.expect(tokIdent)
+		if err != nil {
+			return err
+		}
+		if _, err := p.expect(tokSlash); err != nil {
+			return err
+		}
+		ar, err := p.expect(tokNumber)
+		if err != nil {
+			return err
+		}
+		arity := 0
+		if _, err := fmt.Sscanf(ar.text, "%d", &arity); err != nil {
+			return fmt.Errorf("line %d: bad arity %q", line, ar.text)
+		}
+		if err := schema.Add(name.text, arity); err != nil {
+			return fmt.Errorf("line %d: %w", line, err)
+		}
+		t, err := p.next()
+		if err != nil {
+			return err
+		}
+		if t.kind == tokEOF {
+			return nil
+		}
+		if t.kind != tokComma {
+			return fmt.Errorf("line %d: expected ',' between declarations, got %q", line, t.text)
+		}
+	}
+}
+
+// parseTGD parses "body -> [exists v1, v2:] head".
+func parseTGD(src string, line int, label string) (dep.TGD, error) {
+	p := newPeeker(newLexer(src, line))
+	body, err := parseAtomList(p)
+	if err != nil {
+		return dep.TGD{}, err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return dep.TGD{}, err
+	}
+	declared, err := parseOptionalExists(p)
+	if err != nil {
+		return dep.TGD{}, err
+	}
+	head, err := parseAtomList(p)
+	if err != nil {
+		return dep.TGD{}, err
+	}
+	if _, err := p.expect(tokEOF); err != nil {
+		return dep.TGD{}, err
+	}
+	d := dep.TGD{Label: label, Body: body, Head: head}
+	if declared != nil {
+		if err := checkDeclaredExistentials(d, declared, line); err != nil {
+			return dep.TGD{}, err
+		}
+	}
+	return d, nil
+}
+
+// parseTargetDep parses either a target tgd or a target egd
+// ("body -> x = y").
+func parseTargetDep(src string, line int, label string) (dep.Dependency, error) {
+	p := newPeeker(newLexer(src, line))
+	body, err := parseAtomList(p)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return nil, err
+	}
+	declared, err := parseOptionalExists(p)
+	if err != nil {
+		return nil, err
+	}
+	// Lookahead: "ident =" means egd; otherwise a head atom list.
+	first, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if first.kind == tokIdent && declared == nil {
+		// Could be an egd ("x = y") or an atom ("R(...)"): decide by the
+		// token after the identifier.
+		name, _ := p.next()
+		after, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if after.kind == tokEquals {
+			p.next() //nolint:errcheck // peeked
+			right, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokEOF); err != nil {
+				return nil, err
+			}
+			return dep.EGD{Label: label, Body: body, Left: name.text, Right: right.text}, nil
+		}
+		if after.kind != tokLParen {
+			return nil, fmt.Errorf("line %d: expected '=' or '(' after %q", line, name.text)
+		}
+		atom, err := parseAtomArgs(p, name.text, line)
+		if err != nil {
+			return nil, err
+		}
+		head := []dep.Atom{atom}
+		for {
+			t, err := p.peek()
+			if err != nil {
+				return nil, err
+			}
+			if t.kind != tokComma {
+				break
+			}
+			p.next() //nolint:errcheck // peeked
+			a, err := parseAtom(p)
+			if err != nil {
+				return nil, err
+			}
+			head = append(head, a)
+		}
+		if _, err := p.expect(tokEOF); err != nil {
+			return nil, err
+		}
+		return dep.TGD{Label: label, Body: body, Head: head}, nil
+	}
+	head, err := parseAtomList(p)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokEOF); err != nil {
+		return nil, err
+	}
+	d := dep.TGD{Label: label, Body: body, Head: head}
+	if declared != nil {
+		if err := checkDeclaredExistentials(d, declared, line); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// parseDisjunctiveTGD parses "body -> disj1 | disj2 | ...".
+func parseDisjunctiveTGD(src string, line int, label string) (dep.DisjunctiveTGD, error) {
+	p := newPeeker(newLexer(src, line))
+	body, err := parseAtomList(p)
+	if err != nil {
+		return dep.DisjunctiveTGD{}, err
+	}
+	if _, err := p.expect(tokArrow); err != nil {
+		return dep.DisjunctiveTGD{}, err
+	}
+	var disjuncts [][]dep.Atom
+	for {
+		disj, err := parseAtomList(p)
+		if err != nil {
+			return dep.DisjunctiveTGD{}, err
+		}
+		disjuncts = append(disjuncts, disj)
+		t, err := p.next()
+		if err != nil {
+			return dep.DisjunctiveTGD{}, err
+		}
+		if t.kind == tokEOF {
+			break
+		}
+		if t.kind != tokPipe {
+			return dep.DisjunctiveTGD{}, fmt.Errorf("line %d: expected '|' between disjuncts, got %q", line, t.text)
+		}
+	}
+	return dep.DisjunctiveTGD{Label: label, Body: body, Disjuncts: disjuncts}, nil
+}
+
+// parseOptionalExists consumes "exists v1, v2:" if present and returns
+// the declared variables (nil when absent).
+func parseOptionalExists(p *peeker) ([]string, error) {
+	t, err := p.peek()
+	if err != nil {
+		return nil, err
+	}
+	if t.kind != tokIdent || t.text != "exists" {
+		return nil, nil
+	}
+	p.next() //nolint:errcheck // peeked
+	var vars []string
+	for {
+		v, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		vars = append(vars, v.text)
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokColon {
+			return vars, nil
+		}
+		if t.kind != tokComma {
+			return nil, fmt.Errorf("expected ',' or ':' in exists list, got %q", t.text)
+		}
+	}
+}
+
+func checkDeclaredExistentials(d dep.TGD, declared []string, line int) error {
+	actual := d.ExistentialVars()
+	set := make(map[string]bool, len(actual))
+	for _, v := range actual {
+		set[v] = true
+	}
+	if len(declared) != len(actual) {
+		return fmt.Errorf("line %d: exists clause declares %v but the head's existential variables are %v", line, declared, actual)
+	}
+	for _, v := range declared {
+		if !set[v] {
+			return fmt.Errorf("line %d: exists clause declares %v but the head's existential variables are %v", line, declared, actual)
+		}
+	}
+	return nil
+}
+
+// parseAtomList parses "A(x,y), B(y,z)" until a token that cannot start
+// another atom.
+func parseAtomList(p *peeker) ([]dep.Atom, error) {
+	var out []dep.Atom
+	for {
+		a, err := parseAtom(p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+		t, err := p.peek()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind != tokComma {
+			return out, nil
+		}
+		p.next() //nolint:errcheck // peeked
+	}
+}
+
+func parseAtom(p *peeker) (dep.Atom, error) {
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return dep.Atom{}, err
+	}
+	return parseAtomArgs(p, name.text, p.lx.line)
+}
+
+func parseAtomArgs(p *peeker, relName string, line int) (dep.Atom, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return dep.Atom{}, err
+	}
+	var args []dep.Term
+	t, err := p.peek()
+	if err != nil {
+		return dep.Atom{}, err
+	}
+	if t.kind == tokRParen {
+		p.next() //nolint:errcheck // peeked
+		return dep.Atom{Rel: relName, Args: args}, nil
+	}
+	for {
+		t, err := p.next()
+		if err != nil {
+			return dep.Atom{}, err
+		}
+		switch t.kind {
+		case tokIdent:
+			args = append(args, dep.Var(t.text))
+		case tokQuoted, tokNumber:
+			args = append(args, dep.Cst(t.text))
+		default:
+			return dep.Atom{}, fmt.Errorf("line %d: expected term in %s(...), got %q", line, relName, t.text)
+		}
+		sep, err := p.next()
+		if err != nil {
+			return dep.Atom{}, err
+		}
+		if sep.kind == tokRParen {
+			return dep.Atom{Rel: relName, Args: args}, nil
+		}
+		if sep.kind != tokComma {
+			return dep.Atom{}, fmt.Errorf("line %d: expected ',' or ')' in %s(...), got %q", line, relName, sep.text)
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package depparse
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dep"
+	"repro/internal/rel"
+)
+
+const example1Src = `
+# Example 1 of the paper
+setting example1
+source E/2
+target H/2
+st: E(x,z), E(z,y) -> H(x,y)
+ts: H(x,y) -> E(x,y)
+`
+
+func TestParseSettingExample1(t *testing.T) {
+	s, err := ParseSetting(example1Src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "example1" {
+		t.Errorf("name = %q", s.Name)
+	}
+	if !s.Source.Has("E") || !s.Target.Has("H") {
+		t.Error("schemas not parsed")
+	}
+	if len(s.ST) != 1 || len(s.TS) != 1 {
+		t.Fatalf("dependency counts: st=%d ts=%d", len(s.ST), len(s.TS))
+	}
+	if got := s.ST[0].String(); got != "E(x, z), E(z, y) -> H(x, y)" {
+		t.Errorf("st = %q", got)
+	}
+	if !s.Classify().InCtract {
+		t.Error("parsed Example 1 should be in C_tract")
+	}
+}
+
+func TestParseSettingWithExistsAndEgd(t *testing.T) {
+	src := `
+source D/2, S/2, E/2
+target P/4
+st: D(x,y) -> exists z, w: P(x,z,y,w)
+ts: P(x,z,y,w) -> E(z,w)
+t: P(x,z,y,w), P(y,z2,y2,w2) -> w = z2
+`
+	s, err := ParseSetting(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.ST[0].ExistentialVars(); len(got) != 2 {
+		t.Errorf("existential vars = %v", got)
+	}
+	if len(s.T) != 1 {
+		t.Fatalf("T = %v", s.T)
+	}
+	egd, ok := s.T[0].(dep.EGD)
+	if !ok {
+		t.Fatalf("expected egd, got %T", s.T[0])
+	}
+	if egd.Left != "w" || egd.Right != "z2" {
+		t.Errorf("egd equates %s = %s", egd.Left, egd.Right)
+	}
+}
+
+func TestParseSettingTargetTgd(t *testing.T) {
+	src := `
+source A/1
+target H/2, G/2
+st: A(x) -> H(x,x)
+t: H(x,y) -> G(y,x)
+t: H(x,y) -> exists u: G(x,u), G(u,y)
+`
+	s, err := ParseSetting(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.T) != 2 {
+		t.Fatalf("T count = %d", len(s.T))
+	}
+	tgd0, ok := s.T[0].(dep.TGD)
+	if !ok || len(tgd0.Head) != 1 {
+		t.Errorf("first target dep wrong: %v", s.T[0])
+	}
+	tgd1, ok := s.T[1].(dep.TGD)
+	if !ok || len(tgd1.ExistentialVars()) != 1 {
+		t.Errorf("second target dep wrong: %v", s.T[1])
+	}
+}
+
+func TestParseSettingDisjunctive(t *testing.T) {
+	src := `
+source E/2, R/1, B/1, G/1
+target Ep/2, C/2
+st: E(x,y) -> exists u: C(x,u)
+st: E(x,y) -> Ep(x,y)
+tsd: Ep(x,y), C(x,u), C(y,v) -> R(u), B(v) | R(u), G(v) | B(u), G(v)
+`
+	s, err := ParseSetting(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.TSDisj) != 1 {
+		t.Fatalf("TSDisj = %d", len(s.TSDisj))
+	}
+	if len(s.TSDisj[0].Disjuncts) != 3 {
+		t.Errorf("disjuncts = %d", len(s.TSDisj[0].Disjuncts))
+	}
+}
+
+func TestParseSettingErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"bad directive", "bogus: E(x) -> H(x)"},
+		{"exists mismatch", "source A/1\ntarget H/2\nst: A(x) -> exists z: H(x,x)"},
+		{"overlapping schemas", "source E/2\ntarget E/2\nst: E(x,y) -> E(x,y)"},
+		{"arity violation", "source A/1\ntarget H/2\nst: A(x,y) -> H(x,y)"},
+		{"unterminated quote", "source A/1\ntarget H/2\nst: A('oops) -> H(x,x)"},
+		{"missing arrow", "source A/1\ntarget H/2\nst: A(x) H(x,x)"},
+		{"egd unknown var", "source A/1\ntarget H/2\nst: A(x) -> H(x,x)\nt: H(x,y) -> y = q"},
+		{"bad schema decl", "source A"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := ParseSetting(tc.src); err == nil {
+				t.Errorf("no error for %q", tc.src)
+			}
+		})
+	}
+}
+
+func TestParseSettingConstantsInDeps(t *testing.T) {
+	src := `
+source A/2
+target H/2
+st: A(x, 'admin') -> H(x, 42)
+`
+	s, err := ParseSetting(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := s.ST[0].Body[0]
+	if !body.Args[1].IsConst || body.Args[1].Name != "admin" {
+		t.Errorf("quoted constant not parsed: %v", body.Args[1])
+	}
+	head := s.ST[0].Head[0]
+	if !head.Args[1].IsConst || head.Args[1].Name != "42" {
+		t.Errorf("numeric constant not parsed: %v", head.Args[1])
+	}
+}
+
+func TestParseInstance(t *testing.T) {
+	src := `
+# facts
+E(a, b).
+E(b, 'new york')
+H(_3, 42).
+`
+	inst, err := ParseInstance(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumFacts() != 3 {
+		t.Fatalf("facts = %d", inst.NumFacts())
+	}
+	if !inst.Contains(rel.Fact{Rel: "E", Args: rel.Tuple{rel.Const("a"), rel.Const("b")}}) {
+		t.Error("E(a,b) missing")
+	}
+	if !inst.Contains(rel.Fact{Rel: "E", Args: rel.Tuple{rel.Const("b"), rel.Const("new york")}}) {
+		t.Error("quoted constant fact missing")
+	}
+	if !inst.Contains(rel.Fact{Rel: "H", Args: rel.Tuple{rel.Null(3), rel.Const("42")}}) {
+		t.Error("null fact missing")
+	}
+}
+
+func TestParseInstanceMultipleFactsPerLine(t *testing.T) {
+	inst, err := ParseInstance("E(a,b). E(b,c).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.NumFacts() != 2 {
+		t.Errorf("facts = %d", inst.NumFacts())
+	}
+}
+
+func TestParseInstanceArityConflict(t *testing.T) {
+	if _, err := ParseInstance("E(a,b).\nE(a)."); err == nil {
+		t.Error("arity conflict not detected")
+	}
+}
+
+func TestInstanceRoundTrip(t *testing.T) {
+	inst := rel.NewInstance()
+	inst.Add("E", rel.Const("a"), rel.Const("b"))
+	inst.Add("E", rel.Const("has space"), rel.Null(7))
+	inst.Add("N", rel.Const("42"))
+	text := FormatInstance(inst)
+	back, err := ParseInstance(text)
+	if err != nil {
+		t.Fatalf("round trip parse failed: %v\ntext:\n%s", err, text)
+	}
+	if !back.Equal(inst) {
+		t.Errorf("round trip mismatch:\nhave %s\nwant %s", back, inst)
+	}
+}
+
+func TestSettingRoundTrip(t *testing.T) {
+	src := `
+setting rt
+source D/2, S/2, E/2
+target P/4
+st: D(x,y) -> exists z, w: P(x,z,y,w)
+ts: P(x,z,y,w) -> E(z,w)
+t: P(x,z,y,w), P(y,z2,y2,w2) -> w = z2
+`
+	s, err := ParseSetting(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatSetting(s)
+	back, err := ParseSetting(text)
+	if err != nil {
+		t.Fatalf("round trip parse failed: %v\ntext:\n%s", err, text)
+	}
+	if len(back.ST) != len(s.ST) || len(back.TS) != len(s.TS) || len(back.T) != len(s.T) {
+		t.Errorf("round trip lost dependencies:\n%s", text)
+	}
+	if back.ST[0].String() != s.ST[0].String() {
+		t.Errorf("st mismatch: %q vs %q", back.ST[0], s.ST[0])
+	}
+}
+
+func TestParseQueries(t *testing.T) {
+	src := `
+q(x, y) :- H(x, y), H(y, x)
+q(x, y) :- G(x, y)
+boolq :- P(x, x, x, x)
+`
+	qs, err := ParseQueries(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 {
+		t.Fatalf("query groups = %d", len(qs))
+	}
+	if len(qs[0]) != 2 {
+		t.Errorf("q disjuncts = %d", len(qs[0]))
+	}
+	if qs[0][0].Name != "q" || len(qs[0][0].Head) != 2 {
+		t.Errorf("first query wrong: %v", qs[0][0])
+	}
+	if !qs[1][0].IsBoolean() {
+		t.Error("boolq should be Boolean")
+	}
+}
+
+func TestParseQueriesErrors(t *testing.T) {
+	if _, err := ParseQueries("q(x) :- H(x,y)\nq :- H(x,x)"); err == nil {
+		t.Error("mixed head arity not rejected")
+	}
+	if _, err := ParseQueries("q(x) H(x,y)"); err == nil {
+		t.Error("missing ':-' not rejected")
+	}
+}
+
+func TestLexerPositionsInErrors(t *testing.T) {
+	_, err := ParseSetting("source A/1\ntarget H/2\nst: A(x) -> H(x,x,")
+	if err == nil {
+		t.Fatal("expected parse error")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error lacks line info: %v", err)
+	}
+}

@@ -1,0 +1,227 @@
+// Package graph provides the graph substrate for the hardness
+// experiments of the peer data exchange paper: simple undirected graphs
+// (symmetric, irreflexive edge relations, as in the CLIQUE reduction of
+// Theorem 3), random graph generators, a brute-force k-clique decider,
+// and a 3-colorability decider for the disjunctive boundary example of
+// Section 4.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Graph is a simple undirected graph on vertices 0..N-1.
+type Graph struct {
+	n   int
+	adj []map[int]bool
+}
+
+// New returns an empty graph on n vertices.
+func New(n int) *Graph {
+	g := &Graph{n: n, adj: make([]map[int]bool, n)}
+	for i := range g.adj {
+		g.adj[i] = make(map[int]bool)
+	}
+	return g
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts the undirected edge {u, v}. Self-loops are rejected
+// (the paper's graphs are irreflexive).
+func (g *Graph) AddEdge(u, v int) error {
+	if u == v {
+		return fmt.Errorf("graph: self-loop on vertex %d", u)
+	}
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge (%d, %d) out of range [0, %d)", u, v, g.n)
+	}
+	g.adj[u][v] = true
+	g.adj[v][u] = true
+	return nil
+}
+
+// HasEdge reports whether {u, v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	return u >= 0 && u < g.n && g.adj[u][v]
+}
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, m := range g.adj {
+		total += len(m)
+	}
+	return total / 2
+}
+
+// Neighbors returns the sorted neighbors of v.
+func (g *Graph) Neighbors(v int) []int {
+	out := make([]int, 0, len(g.adj[v]))
+	for u := range g.adj[v] {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Edges returns all edges as ordered pairs (u < v), sorted.
+func (g *Graph) Edges() [][2]int {
+	var out [][2]int
+	for u := 0; u < g.n; u++ {
+		for v := range g.adj[u] {
+			if u < v {
+				out = append(out, [2]int{u, v})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Random returns an Erdős–Rényi random graph G(n, p).
+func Random(n int, p float64, rng *rand.Rand) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v) //nolint:errcheck // in-range, no self-loop
+			}
+		}
+	}
+	return g
+}
+
+// PlantClique adds a clique on k random distinct vertices and returns
+// the chosen vertices. It panics if k exceeds the vertex count.
+func PlantClique(g *Graph, k int, rng *rand.Rand) []int {
+	if k > g.n {
+		panic("graph: planted clique larger than graph")
+	}
+	perm := rng.Perm(g.n)[:k]
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			g.AddEdge(perm[i], perm[j]) //nolint:errcheck // distinct, in-range
+		}
+	}
+	sort.Ints(perm)
+	return perm
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v) //nolint:errcheck // distinct, in-range
+		}
+	}
+	return g
+}
+
+// Path returns the path graph on n vertices.
+func Path(n int) *Graph {
+	g := New(n)
+	for u := 0; u+1 < n; u++ {
+		g.AddEdge(u, u+1) //nolint:errcheck // distinct, in-range
+	}
+	return g
+}
+
+// Cycle returns the cycle graph on n >= 3 vertices.
+func Cycle(n int) *Graph {
+	g := Path(n)
+	if n >= 3 {
+		g.AddEdge(n-1, 0) //nolint:errcheck // distinct, in-range
+	}
+	return g
+}
+
+// HasClique reports whether the graph contains a clique of size k, by
+// backtracking over candidate extensions ordered by degree. This is the
+// reference decider the reduction experiments compare against.
+func (g *Graph) HasClique(k int) bool {
+	if k <= 0 {
+		return true
+	}
+	if k == 1 {
+		return g.n > 0
+	}
+	// Candidates must have degree >= k-1.
+	var cands []int
+	for v := 0; v < g.n; v++ {
+		if g.Degree(v) >= k-1 {
+			cands = append(cands, v)
+		}
+	}
+	var clique []int
+	var extend func(cands []int) bool
+	extend = func(cands []int) bool {
+		if len(clique) == k {
+			return true
+		}
+		if len(clique)+len(cands) < k {
+			return false
+		}
+		for idx, v := range cands {
+			var next []int
+			for _, u := range cands[idx+1:] {
+				if g.adj[v][u] {
+					next = append(next, u)
+				}
+			}
+			clique = append(clique, v)
+			if extend(next) {
+				return true
+			}
+			clique = clique[:len(clique)-1]
+		}
+		return false
+	}
+	return extend(cands)
+}
+
+// Is3Colorable reports whether the graph admits a proper 3-coloring, by
+// backtracking. It is the reference decider for the disjunctive
+// boundary experiment.
+func (g *Graph) Is3Colorable() bool {
+	colors := make([]int, g.n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	var assign func(v int) bool
+	assign = func(v int) bool {
+		if v == g.n {
+			return true
+		}
+		for c := 0; c < 3; c++ {
+			ok := true
+			for u := range g.adj[v] {
+				if colors[u] == c {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				colors[v] = c
+				if assign(v + 1) {
+					return true
+				}
+				colors[v] = -1
+			}
+		}
+		return false
+	}
+	return assign(0)
+}

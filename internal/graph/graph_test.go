@@ -1,0 +1,214 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 0); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if err := g.AddEdge(0, 3); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Errorf("valid edge rejected: %v", err)
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("edge not symmetric")
+	}
+	if g.NumEdges() != 1 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+}
+
+func TestCompletePathCycle(t *testing.T) {
+	k4 := Complete(4)
+	if k4.NumEdges() != 6 {
+		t.Errorf("K4 edges = %d", k4.NumEdges())
+	}
+	p4 := Path(4)
+	if p4.NumEdges() != 3 {
+		t.Errorf("P4 edges = %d", p4.NumEdges())
+	}
+	c5 := Cycle(5)
+	if c5.NumEdges() != 5 {
+		t.Errorf("C5 edges = %d", c5.NumEdges())
+	}
+	if !c5.HasEdge(4, 0) {
+		t.Error("cycle closure missing")
+	}
+}
+
+func TestHasCliqueBasics(t *testing.T) {
+	k5 := Complete(5)
+	for k := 0; k <= 5; k++ {
+		if !k5.HasClique(k) {
+			t.Errorf("K5 must have a %d-clique", k)
+		}
+	}
+	if k5.HasClique(6) {
+		t.Error("K5 has no 6-clique")
+	}
+	p5 := Path(5)
+	if !p5.HasClique(2) {
+		t.Error("path has 2-cliques")
+	}
+	if p5.HasClique(3) {
+		t.Error("path has no triangle")
+	}
+	empty := New(4)
+	if empty.HasClique(2) {
+		t.Error("empty graph has no 2-clique")
+	}
+	if !empty.HasClique(1) {
+		t.Error("nonempty vertex set has 1-cliques")
+	}
+	if !empty.HasClique(0) {
+		t.Error("0-clique always exists")
+	}
+}
+
+func TestCycleCliqueAndColoring(t *testing.T) {
+	c5 := Cycle(5)
+	if c5.HasClique(3) {
+		t.Error("C5 has no triangle")
+	}
+	if !c5.Is3Colorable() {
+		t.Error("odd cycle is 3-colorable")
+	}
+	k4 := Complete(4)
+	if k4.Is3Colorable() {
+		t.Error("K4 is not 3-colorable")
+	}
+	if !Complete(3).Is3Colorable() {
+		t.Error("K3 is 3-colorable")
+	}
+	if !Path(6).Is3Colorable() {
+		t.Error("paths are 2-colorable hence 3-colorable")
+	}
+}
+
+func TestPlantCliqueGuaranteesClique(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		g := Random(12, 0.2, rng)
+		verts := PlantClique(g, 4, rng)
+		if len(verts) != 4 {
+			t.Fatalf("planted %d vertices", len(verts))
+		}
+		if !g.HasClique(4) {
+			t.Error("planted clique not found")
+		}
+		for i := 0; i < 4; i++ {
+			for j := i + 1; j < 4; j++ {
+				if !g.HasEdge(verts[i], verts[j]) {
+					t.Errorf("planted vertices %d,%d not adjacent", verts[i], verts[j])
+				}
+			}
+		}
+	}
+}
+
+func TestRandomGraphDensity(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := Random(40, 0.0, rng)
+	if g.NumEdges() != 0 {
+		t.Error("p=0 graph has edges")
+	}
+	g = Random(40, 1.0, rng)
+	if g.NumEdges() != 40*39/2 {
+		t.Error("p=1 graph is not complete")
+	}
+}
+
+func TestEdgesSortedAndConsistent(t *testing.T) {
+	g := New(4)
+	g.AddEdge(2, 1) //nolint:errcheck
+	g.AddEdge(0, 3) //nolint:errcheck
+	edges := g.Edges()
+	if len(edges) != 2 {
+		t.Fatalf("edges = %v", edges)
+	}
+	if edges[0] != [2]int{0, 3} || edges[1] != [2]int{1, 2} {
+		t.Errorf("edges not normalized/sorted: %v", edges)
+	}
+}
+
+func TestNeighborsSorted(t *testing.T) {
+	g := New(5)
+	g.AddEdge(2, 4) //nolint:errcheck
+	g.AddEdge(2, 0) //nolint:errcheck
+	g.AddEdge(2, 3) //nolint:errcheck
+	ns := g.Neighbors(2)
+	if len(ns) != 3 || ns[0] != 0 || ns[1] != 3 || ns[2] != 4 {
+		t.Errorf("Neighbors = %v", ns)
+	}
+	if g.Degree(2) != 3 {
+		t.Errorf("Degree = %d", g.Degree(2))
+	}
+}
+
+// Property: HasClique agrees with an independent exhaustive check on
+// small random graphs.
+func TestHasCliqueAgainstExhaustive(t *testing.T) {
+	exhaustive := func(g *Graph, k int) bool {
+		n := g.N()
+		var pick func(start int, chosen []int) bool
+		pick = func(start int, chosen []int) bool {
+			if len(chosen) == k {
+				return true
+			}
+			for v := start; v < n; v++ {
+				ok := true
+				for _, u := range chosen {
+					if !g.HasEdge(u, v) {
+						ok = false
+						break
+					}
+				}
+				if ok && pick(v+1, append(chosen, v)) {
+					return true
+				}
+			}
+			return false
+		}
+		return pick(0, nil)
+	}
+	f := func(seed int64, kRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Random(8, 0.45, rng)
+		k := int(kRaw%4) + 2
+		return g.HasClique(k) == exhaustive(g, k)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: 3-colorability is monotone under edge removal (we check the
+// contrapositive on subgraphs).
+func TestColoringMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := Random(7, 0.5, rng)
+		if g.Is3Colorable() {
+			return true
+		}
+		// Add edges: still not 3-colorable.
+		g2 := New(7)
+		for _, e := range g.Edges() {
+			g2.AddEdge(e[0], e[1]) //nolint:errcheck
+		}
+		for v := 1; v < 7; v++ {
+			g2.AddEdge(0, v) //nolint:errcheck
+		}
+		return !g2.Is3Colorable()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package hom implements homomorphism search: satisfaction of
+// conjunctions of atoms in instances (the workhorse of the chase, of
+// conjunctive-query evaluation, and of the ExistsSolution algorithm),
+// homomorphisms between instances with labeled nulls, and the block
+// decomposition of Definition 10 of the peer data exchange paper.
+package hom
+
+import (
+	"repro/internal/dep"
+	"repro/internal/rel"
+)
+
+// Binding maps variable names to values. Bindings returned by the
+// search functions are fresh copies and may be retained by callers.
+type Binding map[string]rel.Value
+
+// Clone returns a copy of the binding.
+func (b Binding) Clone() Binding {
+	c := make(Binding, len(b))
+	for k, v := range b {
+		c[k] = v
+	}
+	return c
+}
+
+// Options controls the homomorphism search.
+type Options struct {
+	// NoIndex disables the per-position indexes of relations, forcing
+	// full scans. It exists only for the ablation benchmarks.
+	NoIndex bool
+}
+
+// ForEach enumerates homomorphisms from the conjunction of atoms into
+// the instance, extending the initial binding (which may be nil). It
+// calls fn with each complete binding; fn returns false to stop the
+// enumeration. ForEach reports whether the enumeration ran to
+// completion (true) or was stopped by fn (false).
+//
+// Variables already present in init are fixed; constants in atoms must
+// match constant values in the instance exactly. Labeled nulls in the
+// instance are matched like any other value.
+func ForEach(atoms []dep.Atom, inst *rel.Instance, init Binding, opts Options, fn func(Binding) bool) bool {
+	if len(atoms) == 0 {
+		b := init
+		if b == nil {
+			b = Binding{}
+		}
+		return fn(b.Clone())
+	}
+	b := Binding{}
+	for k, v := range init {
+		b[k] = v
+	}
+	order := orderAtoms(atoms, b)
+	return match(order, 0, inst, b, opts, fn)
+}
+
+// Exists reports whether at least one homomorphism from the atoms into
+// the instance extends init.
+func Exists(atoms []dep.Atom, inst *rel.Instance, init Binding, opts Options) bool {
+	found := false
+	ForEach(atoms, inst, init, opts, func(Binding) bool {
+		found = true
+		return false
+	})
+	return found
+}
+
+// FindOne returns one homomorphism extending init, if any.
+func FindOne(atoms []dep.Atom, inst *rel.Instance, init Binding, opts Options) (Binding, bool) {
+	var out Binding
+	ForEach(atoms, inst, init, opts, func(b Binding) bool {
+		out = b
+		return false
+	})
+	return out, out != nil
+}
+
+// orderAtoms produces a join order: greedily pick the atom with the
+// most bound variables (breaking ties toward fewer unbound variables),
+// simulating the bindings it would introduce. A good order keeps the
+// backtracking search close to linear on the acyclic patterns that
+// dominate chase bodies.
+func orderAtoms(atoms []dep.Atom, init Binding) []dep.Atom {
+	bound := make(map[string]bool, len(init))
+	for v := range init {
+		bound[v] = true
+	}
+	remaining := make([]dep.Atom, len(atoms))
+	copy(remaining, atoms)
+	out := make([]dep.Atom, 0, len(atoms))
+	for len(remaining) > 0 {
+		best, bestScore := 0, -1<<30
+		for i, a := range remaining {
+			nb, nu := 0, 0
+			for _, t := range a.Args {
+				switch {
+				case t.IsConst:
+					nb++
+				case bound[t.Name]:
+					nb++
+				default:
+					nu++
+				}
+			}
+			score := nb*16 - nu
+			if score > bestScore {
+				best, bestScore = i, score
+			}
+		}
+		a := remaining[best]
+		out = append(out, a)
+		remaining = append(remaining[:best], remaining[best+1:]...)
+		for _, t := range a.Args {
+			if !t.IsConst {
+				bound[t.Name] = true
+			}
+		}
+	}
+	return out
+}
+
+func match(atoms []dep.Atom, i int, inst *rel.Instance, b Binding, opts Options, fn func(Binding) bool) bool {
+	if i == len(atoms) {
+		return fn(b.Clone())
+	}
+	a := atoms[i]
+	r := inst.Relation(a.Rel)
+	if r == nil {
+		return true // no tuples: no matches for this atom; enumeration complete
+	}
+
+	candidates := candidateTuples(r, a, b, opts)
+	for _, idx := range candidates {
+		t := r.TupleAt(idx)
+		var newly []string
+		ok := true
+		for j, term := range a.Args {
+			v := t[j]
+			if term.IsConst {
+				if !v.IsConst() || v.ConstText() != term.Name {
+					ok = false
+					break
+				}
+				continue
+			}
+			if bv, bound := b[term.Name]; bound {
+				if bv != v {
+					ok = false
+					break
+				}
+				continue
+			}
+			b[term.Name] = v
+			newly = append(newly, term.Name)
+		}
+		if ok {
+			if !match(atoms, i+1, inst, b, opts, fn) {
+				for _, v := range newly {
+					delete(b, v)
+				}
+				return false
+			}
+		}
+		for _, v := range newly {
+			delete(b, v)
+		}
+	}
+	return true
+}
+
+// candidateTuples returns indexes of tuples possibly matching the atom
+// under the current binding, using the most selective position index
+// available.
+func candidateTuples(r *rel.Relation, a dep.Atom, b Binding, opts Options) []int {
+	if opts.NoIndex {
+		all := make([]int, r.Len())
+		for i := range all {
+			all[i] = i
+		}
+		return all
+	}
+	bestPos, bestVal, bestLen := -1, rel.Value{}, -1
+	for j, term := range a.Args {
+		var v rel.Value
+		if term.IsConst {
+			v = rel.Const(term.Name)
+		} else if bv, bound := b[term.Name]; bound {
+			v = bv
+		} else {
+			continue
+		}
+		l := len(r.MatchingAt(j, v))
+		if bestLen == -1 || l < bestLen {
+			bestPos, bestVal, bestLen = j, v, l
+		}
+	}
+	if bestPos >= 0 {
+		return r.MatchingAt(bestPos, bestVal)
+	}
+	all := make([]int, r.Len())
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}

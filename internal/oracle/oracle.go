@@ -1,0 +1,226 @@
+// Package oracle provides brute-force reference deciders and random
+// generators for differential testing of the solvers: an exhaustive
+// SOL(P) decider for tiny instances, and a generator of small random
+// PDE settings covering full/existential tgds on both sides, target
+// egds, full target tgds, and disjunctive target-to-source
+// dependencies.
+//
+// The exhaustive decider enumerates every target instance over the
+// active domain extended with a few fresh values, up to a fact bound,
+// and checks Definition 2 directly. By the small-solution lemma
+// (Lemma 2 of the paper), a modest bound suffices for the tiny settings
+// generated here.
+package oracle
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/rel"
+)
+
+// Config bounds the exhaustive search.
+type Config struct {
+	// MaxFacts bounds the number of facts added to J; 0 means 5.
+	MaxFacts int
+	// FreshValues is the number of fresh constants adjoined to the
+	// active domain; 0 means 2.
+	FreshValues int
+	// MaxCandidates aborts when the candidate fact space is too large;
+	// 0 means 26.
+	MaxCandidates int
+}
+
+func (c Config) maxFacts() int {
+	if c.MaxFacts > 0 {
+		return c.MaxFacts
+	}
+	return 5
+}
+
+func (c Config) freshValues() int {
+	if c.FreshValues > 0 {
+		return c.FreshValues
+	}
+	return 2
+}
+
+func (c Config) maxCandidates() int {
+	if c.MaxCandidates > 0 {
+		return c.MaxCandidates
+	}
+	return 26
+}
+
+// ExhaustiveSOL decides SOL(P) by brute force. It returns an error when
+// the candidate space exceeds the configured bound.
+func ExhaustiveSOL(s *core.Setting, i, j *rel.Instance, cfg Config) (bool, error) {
+	dom := make([]rel.Value, 0, 8)
+	for v := range rel.Union(i, j).ActiveDomain() {
+		dom = append(dom, v)
+	}
+	for f := 0; f < cfg.freshValues(); f++ {
+		dom = append(dom, rel.Const(fmt.Sprintf("fresh%d", f+1)))
+	}
+
+	var candidates []rel.Fact
+	for _, relName := range s.Target.Relations() {
+		ar, _ := s.Target.Arity(relName)
+		for _, tup := range allTuples(dom, ar) {
+			candidates = append(candidates, rel.Fact{Rel: relName, Args: tup})
+		}
+	}
+	if len(candidates) > cfg.maxCandidates() {
+		return false, fmt.Errorf("oracle: %d candidate facts exceed the cap of %d", len(candidates), cfg.maxCandidates())
+	}
+
+	n := len(candidates)
+	maxFacts := cfg.maxFacts()
+	for mask := 0; mask < 1<<n; mask++ {
+		if bits.OnesCount(uint(mask)) > maxFacts {
+			continue
+		}
+		cand := j.Clone()
+		for b := 0; b < n; b++ {
+			if mask&(1<<b) != 0 {
+				cand.AddFact(candidates[b])
+			}
+		}
+		if s.IsSolution(i, j, cand) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+func allTuples(dom []rel.Value, arity int) []rel.Tuple {
+	if arity == 0 {
+		return []rel.Tuple{{}}
+	}
+	sub := allTuples(dom, arity-1)
+	out := make([]rel.Tuple, 0, len(sub)*len(dom))
+	for _, t := range sub {
+		for _, v := range dom {
+			out = append(out, append(t.Clone(), v))
+		}
+	}
+	return out
+}
+
+// RandomSetting generates a small random PDE setting over a fixed tiny
+// schema: source {A/1, B/2}, target {T/2}. The shapes cover full and
+// existential source-to-target tgds, LAV and join target-to-source
+// tgds, optional disjunctive target-to-source dependencies, and
+// optional target constraints (an egd or a full tgd).
+func RandomSetting(rng *rand.Rand) *core.Setting {
+	s := &core.Setting{
+		Name:   "fuzz",
+		Source: rel.SchemaOf("A", 1, "B", 2),
+		Target: rel.SchemaOf("T", 2),
+	}
+	switch rng.Intn(4) {
+	case 0: // full copy
+		s.ST = append(s.ST, dep.TGD{
+			Label: "st",
+			Body:  []dep.Atom{dep.NewAtom("B", dep.Var("x"), dep.Var("y"))},
+			Head:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("y"))},
+		})
+	case 1: // existential from unary
+		s.ST = append(s.ST, dep.TGD{
+			Label: "st",
+			Body:  []dep.Atom{dep.NewAtom("A", dep.Var("x"))},
+			Head:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("u"))},
+		})
+	case 2: // join body, existential head
+		s.ST = append(s.ST, dep.TGD{
+			Label: "st",
+			Body:  []dep.Atom{dep.NewAtom("A", dep.Var("x")), dep.NewAtom("B", dep.Var("x"), dep.Var("y"))},
+			Head:  []dep.Atom{dep.NewAtom("T", dep.Var("y"), dep.Var("u"))},
+		})
+	default: // two tgds
+		s.ST = append(s.ST,
+			dep.TGD{
+				Label: "st1",
+				Body:  []dep.Atom{dep.NewAtom("B", dep.Var("x"), dep.Var("y"))},
+				Head:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("y"))},
+			},
+			dep.TGD{
+				Label: "st2",
+				Body:  []dep.Atom{dep.NewAtom("A", dep.Var("x"))},
+				Head:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("u"))},
+			})
+	}
+	switch rng.Intn(4) {
+	case 0: // LAV full head
+		s.TS = append(s.TS, dep.TGD{
+			Label: "ts",
+			Body:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("y"))},
+			Head:  []dep.Atom{dep.NewAtom("B", dep.Var("x"), dep.Var("y"))},
+		})
+	case 1: // LAV existential head
+		s.TS = append(s.TS, dep.TGD{
+			Label: "ts",
+			Body:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("y"))},
+			Head:  []dep.Atom{dep.NewAtom("B", dep.Var("x"), dep.Var("w"))},
+		})
+	case 2: // join body
+		s.TS = append(s.TS, dep.TGD{
+			Label: "ts",
+			Body:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("y")), dep.NewAtom("T", dep.Var("y"), dep.Var("z"))},
+			Head:  []dep.Atom{dep.NewAtom("A", dep.Var("x"))},
+		})
+	default: // disjunctive: T(x,y) -> A(x) | B(x,y)
+		s.TSDisj = append(s.TSDisj, dep.DisjunctiveTGD{
+			Label: "tsd",
+			Body:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("y"))},
+			Disjuncts: [][]dep.Atom{
+				{dep.NewAtom("A", dep.Var("x"))},
+				{dep.NewAtom("B", dep.Var("x"), dep.Var("y"))},
+			},
+		})
+	}
+	switch rng.Intn(4) {
+	case 0:
+		s.T = append(s.T, dep.EGD{
+			Label: "t-key",
+			Body:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("y")), dep.NewAtom("T", dep.Var("x"), dep.Var("z"))},
+			Left:  "y", Right: "z",
+		})
+	case 1:
+		s.T = append(s.T, dep.TGD{
+			Label: "t-sym",
+			Body:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("y"))},
+			Head:  []dep.Atom{dep.NewAtom("T", dep.Var("y"), dep.Var("x"))},
+		})
+	}
+	if len(s.T) > 0 && len(s.TSDisj) > 0 && rng.Intn(2) == 0 {
+		// Keep roughly half of the disjunctive+Σt combinations simpler.
+		s.T = nil
+	}
+	return s
+}
+
+// RandomInstance generates a small random (I, J) pair for
+// RandomSetting's schema over a two-constant domain.
+func RandomInstance(rng *rand.Rand) (*rel.Instance, *rel.Instance) {
+	dom := []rel.Value{rel.Const("a"), rel.Const("b")}
+	i := rel.NewInstance()
+	for _, v := range dom {
+		if rng.Intn(2) == 0 {
+			i.Add("A", v)
+		}
+		for _, w := range dom {
+			if rng.Intn(3) == 0 {
+				i.Add("B", v, w)
+			}
+		}
+	}
+	j := rel.NewInstance()
+	for f := 0; f < rng.Intn(3); f++ {
+		j.Add("T", dom[rng.Intn(2)], dom[rng.Intn(2)])
+	}
+	return i, j
+}

@@ -1,0 +1,94 @@
+package oracle_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dep"
+	"repro/internal/oracle"
+	"repro/internal/rel"
+
+	"repro/internal/core"
+)
+
+func TestExhaustiveSOLExample1(t *testing.T) {
+	s := &core.Setting{
+		Name:   "example1",
+		Source: rel.SchemaOf("E", 2),
+		Target: rel.SchemaOf("H", 2),
+		ST: []dep.TGD{{
+			Label: "st",
+			Body:  []dep.Atom{dep.NewAtom("E", dep.Var("x"), dep.Var("z")), dep.NewAtom("E", dep.Var("z"), dep.Var("y"))},
+			Head:  []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y"))},
+		}},
+		TS: []dep.TGD{{
+			Label: "ts",
+			Body:  []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y"))},
+			Head:  []dep.Atom{dep.NewAtom("E", dep.Var("x"), dep.Var("y"))},
+		}},
+	}
+	selfLoop := rel.NewInstance()
+	selfLoop.Add("E", rel.Const("a"), rel.Const("a"))
+	got, err := oracle.ExhaustiveSOL(s, selfLoop, rel.NewInstance(), oracle.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got {
+		t.Error("oracle missed the self-loop solution")
+	}
+
+	path := rel.NewInstance()
+	path.Add("E", rel.Const("a"), rel.Const("b"))
+	path.Add("E", rel.Const("b"), rel.Const("c"))
+	got, err = oracle.ExhaustiveSOL(s, path, rel.NewInstance(), oracle.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Error("oracle found a solution for the unsolvable path instance")
+	}
+}
+
+func TestExhaustiveSOLCandidateCap(t *testing.T) {
+	s := &core.Setting{
+		Name:   "cap",
+		Source: rel.SchemaOf("A", 1),
+		Target: rel.SchemaOf("T", 3), // arity 3 over a big domain -> too many candidates
+	}
+	i := rel.NewInstance()
+	for k := 0; k < 6; k++ {
+		i.Add("A", rel.Const(string(rune('a'+k))))
+	}
+	if _, err := oracle.ExhaustiveSOL(s, i, rel.NewInstance(), oracle.Config{}); err == nil {
+		t.Error("candidate cap not enforced")
+	}
+}
+
+func TestRandomSettingAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	shapes := map[bool]int{}
+	for trial := 0; trial < 200; trial++ {
+		s := oracle.RandomSetting(rng)
+		if err := s.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		shapes[s.Classify().InCtract]++
+	}
+	if shapes[true] == 0 || shapes[false] == 0 {
+		t.Errorf("generator should produce settings on both sides of C_tract: %v", shapes)
+	}
+}
+
+func TestRandomInstanceWithinSchema(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := oracle.RandomSetting(rng)
+	for trial := 0; trial < 50; trial++ {
+		i, j := oracle.RandomInstance(rng)
+		if err := i.ValidateAgainst(s.Source); err != nil {
+			t.Fatalf("source instance invalid: %v", err)
+		}
+		if err := j.ValidateAgainst(s.Target); err != nil {
+			t.Fatalf("target instance invalid: %v", err)
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package pdms_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/datalog"
+	"repro/internal/dep"
+	"repro/internal/hom"
+	"repro/internal/pdms"
+	"repro/internal/rel"
+)
+
+func example1Setting() *core.Setting {
+	return &core.Setting{
+		Name:   "example1",
+		Source: rel.SchemaOf("E", 2),
+		Target: rel.SchemaOf("H", 2),
+		ST: []dep.TGD{{
+			Label: "st",
+			Body:  []dep.Atom{dep.NewAtom("E", dep.Var("x"), dep.Var("z")), dep.NewAtom("E", dep.Var("z"), dep.Var("y"))},
+			Head:  []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y"))},
+		}},
+		TS: []dep.TGD{{
+			Label: "ts",
+			Body:  []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y"))},
+			Head:  []dep.Atom{dep.NewAtom("E", dep.Var("x"), dep.Var("y"))},
+		}},
+	}
+}
+
+func TestFromPDEStructure(t *testing.T) {
+	p, err := pdms.FromPDE(example1Setting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Storage) != 2 {
+		t.Fatalf("storage descriptions = %d, want 2", len(p.Storage))
+	}
+	var eq, cont int
+	for _, sd := range p.Storage {
+		if sd.Equality {
+			eq++
+			if sd.PeerRel != "E" {
+				t.Errorf("equality description on %s, want source relation E", sd.PeerRel)
+			}
+		} else {
+			cont++
+			if sd.PeerRel != "H" {
+				t.Errorf("containment description on %s, want target relation H", sd.PeerRel)
+			}
+		}
+	}
+	if eq != 1 || cont != 1 {
+		t.Errorf("eq=%d cont=%d, want 1 and 1", eq, cont)
+	}
+	if len(p.Mappings) != 2 {
+		t.Errorf("mappings = %d, want 2", len(p.Mappings))
+	}
+}
+
+// TestCorrespondence verifies the Section 2 claim: K is a solution for
+// (I, J) in P iff the corresponding assignment is a consistent data
+// instance of N(P).
+func TestCorrespondence(t *testing.T) {
+	s := example1Setting()
+	p, err := pdms.FromPDE(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	i := rel.NewInstance()
+	i.Add("E", rel.Const("a"), rel.Const("b"))
+	i.Add("E", rel.Const("b"), rel.Const("c"))
+	i.Add("E", rel.Const("a"), rel.Const("c"))
+	j := rel.NewInstance()
+	local := pdms.PDEDataInstance(s, i, j)
+
+	// K1 = {H(a,c)} is a solution; must be consistent.
+	k1 := rel.NewInstance()
+	k1.Add("H", rel.Const("a"), rel.Const("c"))
+	if !s.IsSolution(i, j, k1) {
+		t.Fatal("setup: K1 should be a solution")
+	}
+	d1 := pdms.DataInstance{Local: local, Peers: pdms.PDESolutionAssignment(i, k1)}
+	if !p.Consistent(d1, hom.Options{}) {
+		t.Errorf("solution not consistent: %v", p.Inconsistencies(d1, hom.Options{}))
+	}
+
+	// K2 = {H(c,a)} is not a solution; must be inconsistent.
+	k2 := rel.NewInstance()
+	k2.Add("H", rel.Const("c"), rel.Const("a"))
+	d2 := pdms.DataInstance{Local: local, Peers: pdms.PDESolutionAssignment(i, k2)}
+	if p.Consistent(d2, hom.Options{}) {
+		t.Error("non-solution reported consistent")
+	}
+
+	// Mutating the source data breaks the equality storage description.
+	iMut := i.Clone()
+	iMut.Add("E", rel.Const("z"), rel.Const("z"))
+	kMut := k1.Clone()
+	kMut.Add("H", rel.Const("z"), rel.Const("z"))
+	d3 := pdms.DataInstance{Local: local, Peers: pdms.PDESolutionAssignment(iMut, kMut)}
+	if p.Consistent(d3, hom.Options{}) {
+		t.Error("source mutation not detected by equality storage description")
+	}
+}
+
+func TestContainmentAllowsAugmentation(t *testing.T) {
+	// The target's containment description lets the peer hold more than
+	// its local source: J* ⊆ K.
+	s := example1Setting()
+	p, _ := pdms.FromPDE(s)
+	i := rel.NewInstance()
+	i.Add("E", rel.Const("a"), rel.Const("a"))
+	j := rel.NewInstance() // empty local target
+	k := rel.NewInstance()
+	k.Add("H", rel.Const("a"), rel.Const("a")) // augmented
+	d := pdms.DataInstance{Local: pdms.PDEDataInstance(s, i, j), Peers: pdms.PDESolutionAssignment(i, k)}
+	if !p.Consistent(d, hom.Options{}) {
+		t.Errorf("augmented target rejected: %v", p.Inconsistencies(d, hom.Options{}))
+	}
+
+	// But dropping a local target fact from the peer is inconsistent.
+	j2 := rel.NewInstance()
+	j2.Add("H", rel.Const("a"), rel.Const("a"))
+	d2 := pdms.DataInstance{Local: pdms.PDEDataInstance(s, i, j2), Peers: pdms.PDESolutionAssignment(i, rel.NewInstance())}
+	if p.Consistent(d2, hom.Options{}) {
+		t.Error("dropped local target fact not detected")
+	}
+}
+
+func TestStorageDescriptionString(t *testing.T) {
+	eq := pdms.StorageDescription{Local: "E_star", PeerRel: "E", Equality: true}
+	if got := eq.String(); got != "E_star = E" {
+		t.Errorf("String = %q", got)
+	}
+	cont := pdms.StorageDescription{Local: "H_star", PeerRel: "H"}
+	if !strings.Contains(cont.String(), "⊆") {
+		t.Errorf("String = %q", cont.String())
+	}
+}
+
+func TestFromPDERejectsInvalidSetting(t *testing.T) {
+	s := example1Setting()
+	s.Target = rel.SchemaOf("E", 2)
+	if _, err := pdms.FromPDE(s); err == nil {
+		t.Error("invalid setting accepted")
+	}
+}
+
+func TestDefinitionalMappings(t *testing.T) {
+	// A PDMS where peer relation Reach is *defined* as the transitive
+	// closure of Link (a definitional mapping, per Halevy et al.).
+	p := &pdms.PDMS{
+		Name:        "tc",
+		PeerSchemas: rel.SchemaOf("Link", 2, "Reach", 2),
+		Definitional: &datalog.Program{Rules: []datalog.Rule{
+			{
+				Label: "base",
+				Head:  dep.NewAtom("Reach", dep.Var("x"), dep.Var("y")),
+				Body:  []dep.Atom{dep.NewAtom("Link", dep.Var("x"), dep.Var("y"))},
+			},
+			{
+				Label: "step",
+				Head:  dep.NewAtom("Reach", dep.Var("x"), dep.Var("z")),
+				Body:  []dep.Atom{dep.NewAtom("Reach", dep.Var("x"), dep.Var("y")), dep.NewAtom("Link", dep.Var("y"), dep.Var("z"))},
+			},
+		}},
+	}
+	good := rel.NewInstance()
+	good.Add("Link", rel.Const("a"), rel.Const("b"))
+	good.Add("Link", rel.Const("b"), rel.Const("c"))
+	good.Add("Reach", rel.Const("a"), rel.Const("b"))
+	good.Add("Reach", rel.Const("b"), rel.Const("c"))
+	good.Add("Reach", rel.Const("a"), rel.Const("c"))
+	if !p.Consistent(pdms.DataInstance{Local: rel.NewInstance(), Peers: good}, hom.Options{}) {
+		t.Errorf("exact closure rejected: %v", p.Inconsistencies(pdms.DataInstance{Local: rel.NewInstance(), Peers: good}, hom.Options{}))
+	}
+
+	// Missing a derived fact: inconsistent.
+	missing := good.Clone()
+	bad1 := rel.NewInstance()
+	for _, f := range missing.Facts() {
+		if f.String() != "Reach(a, c)" {
+			bad1.AddFact(f)
+		}
+	}
+	if p.Consistent(pdms.DataInstance{Local: rel.NewInstance(), Peers: bad1}, hom.Options{}) {
+		t.Error("incomplete definition accepted")
+	}
+
+	// An extra underived fact: also inconsistent (exact definition).
+	bad2 := good.Clone()
+	bad2.Add("Reach", rel.Const("c"), rel.Const("a"))
+	if p.Consistent(pdms.DataInstance{Local: rel.NewInstance(), Peers: bad2}, hom.Options{}) {
+		t.Error("overfull definition accepted")
+	}
+}
+
+func TestFromPDEHasNoDefinitionalMappings(t *testing.T) {
+	p, err := pdms.FromPDE(example1Setting())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Definitional != nil {
+		t.Error("the paper's N(P) construction must not produce definitional mappings")
+	}
+}

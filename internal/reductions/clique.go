@@ -1,0 +1,224 @@
+// Package reductions implements the reductions of the peer data
+// exchange paper: the CLIQUE reduction of Theorem 3 (NP-hardness of
+// SOL(P) and coNP-hardness of certain answers), the two Section 4
+// boundary settings with target constraints (a single target egd; a
+// single full target tgd), and the disjunctive Σts setting encoding
+// 3-colorability.
+package reductions
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/graph"
+	"repro/internal/rel"
+)
+
+// CliqueSetting returns the PDE setting of Theorem 3:
+//
+//	S = {D/2, S/2, E/2},  T = {P/4},  Σt = ∅
+//	Σst: D(x,y) -> exists z, w: P(x,z,y,w)
+//	Σts: P(x,z,y,w)                      -> E(z,w)
+//	     P(x,z,y,w), P(y,z2,y2,w2)       -> S(w,z2)
+//
+// G has a k-clique iff SOL has a solution for (I(G,k), ∅).
+//
+// Erratum note. The PODS 2005 paper prints the second target-to-source
+// tgd as P(x,z,y,w) ∧ P(x,z',y',w') -> S(z,z'), joining the two atoms on
+// the first anchor x. That version does not make the reduction sound: a
+// graph with a single edge (u,v) admits the solution
+// {P(a_i, u, a_j, v) : i != j} for every k, because nothing couples the
+// fourth component of a fact to the key of its second anchor. We use the
+// corrected join through the (unmarked) second anchor y, which forces
+// w = key(y) and makes {key(a_1), ..., key(a_k)} a k-clique. The
+// corrected tgd has exactly the structural properties the paper's
+// Section 4 discussion relies on: its marked variables (w and z2 here)
+// each occur once in the left-hand side (condition 1 holds), they
+// co-occur in the right-hand side but not in any body conjunct while
+// both occur in the body (condition 2.2 fails), they sit at distance two
+// in the Gaifman graph connected via an unmarked join variable, and the
+// left-hand side has two literals (condition 2.1 fails).
+func CliqueSetting() *core.Setting {
+	return &core.Setting{
+		Name:   "clique-thm3",
+		Source: rel.SchemaOf("D", 2, "S", 2, "E", 2),
+		Target: rel.SchemaOf("P", 4),
+		ST: []dep.TGD{{
+			Label: "st-D",
+			Body:  []dep.Atom{dep.NewAtom("D", dep.Var("x"), dep.Var("y"))},
+			Head:  []dep.Atom{dep.NewAtom("P", dep.Var("x"), dep.Var("z"), dep.Var("y"), dep.Var("w"))},
+		}},
+		TS: []dep.TGD{
+			{
+				Label: "ts-E",
+				Body:  []dep.Atom{dep.NewAtom("P", dep.Var("x"), dep.Var("z"), dep.Var("y"), dep.Var("w"))},
+				Head:  []dep.Atom{dep.NewAtom("E", dep.Var("z"), dep.Var("w"))},
+			},
+			{
+				Label: "ts-S",
+				Body: []dep.Atom{
+					dep.NewAtom("P", dep.Var("x"), dep.Var("z"), dep.Var("y"), dep.Var("w")),
+					dep.NewAtom("P", dep.Var("y"), dep.Var("z2"), dep.Var("y2"), dep.Var("w2")),
+				},
+				Head: []dep.Atom{dep.NewAtom("S", dep.Var("w"), dep.Var("z2"))},
+			},
+		},
+	}
+}
+
+// vertex renders graph vertex v as the constant "v<idx>".
+func vertex(v int) rel.Value { return rel.Const(fmt.Sprintf("v%d", v)) }
+
+// anchor renders the i-th of the k distinct elements a_1, ..., a_k.
+func anchor(i int) rel.Value { return rel.Const(fmt.Sprintf("a%d", i)) }
+
+// CliqueInstance builds the source instance I(G, k) of the Theorem 3
+// reduction: D is the inequality relation on {a_1, ..., a_k}, S is the
+// equality relation on the vertices of G, and E holds the (symmetric,
+// irreflexive) edges of G. The target instance is empty.
+func CliqueInstance(g *graph.Graph, k int) (*rel.Instance, *rel.Instance) {
+	i := rel.NewInstance()
+	for a := 1; a <= k; a++ {
+		for b := 1; b <= k; b++ {
+			if a != b {
+				i.Add("D", anchor(a), anchor(b))
+			}
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		i.Add("S", vertex(v), vertex(v))
+	}
+	for _, e := range g.Edges() {
+		i.Add("E", vertex(e[0]), vertex(e[1]))
+		i.Add("E", vertex(e[1]), vertex(e[0]))
+	}
+	return i, rel.NewInstance()
+}
+
+// CliqueInstanceOverVertices builds the variant used for the
+// coNP-hardness of certain answers in the Theorem 3 proof: the k
+// distinct elements are drawn from the vertex set of G itself (V is
+// extended with fresh vertices when it has fewer than k). The Boolean
+// query q = exists x: P(x,x,x,x) then satisfies
+// certain(q, (I(G,k), ∅)) = false iff G has a k-clique.
+func CliqueInstanceOverVertices(g *graph.Graph, k int) (*rel.Instance, *rel.Instance) {
+	n := g.N()
+	if n < k {
+		n = k
+	}
+	i := rel.NewInstance()
+	for a := 0; a < k; a++ {
+		for b := 0; b < k; b++ {
+			if a != b {
+				i.Add("D", vertex(a), vertex(b))
+			}
+		}
+	}
+	for v := 0; v < n; v++ {
+		i.Add("S", vertex(v), vertex(v))
+	}
+	for _, e := range g.Edges() {
+		i.Add("E", vertex(e[0]), vertex(e[1]))
+		i.Add("E", vertex(e[1]), vertex(e[0]))
+	}
+	return i, rel.NewInstance()
+}
+
+// CliqueQuery returns the Boolean conjunctive query
+// q = exists x: P(x,x,x,x) from the coNP-hardness part of Theorem 3.
+func CliqueQuery() []dep.Atom {
+	return []dep.Atom{dep.NewAtom("P", dep.Var("x"), dep.Var("x"), dep.Var("x"), dep.Var("x"))}
+}
+
+// BoundaryEgdSetting returns the first Section 4 boundary setting: Σst
+// and Σts satisfy conditions (1) and (2.1) of C_tract, yet a single
+// target egd makes SOL(P) NP-hard:
+//
+//	Σst: D(x,y) -> exists z, w: P(x,z,y,w)
+//	Σt:  P(x,z,y,w), P(y,z2,y2,w2) -> w = z2
+//	Σts: P(x,z,y,w) -> E(z,w)
+//
+// The same CliqueInstance encoding reduces CLIQUE to SOL(P): the egd
+// plays the role of the ts-S tgd, forcing the fourth component of each
+// fact to equal the key of its second anchor (the same erratum
+// correction as in CliqueSetting applies: the paper prints the egd
+// joined on x with head z = z2, which does not couple the anchors).
+func BoundaryEgdSetting() *core.Setting {
+	return &core.Setting{
+		Name:   "boundary-egd",
+		Source: rel.SchemaOf("D", 2, "S", 2, "E", 2),
+		Target: rel.SchemaOf("P", 4),
+		ST: []dep.TGD{{
+			Label: "st-D",
+			Body:  []dep.Atom{dep.NewAtom("D", dep.Var("x"), dep.Var("y"))},
+			Head:  []dep.Atom{dep.NewAtom("P", dep.Var("x"), dep.Var("z"), dep.Var("y"), dep.Var("w"))},
+		}},
+		TS: []dep.TGD{{
+			Label: "ts-E",
+			Body:  []dep.Atom{dep.NewAtom("P", dep.Var("x"), dep.Var("z"), dep.Var("y"), dep.Var("w"))},
+			Head:  []dep.Atom{dep.NewAtom("E", dep.Var("z"), dep.Var("w"))},
+		}},
+		T: []dep.Dependency{dep.EGD{
+			Label: "t-key",
+			Body: []dep.Atom{
+				dep.NewAtom("P", dep.Var("x"), dep.Var("z"), dep.Var("y"), dep.Var("w")),
+				dep.NewAtom("P", dep.Var("y"), dep.Var("z2"), dep.Var("y2"), dep.Var("w2")),
+			},
+			Left: "w", Right: "z2",
+		}},
+	}
+}
+
+// BoundaryFullTgdSetting returns the second Section 4 boundary setting:
+// a single full target tgd crosses the intractability boundary.
+//
+//	Σst: S(z,w)  -> S2(z,w)
+//	     D(x,y)  -> exists z, w: P(x,z,y,w)
+//	Σt:  P(x,z,y,w), P(y,z2,y2,w2) -> S2(w,z2)
+//	Σts: S2(z,z2) -> S(z,z2)
+//	     P(x,z,y,w) -> E(z,w)
+//
+// (S2 stands for the paper's S'; the full target tgd carries the same
+// erratum correction as CliqueSetting — the join runs through the second
+// anchor y so that S holds between the fourth component and the key of
+// y, which S ⊆ {(v,v)} turns into equality.)
+func BoundaryFullTgdSetting() *core.Setting {
+	return &core.Setting{
+		Name:   "boundary-full-tgd",
+		Source: rel.SchemaOf("D", 2, "S", 2, "E", 2),
+		Target: rel.SchemaOf("P", 4, "S2", 2),
+		ST: []dep.TGD{
+			{
+				Label: "st-S",
+				Body:  []dep.Atom{dep.NewAtom("S", dep.Var("z"), dep.Var("w"))},
+				Head:  []dep.Atom{dep.NewAtom("S2", dep.Var("z"), dep.Var("w"))},
+			},
+			{
+				Label: "st-D",
+				Body:  []dep.Atom{dep.NewAtom("D", dep.Var("x"), dep.Var("y"))},
+				Head:  []dep.Atom{dep.NewAtom("P", dep.Var("x"), dep.Var("z"), dep.Var("y"), dep.Var("w"))},
+			},
+		},
+		TS: []dep.TGD{
+			{
+				Label: "ts-S2",
+				Body:  []dep.Atom{dep.NewAtom("S2", dep.Var("z"), dep.Var("z2"))},
+				Head:  []dep.Atom{dep.NewAtom("S", dep.Var("z"), dep.Var("z2"))},
+			},
+			{
+				Label: "ts-E",
+				Body:  []dep.Atom{dep.NewAtom("P", dep.Var("x"), dep.Var("z"), dep.Var("y"), dep.Var("w"))},
+				Head:  []dep.Atom{dep.NewAtom("E", dep.Var("z"), dep.Var("w"))},
+			},
+		},
+		T: []dep.Dependency{dep.TGD{
+			Label: "t-S2",
+			Body: []dep.Atom{
+				dep.NewAtom("P", dep.Var("x"), dep.Var("z"), dep.Var("y"), dep.Var("w")),
+				dep.NewAtom("P", dep.Var("y"), dep.Var("z2"), dep.Var("y2"), dep.Var("w2")),
+			},
+			Head: []dep.Atom{dep.NewAtom("S2", dep.Var("w"), dep.Var("z2"))},
+		}},
+	}
+}

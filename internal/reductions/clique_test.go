@@ -1,0 +1,248 @@
+package reductions
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func TestCliqueSettingValidates(t *testing.T) {
+	for _, s := range []*core.Setting{CliqueSetting(), BoundaryEgdSetting(), BoundaryFullTgdSetting(), ThreeColSetting()} {
+		if err := s.Validate(); err != nil {
+			t.Errorf("setting %s invalid: %v", s.Name, err)
+		}
+	}
+}
+
+func TestCliqueSettingClassification(t *testing.T) {
+	// Theorem 3's setting: condition 1 holds, conditions 2.1 and 2.2
+	// both fail — outside C_tract.
+	rep := CliqueSetting().Classify()
+	if rep.InCtract {
+		t.Fatal("clique setting must be outside C_tract")
+	}
+	if !rep.Cond1 {
+		t.Errorf("condition 1 should hold: %v", rep.Violations)
+	}
+	if rep.Cond21 || rep.Cond22 {
+		t.Errorf("conditions 2.1/2.2 should fail: 2.1=%v 2.2=%v", rep.Cond21, rep.Cond22)
+	}
+
+	// Both Section 4 boundary settings: Σst/Σts satisfy conditions 1 and
+	// 2.1; only Σt pushes them out of C_tract.
+	for _, s := range []*core.Setting{BoundaryEgdSetting(), BoundaryFullTgdSetting()} {
+		rep := s.Classify()
+		if rep.InCtract {
+			t.Errorf("%s must be outside C_tract (has Σt)", s.Name)
+		}
+		if !rep.Cond1 || !rep.Cond21 {
+			t.Errorf("%s: Σst/Σts should satisfy conditions 1 and 2.1: %+v", s.Name, rep.Violations)
+		}
+	}
+
+	// 3-colorability setting: conditions 1 and 2.2 hold for the
+	// non-disjunctive fragment, but the disjunction excludes it.
+	rep3 := ThreeColSetting().Classify()
+	if rep3.InCtract || !rep3.HasDisjunctiveTS {
+		t.Errorf("3col setting classification wrong: %+v", rep3)
+	}
+}
+
+// solveClique runs the generic solver on the Theorem 3 reduction.
+func solveClique(t *testing.T, s *core.Setting, g *graph.Graph, k int) bool {
+	t.Helper()
+	i, j := CliqueInstance(g, k)
+	got, witness, _, err := core.ExistsSolutionGeneric(s, i, j, core.SolveOptions{MaxNodes: 50_000_000})
+	if err != nil {
+		t.Fatalf("solver error on %s: %v", s.Name, err)
+	}
+	if got && !s.IsSolution(i, j, witness) {
+		t.Fatalf("witness is not a solution on %s: %v", s.Name, s.SolutionViolations(i, j, witness))
+	}
+	return got
+}
+
+func TestTheorem3SmallGraphs(t *testing.T) {
+	s := CliqueSetting()
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		k    int
+	}{
+		{"triangle-k3", graph.Complete(3), 3},
+		{"path4-k3", graph.Path(4), 3},
+		{"k4-k4", graph.Complete(4), 4},
+		{"k4-minus-edge-k4", k4MinusEdge(), 4},
+		{"cycle5-k3", graph.Cycle(5), 3},
+		{"k5-k4", graph.Complete(5), 4},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want := tc.g.HasClique(tc.k)
+			got := solveClique(t, s, tc.g, tc.k)
+			if got != want {
+				t.Errorf("SOL=%v but HasClique=%v", got, want)
+			}
+		})
+	}
+}
+
+func k4MinusEdge() *graph.Graph {
+	g := graph.Complete(4)
+	g2 := graph.New(4)
+	for _, e := range g.Edges() {
+		if e != [2]int{0, 1} {
+			g2.AddEdge(e[0], e[1]) //nolint:errcheck
+		}
+	}
+	return g2
+}
+
+func TestTheorem3RandomGraphs(t *testing.T) {
+	s := CliqueSetting()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 6; trial++ {
+		g := graph.Random(7, 0.4, rng)
+		if trial%2 == 0 {
+			graph.PlantClique(g, 3, rng)
+		}
+		k := 3
+		want := g.HasClique(k)
+		got := solveClique(t, s, g, k)
+		if got != want {
+			t.Errorf("trial %d: SOL=%v HasClique=%v", trial, got, want)
+		}
+	}
+}
+
+// TestTheorem5OnCliqueSetting checks the Theorem 5 characterization on
+// the clique setting, which satisfies condition 1 (but not condition 2,
+// so the block homomorphism checks are not polynomial — they are still
+// correct): the Figure 3 algorithm must agree with the generic solver.
+func TestTheorem5OnCliqueSetting(t *testing.T) {
+	s := CliqueSetting()
+	cases := []struct {
+		g *graph.Graph
+		k int
+	}{
+		{graph.Complete(3), 3},
+		{graph.Path(4), 3},
+		{graph.Cycle(5), 3},
+		{graph.Complete(4), 4},
+	}
+	for _, tc := range cases {
+		i, j := CliqueInstance(tc.g, tc.k)
+		want := tc.g.HasClique(tc.k)
+		got, trace, err := core.ExistsSolutionTractable(s, i, j, core.TractableOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("k=%d: Figure 3 algorithm = %v, HasClique = %v (blocks=%d maxNulls=%d)",
+				tc.k, got, want, trace.Blocks, trace.MaxBlockNulls)
+		}
+		// Outside C_tract the block null counts grow with the input —
+		// the source of intractability (contrast with Theorem 6).
+		if want && trace.MaxBlockNulls < 2 {
+			t.Errorf("expected multi-null blocks on the clique setting, got %d", trace.MaxBlockNulls)
+		}
+	}
+}
+
+func TestBoundaryEgdSetting(t *testing.T) {
+	s := BoundaryEgdSetting()
+	cases := []struct {
+		g *graph.Graph
+		k int
+	}{
+		{graph.Complete(3), 3},
+		{graph.Path(4), 3},
+		{graph.Complete(4), 4},
+		{graph.Cycle(5), 3},
+	}
+	for _, tc := range cases {
+		want := tc.g.HasClique(tc.k)
+		got := solveClique(t, s, tc.g, tc.k)
+		if got != want {
+			t.Errorf("egd boundary: k=%d SOL=%v HasClique=%v", tc.k, got, want)
+		}
+	}
+}
+
+func TestBoundaryFullTgdSetting(t *testing.T) {
+	s := BoundaryFullTgdSetting()
+	cases := []struct {
+		g *graph.Graph
+		k int
+	}{
+		{graph.Complete(3), 3},
+		{graph.Path(4), 3},
+		{graph.Cycle(5), 3},
+	}
+	for _, tc := range cases {
+		want := tc.g.HasClique(tc.k)
+		got := solveClique(t, s, tc.g, tc.k)
+		if got != want {
+			t.Errorf("full-tgd boundary: k=%d SOL=%v HasClique=%v", tc.k, got, want)
+		}
+	}
+}
+
+func TestThreeColReduction(t *testing.T) {
+	s := ThreeColSetting()
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"triangle", graph.Complete(3)},
+		{"k4", graph.Complete(4)},
+		{"cycle5", graph.Cycle(5)},
+		{"path5", graph.Path(5)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			i, j := ThreeColInstance(tc.g)
+			want := tc.g.Is3Colorable()
+			got, witness, _, err := core.ExistsSolutionGeneric(s, i, j, core.SolveOptions{MaxNodes: 50_000_000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("SOL=%v but Is3Colorable=%v", got, want)
+			}
+			if got && !s.IsSolution(i, j, witness) {
+				t.Errorf("witness is not a solution: %v", s.SolutionViolations(i, j, witness))
+			}
+		})
+	}
+}
+
+func TestCliqueInstanceShape(t *testing.T) {
+	g := graph.Complete(3)
+	i, j := CliqueInstance(g, 3)
+	if !j.IsEmpty() {
+		t.Error("target instance must be empty")
+	}
+	if i.Relation("D").Len() != 6 {
+		t.Errorf("D has %d tuples, want k(k-1)=6", i.Relation("D").Len())
+	}
+	if i.Relation("S").Len() != 3 {
+		t.Errorf("S has %d tuples, want |V|=3", i.Relation("S").Len())
+	}
+	if i.Relation("E").Len() != 6 {
+		t.Errorf("E has %d tuples, want 2*|edges|=6", i.Relation("E").Len())
+	}
+}
+
+func TestCliqueInstanceOverVerticesShape(t *testing.T) {
+	g := graph.Path(2) // 2 vertices, need k=3 -> V extended
+	i, _ := CliqueInstanceOverVertices(g, 3)
+	if i.Relation("S").Len() != 3 {
+		t.Errorf("S extended to %d vertices, want 3", i.Relation("S").Len())
+	}
+	if i.Relation("D").Len() != 6 {
+		t.Errorf("D has %d tuples, want 6", i.Relation("D").Len())
+	}
+}

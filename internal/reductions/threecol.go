@@ -1,0 +1,76 @@
+package reductions
+
+import (
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/graph"
+	"repro/internal/rel"
+)
+
+// ThreeColSetting returns the final Section 4 boundary setting: Σst and
+// Σts satisfy conditions (1) and (2.2) of C_tract and there are no
+// target constraints, yet allowing disjunction in the right-hand side of
+// a target-to-source dependency makes SOL(P) NP-hard via 3-colorability:
+//
+//	Σst: E(x,y) -> exists u: C(x,u)
+//	     E(x,y) -> Ep(x,y)
+//	Σts: Ep(x,y), C(x,u), C(y,v) ->
+//	       (R(u) ∧ B(v)) ∨ (R(u) ∧ G(v)) ∨ (B(u) ∧ G(v)) ∨
+//	       (B(u) ∧ R(v)) ∨ (G(u) ∧ R(v)) ∨ (G(u) ∧ B(v))
+//
+// (Ep stands for the paper's E'.) The source relations are E, R, B, G;
+// the target relations are Ep and C.
+func ThreeColSetting() *core.Setting {
+	colorPairs := [][2]string{
+		{"R", "B"}, {"R", "G"}, {"B", "G"}, {"B", "R"}, {"G", "R"}, {"G", "B"},
+	}
+	disjuncts := make([][]dep.Atom, 0, len(colorPairs))
+	for _, p := range colorPairs {
+		disjuncts = append(disjuncts, []dep.Atom{
+			dep.NewAtom(p[0], dep.Var("u")),
+			dep.NewAtom(p[1], dep.Var("v")),
+		})
+	}
+	return &core.Setting{
+		Name:   "boundary-3col",
+		Source: rel.SchemaOf("E", 2, "R", 1, "B", 1, "G", 1),
+		Target: rel.SchemaOf("Ep", 2, "C", 2),
+		ST: []dep.TGD{
+			{
+				Label: "st-C",
+				Body:  []dep.Atom{dep.NewAtom("E", dep.Var("x"), dep.Var("y"))},
+				Head:  []dep.Atom{dep.NewAtom("C", dep.Var("x"), dep.Var("u"))},
+			},
+			{
+				Label: "st-Ep",
+				Body:  []dep.Atom{dep.NewAtom("E", dep.Var("x"), dep.Var("y"))},
+				Head:  []dep.Atom{dep.NewAtom("Ep", dep.Var("x"), dep.Var("y"))},
+			},
+		},
+		TSDisj: []dep.DisjunctiveTGD{{
+			Label: "ts-color",
+			Body: []dep.Atom{
+				dep.NewAtom("Ep", dep.Var("x"), dep.Var("y")),
+				dep.NewAtom("C", dep.Var("x"), dep.Var("u")),
+				dep.NewAtom("C", dep.Var("y"), dep.Var("v")),
+			},
+			Disjuncts: disjuncts,
+		}},
+	}
+}
+
+// ThreeColInstance builds the source instance for a graph: E holds both
+// directions of every edge (so every endpoint receives a color via
+// st-C), and R, G, B hold one color constant each. The target instance
+// is empty. A solution exists iff the graph is 3-colorable.
+func ThreeColInstance(g *graph.Graph) (*rel.Instance, *rel.Instance) {
+	i := rel.NewInstance()
+	for _, e := range g.Edges() {
+		i.Add("E", vertex(e[0]), vertex(e[1]))
+		i.Add("E", vertex(e[1]), vertex(e[0]))
+	}
+	i.Add("R", rel.Const("red"))
+	i.Add("G", rel.Const("green"))
+	i.Add("B", rel.Const("blue"))
+	return i, rel.NewInstance()
+}

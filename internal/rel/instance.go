@@ -1,0 +1,366 @@
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Relation is the extension of one relation symbol inside an instance:
+// a set of tuples with a fixed arity, plus indexes that accelerate
+// trigger and homomorphism search.
+type Relation struct {
+	name   string
+	arity  int
+	tuples []Tuple
+	seen   map[string]int // canonical tuple key -> index into tuples
+
+	// posIndex[i] maps a value to the indexes of tuples carrying that
+	// value at position i. Maintained incrementally by add; rebuilt by
+	// replaceValue.
+	posIndex []map[Value][]int
+}
+
+func newRelation(name string, arity int) *Relation {
+	r := &Relation{
+		name:     name,
+		arity:    arity,
+		seen:     make(map[string]int),
+		posIndex: make([]map[Value][]int, arity),
+	}
+	for i := range r.posIndex {
+		r.posIndex[i] = make(map[Value][]int)
+	}
+	return r
+}
+
+// Name returns the relation symbol.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the arity of the relation.
+func (r *Relation) Arity() int { return r.arity }
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.tuples) }
+
+// Tuples returns the relation's tuples. The returned slice and its
+// tuples are owned by the relation and must not be mutated.
+func (r *Relation) Tuples() []Tuple { return r.tuples }
+
+// Contains reports whether the tuple is present.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.seen[tupleKey(t)]
+	return ok
+}
+
+// MatchingAt returns the indexes of tuples whose i-th position holds v.
+// The returned slice is owned by the relation and must not be mutated.
+func (r *Relation) MatchingAt(i int, v Value) []int {
+	return r.posIndex[i][v]
+}
+
+// TupleAt returns the tuple at the given index.
+func (r *Relation) TupleAt(i int) Tuple { return r.tuples[i] }
+
+// popLast removes the most recently added tuple and returns it. It
+// panics when the relation is empty. Because tuple indexes grow
+// monotonically and position-index lists are append-only, the popped
+// tuple's index sits at the end of every list it belongs to, making the
+// removal O(arity).
+func (r *Relation) popLast() Tuple {
+	n := len(r.tuples)
+	if n == 0 {
+		panic("rel: popLast on empty relation")
+	}
+	t := r.tuples[n-1]
+	r.tuples = r.tuples[:n-1]
+	delete(r.seen, tupleKey(t))
+	for i, v := range t {
+		lst := r.posIndex[i][v]
+		if len(lst) == 0 || lst[len(lst)-1] != n-1 {
+			panic("rel: position index corrupted during popLast")
+		}
+		if len(lst) == 1 {
+			delete(r.posIndex[i], v)
+		} else {
+			r.posIndex[i][v] = lst[:len(lst)-1]
+		}
+	}
+	return t
+}
+
+func (r *Relation) add(t Tuple) bool {
+	k := tupleKey(t)
+	if _, ok := r.seen[k]; ok {
+		return false
+	}
+	idx := len(r.tuples)
+	r.tuples = append(r.tuples, t.Clone())
+	r.seen[k] = idx
+	for i, v := range t {
+		r.posIndex[i][v] = append(r.posIndex[i][v], idx)
+	}
+	return true
+}
+
+// Instance is a finite set of facts over a set of relations. The zero
+// value is not usable; construct instances with NewInstance.
+type Instance struct {
+	rels map[string]*Relation
+}
+
+// NewInstance returns an empty instance.
+func NewInstance() *Instance {
+	return &Instance{rels: make(map[string]*Relation)}
+}
+
+// Add inserts the fact R(args) and reports whether it was newly added.
+// The relation is created on first use with arity len(args); adding a
+// tuple of different arity to an existing relation panics, because it
+// indicates a schema violation upstream that must not be masked.
+func (inst *Instance) Add(relName string, args ...Value) bool {
+	return inst.AddTuple(relName, Tuple(args))
+}
+
+// AddTuple inserts the fact R(t) and reports whether it was newly added.
+func (inst *Instance) AddTuple(relName string, t Tuple) bool {
+	r, ok := inst.rels[relName]
+	if !ok {
+		r = newRelation(relName, len(t))
+		inst.rels[relName] = r
+	}
+	if r.arity != len(t) {
+		panic(fmt.Sprintf("rel: arity mismatch adding %s/%d to relation of arity %d", relName, len(t), r.arity))
+	}
+	return r.add(t)
+}
+
+// AddFact inserts the fact and reports whether it was newly added.
+func (inst *Instance) AddFact(f Fact) bool {
+	return inst.AddTuple(f.Rel, f.Args)
+}
+
+// AddAll inserts every fact of other into inst and returns the number of
+// newly added facts.
+func (inst *Instance) AddAll(other *Instance) int {
+	n := 0
+	for _, f := range other.Facts() {
+		if inst.AddFact(f) {
+			n++
+		}
+	}
+	return n
+}
+
+// RemoveLastTuple removes the most recently added tuple of the relation
+// and returns it. It supports the LIFO undo discipline of backtracking
+// solvers; removing anything but the last-added tuple is not supported.
+// It panics when the relation is absent or empty.
+func (inst *Instance) RemoveLastTuple(relName string) Tuple {
+	r, ok := inst.rels[relName]
+	if !ok {
+		panic(fmt.Sprintf("rel: RemoveLastTuple on absent relation %s", relName))
+	}
+	return r.popLast()
+}
+
+// Relation returns the extension of the relation, or nil if the instance
+// has no facts for it.
+func (inst *Instance) Relation(name string) *Relation {
+	return inst.rels[name]
+}
+
+// Contains reports whether the fact is present.
+func (inst *Instance) Contains(f Fact) bool {
+	r, ok := inst.rels[f.Rel]
+	return ok && r.Contains(f.Args)
+}
+
+// RelationNames returns the names of relations with at least one tuple,
+// sorted.
+func (inst *Instance) RelationNames() []string {
+	names := make([]string, 0, len(inst.rels))
+	for n, r := range inst.rels {
+		if r.Len() > 0 {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NumFacts returns the total number of facts.
+func (inst *Instance) NumFacts() int {
+	n := 0
+	for _, r := range inst.rels {
+		n += r.Len()
+	}
+	return n
+}
+
+// IsEmpty reports whether the instance holds no facts.
+func (inst *Instance) IsEmpty() bool { return inst.NumFacts() == 0 }
+
+// Facts returns all facts in deterministic order (relations sorted by
+// name, tuples in insertion order). The tuples are owned by the instance
+// and must not be mutated.
+func (inst *Instance) Facts() []Fact {
+	out := make([]Fact, 0, inst.NumFacts())
+	for _, name := range inst.RelationNames() {
+		for _, t := range inst.rels[name].tuples {
+			out = append(out, Fact{Rel: name, Args: t})
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the instance.
+func (inst *Instance) Clone() *Instance {
+	c := NewInstance()
+	for _, f := range inst.Facts() {
+		c.AddTuple(f.Rel, f.Args)
+	}
+	return c
+}
+
+// Union returns a new instance holding the facts of both instances.
+func Union(a, b *Instance) *Instance {
+	u := a.Clone()
+	u.AddAll(b)
+	return u
+}
+
+// ContainsAll reports whether every fact of sub is present in inst.
+func (inst *Instance) ContainsAll(sub *Instance) bool {
+	for _, f := range sub.Facts() {
+		if !inst.Contains(f) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the two instances hold exactly the same facts.
+func (inst *Instance) Equal(other *Instance) bool {
+	return inst.NumFacts() == other.NumFacts() && inst.ContainsAll(other)
+}
+
+// Restrict returns a new instance holding only the facts whose relations
+// belong to the given schema.
+func (inst *Instance) Restrict(s *Schema) *Instance {
+	out := NewInstance()
+	for name, r := range inst.rels {
+		if !s.Has(name) {
+			continue
+		}
+		for _, t := range r.tuples {
+			out.AddTuple(name, t)
+		}
+	}
+	return out
+}
+
+// ActiveDomain returns the set of values occurring in the instance.
+func (inst *Instance) ActiveDomain() map[Value]struct{} {
+	dom := make(map[Value]struct{})
+	for _, r := range inst.rels {
+		for _, t := range r.tuples {
+			for _, v := range t {
+				dom[v] = struct{}{}
+			}
+		}
+	}
+	return dom
+}
+
+// Nulls returns the set of labeled nulls occurring in the instance.
+func (inst *Instance) Nulls() map[Value]struct{} {
+	nulls := make(map[Value]struct{})
+	for _, r := range inst.rels {
+		for _, t := range r.tuples {
+			for _, v := range t {
+				if v.IsNull() {
+					nulls[v] = struct{}{}
+				}
+			}
+		}
+	}
+	return nulls
+}
+
+// HasNulls reports whether the instance contains any labeled null.
+func (inst *Instance) HasNulls() bool {
+	for _, r := range inst.rels {
+		for _, t := range r.tuples {
+			for _, v := range t {
+				if v.IsNull() {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// ReplaceValue returns a new instance with every occurrence of from
+// replaced by to. It is used by equality-generating dependency chase
+// steps, which identify a null with a constant or with another null.
+func (inst *Instance) ReplaceValue(from, to Value) *Instance {
+	out := NewInstance()
+	for _, f := range inst.Facts() {
+		t := f.Args.Clone()
+		for i, v := range t {
+			if v == from {
+				t[i] = to
+			}
+		}
+		out.AddTuple(f.Rel, t)
+	}
+	return out
+}
+
+// MapValues returns a new instance with every value v replaced by m(v).
+// Values not in m are kept unchanged. This implements taking the
+// homomorphic image h(K) of an instance.
+func (inst *Instance) MapValues(m map[Value]Value) *Instance {
+	out := NewInstance()
+	for _, f := range inst.Facts() {
+		t := f.Args.Clone()
+		for i, v := range t {
+			if w, ok := m[v]; ok {
+				t[i] = w
+			}
+		}
+		out.AddTuple(f.Rel, t)
+	}
+	return out
+}
+
+// ValidateAgainst checks that every relation of the instance is declared
+// in the schema with a matching arity.
+func (inst *Instance) ValidateAgainst(s *Schema) error {
+	for name, r := range inst.rels {
+		if r.Len() == 0 {
+			continue
+		}
+		ar, ok := s.Arity(name)
+		if !ok {
+			return fmt.Errorf("rel: relation %s not declared in schema", name)
+		}
+		if ar != r.arity {
+			return fmt.Errorf("rel: relation %s has arity %d, schema declares %d", name, r.arity, ar)
+		}
+	}
+	return nil
+}
+
+// String renders the instance as a sorted list of facts, one per line.
+func (inst *Instance) String() string {
+	facts := inst.Facts()
+	lines := make([]string, len(facts))
+	for i, f := range facts {
+		lines[i] = f.String()
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

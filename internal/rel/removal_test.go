@@ -1,0 +1,152 @@
+package rel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRemoveLastTupleBasic(t *testing.T) {
+	inst := NewInstance()
+	inst.Add("E", Const("a"), Const("b"))
+	inst.Add("E", Const("b"), Const("c"))
+	got := inst.RemoveLastTuple("E")
+	if got[0] != Const("b") || got[1] != Const("c") {
+		t.Errorf("removed %v, want (b, c)", got)
+	}
+	if inst.NumFacts() != 1 {
+		t.Errorf("facts = %d", inst.NumFacts())
+	}
+	if inst.Contains(Fact{"E", Tuple{Const("b"), Const("c")}}) {
+		t.Error("removed tuple still present")
+	}
+	if !inst.Contains(Fact{"E", Tuple{Const("a"), Const("b")}}) {
+		t.Error("remaining tuple lost")
+	}
+}
+
+func TestRemoveLastTupleIndexConsistency(t *testing.T) {
+	inst := NewInstance()
+	inst.Add("E", Const("a"), Const("b"))
+	inst.Add("E", Const("a"), Const("c"))
+	inst.RemoveLastTuple("E")
+	r := inst.Relation("E")
+	if got := r.MatchingAt(0, Const("a")); len(got) != 1 {
+		t.Errorf("index after removal: %v", got)
+	}
+	if got := r.MatchingAt(1, Const("c")); len(got) != 0 {
+		t.Errorf("stale index entry: %v", got)
+	}
+	// Re-adding after removal works and indexes stay coherent.
+	inst.Add("E", Const("a"), Const("c"))
+	if got := r.MatchingAt(1, Const("c")); len(got) != 1 {
+		t.Errorf("index after re-add: %v", got)
+	}
+}
+
+func TestRemoveLastTuplePanics(t *testing.T) {
+	inst := NewInstance()
+	t.Run("absent relation", func(t *testing.T) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic for absent relation")
+			}
+		}()
+		inst.RemoveLastTuple("E")
+	})
+	t.Run("empty relation", func(t *testing.T) {
+		inst.Add("E", Const("a"), Const("b"))
+		inst.RemoveLastTuple("E")
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic for empty relation")
+			}
+		}()
+		inst.RemoveLastTuple("E")
+	})
+}
+
+func TestRemoveLastTupleRepeatedValue(t *testing.T) {
+	inst := NewInstance()
+	inst.Add("E", Const("a"), Const("a"))
+	inst.RemoveLastTuple("E")
+	if inst.NumFacts() != 0 {
+		t.Error("repeated-value tuple not removed")
+	}
+	r := inst.Relation("E")
+	if len(r.MatchingAt(0, Const("a")))+len(r.MatchingAt(1, Const("a"))) != 0 {
+		t.Error("stale index entries for repeated value")
+	}
+}
+
+// Property: a random interleaving of LIFO add/remove operations keeps
+// the instance equal to a reference stack-based model.
+func TestRemoveLastTupleLIFOProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 50; trial++ {
+		inst := NewInstance()
+		var stack []Tuple
+		for op := 0; op < 60; op++ {
+			if len(stack) > 0 && rng.Intn(3) == 0 {
+				got := inst.RemoveLastTuple("R")
+				want := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if got.String() != want.String() {
+					t.Fatalf("pop mismatch: got %v want %v", got, want)
+				}
+				continue
+			}
+			tup := Tuple{Const(string(rune('a' + rng.Intn(5)))), Const(string(rune('a' + rng.Intn(5))))}
+			if inst.AddTuple("R", tup) {
+				stack = append(stack, tup)
+			}
+		}
+		if inst.NumFacts() != len(stack) {
+			t.Fatalf("size mismatch: %d vs %d", inst.NumFacts(), len(stack))
+		}
+		for _, tup := range stack {
+			if !inst.Contains(Fact{"R", tup}) {
+				t.Fatalf("missing %v", tup)
+			}
+		}
+		// Index sanity: every stacked tuple is reachable through its
+		// position index.
+		r := inst.Relation("R")
+		for _, tup := range stack {
+			found := false
+			for _, idx := range r.MatchingAt(0, tup[0]) {
+				if r.TupleAt(idx).String() == tup.String() {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("tuple %v not indexed", tup)
+			}
+		}
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	a := NewInstance()
+	a.Add("B", Const("x"), Const("y"))
+	a.Add("A", Const("q"))
+	b := NewInstance()
+	b.Add("A", Const("q"))
+	b.Add("B", Const("x"), Const("y"))
+	if a.String() != b.String() {
+		t.Errorf("String not insertion-order independent:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestRestrictEmptyAndFull(t *testing.T) {
+	inst := NewInstance()
+	inst.Add("E", Const("a"), Const("b"))
+	empty := inst.Restrict(NewSchema())
+	if !empty.IsEmpty() {
+		t.Error("restrict to empty schema kept facts")
+	}
+	full := inst.Restrict(SchemaOf("E", 2))
+	if !full.Equal(inst) {
+		t.Error("restrict to full schema lost facts")
+	}
+}

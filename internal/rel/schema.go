@@ -1,0 +1,137 @@
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Schema is a finite collection of relation symbols, each with a fixed
+// arity.
+type Schema struct {
+	arities map[string]int
+}
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema {
+	return &Schema{arities: make(map[string]int)}
+}
+
+// SchemaOf builds a schema from name/arity pairs. It panics on duplicate
+// relation names with conflicting arities; it is intended for literals in
+// tests and examples.
+func SchemaOf(pairs ...any) *Schema {
+	if len(pairs)%2 != 0 {
+		panic("rel: SchemaOf requires name/arity pairs")
+	}
+	s := NewSchema()
+	for i := 0; i < len(pairs); i += 2 {
+		name, ok := pairs[i].(string)
+		if !ok {
+			panic("rel: SchemaOf name must be a string")
+		}
+		ar, ok := pairs[i+1].(int)
+		if !ok {
+			panic("rel: SchemaOf arity must be an int")
+		}
+		if err := s.Add(name, ar); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}
+
+// Add declares a relation with the given arity. Redeclaring a relation
+// with the same arity is a no-op; a conflicting arity is an error.
+func (s *Schema) Add(name string, arity int) error {
+	if name == "" {
+		return fmt.Errorf("rel: empty relation name")
+	}
+	if arity < 0 {
+		return fmt.Errorf("rel: relation %s: negative arity %d", name, arity)
+	}
+	if prev, ok := s.arities[name]; ok {
+		if prev != arity {
+			return fmt.Errorf("rel: relation %s redeclared with arity %d (was %d)", name, arity, prev)
+		}
+		return nil
+	}
+	s.arities[name] = arity
+	return nil
+}
+
+// Arity returns the arity of the relation and whether it is declared.
+func (s *Schema) Arity(name string) (int, bool) {
+	ar, ok := s.arities[name]
+	return ar, ok
+}
+
+// Has reports whether the relation is declared in the schema.
+func (s *Schema) Has(name string) bool {
+	_, ok := s.arities[name]
+	return ok
+}
+
+// Relations returns the declared relation names in sorted order.
+func (s *Schema) Relations() []string {
+	names := make([]string, 0, len(s.arities))
+	for n := range s.arities {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of declared relations.
+func (s *Schema) Len() int { return len(s.arities) }
+
+// Disjoint reports whether the two schemas share no relation names. The
+// source and target schemas of a peer data exchange setting must be
+// disjoint.
+func (s *Schema) Disjoint(t *Schema) bool {
+	for n := range s.arities {
+		if t.Has(n) {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns a new schema containing the relations of both schemas.
+// It returns an error on arity conflicts.
+func (s *Schema) Union(t *Schema) (*Schema, error) {
+	u := NewSchema()
+	for n, a := range s.arities {
+		if err := u.Add(n, a); err != nil {
+			return nil, err
+		}
+	}
+	for n, a := range t.arities {
+		if err := u.Add(n, a); err != nil {
+			return nil, err
+		}
+	}
+	return u, nil
+}
+
+// Clone returns a deep copy of the schema.
+func (s *Schema) Clone() *Schema {
+	c := NewSchema()
+	for n, a := range s.arities {
+		c.arities[n] = a
+	}
+	return c
+}
+
+// String renders the schema as a comma-separated list of name/arity
+// declarations in sorted order.
+func (s *Schema) String() string {
+	var b strings.Builder
+	for i, n := range s.Relations() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s/%d", n, s.arities[n])
+	}
+	return b.String()
+}

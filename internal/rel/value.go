@@ -1,0 +1,177 @@
+// Package rel implements the relational model used throughout the peer
+// data exchange library: values (constants and labeled nulls), tuples,
+// facts, schemas, and instances.
+//
+// Instances follow the model of Fagin, Kolaitis, Miller, Popa ("Data
+// exchange: semantics and query answering") as used by the peer data
+// exchange paper: a finite set of facts over a relational schema whose
+// values are either constants or labeled nulls. Labeled nulls stand for
+// unknown values introduced by the chase to witness existential
+// quantifiers.
+package rel
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind discriminates constants from labeled nulls.
+type Kind uint8
+
+const (
+	// KindConst is an ordinary constant value.
+	KindConst Kind = iota
+	// KindNull is a labeled null.
+	KindNull
+)
+
+// Value is either a constant (a string) or a labeled null (an integer
+// label). The zero Value is the empty constant. Value is comparable and
+// may be used as a map key.
+type Value struct {
+	kind Kind
+	str  string
+	id   int
+}
+
+// Const returns the constant value with the given text.
+func Const(s string) Value { return Value{kind: KindConst, str: s} }
+
+// Null returns the labeled null with the given label.
+func Null(id int) Value { return Value{kind: KindNull, id: id} }
+
+// Kind reports whether v is a constant or a null.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is a labeled null.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// IsConst reports whether v is a constant.
+func (v Value) IsConst() bool { return v.kind == KindConst }
+
+// ConstText returns the text of a constant value. It panics if v is a
+// null; callers must check IsConst first.
+func (v Value) ConstText() string {
+	if v.kind != KindConst {
+		panic("rel: ConstText on labeled null")
+	}
+	return v.str
+}
+
+// NullID returns the label of a null value. It panics if v is a
+// constant; callers must check IsNull first.
+func (v Value) NullID() int {
+	if v.kind != KindNull {
+		panic("rel: NullID on constant")
+	}
+	return v.id
+}
+
+// String renders the value: constants as their text, nulls as _N<label>.
+func (v Value) String() string {
+	if v.kind == KindNull {
+		return "_N" + strconv.Itoa(v.id)
+	}
+	return v.str
+}
+
+// Less imposes a total order on values: constants before nulls,
+// constants by text, nulls by label. Used only for deterministic output.
+func (v Value) Less(w Value) bool {
+	if v.kind != w.kind {
+		return v.kind < w.kind
+	}
+	if v.kind == KindNull {
+		return v.id < w.id
+	}
+	return v.str < w.str
+}
+
+// NullSource hands out fresh labeled nulls. The zero value is ready to
+// use; Fresh returns nulls with labels 1, 2, 3, ...
+//
+// A single NullSource should be shared by all chase runs that may feed
+// facts into the same instance, so labels never collide.
+type NullSource struct {
+	next int
+}
+
+// Fresh returns a labeled null that has not been returned before by this
+// source.
+func (ns *NullSource) Fresh() Value {
+	ns.next++
+	return Null(ns.next)
+}
+
+// Seen informs the source that the given label is already in use, so
+// subsequent Fresh calls avoid it.
+func (ns *NullSource) Seen(id int) {
+	if id > ns.next {
+		ns.next = id
+	}
+}
+
+// SeenIn scans an instance and marks every null label occurring in it as
+// used.
+func (ns *NullSource) SeenIn(inst *Instance) {
+	for _, f := range inst.Facts() {
+		for _, v := range f.Args {
+			if v.IsNull() {
+				ns.Seen(v.NullID())
+			}
+		}
+	}
+}
+
+// Tuple is an ordered list of values.
+type Tuple []Value
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// String renders the tuple as (v1, ..., vn).
+func (t Tuple) String() string {
+	s := "("
+	for i, v := range t {
+		if i > 0 {
+			s += ", "
+		}
+		s += v.String()
+	}
+	return s + ")"
+}
+
+// Fact is a tuple tagged with the relation it belongs to.
+type Fact struct {
+	Rel  string
+	Args Tuple
+}
+
+// String renders the fact as R(v1, ..., vn).
+func (f Fact) String() string {
+	return fmt.Sprintf("%s%s", f.Rel, f.Args.String())
+}
+
+// key returns a canonical encoding of the fact usable as a map key.
+func (f Fact) key() string {
+	return f.Rel + tupleKey(f.Args)
+}
+
+func tupleKey(t Tuple) string {
+	buf := make([]byte, 0, 16*len(t))
+	for _, v := range t {
+		buf = append(buf, 0)
+		if v.kind == KindNull {
+			buf = append(buf, 'n')
+			buf = strconv.AppendInt(buf, int64(v.id), 10)
+		} else {
+			buf = append(buf, 'c')
+			buf = append(buf, v.str...)
+		}
+	}
+	return string(buf)
+}

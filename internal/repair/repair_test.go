@@ -1,0 +1,222 @@
+package repair_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/certain"
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/rel"
+	"repro/internal/repair"
+	"repro/internal/workload"
+)
+
+func example1Setting() *core.Setting {
+	return &core.Setting{
+		Name:   "example1",
+		Source: rel.SchemaOf("E", 2),
+		Target: rel.SchemaOf("H", 2),
+		ST: []dep.TGD{{
+			Label: "st",
+			Body:  []dep.Atom{dep.NewAtom("E", dep.Var("x"), dep.Var("z")), dep.NewAtom("E", dep.Var("z"), dep.Var("y"))},
+			Head:  []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y"))},
+		}},
+		TS: []dep.TGD{{
+			Label: "ts",
+			Body:  []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y"))},
+			Head:  []dep.Atom{dep.NewAtom("E", dep.Var("x"), dep.Var("y"))},
+		}},
+	}
+}
+
+func TestIntactInstanceIsUniqueRepair(t *testing.T) {
+	s := example1Setting()
+	i := rel.NewInstance()
+	i.Add("E", rel.Const("a"), rel.Const("b"))
+	i.Add("E", rel.Const("b"), rel.Const("c"))
+	i.Add("E", rel.Const("a"), rel.Const("c"))
+	j := rel.NewInstance()
+	j.Add("H", rel.Const("a"), rel.Const("c"))
+	res, err := repair.Repairs(s, i, j, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Intact || len(res.Repairs) != 1 {
+		t.Fatalf("expected J itself as unique repair, got %+v", res)
+	}
+	if !res.Repairs[0].Target.Equal(j) || res.Repairs[0].Removed != 0 {
+		t.Errorf("repair = %v removed=%d", res.Repairs[0].Target, res.Repairs[0].Removed)
+	}
+}
+
+func TestRepairDropsOffendingFact(t *testing.T) {
+	// I = {E(a,a)}; J = {H(a,a), H(b,b)}: H(b,b) violates Σts and must
+	// be repaired away; the rest survives.
+	s := example1Setting()
+	i := rel.NewInstance()
+	i.Add("E", rel.Const("a"), rel.Const("a"))
+	j := rel.NewInstance()
+	j.Add("H", rel.Const("a"), rel.Const("a"))
+	j.Add("H", rel.Const("b"), rel.Const("b"))
+	res, err := repair.Repairs(s, i, j, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Intact {
+		t.Fatal("J should not be solvable intact")
+	}
+	if len(res.Repairs) != 1 {
+		t.Fatalf("repairs = %d, want 1", len(res.Repairs))
+	}
+	r := res.Repairs[0]
+	if r.Removed != 1 {
+		t.Errorf("removed = %d, want 1", r.Removed)
+	}
+	if !r.Target.Contains(rel.Fact{Rel: "H", Args: rel.Tuple{rel.Const("a"), rel.Const("a")}}) {
+		t.Error("repair dropped the innocent fact")
+	}
+	if !s.IsSolution(i, r.Target, r.Witness) {
+		t.Error("repair witness is not a solution")
+	}
+}
+
+func TestNoRepairWhenSourceItselfUnacceptable(t *testing.T) {
+	// The path instance of Example 1: even J'' = ∅ has no solution, so
+	// there are no repairs at all.
+	s := example1Setting()
+	i := rel.NewInstance()
+	i.Add("E", rel.Const("a"), rel.Const("b"))
+	i.Add("E", rel.Const("b"), rel.Const("c"))
+	j := rel.NewInstance()
+	j.Add("H", rel.Const("a"), rel.Const("c"))
+	res, err := repair.Repairs(s, i, j, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Repairs) != 0 {
+		t.Errorf("expected no repairs, got %d", len(res.Repairs))
+	}
+	// Certain answers are vacuous.
+	q := certain.UCQ{{Name: "q", Body: []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y"))}}}
+	cert, hasRepair, err := repair.CertainBool(s, i, j, q, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hasRepair || !cert {
+		t.Errorf("cert=%v hasRepair=%v, want vacuous true / false", cert, hasRepair)
+	}
+}
+
+func TestMultipleIncomparableRepairs(t *testing.T) {
+	// Target egd forces a choice between two J facts: both maximal
+	// subsets are repairs.
+	s := example1Setting()
+	s.T = []dep.Dependency{dep.EGD{
+		Label: "key",
+		Body:  []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y")), dep.NewAtom("H", dep.Var("x"), dep.Var("z"))},
+		Left:  "y", Right: "z",
+	}}
+	i := rel.NewInstance()
+	i.Add("E", rel.Const("a"), rel.Const("b"))
+	i.Add("E", rel.Const("a"), rel.Const("c"))
+	j := rel.NewInstance()
+	j.Add("H", rel.Const("a"), rel.Const("b"))
+	j.Add("H", rel.Const("a"), rel.Const("c"))
+	res, err := repair.Repairs(s, i, j, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Repairs) != 2 {
+		t.Fatalf("repairs = %d, want 2 (drop either fact)", len(res.Repairs))
+	}
+	for _, r := range res.Repairs {
+		if r.Target.NumFacts() != 1 || r.Removed != 1 {
+			t.Errorf("unexpected repair shape: %v removed=%d", r.Target, r.Removed)
+		}
+	}
+
+	// Under the repair semantics, neither H(a,b) nor H(a,c) is certain,
+	// but ∃y H(a,y) is.
+	open := certain.UCQ{{Name: "q", Head: []string{"y"}, Body: []dep.Atom{dep.NewAtom("H", dep.Cst("a"), dep.Var("y"))}}}
+	answers, hasRepair, err := repair.CertainAnswers(s, i, j, open, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasRepair || len(answers) != 0 {
+		t.Errorf("answers = %v (hasRepair=%v), want none", answers, hasRepair)
+	}
+	boolQ := certain.UCQ{{Name: "b", Body: []dep.Atom{dep.NewAtom("H", dep.Cst("a"), dep.Var("y"))}}}
+	cert, _, err := repair.CertainBool(s, i, j, boolQ, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cert {
+		t.Error("∃y H(a,y) should be certain under repairs")
+	}
+}
+
+func TestRepairCoincidesWithCertainWhenIntact(t *testing.T) {
+	s := workload.GenomicSetting()
+	rng := rand.New(rand.NewSource(41))
+	i, j := workload.GenomicInstance(10, true, rng)
+	q := certain.UCQ{{
+		Name: "q",
+		Head: []string{"a"},
+		Body: []dep.Atom{dep.NewAtom("GeneProduct", dep.Var("a"), dep.Var("n"))},
+	}}
+	plain, err := certain.Answers(s, i, j, q, certain.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaRepairs, hasRepair, err := repair.CertainAnswers(s, i, j, q, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasRepair {
+		t.Fatal("clean instance must have a repair")
+	}
+	if len(plain.Answers) != len(viaRepairs) {
+		t.Fatalf("plain=%v repairs=%v", plain.Answers, viaRepairs)
+	}
+}
+
+func TestRepairGenomicDirtyInstance(t *testing.T) {
+	s := workload.GenomicSetting()
+	rng := rand.New(rand.NewSource(42))
+	i, j := workload.GenomicInstance(10, false, rng) // one unvouched fact
+	res, err := repair.Repairs(s, i, j, repair.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Intact {
+		t.Fatal("dirty instance should not be intact")
+	}
+	if len(res.Repairs) != 1 {
+		t.Fatalf("repairs = %d, want 1", len(res.Repairs))
+	}
+	if res.Repairs[0].Removed != 1 {
+		t.Errorf("removed = %d, want exactly the unvouched fact", res.Repairs[0].Removed)
+	}
+}
+
+func TestRepairFactCap(t *testing.T) {
+	s := example1Setting()
+	j := rel.NewInstance()
+	for k := 0; k < 8; k++ {
+		j.Add("H", rel.Const(string(rune('a'+k))), rel.Const(string(rune('a'+k))))
+	}
+	if _, err := repair.Repairs(s, rel.NewInstance(), j, repair.Options{MaxTargetFacts: 5}); err == nil {
+		t.Error("oversized target accepted below the cap")
+	}
+	// With the cap raised, the computation runs; with an empty source,
+	// every H fact violates Σts, so the empty instance is the unique
+	// repair.
+	res, err := repair.Repairs(s, rel.NewInstance(), j, repair.Options{MaxTargetFacts: 10})
+	if err != nil {
+		t.Fatalf("explicit cap raise rejected: %v", err)
+	}
+	if len(res.Repairs) != 1 || res.Repairs[0].Target.NumFacts() != 0 {
+		t.Errorf("expected the empty repair, got %+v", res)
+	}
+}

@@ -1,0 +1,266 @@
+// Package workload generates the synthetic settings and instances used
+// by the experiment harness and the benchmarks: C_tract families for the
+// Theorem 4 scaling experiments (a LAV target-to-source family and a
+// full source-to-target family), chain dependencies for the chase-length
+// experiment (Lemma 1), cyclic dependencies for the weak-acyclicity
+// experiment, and the Swiss-Prot-style genomic scenario that motivates
+// the paper's introduction.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/rel"
+)
+
+// LAVSetting returns the Theorem 4 / Corollary 2 family: arbitrary
+// source-to-target tgds (with existentials) and LAV target-to-source
+// tgds, hence a member of C_tract via conditions 1 and 2.1.
+//
+//	Source: Person/2 (person, group), Member/2 (person, group)
+//	Target: Rec/3 (person, group, note)
+//	Σst: Person(x,g) -> exists u: Rec(x,g,u)
+//	Σts: Rec(x,g,u)  -> Member(x,g)
+//
+// A solution exists iff every Person pair is also a Member pair.
+func LAVSetting() *core.Setting {
+	return &core.Setting{
+		Name:   "lav-records",
+		Source: rel.SchemaOf("Person", 2, "Member", 2),
+		Target: rel.SchemaOf("Rec", 3),
+		ST: []dep.TGD{{
+			Label: "st-person",
+			Body:  []dep.Atom{dep.NewAtom("Person", dep.Var("x"), dep.Var("g"))},
+			Head:  []dep.Atom{dep.NewAtom("Rec", dep.Var("x"), dep.Var("g"), dep.Var("u"))},
+		}},
+		TS: []dep.TGD{{
+			Label: "ts-member",
+			Body:  []dep.Atom{dep.NewAtom("Rec", dep.Var("x"), dep.Var("g"), dep.Var("u"))},
+			Head:  []dep.Atom{dep.NewAtom("Member", dep.Var("x"), dep.Var("g"))},
+		}},
+	}
+}
+
+// LAVInstance builds an instance pair for LAVSetting with n persons
+// spread over max(1, n/10) groups. When solvable is false, one Member
+// fact is withheld, so no solution exists.
+func LAVInstance(n int, solvable bool, rng *rand.Rand) (*rel.Instance, *rel.Instance) {
+	i := rel.NewInstance()
+	groups := n / 10
+	if groups < 1 {
+		groups = 1
+	}
+	for p := 0; p < n; p++ {
+		person := rel.Const(fmt.Sprintf("p%d", p))
+		group := rel.Const(fmt.Sprintf("g%d", rng.Intn(groups)))
+		i.Add("Person", person, group)
+		if solvable || p != n-1 {
+			i.Add("Member", person, group)
+		}
+	}
+	return i, rel.NewInstance()
+}
+
+// FullSTSetting returns the Theorem 4 / Corollary 1 family: full
+// source-to-target tgds with join-heavy, existential target-to-source
+// tgds; a member of C_tract via conditions 1 and 2.2.
+//
+//	Source: E/2, P2/2, Adj/2
+//	Target: H/2
+//	Σst: E(x,y)         -> H(x,y)
+//	Σts: H(x,y), H(y,z) -> P2(x,z)
+//	     H(x,y)         -> exists u: Adj(x,u)
+func FullSTSetting() *core.Setting {
+	return &core.Setting{
+		Name:   "full-st-graph",
+		Source: rel.SchemaOf("E", 2, "P2", 2, "Adj", 2),
+		Target: rel.SchemaOf("H", 2),
+		ST: []dep.TGD{{
+			Label: "st-copy",
+			Body:  []dep.Atom{dep.NewAtom("E", dep.Var("x"), dep.Var("y"))},
+			Head:  []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y"))},
+		}},
+		TS: []dep.TGD{
+			{
+				Label: "ts-compose",
+				Body:  []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y")), dep.NewAtom("H", dep.Var("y"), dep.Var("z"))},
+				Head:  []dep.Atom{dep.NewAtom("P2", dep.Var("x"), dep.Var("z"))},
+			},
+			{
+				Label: "ts-adj",
+				Body:  []dep.Atom{dep.NewAtom("H", dep.Var("x"), dep.Var("y"))},
+				Head:  []dep.Atom{dep.NewAtom("Adj", dep.Var("x"), dep.Var("u"))},
+			},
+		},
+	}
+}
+
+// FullSTInstance builds a random sparse digraph with n vertices and
+// roughly 2n edges, its length-2 composition in P2, and a witness in
+// Adj per vertex. When solvable is false one required P2 fact is
+// withheld.
+func FullSTInstance(n int, solvable bool, rng *rand.Rand) (*rel.Instance, *rel.Instance) {
+	i := rel.NewInstance()
+	type edge struct{ u, v int }
+	var edges []edge
+	seen := make(map[edge]bool)
+	for e := 0; e < 2*n; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		ed := edge{u, v}
+		if u == v || seen[ed] {
+			continue
+		}
+		seen[ed] = true
+		edges = append(edges, ed)
+		i.Add("E", vtx(u), vtx(v))
+		i.Add("Adj", vtx(u), rel.Const("w"))
+	}
+	// P2 = composition of E with itself.
+	succ := make(map[int][]int)
+	for _, e := range edges {
+		succ[e.u] = append(succ[e.u], e.v)
+	}
+	var comp []edge
+	for _, e := range edges {
+		for _, z := range succ[e.v] {
+			comp = append(comp, edge{e.u, z})
+		}
+	}
+	for idx, c := range comp {
+		if !solvable && idx == len(comp)-1 {
+			continue
+		}
+		i.Add("P2", vtx(c.u), vtx(c.v))
+	}
+	if !solvable && len(comp) == 0 {
+		// Degenerate graph without length-2 paths: withhold an Adj
+		// witness instead so the instance is still unsolvable.
+		if len(edges) > 0 {
+			return FullSTInstance(n, solvable, rng) // retry with fresh edges
+		}
+	}
+	return i, rel.NewInstance()
+}
+
+func vtx(v int) rel.Value { return rel.Const(fmt.Sprintf("v%d", v)) }
+
+// ChainDeps returns the weakly acyclic chain
+//
+//	T0(x,y) -> exists z: T1(y,z), ..., T_{d-1}(x,y) -> exists z: T_d(y,z)
+//
+// used by the chase-length experiment (Lemma 1): the chase of an
+// instance with n T0-facts terminates in exactly d*n steps.
+func ChainDeps(depth int) []dep.Dependency {
+	out := make([]dep.Dependency, 0, depth)
+	for lvl := 0; lvl < depth; lvl++ {
+		out = append(out, dep.TGD{
+			Label: fmt.Sprintf("chain-%d", lvl),
+			Body:  []dep.Atom{dep.NewAtom(chainRel(lvl), dep.Var("x"), dep.Var("y"))},
+			Head:  []dep.Atom{dep.NewAtom(chainRel(lvl+1), dep.Var("y"), dep.Var("z"))},
+		})
+	}
+	return out
+}
+
+func chainRel(lvl int) string { return fmt.Sprintf("T%d", lvl) }
+
+// ChainInstance builds an instance with n distinct T0 facts.
+func ChainInstance(n int) *rel.Instance {
+	inst := rel.NewInstance()
+	for k := 0; k < n; k++ {
+		inst.Add("T0", rel.Const(fmt.Sprintf("a%d", k)), rel.Const(fmt.Sprintf("b%d", k)))
+	}
+	return inst
+}
+
+// CyclicDeps returns the non-weakly-acyclic tgd
+// T(x,y) -> exists z: T(y,z), whose chase diverges.
+func CyclicDeps() []dep.Dependency {
+	return []dep.Dependency{dep.TGD{
+		Label: "cyclic",
+		Body:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("y"))},
+		Head:  []dep.Atom{dep.NewAtom("T", dep.Var("y"), dep.Var("z"))},
+	}}
+}
+
+// CyclicInstance builds a seed instance for CyclicDeps.
+func CyclicInstance() *rel.Instance {
+	inst := rel.NewInstance()
+	inst.Add("T", rel.Const("a"), rel.Const("b"))
+	return inst
+}
+
+// GenomicSetting returns the Swiss-Prot scenario from the paper's
+// introduction: an authoritative source peer (Swiss-Prot) feeding a
+// university target peer that restricts what it accepts.
+//
+//	Source: Protein/3 (acc, name, organism), Cites/2 (acc, pmid)
+//	Target: GeneProduct/2 (acc, name), PaperRef/2 (acc, pmid)
+//	Σst: Protein(a,n,o) -> GeneProduct(a,n)
+//	     Cites(a,p)     -> PaperRef(a,p)
+//	Σts: GeneProduct(a,n) -> exists o: Protein(a,n,o)
+//	     PaperRef(a,p)    -> Cites(a,p)
+//
+// The target-to-source constraints say the university only keeps gene
+// products and citations that Swiss-Prot vouches for; the setting is in
+// C_tract (full Σst and LAV-shaped Σts).
+func GenomicSetting() *core.Setting {
+	return &core.Setting{
+		Name:   "genomic",
+		Source: rel.SchemaOf("Protein", 3, "Cites", 2),
+		Target: rel.SchemaOf("GeneProduct", 2, "PaperRef", 2),
+		ST: []dep.TGD{
+			{
+				Label: "st-protein",
+				Body:  []dep.Atom{dep.NewAtom("Protein", dep.Var("a"), dep.Var("n"), dep.Var("o"))},
+				Head:  []dep.Atom{dep.NewAtom("GeneProduct", dep.Var("a"), dep.Var("n"))},
+			},
+			{
+				Label: "st-cites",
+				Body:  []dep.Atom{dep.NewAtom("Cites", dep.Var("a"), dep.Var("p"))},
+				Head:  []dep.Atom{dep.NewAtom("PaperRef", dep.Var("a"), dep.Var("p"))},
+			},
+		},
+		TS: []dep.TGD{
+			{
+				Label: "ts-vouch",
+				Body:  []dep.Atom{dep.NewAtom("GeneProduct", dep.Var("a"), dep.Var("n"))},
+				Head:  []dep.Atom{dep.NewAtom("Protein", dep.Var("a"), dep.Var("n"), dep.Var("o"))},
+			},
+			{
+				Label: "ts-cites",
+				Body:  []dep.Atom{dep.NewAtom("PaperRef", dep.Var("a"), dep.Var("p"))},
+				Head:  []dep.Atom{dep.NewAtom("Cites", dep.Var("a"), dep.Var("p"))},
+			},
+		},
+	}
+}
+
+// GenomicInstance builds a source with n proteins (each with one
+// citation) and a target with a few pre-existing local annotations.
+// When clean is false, the target holds one GeneProduct unknown to the
+// source, so no solution exists — the university's restriction rejects
+// the exchange.
+func GenomicInstance(n int, clean bool, rng *rand.Rand) (*rel.Instance, *rel.Instance) {
+	i := rel.NewInstance()
+	j := rel.NewInstance()
+	for k := 0; k < n; k++ {
+		acc := rel.Const(fmt.Sprintf("P%05d", k))
+		name := rel.Const(fmt.Sprintf("kinase-%d", k))
+		org := rel.Const(fmt.Sprintf("org%d", rng.Intn(5)))
+		pmid := rel.Const(fmt.Sprintf("pmid%d", 10000+k))
+		i.Add("Protein", acc, name, org)
+		i.Add("Cites", acc, pmid)
+		if k%7 == 0 {
+			// Pre-existing local annotation that the source vouches for.
+			j.Add("GeneProduct", acc, name)
+		}
+	}
+	if !clean {
+		j.Add("GeneProduct", rel.Const("LOCAL1"), rel.Const("unvouched-protein"))
+	}
+	return i, j
+}

@@ -1,0 +1,129 @@
+package pde_test
+
+import (
+	"fmt"
+	"log"
+
+	"repro/pde"
+)
+
+// Example reproduces Example 1 of the paper end to end.
+func Example() {
+	setting, err := pde.ParseSetting(`
+setting example1
+source E/2
+target H/2
+st: E(x,z), E(z,y) -> H(x,y)
+ts: H(x,y) -> E(x,y)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	source, _ := pde.ParseInstance("E(a,b). E(b,c). E(a,c).")
+	res, err := pde.FindSolution(setting, source, pde.NewInstance())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exists:", res.Exists)
+	fmt.Println("strategy:", res.Strategy)
+	fmt.Println(pde.FormatInstance(res.Solution))
+	// Output:
+	// exists: true
+	// strategy: tractable
+	// H(a, c).
+}
+
+// ExampleClassify shows the C_tract classification of the Theorem 3
+// setting.
+func ExampleClassify() {
+	setting, err := pde.ParseSetting(`
+source D/2, S/2, E/2
+target P/4
+st: D(x,y) -> exists z, w: P(x,z,y,w)
+ts: P(x,z,y,w) -> E(z,w)
+ts: P(x,z,y,w), P(y,z2,y2,w2) -> S(w,z2)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep := pde.Classify(setting)
+	fmt.Println("in C_tract:", rep.InCtract)
+	fmt.Println("condition 1:", rep.Cond1)
+	fmt.Println("condition 2.1:", rep.Cond21)
+	fmt.Println("condition 2.2:", rep.Cond22)
+	// Output:
+	// in C_tract: false
+	// condition 1: true
+	// condition 2.1: false
+	// condition 2.2: false
+}
+
+// ExampleCertainAnswers computes the certain answers of an open query.
+func ExampleCertainAnswers() {
+	setting, err := pde.ParseSetting(`
+source E/2
+target H/2
+st: E(x,z), E(z,y) -> H(x,y)
+ts: H(x,y) -> E(x,y)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	source, _ := pde.ParseInstance("E(a,b). E(b,c). E(a,c).")
+	queries, _ := pde.ParseQueries("q(x, y) :- H(x, y)")
+	res, err := pde.CertainAnswers(setting, source, pde.NewInstance(), queries[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, t := range res.Answers {
+		fmt.Println(t)
+	}
+	// Output:
+	// (a, c)
+}
+
+// ExampleExistsSolution_noSolution shows the PDE phenomenon the paper
+// opens with: unlike data exchange, a solution may not exist.
+func ExampleExistsSolution_noSolution() {
+	setting, err := pde.ParseSetting(`
+source E/2
+target H/2
+st: E(x,z), E(z,y) -> H(x,y)
+ts: H(x,y) -> E(x,y)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	source, _ := pde.ParseInstance("E(a,b). E(b,c).")
+	res, err := pde.ExistsSolution(setting, source, pde.NewInstance())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("exists:", res.Exists)
+	// Output:
+	// exists: false
+}
+
+// ExampleRepairs shows the repair semantics on an unsolvable input.
+func ExampleRepairs() {
+	setting, err := pde.ParseSetting(`
+source E/2
+target H/2
+st: E(x,z), E(z,y) -> H(x,y)
+ts: H(x,y) -> E(x,y)
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	source, _ := pde.ParseInstance("E(a,a).")
+	target, _ := pde.ParseInstance("H(a,a). H(b,b).") // H(b,b) is unacceptable
+	res, err := pde.Repairs(setting, source, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("repairs:", len(res.Repairs))
+	fmt.Println(pde.FormatInstance(res.Repairs[0].Target))
+	// Output:
+	// repairs: 1
+	// H(a, a).
+}

@@ -1,0 +1,267 @@
+// Package pde is the public API of the peer data exchange library, a
+// reproduction of "Peer Data Exchange" (Fuxman, Kolaitis, Miller, Tan —
+// PODS 2005).
+//
+// A peer data exchange (PDE) setting relates an authoritative source
+// peer to a target peer through source-to-target tgds Σst (what the
+// source offers), target-to-source tgds Σts (what the target is willing
+// to accept), and target constraints Σt. Given a source instance I and
+// a target instance J, the central questions are:
+//
+//   - SOL(P): can J be augmented to a solution J' so that (I, J')
+//     satisfies every constraint? (Definition 3; NP-complete in general,
+//     Theorem 3; polynomial for the class C_tract, Theorem 4.)
+//   - certain answers: which query answers hold in every solution?
+//     (Definition 4; coNP-complete for conjunctive queries.)
+//
+// # Quick start
+//
+//	s, _ := pde.ParseSetting(`
+//	    source E/2
+//	    target H/2
+//	    st: E(x,z), E(z,y) -> H(x,y)
+//	    ts: H(x,y) -> E(x,y)
+//	`)
+//	i, _ := pde.ParseInstance("E(a,b). E(b,c). E(a,c).")
+//	j := pde.NewInstance()
+//	res, _ := pde.ExistsSolution(s, i, j)
+//	fmt.Println(res.Exists) // true
+//
+// The heavy lifting lives in the internal packages (chase, hom, core);
+// this package re-exports the stable surface and picks the right
+// algorithm per setting.
+package pde
+
+import (
+	"fmt"
+
+	"repro/internal/certain"
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/depparse"
+	"repro/internal/rel"
+)
+
+// Re-exported core types. See the internal packages for full
+// documentation of each.
+type (
+	// Setting is a peer data exchange setting (S, T, Σst, Σts, Σt).
+	Setting = core.Setting
+	// MultiSetting is a family of settings sharing one target peer.
+	MultiSetting = core.MultiSetting
+	// Instance is a set of facts over a relational schema.
+	Instance = rel.Instance
+	// Schema declares relation names and arities.
+	Schema = rel.Schema
+	// Value is a constant or a labeled null.
+	Value = rel.Value
+	// Tuple is an ordered list of values.
+	Tuple = rel.Tuple
+	// Fact is a tuple tagged with its relation.
+	Fact = rel.Fact
+	// TGD is a tuple-generating dependency.
+	TGD = dep.TGD
+	// EGD is an equality-generating dependency.
+	EGD = dep.EGD
+	// CQ is a conjunctive query over the target schema.
+	CQ = certain.CQ
+	// UCQ is a union of conjunctive queries.
+	UCQ = certain.UCQ
+	// CtractReport explains a C_tract classification (Definition 9).
+	CtractReport = dep.CtractReport
+	// SolveOptions configures the generic (NP) solver.
+	SolveOptions = core.SolveOptions
+	// TractableOptions configures the Figure 3 algorithm.
+	TractableOptions = core.TractableOptions
+)
+
+// Const returns the constant with the given text.
+func Const(s string) Value { return rel.Const(s) }
+
+// NullValue returns the labeled null with the given label.
+func NullValue(id int) Value { return rel.Null(id) }
+
+// NewInstance returns an empty instance.
+func NewInstance() *Instance { return rel.NewInstance() }
+
+// ParseSetting parses the text form of a setting; see
+// depparse.ParseSetting for the grammar.
+func ParseSetting(src string) (*Setting, error) { return depparse.ParseSetting(src) }
+
+// ParseInstance parses the text form of an instance (one fact per
+// line).
+func ParseInstance(src string) (*Instance, error) { return depparse.ParseInstance(src) }
+
+// ParseQueries parses a query file into unions of conjunctive queries
+// grouped by head name.
+func ParseQueries(src string) ([]UCQ, error) { return depparse.ParseQueries(src) }
+
+// FormatInstance renders an instance in the ParseInstance format.
+func FormatInstance(inst *Instance) string { return depparse.FormatInstance(inst) }
+
+// FormatSetting renders a setting in the ParseSetting format.
+func FormatSetting(s *Setting) string { return depparse.FormatSetting(s) }
+
+// Classify reports whether the setting belongs to the tractable class
+// C_tract of Definition 9, with explanations.
+func Classify(s *Setting) CtractReport { return s.Classify() }
+
+// Strategy names the algorithm ExistsSolution selected.
+type Strategy string
+
+const (
+	// StrategyTractable is the polynomial-time algorithm of Figure 3,
+	// used for settings in C_tract.
+	StrategyTractable Strategy = "tractable"
+	// StrategyGeneric is the complete backtracking solver, used outside
+	// C_tract (exponential in the worst case, per Theorem 3).
+	StrategyGeneric Strategy = "generic"
+)
+
+// Result reports an ExistsSolution or FindSolution call.
+type Result struct {
+	// Exists reports whether a solution exists.
+	Exists bool
+	// Solution is a witness solution (FindSolution always fills it when
+	// Exists; ExistsSolution fills it when the generic solver ran).
+	Solution *Instance
+	// Strategy is the algorithm used.
+	Strategy Strategy
+}
+
+// Options configures ExistsSolution and FindSolution.
+type Options struct {
+	// ForceGeneric skips the C_tract dispatch and always runs the
+	// complete solver.
+	ForceGeneric bool
+	// Solve configures the generic solver.
+	Solve SolveOptions
+	// Tractable configures the Figure 3 algorithm.
+	Tractable TractableOptions
+}
+
+// ExistsSolution decides SOL(P) for (I, J): it runs the polynomial
+// Figure 3 algorithm when the setting is in C_tract and the complete
+// backtracking solver otherwise.
+func ExistsSolution(s *Setting, i, j *Instance, opts ...Options) (Result, error) {
+	return solve(s, i, j, false, options(opts))
+}
+
+// FindSolution decides SOL(P) and constructs a witness solution when
+// one exists.
+func FindSolution(s *Setting, i, j *Instance, opts ...Options) (Result, error) {
+	return solve(s, i, j, true, options(opts))
+}
+
+func options(opts []Options) Options {
+	if len(opts) == 0 {
+		return Options{}
+	}
+	if len(opts) > 1 {
+		panic("pde: pass at most one Options")
+	}
+	return opts[0]
+}
+
+func solve(s *Setting, i, j *Instance, wantWitness bool, o Options) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := validateInstances(s, i, j); err != nil {
+		return Result{}, err
+	}
+	if !o.ForceGeneric && s.Classify().InCtract {
+		if wantWitness {
+			sol, _, err := core.FindSolutionTractable(s, i, j, o.Tractable)
+			if err != nil {
+				return Result{}, err
+			}
+			return Result{Exists: sol != nil, Solution: sol, Strategy: StrategyTractable}, nil
+		}
+		ok, _, err := core.ExistsSolutionTractable(s, i, j, o.Tractable)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Exists: ok, Strategy: StrategyTractable}, nil
+	}
+	ok, witness, _, err := core.ExistsSolutionGeneric(s, i, j, o.Solve)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Exists: ok, Solution: witness, Strategy: StrategyGeneric}, nil
+}
+
+// IsSolution checks Definition 2 directly: J ⊆ J', (I, J') ⊨ Σst ∪ Σts,
+// and J' ⊨ Σt.
+func IsSolution(s *Setting, i, j, jp *Instance) bool {
+	return s.IsSolution(i, j, jp)
+}
+
+// ExplainNonSolution lists the reasons J' fails to be a solution, in
+// human-readable form; empty for solutions.
+func ExplainNonSolution(s *Setting, i, j, jp *Instance) []string {
+	var out []string
+	for _, v := range s.SolutionViolations(i, j, jp) {
+		out = append(out, v.String())
+	}
+	return out
+}
+
+// CertainResult reports a certain-answers computation.
+type CertainResult struct {
+	// SolutionExists is false when (I, J) has no solution at all; every
+	// query is then vacuously certain.
+	SolutionExists bool
+	// Certain is the verdict for Boolean queries.
+	Certain bool
+	// Answers holds the certain tuples for open queries, sorted.
+	Answers []Tuple
+}
+
+// CertainBool computes certain(q, (I, J)) for a Boolean union of
+// conjunctive queries (Definition 4).
+func CertainBool(s *Setting, i, j *Instance, q UCQ, opts ...Options) (CertainResult, error) {
+	o := options(opts)
+	if err := prepareCertain(s, i, j, q); err != nil {
+		return CertainResult{}, err
+	}
+	res, err := certain.Boolean(s, i, j, q, certain.Options{Solve: o.Solve})
+	if err != nil {
+		return CertainResult{}, err
+	}
+	return CertainResult{SolutionExists: res.SolutionExists, Certain: res.Certain}, nil
+}
+
+// CertainAnswers computes the certain answers of an open union of
+// conjunctive queries on (I, J).
+func CertainAnswers(s *Setting, i, j *Instance, q UCQ, opts ...Options) (CertainResult, error) {
+	o := options(opts)
+	if err := prepareCertain(s, i, j, q); err != nil {
+		return CertainResult{}, err
+	}
+	res, err := certain.Answers(s, i, j, q, certain.Options{Solve: o.Solve})
+	if err != nil {
+		return CertainResult{}, err
+	}
+	return CertainResult{SolutionExists: res.SolutionExists, Answers: res.Answers}, nil
+}
+
+func prepareCertain(s *Setting, i, j *Instance, q UCQ) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if err := validateInstances(s, i, j); err != nil {
+		return err
+	}
+	return q.Validate(s.Target)
+}
+
+func validateInstances(s *Setting, i, j *Instance) error {
+	if err := i.ValidateAgainst(s.Source); err != nil {
+		return fmt.Errorf("pde: source instance: %w", err)
+	}
+	if err := j.ValidateAgainst(s.Target); err != nil {
+		return fmt.Errorf("pde: target instance: %w", err)
+	}
+	return nil
+}
