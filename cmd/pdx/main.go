@@ -8,6 +8,7 @@
 //	pdx solve    -setting FILE -source FILE [-target FILE] [-witness] [-force-generic]
 //	pdx certain  -setting FILE -source FILE [-target FILE] -queries FILE
 //	pdx classify -setting FILE
+//	pdx vet      -setting FILE [-json]
 //	pdx chase    -setting FILE -source FILE [-target FILE]
 //	pdx check    -setting FILE -source FILE [-target FILE] -candidate FILE
 //	pdx repair   -setting FILE -source FILE [-target FILE] [-queries FILE]
@@ -18,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -49,6 +51,8 @@ func main() {
 		err = cmdCertain(os.Args[2:])
 	case "classify":
 		err = cmdClassify(os.Args[2:])
+	case "vet":
+		err = cmdVet(os.Args[2:])
 	case "chase":
 		err = cmdChase(os.Args[2:])
 	case "check":
@@ -77,6 +81,7 @@ commands:
   solve     decide the existence-of-solutions problem SOL(P)
   certain   compute certain answers of target queries
   classify  decide membership in the tractable class C_tract
+  vet       run the static-analysis checks over a setting file
   chase     print the canonical instances J_can and I_can
   check     verify whether a candidate target instance is a solution
   repair    compute maximal repairable subsets of the target instance
@@ -240,8 +245,46 @@ func cmdClassify(args []string) error {
 		}
 		fmt.Fprintln(stdout)
 	}
-	for label, vars := range rep.MarkedVarsByTGD {
-		fmt.Fprintf(stdout, "marked variables of %s: %v\n", label, vars)
+	for _, label := range rep.TSOrder {
+		fmt.Fprintf(stdout, "marked variables of %s: %v\n", label, rep.MarkedVarsByTGD[label])
+	}
+	return nil
+}
+
+func cmdVet(args []string) error {
+	fs := flag.NewFlagSet("vet", flag.ExitOnError)
+	setting := fs.String("setting", "", "setting file (required)")
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *setting == "" {
+		return fmt.Errorf("-setting is required")
+	}
+	src, err := os.ReadFile(*setting)
+	if err != nil {
+		return err
+	}
+	rep := pde.Vet(string(src), *setting)
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		for _, d := range rep.Diagnostics {
+			fmt.Fprintln(stdout, d)
+		}
+		errs, warns, infos := rep.Counts()
+		if errs+warns+infos == 0 {
+			fmt.Fprintf(stdout, "%s: ok\n", *setting)
+		} else {
+			fmt.Fprintf(stdout, "%s: %d error(s), %d warning(s), %d info\n", *setting, errs, warns, infos)
+		}
+	}
+	if rep.HasErrors() {
+		exit(1)
 	}
 	return nil
 }

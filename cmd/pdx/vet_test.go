@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/pde"
+)
+
+const nonCtractSetting = "source D/1, S/2\n" +
+	"target P/2\n" +
+	"st: D(c) -> exists z: P(z, c)\n" +
+	"ts: P(x, c), P(y, c2) -> S(x, y)\n"
+
+func TestCmdVetClean(t *testing.T) {
+	setting, _, _ := fixtures(t)
+	out, code := capture(t)
+	if err := cmdVet([]string{"-setting", setting}); err != nil {
+		t.Fatal(err)
+	}
+	if *code != -1 {
+		t.Errorf("exit called with %d on a clean setting", *code)
+	}
+	if got, want := out.String(), setting+": ok\n"; got != want {
+		t.Errorf("output = %q, want %q", got, want)
+	}
+}
+
+// TestCmdVetTextGolden pins the full text output on a non-C_tract
+// setting: one positioned warning naming the violating atom, the marked
+// variable pair, and the marking provenance, then the summary line.
+func TestCmdVetTextGolden(t *testing.T) {
+	path := writeFile(t, t.TempDir(), "nonctract.pde", nonCtractSetting)
+	out, code := capture(t)
+	if err := cmdVet([]string{"-setting", path}); err != nil {
+		t.Fatal(err)
+	}
+	if *code != -1 {
+		t.Errorf("exit called with %d; warnings alone must not fail the run", *code)
+	}
+	want := path + ":4:26: warn: condition 2.2: marked variables x and y co-occur in head conjunct S(x, y) of ts1 " +
+		"but neither 2.2(a) nor 2.2(b) holds (x marked via position P.0 of P(x, c) by st1; " +
+		"y marked via position P.0 of P(y, c2) by st1) [ctract-cond-2.2]\n" +
+		path + ": 0 error(s), 1 warning(s), 0 info\n"
+	if got := out.String(); got != want {
+		t.Errorf("output = %q\nwant %q", got, want)
+	}
+}
+
+func TestCmdVetErrorsExitOne(t *testing.T) {
+	path := writeFile(t, t.TempDir(), "bad.pde",
+		"source E/2\ntarget H/2\nst: E(x,y) -> G(x,y)\nts: H(x,y) -> E(x,y)\n")
+	out, code := capture(t)
+	if err := cmdVet([]string{"-setting", path}); err != nil {
+		t.Fatal(err)
+	}
+	if *code != 1 {
+		t.Errorf("exit code = %d, want 1 on errors", *code)
+	}
+	got := out.String()
+	if !strings.Contains(got, path+":3:15: error: ") || !strings.Contains(got, "[undeclared-relation]") {
+		t.Errorf("output = %q lacks the positioned undeclared-relation error", got)
+	}
+	if !strings.Contains(got, "1 error(s)") {
+		t.Errorf("output = %q lacks the summary", got)
+	}
+}
+
+func TestCmdVetParseErrorExitOne(t *testing.T) {
+	path := writeFile(t, t.TempDir(), "syntax.pde", "sauce E/2\n")
+	out, code := capture(t)
+	if err := cmdVet([]string{"-setting", path}); err != nil {
+		t.Fatal(err)
+	}
+	if *code != 1 {
+		t.Errorf("exit code = %d, want 1 on a parse error", *code)
+	}
+	if !strings.Contains(out.String(), "[parse-error]") {
+		t.Errorf("output = %q lacks the parse-error diagnostic", out.String())
+	}
+}
+
+// TestCmdVetJSON checks that -json output is valid JSON that round-trips
+// to exactly the report the library API produces.
+func TestCmdVetJSON(t *testing.T) {
+	path := writeFile(t, t.TempDir(), "nonctract.pde", nonCtractSetting)
+	out, code := capture(t)
+	if err := cmdVet([]string{"-setting", path, "-json"}); err != nil {
+		t.Fatal(err)
+	}
+	if *code != -1 {
+		t.Errorf("exit code = %d, want none", *code)
+	}
+	var got pde.VetReport
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	want := pde.Vet(nonCtractSetting, path)
+	if !reflect.DeepEqual(got, *want) {
+		t.Errorf("JSON round trip diverges from pde.Vet:\n%+v\nvs\n%+v", got, *want)
+	}
+	if len(got.Diagnostics) == 0 || got.Diagnostics[0].Witness == nil {
+		t.Fatalf("diagnostics lost their witness payload: %+v", got)
+	}
+}
+
+// TestCmdClassifyByteStable guards the determinism fix: repeated runs of
+// classify over a multi-ts setting emit byte-identical output.
+func TestCmdClassifyByteStable(t *testing.T) {
+	path := writeFile(t, t.TempDir(), "multi.pde",
+		"source D/1, S/2, R/2\n"+
+			"target P/2, Q/2\n"+
+			"st: D(c) -> exists z: P(z, c)\n"+
+			"st: R(a,b) -> Q(a,b)\n"+
+			"ts: Q(u,v) -> R(u,v)\n"+
+			"ts: P(x, c), P(y, c2) -> S(x, y)\n"+
+			"ts: P(x, c) -> exists w: S(x, w)\n")
+	var first string
+	for i := 0; i < 20; i++ {
+		out, _ := capture(t)
+		if err := cmdClassify([]string{"-setting", path}); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			first = out.String()
+			// The per-tgd verdicts must follow input order.
+			i1 := strings.Index(first, "marked variables of ts1")
+			i2 := strings.Index(first, "marked variables of ts2")
+			i3 := strings.Index(first, "marked variables of ts3")
+			if i1 < 0 || i2 < 0 || i3 < 0 || !(i1 < i2 && i2 < i3) {
+				t.Fatalf("per-tgd verdicts out of input order:\n%s", first)
+			}
+			continue
+		}
+		if out.String() != first {
+			t.Fatalf("classify output changed between runs:\n%s\nvs\n%s", out.String(), first)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+# The CLIQUE reduction of Theorem 3: a setting just outside C_tract.
+# The existential variables z, w of the s-t tgd mark positions P.1 and
+# P.3; the marked variables of the t-s tgds then co-occur in head
+# conjuncts without co-occurring in a body conjunct, violating
+# condition 2.2. `pdx vet` points at each offending head atom.
+setting clique
+source D/2, S/2, E/2
+target P/4
+st: D(x,y) -> exists z, w: P(x,z,y,w)
+ts: P(x,z,y,w) -> E(z,w)
+ts: P(x,z,y,w), P(y,z2,y2,w2) -> S(w,z2)

@@ -1,0 +1,10 @@
+# A target tgd whose dependency graph has the special self-loop
+# H.1 →̂ H.1: not weakly acyclic (Definition 5), so the chase is not
+# guaranteed to terminate. `pdx vet` renders the cycle witness. The
+# target constraint also puts the setting outside C_tract.
+setting cyclic
+source E/2
+target H/2
+st: E(x,y) -> H(x,y)
+ts: H(x,y) -> E(x,y)
+t: H(x,y) -> exists z: H(y,z)

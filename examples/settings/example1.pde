@@ -1,0 +1,9 @@
+# Example 1 of the paper: flight routes. The source peer publishes
+# direct edges E; the target peer accepts two-hop routes H and is
+# willing to return any H-fact as a direct edge. This setting is in
+# C_tract and `pdx vet` reports it clean.
+setting example1
+source E/2
+target H/2
+st: E(x,z), E(z,y) -> H(x,y)
+ts: H(x,y) -> E(x,y)

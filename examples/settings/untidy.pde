@@ -1,0 +1,12 @@
+# A deliberately untidy (but legal) setting exercising the info-level
+# checks: relation U is declared but never used, ts1 can never fire
+# because no s-t tgd populates Z, ts3 is implied by ts2, and the st
+# tgd's head variable w is implicitly existential. ts3 also violates
+# C_tract condition 1: its marked variable y repeats in the body.
+setting untidy
+source E/2, U/1
+target H/2, Z/2
+st: E(x,y) -> H(x,w)
+ts: Z(x,y) -> E(x,y)
+ts: H(x,y) -> E(x,y)
+ts: H(x,y), H(y,z) -> exists v: E(x,v)

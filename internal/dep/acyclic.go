@@ -3,6 +3,7 @@ package dep
 import (
 	"fmt"
 	"sort"
+	"strings"
 )
 
 // Position identifies an attribute position (R, i) of a relation symbol:
@@ -22,6 +23,15 @@ type DependencyGraph struct {
 	nodes    map[Position]bool
 	ordinary map[Position]map[Position]bool
 	special  map[Position]map[Position]bool
+	// provenance maps each edge to the labels of the tgds that
+	// contributed it, for diagnostics.
+	provenance map[graphEdge][]string
+}
+
+// graphEdge identifies one edge of the dependency graph.
+type graphEdge struct {
+	From, To Position
+	Special  bool
 }
 
 // BuildDependencyGraph constructs the dependency graph of a set of tgds
@@ -34,9 +44,10 @@ type DependencyGraph struct {
 // existentially quantified variable occurs in the head.
 func BuildDependencyGraph(tgds []TGD) *DependencyGraph {
 	g := &DependencyGraph{
-		nodes:    make(map[Position]bool),
-		ordinary: make(map[Position]map[Position]bool),
-		special:  make(map[Position]map[Position]bool),
+		nodes:      make(map[Position]bool),
+		ordinary:   make(map[Position]map[Position]bool),
+		special:    make(map[Position]map[Position]bool),
+		provenance: make(map[graphEdge][]string),
 	}
 	for _, d := range tgds {
 		for _, a := range d.Body {
@@ -77,10 +88,10 @@ func BuildDependencyGraph(tgds []TGD) *DependencyGraph {
 				}
 				from := Position{a.Rel, i}
 				for _, to := range headVarOcc[t.Name] {
-					g.addEdge(from, to, false)
+					g.addEdge(from, to, false, d.Label)
 				}
 				for _, to := range existPositions {
-					g.addEdge(from, to, true)
+					g.addEdge(from, to, true, d.Label)
 				}
 			}
 		}
@@ -88,7 +99,7 @@ func BuildDependencyGraph(tgds []TGD) *DependencyGraph {
 	return g
 }
 
-func (g *DependencyGraph) addEdge(from, to Position, special bool) {
+func (g *DependencyGraph) addEdge(from, to Position, special bool, label string) {
 	m := g.ordinary
 	if special {
 		m = g.special
@@ -97,6 +108,19 @@ func (g *DependencyGraph) addEdge(from, to Position, special bool) {
 		m[from] = make(map[Position]bool)
 	}
 	m[from][to] = true
+	key := graphEdge{From: from, To: to, Special: special}
+	for _, l := range g.provenance[key] {
+		if l == label {
+			return
+		}
+	}
+	g.provenance[key] = append(g.provenance[key], label)
+}
+
+// EdgeTGDs returns the labels of the tgds that contributed the edge, in
+// insertion order; nil when the edge does not exist.
+func (g *DependencyGraph) EdgeTGDs(from, to Position, special bool) []string {
+	return g.provenance[graphEdge{From: from, To: to, Special: special}]
 }
 
 // Nodes returns the graph's positions in sorted order.
@@ -174,4 +198,151 @@ func (g *DependencyGraph) reaches(from, to Position) bool {
 // acyclic set terminates in polynomially many steps.
 func WeaklyAcyclic(tgds []TGD) bool {
 	return !BuildDependencyGraph(tgds).HasCycleThroughSpecialEdge()
+}
+
+// CycleEdge is one edge of a witness cycle in the dependency graph.
+type CycleEdge struct {
+	From, To Position
+	// Special marks the Definition 5 special edges (target of an
+	// existentially quantified variable).
+	Special bool
+	// TGDs are the labels of the tgds that contributed the edge.
+	TGDs []string
+}
+
+// String renders the edge as "R.1 → S.0" (ordinary) or "R.1 →̂ S.0"
+// (special).
+func (e CycleEdge) String() string {
+	arrow := " → "
+	if e.Special {
+		arrow = " →̂ "
+	}
+	return e.From.String() + arrow + e.To.String()
+}
+
+// FindSpecialCycle returns a cycle through at least one special edge,
+// if the graph has one: the witness that the tgd set is not weakly
+// acyclic. The cycle starts with a special edge and each edge's To is
+// the next edge's From (the last edge closes back to the first From).
+// The result is deterministic: special edges are tried in sorted order
+// and the shortest closing path is returned.
+func (g *DependencyGraph) FindSpecialCycle() ([]CycleEdge, bool) {
+	var specials []graphEdge
+	for u, tos := range g.special {
+		for v := range tos {
+			specials = append(specials, graphEdge{From: u, To: v, Special: true})
+		}
+	}
+	sort.Slice(specials, func(i, j int) bool {
+		a, b := specials[i], specials[j]
+		if a.From != b.From {
+			return positionLess(a.From, b.From)
+		}
+		return positionLess(a.To, b.To)
+	})
+	for _, sp := range specials {
+		path, ok := g.shortestPath(sp.To, sp.From)
+		if !ok {
+			continue
+		}
+		cycle := []CycleEdge{{From: sp.From, To: sp.To, Special: true, TGDs: g.provenance[sp]}}
+		for i := 0; i+1 < len(path); i++ {
+			from, to := path[i], path[i+1]
+			special := !g.ordinary[from][to] // prefer the ordinary edge when both exist
+			key := graphEdge{From: from, To: to, Special: special}
+			cycle = append(cycle, CycleEdge{From: from, To: to, Special: special, TGDs: g.provenance[key]})
+		}
+		return cycle, true
+	}
+	return nil, false
+}
+
+// shortestPath returns the node sequence of a shortest path from one
+// position to another over edges of either kind (the one-node path when
+// from == to), exploring neighbours in sorted order for determinism.
+func (g *DependencyGraph) shortestPath(from, to Position) ([]Position, bool) {
+	if from == to {
+		return []Position{from}, true
+	}
+	prev := map[Position]Position{from: from}
+	frontier := []Position{from}
+	for len(frontier) > 0 {
+		var next []Position
+		for _, cur := range frontier {
+			var succs []Position
+			for n := range g.ordinary[cur] {
+				succs = append(succs, n)
+			}
+			for n := range g.special[cur] {
+				if !g.ordinary[cur][n] {
+					succs = append(succs, n)
+				}
+			}
+			sort.Slice(succs, func(i, j int) bool { return positionLess(succs[i], succs[j]) })
+			for _, n := range succs {
+				if _, seen := prev[n]; seen {
+					continue
+				}
+				prev[n] = cur
+				if n == to {
+					return rebuildPath(prev, from, to), true
+				}
+				next = append(next, n)
+			}
+		}
+		frontier = next
+	}
+	return nil, false
+}
+
+func rebuildPath(prev map[Position]Position, from, to Position) []Position {
+	var rev []Position
+	for cur := to; ; cur = prev[cur] {
+		rev = append(rev, cur)
+		if cur == from {
+			break
+		}
+	}
+	path := make([]Position, 0, len(rev))
+	for i := len(rev) - 1; i >= 0; i-- {
+		path = append(path, rev[i])
+	}
+	return path
+}
+
+func positionLess(a, b Position) bool {
+	if a.Rel != b.Rel {
+		return a.Rel < b.Rel
+	}
+	return a.Idx < b.Idx
+}
+
+// WeaklyAcyclicWitness decides weak acyclicity and, when the set is not
+// weakly acyclic, returns a witness cycle through a special edge.
+// acyclic is true iff the set is weakly acyclic (cycle is then nil).
+func WeaklyAcyclicWitness(tgds []TGD) (cycle []CycleEdge, acyclic bool) {
+	c, found := BuildDependencyGraph(tgds).FindSpecialCycle()
+	if found {
+		return c, false
+	}
+	return nil, true
+}
+
+// FormatCycle renders a witness cycle as a chain of positions, e.g.
+// "H.1 →̂ H.0 → H.1".
+func FormatCycle(cycle []CycleEdge) string {
+	if len(cycle) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString(cycle[0].From.String())
+	for _, e := range cycle {
+		if e.Special {
+			b.WriteString(" →̂ ")
+		} else {
+			b.WriteString(" → ")
+		}
+		b.WriteString(e.To.String())
+	}
+	return b.String()
 }

@@ -25,6 +25,39 @@ func MarkedPositions(st []TGD) map[Position]bool {
 	return marked
 }
 
+// MarkedPositionProvenance maps each marked position to the sorted
+// labels of the source-to-target tgds whose existential head variables
+// mark it (Definition 8). The key set equals MarkedPositions(st).
+func MarkedPositionProvenance(st []TGD) map[Position][]string {
+	prov := make(map[Position][]string)
+	for _, d := range st {
+		body := varSet(d.Body)
+		for _, a := range d.Head {
+			for i, t := range a.Args {
+				if !t.IsConst && !body[t.Name] {
+					pos := Position{a.Rel, i}
+					if !containsString(prov[pos], d.Label) {
+						prov[pos] = append(prov[pos], d.Label)
+					}
+				}
+			}
+		}
+	}
+	for _, labels := range prov {
+		sort.Strings(labels)
+	}
+	return prov
+}
+
+func containsString(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
 // MarkedVars computes the marked variables of a target-to-source tgd
 // per Definition 8: a variable z is marked in alpha(x) -> exists w
 // beta(x, w) if (1) z appears at a marked position of a conjunct of
@@ -43,6 +76,52 @@ func MarkedVars(ts TGD, markedPos map[Position]bool) map[string]bool {
 		marked[v] = true
 	}
 	return marked
+}
+
+// MarkChain explains why one variable of a target-to-source tgd is
+// marked (Definition 8): either it is existentially quantified in the
+// tgd itself, or it occurs at a marked position of a body conjunct, in
+// which case MarkedBy lists the source-to-target tgds whose existential
+// head variables marked that position.
+type MarkChain struct {
+	// Var is the marked variable.
+	Var string `json:"var"`
+	// Existential is true when the variable is marked because it is
+	// existentially quantified in the t-s tgd.
+	Existential bool `json:"existential,omitempty"`
+	// Pos is the marked body position the variable occurs at (e.g.
+	// "P.1"), when not existential.
+	Pos string `json:"pos,omitempty"`
+	// Atom renders the body conjunct containing that occurrence.
+	Atom string `json:"atom,omitempty"`
+	// MarkedBy lists the s-t tgd labels that marked Pos.
+	MarkedBy []string `json:"marked_by,omitempty"`
+}
+
+// CtractWitness is a machine-readable explanation of one C_tract
+// violation: which condition failed, on which dependency, at which
+// source position, and via which marked variables.
+type CtractWitness struct {
+	// Cond identifies the failed condition: "1", "2.2", or
+	// "disjunctive".
+	Cond string `json:"cond"`
+	// TGD is the label of the offending target-to-source dependency.
+	TGD string `json:"tgd"`
+	// Span is the source position of the offending atom (or of the
+	// dependency when no single atom is implicated); zero when the
+	// dependency was built in code.
+	Span Span `json:"-"`
+	// Atom renders the offending atom: for condition 1 a body conjunct
+	// with a repeated marked variable, for condition 2.2 the head
+	// conjunct where the marked pair co-occurs.
+	Atom string `json:"atom,omitempty"`
+	// Vars are the implicated marked variables (one for condition 1, the
+	// co-occurring pair for condition 2.2), sorted.
+	Vars []string `json:"vars,omitempty"`
+	// Chains explains why each variable in Vars is marked.
+	Chains []MarkChain `json:"chains,omitempty"`
+	// Message is the human-readable rendering.
+	Message string `json:"message"`
 }
 
 // CtractReport is the result of classifying the source-to-target and
@@ -72,9 +151,15 @@ type CtractReport struct {
 	// MarkedVarsByTGD maps each target-to-source tgd label to its sorted
 	// marked variables.
 	MarkedVarsByTGD map[string][]string
+	// TSOrder lists the target-to-source tgd labels in input order, for
+	// deterministic reporting (MarkedVarsByTGD is a map).
+	TSOrder []string
 	// Violations holds human-readable explanations for each condition
-	// that failed.
+	// that failed, in input order of the offending dependencies.
 	Violations []string
+	// Witnesses holds the structured counterparts of Violations, in the
+	// same order.
+	Witnesses []CtractWitness
 }
 
 // ClassifyCtract decides membership of a PDE setting (with no target
@@ -83,7 +168,11 @@ type CtractReport struct {
 // classification: by definition C_tract requires an empty Σt, which the
 // caller checks separately.
 func ClassifyCtract(st, ts []TGD, tsDisj []DisjunctiveTGD) CtractReport {
-	markedPos := MarkedPositions(st)
+	markedProv := MarkedPositionProvenance(st)
+	markedPos := make(map[Position]bool, len(markedProv))
+	for p := range markedProv {
+		markedPos[p] = true
+	}
 	rep := CtractReport{
 		Cond1:           true,
 		Cond21:          true,
@@ -94,22 +183,28 @@ func ClassifyCtract(st, ts []TGD, tsDisj []DisjunctiveTGD) CtractReport {
 		rep.MarkedPositions = append(rep.MarkedPositions, p)
 	}
 	sort.Slice(rep.MarkedPositions, func(i, j int) bool {
-		a, b := rep.MarkedPositions[i], rep.MarkedPositions[j]
-		if a.Rel != b.Rel {
-			return a.Rel < b.Rel
-		}
-		return a.Idx < b.Idx
+		return positionLess(rep.MarkedPositions[i], rep.MarkedPositions[j])
 	})
 
-	if len(tsDisj) > 0 {
+	addWitness := func(w CtractWitness) {
+		rep.Witnesses = append(rep.Witnesses, w)
+		rep.Violations = append(rep.Violations, w.Message)
+	}
+
+	for _, d := range tsDisj {
 		rep.HasDisjunctiveTS = true
-		rep.Violations = append(rep.Violations,
-			"target-to-source dependencies with disjunctive heads are outside C_tract")
+		addWitness(CtractWitness{
+			Cond:    "disjunctive",
+			TGD:     d.Label,
+			Span:    d.Span,
+			Message: fmt.Sprintf("target-to-source dependency %s has a disjunctive head; such settings are outside C_tract", d.Label),
+		})
 	}
 
 	for _, d := range ts {
 		marked := MarkedVars(d, markedPos)
 		rep.MarkedVarsByTGD[d.Label] = SortedVarNames(marked)
+		rep.TSOrder = append(rep.TSOrder, d.Label)
 
 		// Condition 1: every marked variable occurs at most once in the
 		// left-hand side.
@@ -121,13 +216,23 @@ func ClassifyCtract(st, ts []TGD, tsDisj []DisjunctiveTGD) CtractReport {
 				}
 			}
 		}
-		for v, n := range occ {
-			if marked[v] && n > 1 {
-				rep.Cond1 = false
-				rep.Violations = append(rep.Violations, fmt.Sprintf(
-					"condition 1: marked variable %s appears %d times in the left-hand side of %s",
-					v, n, d.Label))
+		for _, v := range SortedVarNames(marked) {
+			if occ[v] <= 1 {
+				continue
 			}
+			rep.Cond1 = false
+			atom := repeatAtom(d.Body, v)
+			addWitness(CtractWitness{
+				Cond:   "1",
+				TGD:    d.Label,
+				Span:   atomSpanOr(atom, d.Span),
+				Atom:   atom.String(),
+				Vars:   []string{v},
+				Chains: markChains(d, []string{v}, markedProv),
+				Message: fmt.Sprintf(
+					"condition 1: marked variable %s appears %d times in the left-hand side of %s",
+					v, occ[v], d.Label),
+			})
 		}
 
 		// Condition 2.1: exactly one literal in the left-hand side.
@@ -155,15 +260,25 @@ func ClassifyCtract(st, ts []TGD, tsDisj []DisjunctiveTGD) CtractReport {
 						continue // 2.2(b)
 					}
 					rep.Cond22 = false
-					rep.Violations = append(rep.Violations, fmt.Sprintf(
-						"condition 2.2: marked variables %s and %s co-occur in head conjunct %s of %s but neither 2.2(a) nor 2.2(b) holds",
-						x, y, a, d.Label))
+					if x > y {
+						x, y = y, x
+					}
+					addWitness(CtractWitness{
+						Cond:   "2.2",
+						TGD:    d.Label,
+						Span:   atomSpanOr(a, d.Span),
+						Atom:   a.String(),
+						Vars:   []string{x, y},
+						Chains: markChains(d, []string{x, y}, markedProv),
+						Message: fmt.Sprintf(
+							"condition 2.2: marked variables %s and %s co-occur in head conjunct %s of %s but neither 2.2(a) nor 2.2(b) holds",
+							x, y, a, d.Label),
+					})
 				}
 			}
 		}
 	}
 
-	sort.Strings(rep.Violations)
 	rep.InCtract = !rep.HasDisjunctiveTS && rep.Cond1 && (rep.Cond21 || rep.Cond22)
 	if !rep.Cond21 && !rep.InCtract {
 		// Record the 2.1 failure only when it matters for the verdict,
@@ -174,6 +289,78 @@ func ClassifyCtract(st, ts []TGD, tsDisj []DisjunctiveTGD) CtractReport {
 		}
 	}
 	return rep
+}
+
+// repeatAtom returns the first body atom in which the variable occurs
+// at least twice, falling back to the first atom containing it at all.
+func repeatAtom(body []Atom, v string) Atom {
+	var first *Atom
+	for i := range body {
+		n := 0
+		for _, t := range body[i].Args {
+			if !t.IsConst && t.Name == v {
+				n++
+			}
+		}
+		if n >= 2 {
+			return body[i]
+		}
+		if n == 1 && first == nil {
+			first = &body[i]
+		}
+	}
+	if first != nil {
+		return *first
+	}
+	if len(body) > 0 {
+		return body[0]
+	}
+	return Atom{}
+}
+
+// atomSpanOr returns the atom's span, or the fallback when the atom has
+// no recorded position.
+func atomSpanOr(a Atom, fallback Span) Span {
+	if a.Span.Known() {
+		return a.Span
+	}
+	return fallback
+}
+
+// markChains explains why each of the given variables of the t-s tgd d
+// is marked, naming the marked body position and the s-t tgds that
+// marked it (Definition 8).
+func markChains(d TGD, vars []string, markedProv map[Position][]string) []MarkChain {
+	exist := make(map[string]bool)
+	for _, v := range d.ExistentialVars() {
+		exist[v] = true
+	}
+	var out []MarkChain
+	for _, v := range vars {
+		if exist[v] {
+			out = append(out, MarkChain{Var: v, Existential: true})
+			continue
+		}
+		chain := MarkChain{Var: v}
+		for _, a := range d.Body {
+			for i, t := range a.Args {
+				if t.IsConst || t.Name != v {
+					continue
+				}
+				pos := Position{a.Rel, i}
+				if labels, ok := markedProv[pos]; ok {
+					chain.Pos = pos.String()
+					chain.Atom = a.String()
+					chain.MarkedBy = labels
+				}
+			}
+			if chain.Pos != "" {
+				break
+			}
+		}
+		out = append(out, chain)
+	}
+	return out
 }
 
 // Summary renders a one-paragraph explanation of the classification.

@@ -17,6 +17,25 @@ import (
 	"repro/internal/rel"
 )
 
+// Span is a source position (1-based line and column) attached to
+// dependencies and atoms by the parser. The zero Span means "position
+// unknown" (e.g. for programmatically constructed dependencies).
+type Span struct {
+	Line int
+	Col  int
+}
+
+// Known reports whether the span carries a real position.
+func (s Span) Known() bool { return s.Line > 0 }
+
+// String renders the span as "line:col"; empty for unknown spans.
+func (s Span) String() string {
+	if !s.Known() {
+		return ""
+	}
+	return fmt.Sprintf("%d:%d", s.Line, s.Col)
+}
+
 // Term is either a variable or a constant occurring in an atom of a
 // dependency or query.
 type Term struct {
@@ -53,6 +72,9 @@ func (t Term) String() string {
 type Atom struct {
 	Rel  string
 	Args []Term
+	// Span is the source position of the atom's relation symbol; zero
+	// for atoms built in code.
+	Span Span
 }
 
 // NewAtom builds an atom.
@@ -145,6 +167,14 @@ type TGD struct {
 	Label string
 	Body  []Atom
 	Head  []Atom
+	// Span is the source position of the dependency (its first body
+	// atom); zero for tgds built in code.
+	Span Span
+	// ExplicitExists records whether the surface syntax spelled out the
+	// 'exists v1, v2:' clause. Purely informational (the existential
+	// variables are determined by body/head either way); the linter uses
+	// it to flag implicitly existential head variables.
+	ExplicitExists bool
 }
 
 // DepLabel implements Dependency.
@@ -254,6 +284,9 @@ type EGD struct {
 	Body  []Atom
 	// Left and Right are the variable names equated by the dependency.
 	Left, Right string
+	// Span is the source position of the dependency; zero when built in
+	// code.
+	Span Span
 }
 
 // DepLabel implements Dependency.
@@ -306,6 +339,9 @@ type DisjunctiveTGD struct {
 	// Disjuncts are the alternative conjunctive heads; the dependency is
 	// satisfied at a trigger when at least one disjunct is.
 	Disjuncts [][]Atom
+	// Span is the source position of the dependency; zero when built in
+	// code.
+	Span Span
 }
 
 // DepLabel implements Dependency.

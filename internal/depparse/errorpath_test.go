@@ -1,0 +1,117 @@
+package depparse
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// position extracts the PosError of a parse error, failing the test if
+// the error is not positioned.
+func position(t *testing.T, err error) (line, col int) {
+	t.Helper()
+	if err == nil {
+		t.Fatal("expected a parse error")
+	}
+	var pe *PosError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a PosError", err)
+	}
+	return pe.Line, pe.Col
+}
+
+func TestSettingParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantLine int
+		contains string
+	}{
+		{"bad directive", "source E/2\nfrobnicate\n", 2, "unrecognized directive"},
+		{"missing arity", "source E\ntarget H/2\n", 1, "expected"},
+		{"bad decl separator", "source E/2; D/1\n", 1, "expected"},
+		{"unterminated atom", "source E/2\ntarget H/2\nst: E(x,y -> H(x,y)\n", 3, "expected"},
+		{"missing arrow", "source E/2\ntarget H/2\nst: E(x,y) H(x,y)\n", 3, "expected"},
+		{"bad exists clause", "source E/2\ntarget H/2\nst: E(x,y) -> exists : H(x,y)\n", 3, "expected"},
+		{"duplicate decl arity", "source E/2, E/3\n", 1, "redeclared"},
+		{"bad egd", "source E/2\ntarget H/2\nst: E(x,y) -> H(x,y)\nt: H(x,y) -> x =\n", 4, "expected"},
+		{"unterminated constant", "source E/2\ntarget H/2\nst: E('a,y) -> H(x,y)\n", 3, "unterminated"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSetting(tc.src)
+			line, _ := position(t, err)
+			if line != tc.wantLine {
+				t.Errorf("error %v on line %d, want %d", err, line, tc.wantLine)
+			}
+			if !strings.Contains(err.Error(), tc.contains) {
+				t.Errorf("error %v does not mention %q", err, tc.contains)
+			}
+		})
+	}
+}
+
+func TestInstanceParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantLine int
+	}{
+		{"unterminated fact", "E(a,b).\nE(b,\n", 2},
+		{"missing parens", "E a b\n", 1},
+		{"bare paren", "E(a,b).\nE(b,c).\n(a, b)\n", 3},
+		{"empty arg", "E(a,) .\n", 1},
+		{"missing comma", "E(a b)\n", 1},
+		{"arity drift", "E(a,b).\nE(c).\n", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseInstance(tc.src)
+			line, _ := position(t, err)
+			if line != tc.wantLine {
+				t.Errorf("error %v on line %d, want %d", err, line, tc.wantLine)
+			}
+		})
+	}
+}
+
+func TestQueryParseErrorPositions(t *testing.T) {
+	cases := []struct {
+		name     string
+		src      string
+		wantLine int
+	}{
+		{"empty body", "q(x) :- H(x,y)\nq2(x) :-\n", 2},
+		{"bad head", "q( :- H(x,y)\n", 1},
+		{"missing head", ":- H(x,y)\n", 1},
+		{"trailing garbage", "q(x) :- H(x,y) extra\n", 1},
+		{"unterminated body atom", "q(x) :- H(x,y)\nq2(x) :- H(x,\n", 2},
+		{"mixed disjunct arity", "q(x) :- H(x,y)\nq(x,y) :- H(x,y)\n", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseQueries(tc.src)
+			line, _ := position(t, err)
+			if line != tc.wantLine {
+				t.Errorf("error %v on line %d, want %d", err, line, tc.wantLine)
+			}
+		})
+	}
+}
+
+// TestErrorMessagesNameTheLine: the rendered message itself (what a CLI
+// user sees) starts with "line N".
+func TestErrorMessagesNameTheLine(t *testing.T) {
+	_, err := ParseInstance("E(a,b).\nE(b,\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("instance error %v does not say 'line 2'", err)
+	}
+	_, err = ParseQueries("q(x) :- H(x,y)\nq2(x) :- H(x,\n")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Errorf("query error %v does not say 'line 2'", err)
+	}
+	_, err = ParseSetting("source E/2\ntarget H/2\nst: E(x,y -> H(x,y)\n")
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("setting error %v does not say 'line 3'", err)
+	}
+}

@@ -1,0 +1,119 @@
+package depparse
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// assertPositionedError fails unless err (when non-nil) carries a
+// 1-based line number: every parse error must be a *PosError.
+func assertPositionedError(t *testing.T, err error, src string) {
+	t.Helper()
+	if err == nil {
+		return
+	}
+	var pe *PosError
+	if !errors.As(err, &pe) {
+		t.Fatalf("parse error is not a PosError: %v\nsource:\n%s", err, src)
+	}
+	if pe.Line < 1 {
+		t.Fatalf("parse error has no line number: %v\nsource:\n%s", err, src)
+	}
+	if !strings.Contains(err.Error(), "line ") {
+		t.Fatalf("parse error message %q does not mention a line", err)
+	}
+}
+
+// FuzzParseSetting checks three invariants on arbitrary setting text:
+// errors carry positions, successful parses survive a Format -> Parse
+// round trip, and the lenient parser accepts everything the strict
+// parser accepts (producing the same setting).
+func FuzzParseSetting(f *testing.F) {
+	f.Add("setting example1\nsource E/2\ntarget H/2\nst: E(x,z), E(z,y) -> H(x,y)\nts: H(x,y) -> E(x,y)\n")
+	f.Add("source D/1, S/2\ntarget P/2\nst: D(c) -> exists z: P(z, c)\nts: P(x, c), P(y, c2) -> S(x, y)\n")
+	f.Add("source E/2\ntarget H/2\nst: E(x,y) -> H(x,y)\nts: H(x,y) -> E(x,y)\nt: H(x,y), H(y,x) -> x = y\n")
+	f.Add("source E/1\ntarget H/1\nst: E(x) -> H(x)\ntsd: H(x) -> E(x) | E(x)\nts: H(x) -> E(x)\n")
+	f.Add("source E/2\ntarget H/2\nst: E('a b',y) -> H(42,y)\nts: H(x,y) -> E(x,y)\n")
+	f.Add("sauce E/2\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		// Structural (lenient-parse) errors must always be positioned;
+		// strict-mode validation errors are semantic and carry no line.
+		ls, _, lerr := ParseSettingLenient(src)
+		assertPositionedError(t, lerr, src)
+		s, err := ParseSetting(src)
+		if lerr != nil {
+			if err == nil {
+				t.Fatalf("strict parse accepts what lenient rejects: %v\nsource:\n%s", lerr, src)
+			}
+			return
+		}
+		if err != nil {
+			return // validation rejected a structurally fine setting
+		}
+		text := FormatSetting(s)
+		back, err2 := ParseSetting(text)
+		if err2 != nil {
+			t.Fatalf("formatted setting does not reparse: %v\nformatted:\n%s\noriginal:\n%s", err2, text, src)
+		}
+		if again := FormatSetting(back); again != text {
+			t.Fatalf("format not idempotent:\n%s\nvs\n%s", text, again)
+		}
+		if FormatSetting(ls) != text {
+			t.Fatalf("lenient parse diverges from strict:\n%s\nvs\n%s", FormatSetting(ls), text)
+		}
+	})
+}
+
+// FuzzParseInstance checks that errors are positioned and that parsed
+// instances survive a Format -> Parse round trip exactly.
+func FuzzParseInstance(f *testing.F) {
+	f.Add("E(a,b). E(b,c). E(a,c).")
+	f.Add("P('a b', _n1, 42).\n# comment\nQ(x).")
+	f.Add("E(a,b)")
+	f.Add("E(a,.")
+	f.Fuzz(func(t *testing.T, src string) {
+		inst, err := ParseInstance(src)
+		assertPositionedError(t, err, src)
+		if err != nil {
+			return
+		}
+		text := FormatInstance(inst)
+		back, err2 := ParseInstance(text)
+		if err2 != nil {
+			t.Fatalf("formatted instance does not reparse: %v\nformatted:\n%s", err2, text)
+		}
+		if !back.Equal(inst) {
+			t.Fatalf("round trip mismatch:\nhave %s\nwant %s\ntext:\n%s", back, inst, text)
+		}
+	})
+}
+
+// FuzzParseQueries checks that query-file parse errors are positioned
+// and that accepted inputs produce structurally sane queries.
+func FuzzParseQueries(f *testing.F) {
+	f.Add("q(x,y) :- H(x,y)\nqb :- H(x,y), H(y,z)")
+	f.Add("q(x) :- H(x,y)\nq(y) :- H(y,y)")
+	f.Add("q(x) :- H(x,")
+	f.Fuzz(func(t *testing.T, src string) {
+		qs, err := ParseQueries(src)
+		assertPositionedError(t, err, src)
+		if err != nil {
+			return
+		}
+		for _, ucq := range qs {
+			if len(ucq) == 0 {
+				t.Fatal("parsed UCQ with no disjuncts")
+			}
+			arity := len(ucq[0].Head)
+			for _, cq := range ucq {
+				if cq.Name != ucq[0].Name {
+					t.Fatalf("UCQ mixes head names %q and %q", cq.Name, ucq[0].Name)
+				}
+				if len(cq.Head) != arity {
+					t.Fatalf("UCQ %s mixes head arities %d and %d", cq.Name, arity, len(cq.Head))
+				}
+			}
+		}
+	})
+}

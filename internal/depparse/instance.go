@@ -47,7 +47,7 @@ func ParseInstance(src string) (*rel.Instance, error) {
 				return nil, err
 			}
 			if existing := inst.Relation(name.text); existing != nil && existing.Arity() != len(tuple) {
-				return nil, fmt.Errorf("line %d: relation %s used with arity %d, previously %d", n, name.text, len(tuple), existing.Arity())
+				return nil, posErrorf(n, name.pos+1, "relation %s used with arity %d, previously %d", name.text, len(tuple), existing.Arity())
 			}
 			inst.AddTuple(name.text, tuple)
 			sep, err := p.peek()
@@ -90,7 +90,7 @@ func parseFactArgs(p *peeker, line int) (rel.Tuple, error) {
 		case tokQuoted, tokNumber:
 			tuple = append(tuple, rel.Const(t.text))
 		default:
-			return nil, fmt.Errorf("line %d: expected value, got %q", line, t.text)
+			return nil, posErrorf(line, t.pos+1, "expected value, got %q", t.text)
 		}
 		sep, err := p.next()
 		if err != nil {
@@ -100,7 +100,7 @@ func parseFactArgs(p *peeker, line int) (rel.Tuple, error) {
 			return tuple, nil
 		}
 		if sep.kind != tokComma {
-			return nil, fmt.Errorf("line %d: expected ',' or ')', got %q", line, sep.text)
+			return nil, posErrorf(line, sep.pos+1, "expected ',' or ')', got %q", sep.text)
 		}
 	}
 }
@@ -186,20 +186,17 @@ func ParseQueries(src string) ([]certain.UCQ, error) {
 		if err != nil {
 			return nil, err
 		}
-		if _, seen := groups[q.Name]; !seen {
+		if prev, seen := groups[q.Name]; !seen {
 			order = append(order, q.Name)
+		} else if len(q.Head) != len(prev[0].Head) {
+			// Report at the offending disjunct, not the first one.
+			return nil, posErrorf(n, 0, "query %s: disjuncts have different head arities", q.Name)
 		}
 		groups[q.Name] = append(groups[q.Name], q)
 	}
 	out := make([]certain.UCQ, 0, len(order))
 	for _, name := range order {
-		u := groups[name]
-		for _, q := range u[1:] {
-			if len(q.Head) != len(u[0].Head) {
-				return nil, fmt.Errorf("query %s: disjuncts have different head arities", name)
-			}
-		}
-		out = append(out, u)
+		out = append(out, groups[name])
 	}
 	return out, nil
 }
@@ -231,7 +228,7 @@ func parseQueryLine(line string, n int) (certain.CQ, error) {
 				break
 			}
 			if sep.kind != tokComma {
-				return certain.CQ{}, fmt.Errorf("line %d: expected ',' or ')' in query head, got %q", n, sep.text)
+				return certain.CQ{}, posErrorf(n, sep.pos+1, "expected ',' or ')' in query head, got %q", sep.text)
 			}
 		}
 	}
@@ -255,8 +252,12 @@ func FormatSetting(s *core.Setting) string {
 	if s.Name != "" {
 		fmt.Fprintf(&b, "setting %s\n", s.Name)
 	}
-	fmt.Fprintf(&b, "source %s\n", s.Source)
-	fmt.Fprintf(&b, "target %s\n", s.Target)
+	if s.Source.Len() > 0 {
+		fmt.Fprintf(&b, "source %s\n", s.Source)
+	}
+	if s.Target.Len() > 0 {
+		fmt.Fprintf(&b, "target %s\n", s.Target)
+	}
 	for _, d := range s.ST {
 		fmt.Fprintf(&b, "st: %s\n", d)
 	}

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"strings"
 	"unicode"
+
+	"repro/internal/dep"
 )
 
 // tokenKind classifies lexer tokens.
@@ -70,19 +72,54 @@ type token struct {
 	pos  int
 }
 
+// PosError is a parse error carrying its source position. Line is
+// 1-based; Col is 1-based and 0 when only the line is known. All errors
+// returned by the parsers either are *PosError or wrap one.
+type PosError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+// Error renders the error with its position prefix.
+func (e *PosError) Error() string {
+	if e.Col > 0 {
+		return fmt.Sprintf("line %d, column %d: %s", e.Line, e.Col, e.Msg)
+	}
+	return fmt.Sprintf("line %d: %s", e.Line, e.Msg)
+}
+
+// posErrorf builds a *PosError from a format string.
+func posErrorf(line, col int, format string, args ...any) error {
+	return &PosError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
 // lexer tokenizes one logical line.
 type lexer struct {
 	src  string
 	pos  int
 	line int // 1-based source line, for errors
+	base int // column offset of src within the original line
 }
 
 func newLexer(src string, line int) *lexer {
 	return &lexer{src: src, line: line}
 }
 
+// newLexerAt is newLexer with a column base: src starts at 0-based
+// column base of the original source line, so reported columns and
+// spans are file-accurate.
+func newLexerAt(src string, line, base int) *lexer {
+	return &lexer{src: src, line: line, base: base}
+}
+
 func (lx *lexer) errorf(pos int, format string, args ...any) error {
-	return fmt.Errorf("line %d, column %d: %s", lx.line, pos+1, fmt.Sprintf(format, args...))
+	return posErrorf(lx.line, lx.base+pos+1, format, args...)
+}
+
+// spanAt converts a token position to a source span.
+func (lx *lexer) spanAt(pos int) dep.Span {
+	return dep.Span{Line: lx.line, Col: lx.base + pos + 1}
 }
 
 // next returns the next token.

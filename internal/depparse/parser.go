@@ -27,56 +27,9 @@ import (
 // optional — head variables absent from the body are existential either
 // way — but when present it must list exactly those variables.
 func ParseSetting(src string) (*core.Setting, error) {
-	s := &core.Setting{Source: rel.NewSchema(), Target: rel.NewSchema()}
-	counters := map[string]int{}
-	for lineNo, raw := range strings.Split(src, "\n") {
-		line := strings.TrimSpace(raw)
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		n := lineNo + 1
-		switch {
-		case strings.HasPrefix(line, "setting"):
-			s.Name = strings.TrimSpace(strings.TrimPrefix(line, "setting"))
-		case strings.HasPrefix(line, "source"):
-			if err := parseSchemaDecl(strings.TrimPrefix(line, "source"), n, s.Source); err != nil {
-				return nil, err
-			}
-		case strings.HasPrefix(line, "target"):
-			if err := parseSchemaDecl(strings.TrimPrefix(line, "target"), n, s.Target); err != nil {
-				return nil, err
-			}
-		case strings.HasPrefix(line, "st:"):
-			counters["st"]++
-			d, err := parseTGD(strings.TrimPrefix(line, "st:"), n, fmt.Sprintf("st%d", counters["st"]))
-			if err != nil {
-				return nil, err
-			}
-			s.ST = append(s.ST, d)
-		case strings.HasPrefix(line, "tsd:"):
-			counters["tsd"]++
-			d, err := parseDisjunctiveTGD(strings.TrimPrefix(line, "tsd:"), n, fmt.Sprintf("tsd%d", counters["tsd"]))
-			if err != nil {
-				return nil, err
-			}
-			s.TSDisj = append(s.TSDisj, d)
-		case strings.HasPrefix(line, "ts:"):
-			counters["ts"]++
-			d, err := parseTGD(strings.TrimPrefix(line, "ts:"), n, fmt.Sprintf("ts%d", counters["ts"]))
-			if err != nil {
-				return nil, err
-			}
-			s.TS = append(s.TS, d)
-		case strings.HasPrefix(line, "t:"):
-			counters["t"]++
-			d, err := parseTargetDep(strings.TrimPrefix(line, "t:"), n, fmt.Sprintf("t%d", counters["t"]))
-			if err != nil {
-				return nil, err
-			}
-			s.T = append(s.T, d)
-		default:
-			return nil, fmt.Errorf("line %d: unrecognized directive %q (want setting/source/target/st:/ts:/tsd:/t:)", n, line)
-		}
+	s, _, err := parseSetting(src, false)
+	if err != nil {
+		return nil, err
 	}
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -84,14 +37,112 @@ func ParseSetting(src string) (*core.Setting, error) {
 	return s, nil
 }
 
-// parseSchemaDecl parses "E/2, D/2" into the schema.
-func parseSchemaDecl(src string, line int, schema *rel.Schema) error {
-	p := newPeeker(newLexer(src, line))
+// SettingInfo is the side information the parser collects alongside the
+// AST: declaration spans for positioned diagnostics, and declaration
+// problems the lenient parse tolerated.
+type SettingInfo struct {
+	// SourceDecls and TargetDecls map each declared relation name to the
+	// span of its declaration.
+	SourceDecls map[string]dep.Span
+	// TargetDecls: see SourceDecls.
+	TargetDecls map[string]dep.Span
+	// DeclDiags records duplicate relation declarations the lenient
+	// parser skipped instead of failing on.
+	DeclDiags []DeclDiag
+}
+
+// DeclDiag is a tolerated schema-declaration problem.
+type DeclDiag struct {
+	Span dep.Span
+	Rel  string
+	Msg  string
+	// Conflict is true when the redeclaration changed the arity (a real
+	// error), false for a benign exact repeat.
+	Conflict bool
+}
+
+// ParseSettingLenient parses a setting without running Setting.Validate
+// and without failing on duplicate relation declarations, so that a
+// linter can report those problems itself with source positions.
+// Structural syntax errors still abort the parse.
+func ParseSettingLenient(src string) (*core.Setting, *SettingInfo, error) {
+	return parseSetting(src, true)
+}
+
+func parseSetting(src string, lenient bool) (*core.Setting, *SettingInfo, error) {
+	s := &core.Setting{Source: rel.NewSchema(), Target: rel.NewSchema()}
+	info := &SettingInfo{
+		SourceDecls: make(map[string]dep.Span),
+		TargetDecls: make(map[string]dep.Span),
+	}
+	counters := map[string]int{}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		n := lineNo + 1
+		// Column base of the trimmed line within the raw line, so that
+		// spans and error columns are file-accurate.
+		leading := len(raw) - len(strings.TrimLeft(raw, " \t"))
+		base := func(prefix string) int { return leading + len(prefix) }
+		switch {
+		case strings.HasPrefix(line, "setting"):
+			s.Name = strings.TrimSpace(strings.TrimPrefix(line, "setting"))
+		case strings.HasPrefix(line, "source"):
+			if err := parseSchemaDecl(strings.TrimPrefix(line, "source"), n, base("source"), s.Source, info.SourceDecls, info, lenient); err != nil {
+				return nil, nil, err
+			}
+		case strings.HasPrefix(line, "target"):
+			if err := parseSchemaDecl(strings.TrimPrefix(line, "target"), n, base("target"), s.Target, info.TargetDecls, info, lenient); err != nil {
+				return nil, nil, err
+			}
+		case strings.HasPrefix(line, "st:"):
+			counters["st"]++
+			d, err := parseTGD(strings.TrimPrefix(line, "st:"), n, base("st:"), fmt.Sprintf("st%d", counters["st"]))
+			if err != nil {
+				return nil, nil, err
+			}
+			s.ST = append(s.ST, d)
+		case strings.HasPrefix(line, "tsd:"):
+			counters["tsd"]++
+			d, err := parseDisjunctiveTGD(strings.TrimPrefix(line, "tsd:"), n, base("tsd:"), fmt.Sprintf("tsd%d", counters["tsd"]))
+			if err != nil {
+				return nil, nil, err
+			}
+			s.TSDisj = append(s.TSDisj, d)
+		case strings.HasPrefix(line, "ts:"):
+			counters["ts"]++
+			d, err := parseTGD(strings.TrimPrefix(line, "ts:"), n, base("ts:"), fmt.Sprintf("ts%d", counters["ts"]))
+			if err != nil {
+				return nil, nil, err
+			}
+			s.TS = append(s.TS, d)
+		case strings.HasPrefix(line, "t:"):
+			counters["t"]++
+			d, err := parseTargetDep(strings.TrimPrefix(line, "t:"), n, base("t:"), fmt.Sprintf("t%d", counters["t"]))
+			if err != nil {
+				return nil, nil, err
+			}
+			s.T = append(s.T, d)
+		default:
+			return nil, nil, posErrorf(n, 0, "unrecognized directive %q (want setting/source/target/st:/ts:/tsd:/t:)", line)
+		}
+	}
+	return s, info, nil
+}
+
+// parseSchemaDecl parses "E/2, D/2" into the schema, recording the span
+// of each declaration. In lenient mode a duplicate declaration is
+// recorded in info.DeclDiags and skipped rather than failing the parse.
+func parseSchemaDecl(src string, line, basecol int, schema *rel.Schema, decls map[string]dep.Span, info *SettingInfo, lenient bool) error {
+	p := newPeeker(newLexerAt(src, line, basecol))
 	for {
 		name, err := p.expect(tokIdent)
 		if err != nil {
 			return err
 		}
+		span := p.lx.spanAt(name.pos)
 		if _, err := p.expect(tokSlash); err != nil {
 			return err
 		}
@@ -101,10 +152,22 @@ func parseSchemaDecl(src string, line int, schema *rel.Schema) error {
 		}
 		arity := 0
 		if _, err := fmt.Sscanf(ar.text, "%d", &arity); err != nil {
-			return fmt.Errorf("line %d: bad arity %q", line, ar.text)
+			return posErrorf(line, 0, "bad arity %q", ar.text)
 		}
 		if err := schema.Add(name.text, arity); err != nil {
-			return fmt.Errorf("line %d: %w", line, err)
+			if !lenient {
+				return posErrorf(line, span.Col, "%v", err)
+			}
+			info.DeclDiags = append(info.DeclDiags, DeclDiag{Span: span, Rel: name.text, Msg: err.Error(), Conflict: true})
+		} else if _, seen := decls[name.text]; seen {
+			// Schema.Add treats a same-arity redeclaration as a no-op;
+			// record it for the linter anyway.
+			if lenient {
+				info.DeclDiags = append(info.DeclDiags, DeclDiag{Span: span, Rel: name.text,
+					Msg: fmt.Sprintf("relation %s declared more than once", name.text)})
+			}
+		} else {
+			decls[name.text] = span
 		}
 		t, err := p.next()
 		if err != nil {
@@ -114,14 +177,14 @@ func parseSchemaDecl(src string, line int, schema *rel.Schema) error {
 			return nil
 		}
 		if t.kind != tokComma {
-			return fmt.Errorf("line %d: expected ',' between declarations, got %q", line, t.text)
+			return posErrorf(line, 0, "expected ',' between declarations, got %q", t.text)
 		}
 	}
 }
 
 // parseTGD parses "body -> [exists v1, v2:] head".
-func parseTGD(src string, line int, label string) (dep.TGD, error) {
-	p := newPeeker(newLexer(src, line))
+func parseTGD(src string, line, basecol int, label string) (dep.TGD, error) {
+	p := newPeeker(newLexerAt(src, line, basecol))
 	body, err := parseAtomList(p)
 	if err != nil {
 		return dep.TGD{}, err
@@ -140,7 +203,7 @@ func parseTGD(src string, line int, label string) (dep.TGD, error) {
 	if _, err := p.expect(tokEOF); err != nil {
 		return dep.TGD{}, err
 	}
-	d := dep.TGD{Label: label, Body: body, Head: head}
+	d := dep.TGD{Label: label, Body: body, Head: head, Span: body[0].Span, ExplicitExists: declared != nil}
 	if declared != nil {
 		if err := checkDeclaredExistentials(d, declared, line); err != nil {
 			return dep.TGD{}, err
@@ -151,8 +214,8 @@ func parseTGD(src string, line int, label string) (dep.TGD, error) {
 
 // parseTargetDep parses either a target tgd or a target egd
 // ("body -> x = y").
-func parseTargetDep(src string, line int, label string) (dep.Dependency, error) {
-	p := newPeeker(newLexer(src, line))
+func parseTargetDep(src string, line, basecol int, label string) (dep.Dependency, error) {
+	p := newPeeker(newLexerAt(src, line, basecol))
 	body, err := parseAtomList(p)
 	if err != nil {
 		return nil, err
@@ -186,12 +249,12 @@ func parseTargetDep(src string, line int, label string) (dep.Dependency, error) 
 			if _, err := p.expect(tokEOF); err != nil {
 				return nil, err
 			}
-			return dep.EGD{Label: label, Body: body, Left: name.text, Right: right.text}, nil
+			return dep.EGD{Label: label, Body: body, Left: name.text, Right: right.text, Span: body[0].Span}, nil
 		}
 		if after.kind != tokLParen {
-			return nil, fmt.Errorf("line %d: expected '=' or '(' after %q", line, name.text)
+			return nil, posErrorf(line, 0, "expected '=' or '(' after %q", name.text)
 		}
-		atom, err := parseAtomArgs(p, name.text, line)
+		atom, err := parseAtomArgs(p, name.text, p.lx.spanAt(name.pos))
 		if err != nil {
 			return nil, err
 		}
@@ -214,7 +277,7 @@ func parseTargetDep(src string, line int, label string) (dep.Dependency, error) 
 		if _, err := p.expect(tokEOF); err != nil {
 			return nil, err
 		}
-		return dep.TGD{Label: label, Body: body, Head: head}, nil
+		return dep.TGD{Label: label, Body: body, Head: head, Span: body[0].Span}, nil
 	}
 	head, err := parseAtomList(p)
 	if err != nil {
@@ -223,7 +286,7 @@ func parseTargetDep(src string, line int, label string) (dep.Dependency, error) 
 	if _, err := p.expect(tokEOF); err != nil {
 		return nil, err
 	}
-	d := dep.TGD{Label: label, Body: body, Head: head}
+	d := dep.TGD{Label: label, Body: body, Head: head, Span: body[0].Span, ExplicitExists: declared != nil}
 	if declared != nil {
 		if err := checkDeclaredExistentials(d, declared, line); err != nil {
 			return nil, err
@@ -233,8 +296,8 @@ func parseTargetDep(src string, line int, label string) (dep.Dependency, error) 
 }
 
 // parseDisjunctiveTGD parses "body -> disj1 | disj2 | ...".
-func parseDisjunctiveTGD(src string, line int, label string) (dep.DisjunctiveTGD, error) {
-	p := newPeeker(newLexer(src, line))
+func parseDisjunctiveTGD(src string, line, basecol int, label string) (dep.DisjunctiveTGD, error) {
+	p := newPeeker(newLexerAt(src, line, basecol))
 	body, err := parseAtomList(p)
 	if err != nil {
 		return dep.DisjunctiveTGD{}, err
@@ -257,10 +320,10 @@ func parseDisjunctiveTGD(src string, line int, label string) (dep.DisjunctiveTGD
 			break
 		}
 		if t.kind != tokPipe {
-			return dep.DisjunctiveTGD{}, fmt.Errorf("line %d: expected '|' between disjuncts, got %q", line, t.text)
+			return dep.DisjunctiveTGD{}, posErrorf(line, 0, "expected '|' between disjuncts, got %q", t.text)
 		}
 	}
-	return dep.DisjunctiveTGD{Label: label, Body: body, Disjuncts: disjuncts}, nil
+	return dep.DisjunctiveTGD{Label: label, Body: body, Disjuncts: disjuncts, Span: body[0].Span}, nil
 }
 
 // parseOptionalExists consumes "exists v1, v2:" if present and returns
@@ -289,7 +352,7 @@ func parseOptionalExists(p *peeker) ([]string, error) {
 			return vars, nil
 		}
 		if t.kind != tokComma {
-			return nil, fmt.Errorf("expected ',' or ':' in exists list, got %q", t.text)
+			return nil, p.lx.errorf(t.pos, "expected ',' or ':' in exists list, got %q", t.text)
 		}
 	}
 }
@@ -301,11 +364,11 @@ func checkDeclaredExistentials(d dep.TGD, declared []string, line int) error {
 		set[v] = true
 	}
 	if len(declared) != len(actual) {
-		return fmt.Errorf("line %d: exists clause declares %v but the head's existential variables are %v", line, declared, actual)
+		return posErrorf(line, 0, "exists clause declares %v but the head's existential variables are %v", declared, actual)
 	}
 	for _, v := range declared {
 		if !set[v] {
-			return fmt.Errorf("line %d: exists clause declares %v but the head's existential variables are %v", line, declared, actual)
+			return posErrorf(line, 0, "exists clause declares %v but the head's existential variables are %v", declared, actual)
 		}
 	}
 	return nil
@@ -337,10 +400,11 @@ func parseAtom(p *peeker) (dep.Atom, error) {
 	if err != nil {
 		return dep.Atom{}, err
 	}
-	return parseAtomArgs(p, name.text, p.lx.line)
+	return parseAtomArgs(p, name.text, p.lx.spanAt(name.pos))
 }
 
-func parseAtomArgs(p *peeker, relName string, line int) (dep.Atom, error) {
+func parseAtomArgs(p *peeker, relName string, span dep.Span) (dep.Atom, error) {
+	line := p.lx.line
 	if _, err := p.expect(tokLParen); err != nil {
 		return dep.Atom{}, err
 	}
@@ -351,7 +415,7 @@ func parseAtomArgs(p *peeker, relName string, line int) (dep.Atom, error) {
 	}
 	if t.kind == tokRParen {
 		p.next() //nolint:errcheck // peeked
-		return dep.Atom{Rel: relName, Args: args}, nil
+		return dep.Atom{Rel: relName, Args: args, Span: span}, nil
 	}
 	for {
 		t, err := p.next()
@@ -364,17 +428,17 @@ func parseAtomArgs(p *peeker, relName string, line int) (dep.Atom, error) {
 		case tokQuoted, tokNumber:
 			args = append(args, dep.Cst(t.text))
 		default:
-			return dep.Atom{}, fmt.Errorf("line %d: expected term in %s(...), got %q", line, relName, t.text)
+			return dep.Atom{}, posErrorf(line, 0, "expected term in %s(...), got %q", relName, t.text)
 		}
 		sep, err := p.next()
 		if err != nil {
 			return dep.Atom{}, err
 		}
 		if sep.kind == tokRParen {
-			return dep.Atom{Rel: relName, Args: args}, nil
+			return dep.Atom{Rel: relName, Args: args, Span: span}, nil
 		}
 		if sep.kind != tokComma {
-			return dep.Atom{}, fmt.Errorf("line %d: expected ',' or ')' in %s(...), got %q", line, relName, sep.text)
+			return dep.Atom{}, posErrorf(line, 0, "expected ',' or ')' in %s(...), got %q", relName, sep.text)
 		}
 	}
 }

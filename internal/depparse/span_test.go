@@ -1,0 +1,86 @@
+package depparse
+
+import (
+	"testing"
+
+	"repro/internal/dep"
+)
+
+// TestParsedSpansAreFileAccurate: spans recorded on declarations,
+// dependencies, and atoms point at the relation symbol in the original
+// source, counting the directive prefix and leading whitespace.
+func TestParsedSpansAreFileAccurate(t *testing.T) {
+	src := "setting spans\n" + // line 1
+		"source E/2, D/3\n" + // line 2: E at col 8, D at col 13
+		"  target H/2\n" + // line 3: H at col 10 (indented)
+		"st: E(x,z), E(z,y) -> H(x,y)\n" + // line 4: body E at 5 and 13, head H at 23
+		"ts: H(x,y) -> exists w: E(x,w)\n" + // line 5
+		"t:  H(x,y), H(y,x) -> x = y\n" // line 6: first body atom at col 5
+	s, info, err := ParseSettingLenient(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDecl := map[string]dep.Span{
+		"E": {Line: 2, Col: 8},
+		"D": {Line: 2, Col: 13},
+	}
+	for name, want := range wantDecl {
+		if got := info.SourceDecls[name]; got != want {
+			t.Errorf("decl span of %s = %v, want %v", name, got, want)
+		}
+	}
+	if got := info.TargetDecls["H"]; got != (dep.Span{Line: 3, Col: 10}) {
+		t.Errorf("decl span of H = %v, want 3:10", got)
+	}
+
+	st := s.ST[0]
+	if st.Span != (dep.Span{Line: 4, Col: 5}) {
+		t.Errorf("st1 span = %v, want 4:5", st.Span)
+	}
+	if got := st.Body[1].Span; got != (dep.Span{Line: 4, Col: 13}) {
+		t.Errorf("second body atom span = %v, want 4:13", got)
+	}
+	if got := st.Head[0].Span; got != (dep.Span{Line: 4, Col: 23}) {
+		t.Errorf("head atom span = %v, want 4:23", got)
+	}
+	if st.ExplicitExists {
+		t.Error("st1 has no exists clause but ExplicitExists is set")
+	}
+
+	ts := s.TS[0]
+	if ts.Span != (dep.Span{Line: 5, Col: 5}) {
+		t.Errorf("ts1 span = %v, want 5:5", ts.Span)
+	}
+	if !ts.ExplicitExists {
+		t.Error("ts1 spells out exists but ExplicitExists is false")
+	}
+
+	egd, ok := s.T[0].(dep.EGD)
+	if !ok {
+		t.Fatalf("t1 is %T, want EGD", s.T[0])
+	}
+	if egd.Span != (dep.Span{Line: 6, Col: 5}) {
+		t.Errorf("egd span = %v, want 6:5", egd.Span)
+	}
+}
+
+// TestLenientParseToleratesDuplicateDecl: the lenient parser records
+// duplicate declarations instead of failing, while the strict parser
+// still rejects them with a position.
+func TestLenientParseToleratesDuplicateDecl(t *testing.T) {
+	src := "source E/2, E/3\ntarget H/2\nst: E(x,y) -> H(x,y)\nts: H(x,y) -> E(x,y)"
+	if _, err := ParseSetting(src); err == nil {
+		t.Fatal("strict parse accepted a duplicate declaration")
+	}
+	s, info, err := ParseSettingLenient(src)
+	if err != nil {
+		t.Fatalf("lenient parse failed: %v", err)
+	}
+	if s == nil || len(info.DeclDiags) != 1 {
+		t.Fatalf("DeclDiags = %+v, want exactly one", info.DeclDiags)
+	}
+	d := info.DeclDiags[0]
+	if d.Rel != "E" || d.Span != (dep.Span{Line: 1, Col: 13}) {
+		t.Errorf("decl diag = %+v, want E at 1:13", d)
+	}
+}

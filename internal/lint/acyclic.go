@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/dep"
+)
+
+// acyclicAnalyzer checks weak acyclicity (Definition 5) of the target
+// tgds Σt — the condition under which the solution-aware chase is
+// guaranteed to terminate (Lemma 1, Theorem 1) — and renders the actual
+// position cycle through a special edge when it fails.
+var acyclicAnalyzer = &Analyzer{
+	Name:   "acyclic",
+	Doc:    "weak acyclicity of target tgds with a cycle witness",
+	Checks: []string{"weak-acyclicity"},
+	Run:    runAcyclic,
+}
+
+func runAcyclic(p *Pass) {
+	tgds := dep.TGDs(p.Setting.T)
+	cycle, acyclic := dep.WeaklyAcyclicWitness(tgds)
+	if acyclic {
+		return
+	}
+	// Anchor the diagnostic at a tgd contributing the special edge.
+	span := dep.Span{}
+	labels := make(map[string]bool)
+	for _, e := range cycle {
+		for _, l := range e.TGDs {
+			labels[l] = true
+		}
+	}
+	for _, d := range tgds {
+		if labels[d.Label] && d.Span.Known() {
+			span = d.Span
+			break
+		}
+	}
+	rendered := make([]string, len(cycle))
+	for i, e := range cycle {
+		rendered[i] = e.String()
+	}
+	p.Report(Diagnostic{
+		Check:    "weak-acyclicity",
+		Severity: SeverityWarn,
+		Line:     span.Line,
+		Col:      span.Col,
+		Message: fmt.Sprintf(
+			"target tgds are not weakly acyclic: the dependency graph has the cycle %s through a special edge; the chase may not terminate",
+			dep.FormatCycle(cycle)),
+		Witness: &Witness{Cycle: rendered, ImpliedBy: dep.SortedVarNames(labels)},
+	})
+}

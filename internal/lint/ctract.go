@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dep"
+)
+
+// ctractAnalyzer reports why a setting falls outside the tractable
+// class C_tract (Definition 9), one positioned diagnostic per violation
+// witness. Outside C_tract the solver falls back to the complete
+// backtracking search (NP per Theorem 3), so these are warnings, not
+// errors.
+var ctractAnalyzer = &Analyzer{
+	Name: "ctract",
+	Doc:  "C_tract membership (Definition 9) with violation witnesses",
+	Checks: []string{
+		"ctract-cond-1", "ctract-cond-2.2", "ctract-disjunctive", "ctract-target-constraints",
+	},
+	Run: runCtract,
+}
+
+func runCtract(p *Pass) {
+	s := p.Setting
+	rep := dep.ClassifyCtract(s.ST, s.TS, s.TSDisj)
+	for _, w := range rep.Witnesses {
+		check := "ctract-cond-" + w.Cond
+		if w.Cond == "disjunctive" {
+			check = "ctract-disjunctive"
+		}
+		msg := w.Message
+		if chain := renderChains(w.Chains); chain != "" {
+			msg += " (" + chain + ")"
+		}
+		p.Report(Diagnostic{
+			Check:    check,
+			Severity: SeverityWarn,
+			Line:     w.Span.Line,
+			Col:      w.Span.Col,
+			Message:  msg,
+			Witness: &Witness{
+				TGD:    w.TGD,
+				Atom:   w.Atom,
+				Vars:   w.Vars,
+				Chains: w.Chains,
+			},
+		})
+	}
+	if len(s.T) > 0 {
+		span := firstTargetDepSpan(s.T)
+		p.Reportf("ctract-target-constraints", SeverityWarn, span,
+			"C_tract requires no target constraints (Σt must be empty); the solver will use the complete backtracking search")
+	}
+}
+
+// renderChains renders marking provenance as a parenthetical, e.g.
+// "z marked via P.1 by st-D; w marked as existential".
+func renderChains(chains []dep.MarkChain) string {
+	var parts []string
+	for _, c := range chains {
+		switch {
+		case c.Existential:
+			parts = append(parts, fmt.Sprintf("%s marked as existential", c.Var))
+		case c.Pos != "":
+			parts = append(parts, fmt.Sprintf("%s marked via position %s of %s by %s",
+				c.Var, c.Pos, c.Atom, strings.Join(c.MarkedBy, ", ")))
+		}
+	}
+	return strings.Join(parts, "; ")
+}
+
+func firstTargetDepSpan(deps []dep.Dependency) dep.Span {
+	for _, d := range deps {
+		switch d := d.(type) {
+		case dep.TGD:
+			return d.Span
+		case dep.EGD:
+			return d.Span
+		}
+	}
+	return dep.Span{}
+}

@@ -1,0 +1,149 @@
+package lint
+
+import (
+	"repro/internal/dep"
+)
+
+// deadcodeAnalyzer finds declared-but-unused relations and dependencies
+// that can never fire: a dependency whose body mentions a target
+// relation that no source-to-target tgd (directly or through target
+// tgds) can ever populate is dead weight when exchange starts from a
+// source instance alone.
+var deadcodeAnalyzer = &Analyzer{
+	Name:   "deadcode",
+	Doc:    "unused relations and dependencies unfirable from the source schema",
+	Checks: []string{"unused-relation", "unfirable-tgd"},
+	Run:    runDeadcode,
+}
+
+func runDeadcode(p *Pass) {
+	s := p.Setting
+
+	used := make(map[string]bool)
+	mark := func(atoms []dep.Atom) {
+		for _, a := range atoms {
+			used[a.Rel] = true
+		}
+	}
+	for _, d := range s.ST {
+		mark(d.Body)
+		mark(d.Head)
+	}
+	for _, d := range s.TS {
+		mark(d.Body)
+		mark(d.Head)
+	}
+	for _, d := range s.TSDisj {
+		mark(d.Body)
+		for _, disj := range d.Disjuncts {
+			mark(disj)
+		}
+	}
+	for _, td := range s.T {
+		switch d := td.(type) {
+		case dep.TGD:
+			mark(d.Body)
+			mark(d.Head)
+		case dep.EGD:
+			mark(d.Body)
+		}
+	}
+	for _, name := range s.Source.Relations() {
+		if !used[name] {
+			p.reportUnused(name, "source", p.Info.SourceDecls[name])
+		}
+	}
+	for _, name := range s.Target.Relations() {
+		if !used[name] {
+			p.reportUnused(name, "target", p.Info.TargetDecls[name])
+		}
+	}
+
+	// Target relations reachable from the source schema: seeded by the
+	// heads of the s-t tgds, closed under the target tgds.
+	reach := make(map[string]bool)
+	for _, d := range s.ST {
+		for _, a := range d.Head {
+			reach[a.Rel] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, td := range s.T {
+			d, ok := td.(dep.TGD)
+			if !ok || !allReachable(d.Body, reach) {
+				continue
+			}
+			for _, a := range d.Head {
+				if !reach[a.Rel] {
+					reach[a.Rel] = true
+					changed = true
+				}
+			}
+		}
+	}
+
+	for _, d := range s.TS {
+		p.reportUnfirable(d.Label, d.Body, d.Span, reach)
+	}
+	for _, d := range s.TSDisj {
+		p.reportUnfirable(d.Label, d.Body, d.Span, reach)
+	}
+	for _, td := range s.T {
+		switch d := td.(type) {
+		case dep.TGD:
+			p.reportUnfirable(d.Label, d.Body, d.Span, reach)
+		case dep.EGD:
+			p.reportUnfirable(d.Label, d.Body, d.Span, reach)
+		}
+	}
+}
+
+func allReachable(atoms []dep.Atom, reach map[string]bool) bool {
+	for _, a := range atoms {
+		if !reach[a.Rel] {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *Pass) reportUnused(name, side string, span dep.Span) {
+	p.Report(Diagnostic{
+		Check:    "unused-relation",
+		Severity: SeverityInfo,
+		Line:     span.Line,
+		Col:      span.Col,
+		Message:  name + " is declared in the " + side + " schema but appears in no dependency",
+		Witness:  &Witness{Relation: name},
+	})
+}
+
+// reportUnfirable flags a dependency whose body mentions a target
+// relation no s-t tgd can reach. Body atoms over the *source* schema
+// (e.g. the head side of mixed declarations) are always satisfiable and
+// ignored here.
+func (p *Pass) reportUnfirable(label string, body []dep.Atom, span dep.Span, reach map[string]bool) {
+	for _, a := range body {
+		if !p.Setting.Target.Has(a.Rel) {
+			continue // not a target relation; not subject to reachability
+		}
+		if reach[a.Rel] {
+			continue
+		}
+		at := a.Span
+		if !at.Known() {
+			at = span
+		}
+		p.Report(Diagnostic{
+			Check:    "unfirable-tgd",
+			Severity: SeverityInfo,
+			Line:     at.Line,
+			Col:      at.Col,
+			Message: label + ": body atom " + a.String() + " can never be satisfied — no source-to-target tgd populates " +
+				a.Rel + " (assuming exchange starts from a source instance alone)",
+			Witness: &Witness{TGD: label, Atom: a.String(), Relation: a.Rel},
+		})
+		return // one finding per dependency is enough
+	}
+}

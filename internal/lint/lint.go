@@ -1,0 +1,240 @@
+// Package lint is the static-analysis pass over peer data exchange
+// settings: a pipeline of analyzers, each inspecting the parsed setting
+// (and the spans the parser recorded) and emitting structured,
+// positioned diagnostics. It is the engine behind `pdx vet`.
+//
+// The design follows `go vet`: every analyzer lives in its own file,
+// has a stable name, and registers the checks it can report; the driver
+// runs them all and merges the diagnostics into one deterministic
+// report. Severities:
+//
+//   - error: the setting is ill-formed (Setting.Validate would reject
+//     it) — exchange cannot run at all;
+//   - warn: the setting is legal but loses a guarantee the paper cares
+//     about (outside C_tract per Definition 9, target tgds not weakly
+//     acyclic per Definition 5);
+//   - info: style and dead-weight findings (redundant or unfirable
+//     dependencies, unused relations, implicit existentials).
+package lint
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/depparse"
+)
+
+// Severity grades a diagnostic.
+type Severity string
+
+// The three severity levels, ordered error > warn > info.
+const (
+	SeverityError Severity = "error"
+	SeverityWarn  Severity = "warn"
+	SeverityInfo  Severity = "info"
+)
+
+// Witness is the machine-readable payload of a diagnostic: which
+// dependency, atom, variables, cycle, or relations are implicated. All
+// fields are optional; analyzers fill what applies.
+type Witness struct {
+	// TGD is the label of the implicated dependency.
+	TGD string `json:"tgd,omitempty"`
+	// Atom renders the implicated atom.
+	Atom string `json:"atom,omitempty"`
+	// Vars lists the implicated variable names.
+	Vars []string `json:"vars,omitempty"`
+	// Relation is the implicated relation name.
+	Relation string `json:"relation,omitempty"`
+	// Cycle renders a weak-acyclicity witness cycle, one edge per
+	// element ("H.1 →̂ H.1").
+	Cycle []string `json:"cycle,omitempty"`
+	// Chains explains variable markings (Definition 8 provenance).
+	Chains []dep.MarkChain `json:"chains,omitempty"`
+	// ImpliedBy lists the dependency labels that imply a redundant one.
+	ImpliedBy []string `json:"implied_by,omitempty"`
+}
+
+// IsZero reports whether the witness carries no payload.
+func (w Witness) IsZero() bool {
+	return w.TGD == "" && w.Atom == "" && len(w.Vars) == 0 && w.Relation == "" &&
+		len(w.Cycle) == 0 && len(w.Chains) == 0 && len(w.ImpliedBy) == 0
+}
+
+// Diagnostic is one finding: a stable check ID, a severity, a source
+// position, a message, and an optional machine-readable witness.
+type Diagnostic struct {
+	// Check is the stable check identifier (see the catalog in the
+	// README), e.g. "ctract-cond-2.2" or "undeclared-relation".
+	Check string `json:"check"`
+	// Severity is error, warn, or info.
+	Severity Severity `json:"severity"`
+	// File is the setting file name as given to Vet.
+	File string `json:"file,omitempty"`
+	// Line and Col are 1-based; 0 when unknown.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Message is the human-readable finding.
+	Message string `json:"message"`
+	// Witness is the machine-readable payload.
+	Witness *Witness `json:"witness,omitempty"`
+}
+
+// String renders the diagnostic in the conventional
+// file:line:col: severity: message [check] form.
+func (d Diagnostic) String() string {
+	pos := d.File
+	switch {
+	case d.Line > 0 && d.Col > 0:
+		pos = fmt.Sprintf("%s:%d:%d", d.File, d.Line, d.Col)
+	case d.Line > 0:
+		pos = fmt.Sprintf("%s:%d", d.File, d.Line)
+	}
+	return fmt.Sprintf("%s: %s: %s [%s]", pos, d.Severity, d.Message, d.Check)
+}
+
+// Report is the result of a vet run over one setting file.
+type Report struct {
+	// File is the vetted file name.
+	File string `json:"file"`
+	// Diagnostics, sorted by position then check ID.
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// Counts returns the number of diagnostics per severity.
+func (r *Report) Counts() (errs, warns, infos int) {
+	for _, d := range r.Diagnostics {
+		switch d.Severity {
+		case SeverityError:
+			errs++
+		case SeverityWarn:
+			warns++
+		case SeverityInfo:
+			infos++
+		}
+	}
+	return
+}
+
+// HasErrors reports whether any diagnostic has error severity.
+func (r *Report) HasErrors() bool {
+	errs, _, _ := r.Counts()
+	return errs > 0
+}
+
+// Pass is the per-run state handed to each analyzer.
+type Pass struct {
+	// File is the setting file name, copied into diagnostics.
+	File string
+	// Setting is the (leniently) parsed setting.
+	Setting *core.Setting
+	// Info carries the declaration spans and tolerated declaration
+	// problems from the parser.
+	Info *depparse.SettingInfo
+
+	diags *[]Diagnostic
+}
+
+// Report emits a diagnostic. The file name is filled in by the driver.
+func (p *Pass) Report(d Diagnostic) {
+	d.File = p.File
+	if d.Witness != nil && d.Witness.IsZero() {
+		d.Witness = nil
+	}
+	*p.diags = append(*p.diags, d)
+}
+
+// Reportf emits a witness-less diagnostic at a span.
+func (p *Pass) Reportf(check string, sev Severity, span dep.Span, format string, args ...any) {
+	p.Report(Diagnostic{
+		Check:    check,
+		Severity: sev,
+		Line:     span.Line,
+		Col:      span.Col,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one static-analysis pass, in the style of go/analysis.
+type Analyzer struct {
+	// Name identifies the analyzer in docs and traces.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Checks lists the check IDs the analyzer can emit.
+	Checks []string
+	// Run inspects the pass and reports diagnostics.
+	Run func(*Pass)
+}
+
+// Analyzers returns the full pipeline in execution order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		wellformedAnalyzer,
+		ctractAnalyzer,
+		acyclicAnalyzer,
+		deadcodeAnalyzer,
+		redundantAnalyzer,
+	}
+}
+
+// Vet parses the setting source and runs every analyzer, returning a
+// deterministic report. Parse failures do not return an error: they
+// become a single "parse-error" diagnostic, so callers can treat every
+// outcome uniformly.
+func Vet(src, file string) *Report {
+	rep := &Report{File: file}
+	setting, info, err := depparse.ParseSettingLenient(src)
+	if err != nil {
+		line, col, msg := errorPosition(err)
+		rep.Diagnostics = append(rep.Diagnostics, Diagnostic{
+			Check:    "parse-error",
+			Severity: SeverityError,
+			File:     file,
+			Line:     line,
+			Col:      col,
+			Message:  msg,
+		})
+		return rep
+	}
+	pass := &Pass{File: file, Setting: setting, Info: info, diags: &rep.Diagnostics}
+	for _, a := range Analyzers() {
+		a.Run(pass)
+	}
+	sortDiagnostics(rep.Diagnostics)
+	return rep
+}
+
+// errorPosition extracts the position and bare message of a parse error
+// (all parser errors are or wrap *depparse.PosError); the position moves
+// into the diagnostic, so the message must not repeat it.
+func errorPosition(err error) (line, col int, msg string) {
+	var pe *depparse.PosError
+	if errors.As(err, &pe) {
+		return pe.Line, pe.Col, pe.Msg
+	}
+	return 0, 0, err.Error()
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	severityRank := map[Severity]int{SeverityError: 0, SeverityWarn: 1, SeverityInfo: 2}
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if severityRank[a.Severity] != severityRank[b.Severity] {
+			return severityRank[a.Severity] < severityRank[b.Severity]
+		}
+		if a.Check != b.Check {
+			return a.Check < b.Check
+		}
+		return a.Message < b.Message
+	})
+}

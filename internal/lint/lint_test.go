@@ -1,0 +1,304 @@
+package lint
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// find returns the diagnostics with the given check ID.
+func find(r *Report, check string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if d.Check == check {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestVetCleanSetting(t *testing.T) {
+	src := "setting clean\n" +
+		"source E/2\n" +
+		"target H/2\n" +
+		"st: E(x,y) -> H(x,y)\n" +
+		"ts: H(x,y) -> E(x,y)\n"
+	r := Vet(src, "clean.pde")
+	if len(r.Diagnostics) != 0 {
+		t.Fatalf("clean setting produced diagnostics: %v", r.Diagnostics)
+	}
+	if r.HasErrors() {
+		t.Error("HasErrors on empty report")
+	}
+}
+
+// TestVetNonCtract is the acceptance scenario: on a setting outside
+// C_tract, vet names the violating head atom and the marked-variable
+// pair, positioned at the atom in the file.
+func TestVetNonCtract(t *testing.T) {
+	// The marked variables x and y (both at marked position P.0) co-occur
+	// in the head conjunct S(x, y) but in different body conjuncts, so
+	// neither 2.2(a) nor 2.2(b) holds; condition 2.1 fails too (two body
+	// literals).
+	src := "setting nonctract\n" +
+		"source D/1, S/2\n" +
+		"target P/2\n" +
+		"st: D(c) -> exists z: P(z, c)\n" +
+		"ts: P(x, c), P(y, c2) -> S(x, y)\n"
+	r := Vet(src, "nonctract.pde")
+	diags := find(r, "ctract-cond-2.2")
+	if len(diags) != 1 {
+		t.Fatalf("ctract-cond-2.2 diagnostics = %v, want exactly one", r.Diagnostics)
+	}
+	d := diags[0]
+	if d.Severity != SeverityWarn {
+		t.Errorf("severity = %s, want warn", d.Severity)
+	}
+	// The violating head atom S(x, y) sits on line 5 at column 26.
+	if d.Line != 5 || d.Col != 26 {
+		t.Errorf("position = %d:%d, want 5:26", d.Line, d.Col)
+	}
+	if d.Witness == nil || d.Witness.Atom != "S(x, y)" {
+		t.Fatalf("witness = %+v, want atom S(x, y)", d.Witness)
+	}
+	if got := d.Witness.Vars; len(got) != 2 || got[0] != "x" || got[1] != "y" {
+		t.Errorf("witness vars = %v, want [x y]", got)
+	}
+	if len(d.Witness.Chains) != 2 {
+		t.Errorf("witness chains = %+v, want provenance for both variables", d.Witness.Chains)
+	}
+	for _, c := range d.Witness.Chains {
+		if len(c.MarkedBy) != 1 || c.MarkedBy[0] != "st1" {
+			t.Errorf("chain %+v not marked by st1", c)
+		}
+	}
+	if !strings.Contains(d.String(), "nonctract.pde:5:26: warn: ") {
+		t.Errorf("String() = %q lacks file:line:col prefix", d.String())
+	}
+	if r.HasErrors() {
+		t.Error("warnings must not count as errors")
+	}
+}
+
+func TestVetWellformedErrors(t *testing.T) {
+	src := "source E/2, E/2\n" +
+		"target H/2\n" +
+		"st: E(x,y,w) -> G(x,y)\n" +
+		"ts: H(x,y) -> E(x,y)\n"
+	r := Vet(src, "bad.pde")
+	if !r.HasErrors() {
+		t.Fatalf("no errors reported: %v", r.Diagnostics)
+	}
+	if d := find(r, "duplicate-relation"); len(d) != 1 || d[0].Line != 1 || d[0].Col != 13 {
+		t.Errorf("duplicate-relation = %v, want one at 1:13", d)
+	}
+	if d := find(r, "arity-mismatch"); len(d) != 1 || d[0].Line != 3 || d[0].Col != 5 {
+		t.Errorf("arity-mismatch = %v, want one at 3:5", d)
+	}
+	if d := find(r, "undeclared-relation"); len(d) != 1 || d[0].Line != 3 || d[0].Col != 17 {
+		t.Errorf("undeclared-relation = %v, want one at 3:17", d)
+	}
+}
+
+func TestVetSchemaOverlap(t *testing.T) {
+	src := "source E/2\n" +
+		"target E/2\n" +
+		"st: E(x,y) -> E(x,y)\n" +
+		"ts: E(x,y) -> E(x,y)\n"
+	r := Vet(src, "overlap.pde")
+	d := find(r, "schema-overlap")
+	if len(d) != 1 || d[0].Line != 2 || d[0].Col != 8 {
+		t.Fatalf("schema-overlap = %v, want one at 2:8", d)
+	}
+}
+
+func TestVetWeakAcyclicityWitness(t *testing.T) {
+	src := "source E/2\n" +
+		"target H/2\n" +
+		"st: E(x,y) -> H(x,y)\n" +
+		"ts: H(x,y) -> E(x,y)\n" +
+		"t: H(x,y) -> exists z: H(y,z)\n"
+	r := Vet(src, "cyclic.pde")
+	d := find(r, "weak-acyclicity")
+	if len(d) != 1 {
+		t.Fatalf("weak-acyclicity = %v, want exactly one", r.Diagnostics)
+	}
+	if !strings.Contains(d[0].Message, "H.1 →̂ H.1") {
+		t.Errorf("message %q lacks the rendered cycle", d[0].Message)
+	}
+	if d[0].Line != 5 {
+		t.Errorf("position line = %d, want 5 (the t: line)", d[0].Line)
+	}
+	if d[0].Witness == nil || len(d[0].Witness.Cycle) == 0 {
+		t.Errorf("witness = %+v, want a cycle", d[0].Witness)
+	}
+	if tc := find(r, "ctract-target-constraints"); len(tc) != 1 {
+		t.Errorf("ctract-target-constraints = %v, want one (Σt nonempty)", tc)
+	}
+}
+
+func TestVetDeadcode(t *testing.T) {
+	src := "source E/2, U/1\n" +
+		"target H/2, Z/2\n" +
+		"st: E(x,y) -> H(x,y)\n" +
+		"ts: Z(x,y) -> E(x,y)\n"
+	r := Vet(src, "dead.pde")
+	d := find(r, "unused-relation")
+	if len(d) != 1 || d[0].Witness == nil || d[0].Witness.Relation != "U" {
+		t.Fatalf("unused-relation = %v, want exactly U", d)
+	}
+	if d[0].Line != 1 || d[0].Col != 13 {
+		t.Errorf("unused-relation position = %d:%d, want 1:13", d[0].Line, d[0].Col)
+	}
+	u := find(r, "unfirable-tgd")
+	if len(u) != 1 || u[0].Witness == nil || u[0].Witness.TGD != "ts1" || u[0].Witness.Relation != "Z" {
+		t.Fatalf("unfirable-tgd = %v, want ts1 blocked on Z", u)
+	}
+}
+
+func TestVetDeadcodeThroughTargetTGDs(t *testing.T) {
+	// Z is reachable only through the target tgd t1, so ts1 can fire.
+	src := "source E/2\n" +
+		"target H/2, Z/2\n" +
+		"st: E(x,y) -> H(x,y)\n" +
+		"t: H(x,y) -> Z(y,x)\n" +
+		"ts: Z(x,y) -> E(x,y)\n"
+	r := Vet(src, "reach.pde")
+	if u := find(r, "unfirable-tgd"); len(u) != 0 {
+		t.Fatalf("unfirable-tgd = %v, want none (Z reachable via t1)", u)
+	}
+}
+
+func TestVetRedundantTGD(t *testing.T) {
+	src := "source E/2\n" +
+		"target H/2\n" +
+		"st: E(x,y) -> H(x,y)\n" +
+		"ts: H(x,y) -> E(x,y)\n" +
+		"ts: H(x,y), H(y,z) -> exists w: E(x,w)\n"
+	r := Vet(src, "red.pde")
+	d := find(r, "redundant-tgd")
+	if len(d) != 1 {
+		t.Fatalf("redundant-tgd = %v, want exactly one", r.Diagnostics)
+	}
+	w := d[0].Witness
+	if w == nil || w.TGD != "ts2" || len(w.ImpliedBy) != 1 || w.ImpliedBy[0] != "ts1" {
+		t.Fatalf("witness = %+v, want ts2 implied by [ts1]", w)
+	}
+	if d[0].Severity != SeverityInfo {
+		t.Errorf("severity = %s, want info", d[0].Severity)
+	}
+	if d[0].Line != 5 {
+		t.Errorf("line = %d, want 5", d[0].Line)
+	}
+}
+
+func TestVetRedundantNotOverReported(t *testing.T) {
+	// Neither tgd implies the other: different head relations.
+	src := "source E/2, F/2\n" +
+		"target H/2\n" +
+		"st: E(x,y) -> H(x,y)\n" +
+		"ts: H(x,y) -> E(x,y)\n" +
+		"ts: H(x,y) -> F(x,y)\n"
+	r := Vet(src, "indep.pde")
+	if d := find(r, "redundant-tgd"); len(d) != 0 {
+		t.Fatalf("redundant-tgd = %v, want none", d)
+	}
+}
+
+func TestVetImplicitExists(t *testing.T) {
+	src := "source E/2\n" +
+		"target H/2\n" +
+		"st: E(x,y) -> H(x,w)\n" +
+		"ts: H(x,y) -> E(x,y)\n"
+	r := Vet(src, "impl.pde")
+	d := find(r, "implicit-exists")
+	if len(d) != 1 || d[0].Severity != SeverityInfo {
+		t.Fatalf("implicit-exists = %v, want one info", d)
+	}
+	if d[0].Witness == nil || len(d[0].Witness.Vars) != 1 || d[0].Witness.Vars[0] != "w" {
+		t.Errorf("witness = %+v, want var w", d[0].Witness)
+	}
+}
+
+func TestVetParseError(t *testing.T) {
+	r := Vet("sauce E/2\n", "syntax.pde")
+	if len(r.Diagnostics) != 1 || r.Diagnostics[0].Check != "parse-error" {
+		t.Fatalf("diagnostics = %v, want a single parse-error", r.Diagnostics)
+	}
+	if r.Diagnostics[0].Line != 1 {
+		t.Errorf("parse-error line = %d, want 1", r.Diagnostics[0].Line)
+	}
+	if !r.HasErrors() {
+		t.Error("parse errors must count as errors")
+	}
+}
+
+func TestVetJSONRoundTrip(t *testing.T) {
+	src := "source D/1, S/2\n" +
+		"target P/2\n" +
+		"st: D(c) -> exists z: P(z, c)\n" +
+		"ts: P(x, c), P(y, c2) -> S(x, y)\n" +
+		"t: P(x,y) -> exists w: P(y,w)\n"
+	r := Vet(src, "round.pde")
+	if len(r.Diagnostics) == 0 {
+		t.Fatal("expected diagnostics to round-trip")
+	}
+	blob, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(*r, back) {
+		t.Errorf("round trip changed the report:\n%+v\nvs\n%+v", *r, back)
+	}
+}
+
+func TestVetDeterministic(t *testing.T) {
+	src := "source E/2, E/2, U/1\n" +
+		"target H/2, Z/2\n" +
+		"st: E(x,y) -> H(x,w)\n" +
+		"ts: Z(x,y) -> E(x,y)\n" +
+		"ts: H(x,y) -> exists v: E(x,v)\n" +
+		"t: H(x,y) -> exists z: H(y,z)\n"
+	first, err := json.Marshal(Vet(src, "det.pde"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		again, _ := json.Marshal(Vet(src, "det.pde"))
+		if string(first) != string(again) {
+			t.Fatalf("vet output not byte-stable:\n%s\nvs\n%s", first, again)
+		}
+	}
+}
+
+func TestAnalyzersDeclareTheirChecks(t *testing.T) {
+	declared := make(map[string]bool)
+	for _, a := range Analyzers() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incompletely registered", a)
+		}
+		for _, c := range a.Checks {
+			if declared[c] {
+				t.Errorf("check %s declared by two analyzers", c)
+			}
+			declared[c] = true
+		}
+	}
+	// Every check a vet run can emit must be declared by its analyzer.
+	srcs := []string{
+		"source E/2, E/2\ntarget E/2\nst: E(x,y,z) -> G(x,w)\nts: E(x,y) -> E(x,y)\nt: E(x,y), E(x,y) -> x = y\n",
+		"source D/1, S/2\ntarget P/2\nst: D(c) -> exists z: P(z, c)\nts: P(x, c), P(y, c2) -> S(x, y)\nts: P(x, c) -> S(x, x)\n",
+	}
+	for _, src := range srcs {
+		for _, d := range Vet(src, "x.pde").Diagnostics {
+			if !declared[d.Check] && d.Check != "parse-error" {
+				t.Errorf("emitted check %s is not declared by any analyzer", d.Check)
+			}
+		}
+	}
+}

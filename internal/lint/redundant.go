@@ -1,0 +1,131 @@
+package lint
+
+import (
+	"strings"
+
+	"repro/internal/dep"
+	"repro/internal/hom"
+	"repro/internal/rel"
+)
+
+// redundantAnalyzer finds t-s tgds that are logically implied by the
+// other t-s tgds, via the standard freezing test: freeze the candidate's
+// body into a canonical target instance, fire the remaining t-s tgds
+// over it once (their heads land in the source schema, so no chaining is
+// possible), and ask whether the frozen head is already entailed. A hit
+// means the dependency adds no constraint and can be dropped.
+var redundantAnalyzer = &Analyzer{
+	Name:   "redundant",
+	Doc:    "t-s tgds implied by the other t-s tgds",
+	Checks: []string{"redundant-tgd"},
+	Run:    runRedundant,
+}
+
+func runRedundant(p *Pass) {
+	ts := p.Setting.TS
+	if len(ts) < 2 {
+		return
+	}
+	for i, d := range ts {
+		frozen, binding := freezeBody(d)
+		// Derive, per other tgd, the source facts it forces on the
+		// frozen target instance.
+		var derived []*rel.Instance
+		var labels []string
+		for j, e := range ts {
+			if j == i {
+				continue
+			}
+			derived = append(derived, applyOnce(e, frozen))
+			labels = append(labels, e.Label)
+		}
+		impliedBy := implies(d, derived, labels, binding)
+		if impliedBy == nil {
+			continue
+		}
+		p.Report(Diagnostic{
+			Check:    "redundant-tgd",
+			Severity: SeverityInfo,
+			Line:     d.Span.Line,
+			Col:      d.Span.Col,
+			Message: d.Label + " is implied by " + strings.Join(impliedBy, ", ") +
+				" and can be removed without changing the set of solutions",
+			Witness: &Witness{TGD: d.Label, ImpliedBy: impliedBy},
+		})
+	}
+}
+
+// implies reports which other t-s tgds entail the candidate's head over
+// its frozen body: first each single tgd (for a minimal witness), then
+// all of them jointly.
+func implies(d dep.TGD, derived []*rel.Instance, labels []string, binding hom.Binding) []string {
+	for j, inst := range derived {
+		if hom.Exists(d.Head, inst, binding, hom.Options{}) {
+			return []string{labels[j]}
+		}
+	}
+	if len(derived) < 2 {
+		return nil
+	}
+	joint := rel.NewInstance()
+	for _, inst := range derived {
+		joint.AddAll(inst)
+	}
+	if hom.Exists(d.Head, joint, binding, hom.Options{}) {
+		return append([]string(nil), labels...)
+	}
+	return nil
+}
+
+// freezeBody builds the canonical instance of a tgd body: every
+// variable becomes a distinct frozen constant (prefixed so it cannot
+// collide with user constants), every constant stays itself.
+func freezeBody(d dep.TGD) (*rel.Instance, hom.Binding) {
+	inst := rel.NewInstance()
+	binding := hom.Binding{}
+	for _, a := range d.Body {
+		tuple := make(rel.Tuple, len(a.Args))
+		for k, t := range a.Args {
+			if t.IsConst {
+				tuple[k] = rel.Const(t.Name)
+				continue
+			}
+			v, ok := binding[t.Name]
+			if !ok {
+				v = rel.Const("\x00frz:" + t.Name)
+				binding[t.Name] = v
+			}
+			tuple[k] = v
+		}
+		inst.AddTuple(a.Rel, tuple)
+	}
+	return inst, binding
+}
+
+// applyOnce fires a t-s tgd over the target instance, materializing its
+// head (with fresh nulls for existentials) for every body match.
+func applyOnce(e dep.TGD, target *rel.Instance) *rel.Instance {
+	out := rel.NewInstance()
+	var nulls rel.NullSource
+	hom.ForEach(e.Body, target, nil, hom.Options{}, func(b hom.Binding) bool {
+		for _, a := range e.Head {
+			tuple := make(rel.Tuple, len(a.Args))
+			for k, t := range a.Args {
+				switch {
+				case t.IsConst:
+					tuple[k] = rel.Const(t.Name)
+				default:
+					v, ok := b[t.Name]
+					if !ok {
+						v = nulls.Fresh()
+						b[t.Name] = v
+					}
+					tuple[k] = v
+				}
+			}
+			out.AddTuple(a.Rel, tuple)
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/dep"
+	"repro/internal/rel"
+)
+
+// wellformedAnalyzer re-checks everything core.Setting.Validate checks —
+// but with source positions, and without stopping at the first problem —
+// plus a few shape warnings Validate is silent about.
+var wellformedAnalyzer = &Analyzer{
+	Name: "wellformed",
+	Doc:  "schema and dependency well-formedness with positions",
+	Checks: []string{
+		"duplicate-relation", "schema-overlap", "undeclared-relation",
+		"arity-mismatch", "egd-unbound-var", "duplicate-atom", "implicit-exists",
+	},
+	Run: runWellformed,
+}
+
+func runWellformed(p *Pass) {
+	s := p.Setting
+
+	for _, d := range p.Info.DeclDiags {
+		sev := SeverityWarn
+		if d.Conflict {
+			sev = SeverityError
+		}
+		p.Reportf("duplicate-relation", sev, d.Span, "%s", d.Msg)
+	}
+
+	for _, name := range s.Source.Relations() {
+		if s.Target.Has(name) {
+			span := p.Info.TargetDecls[name]
+			p.Report(Diagnostic{
+				Check:    "schema-overlap",
+				Severity: SeverityError,
+				Line:     span.Line,
+				Col:      span.Col,
+				Message:  fmt.Sprintf("relation %s is declared in both the source and the target schema; peer schemas must be disjoint", name),
+				Witness:  &Witness{Relation: name},
+			})
+		}
+	}
+
+	for _, d := range s.ST {
+		p.checkAtoms(d.Label, d.Body, s.Source, "source")
+		p.checkAtoms(d.Label, d.Head, s.Target, "target")
+		p.checkShape(d)
+	}
+	for _, d := range s.TS {
+		p.checkAtoms(d.Label, d.Body, s.Target, "target")
+		p.checkAtoms(d.Label, d.Head, s.Source, "source")
+		p.checkShape(d)
+	}
+	for _, d := range s.TSDisj {
+		p.checkAtoms(d.Label, d.Body, s.Target, "target")
+		for _, disj := range d.Disjuncts {
+			p.checkAtoms(d.Label, disj, s.Source, "source")
+		}
+	}
+	for _, td := range s.T {
+		switch d := td.(type) {
+		case dep.TGD:
+			p.checkAtoms(d.Label, d.Body, s.Target, "target")
+			p.checkAtoms(d.Label, d.Head, s.Target, "target")
+			p.checkShape(d)
+		case dep.EGD:
+			p.checkAtoms(d.Label, d.Body, s.Target, "target")
+			vars := make(map[string]bool)
+			for _, a := range d.Body {
+				for _, t := range a.Args {
+					if !t.IsConst {
+						vars[t.Name] = true
+					}
+				}
+			}
+			for _, v := range []string{d.Left, d.Right} {
+				if !vars[v] {
+					p.Report(Diagnostic{
+						Check:    "egd-unbound-var",
+						Severity: SeverityError,
+						Line:     d.Span.Line,
+						Col:      d.Span.Col,
+						Message:  fmt.Sprintf("egd %s equates variable %s that does not occur in its body", d.Label, v),
+						Witness:  &Witness{TGD: d.Label, Vars: []string{v}},
+					})
+				}
+			}
+		}
+	}
+}
+
+// checkAtoms verifies that every atom names a declared relation of the
+// expected schema with the declared arity.
+func (p *Pass) checkAtoms(label string, atoms []dep.Atom, schema *rel.Schema, side string) {
+	for _, a := range atoms {
+		ar, ok := schema.Arity(a.Rel)
+		if !ok {
+			p.Report(Diagnostic{
+				Check:    "undeclared-relation",
+				Severity: SeverityError,
+				Line:     a.Span.Line,
+				Col:      a.Span.Col,
+				Message:  fmt.Sprintf("%s: relation %s is not declared in the %s schema {%s}", label, a.Rel, side, schema),
+				Witness:  &Witness{TGD: label, Atom: a.String(), Relation: a.Rel},
+			})
+			continue
+		}
+		if ar != len(a.Args) {
+			p.Report(Diagnostic{
+				Check:    "arity-mismatch",
+				Severity: SeverityError,
+				Line:     a.Span.Line,
+				Col:      a.Span.Col,
+				Message:  fmt.Sprintf("%s: atom %s has %d argument(s), but relation %s is declared with arity %d", label, a, len(a.Args), a.Rel, ar),
+				Witness:  &Witness{TGD: label, Atom: a.String(), Relation: a.Rel},
+			})
+		}
+	}
+}
+
+// checkShape flags duplicate body conjuncts and implicitly existential
+// head variables of a tgd.
+func (p *Pass) checkShape(d dep.TGD) {
+	seen := make(map[string]bool, len(d.Body))
+	for _, a := range d.Body {
+		key := a.String()
+		if seen[key] {
+			p.Report(Diagnostic{
+				Check:    "duplicate-atom",
+				Severity: SeverityWarn,
+				Line:     a.Span.Line,
+				Col:      a.Span.Col,
+				Message:  fmt.Sprintf("%s: duplicate body conjunct %s", d.Label, a),
+				Witness:  &Witness{TGD: d.Label, Atom: a.String()},
+			})
+		}
+		seen[key] = true
+	}
+	if ex := d.ExistentialVars(); len(ex) > 0 && !d.ExplicitExists {
+		// Head variables absent from the body are existential either
+		// way, but an explicit clause distinguishes intent from typo.
+		atom := headAtomWith(d.Head, ex[0])
+		p.Report(Diagnostic{
+			Check:    "implicit-exists",
+			Severity: SeverityInfo,
+			Line:     atom.Span.Line,
+			Col:      atom.Span.Col,
+			Message: fmt.Sprintf("%s: head variable(s) %s do not occur in the body and are implicitly existential; write 'exists %s:' to make the quantification explicit",
+				d.Label, strings.Join(ex, ", "), strings.Join(ex, ", ")),
+			Witness: &Witness{TGD: d.Label, Atom: atom.String(), Vars: ex},
+		})
+	}
+}
+
+// headAtomWith returns the first head atom containing the variable,
+// falling back to the first head atom.
+func headAtomWith(head []dep.Atom, v string) dep.Atom {
+	for _, a := range head {
+		for _, t := range a.Args {
+			if !t.IsConst && t.Name == v {
+				return a
+			}
+		}
+	}
+	if len(head) > 0 {
+		return head[0]
+	}
+	return dep.Atom{}
+}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dep"
 	"repro/internal/depparse"
+	"repro/internal/lint"
 	"repro/internal/rel"
 )
 
@@ -73,6 +74,20 @@ type (
 	SolveOptions = core.SolveOptions
 	// TractableOptions configures the Figure 3 algorithm.
 	TractableOptions = core.TractableOptions
+	// VetReport is the result of a static-analysis pass over a setting.
+	VetReport = lint.Report
+	// Diagnostic is one vet finding with a stable check ID, a severity,
+	// a file:line:col position, and a machine-readable witness.
+	Diagnostic = lint.Diagnostic
+	// Severity grades a diagnostic: error, warn, or info.
+	Severity = lint.Severity
+)
+
+// The vet severity levels.
+const (
+	SeverityError = lint.SeverityError
+	SeverityWarn  = lint.SeverityWarn
+	SeverityInfo  = lint.SeverityInfo
 )
 
 // Const returns the constant with the given text.
@@ -105,6 +120,14 @@ func FormatSetting(s *Setting) string { return depparse.FormatSetting(s) }
 // Classify reports whether the setting belongs to the tractable class
 // C_tract of Definition 9, with explanations.
 func Classify(s *Setting) CtractReport { return s.Classify() }
+
+// Vet runs the static-analysis pipeline over the text of a setting and
+// returns positioned diagnostics: well-formedness errors, lost-guarantee
+// warnings (outside C_tract, target tgds not weakly acyclic), and
+// dead-weight findings. The file name is only used to label diagnostics.
+// Parse failures are reported as a "parse-error" diagnostic, never as a
+// Go error.
+func Vet(src, file string) *VetReport { return lint.Vet(src, file) }
 
 // Strategy names the algorithm ExistsSolution selected.
 type Strategy string
