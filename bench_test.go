@@ -166,7 +166,7 @@ func BenchmarkTractableLAV(b *testing.B) {
 // full-Σst family.
 func BenchmarkTractableFullST(b *testing.B) {
 	s := workload.FullSTSetting()
-	for _, n := range []int{50, 100, 200} {
+	for _, n := range []int{50, 100, 200, 400} {
 		rng := rand.New(rand.NewSource(7))
 		i, j := workload.FullSTInstance(n, true, rng)
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
@@ -543,6 +543,37 @@ func BenchmarkAblationNaiveEnumeration(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkAblationParallel (EXP-PAR) compares the serial and parallel
+// execution of the Figure 3 algorithm on the two Theorem 4 acceptance
+// workloads at growing worker counts. Results are byte-identical across
+// the sub-benchmarks; only wall-clock changes. On a single-core host
+// the w>1 rows measure the overhead of the worker pool rather than a
+// speedup.
+func BenchmarkAblationParallel(b *testing.B) {
+	type bench struct {
+		name string
+		s    *core.Setting
+		i, j *rel.Instance
+	}
+	lavI, lavJ := workload.LAVInstance(1600, true, rand.New(rand.NewSource(7)))
+	fstI, fstJ := workload.FullSTInstance(400, true, rand.New(rand.NewSource(7)))
+	for _, w := range []bench{
+		{"lav/n=1600", workload.LAVSetting(), lavI, lavJ},
+		{"fullst/n=400", workload.FullSTSetting(), fstI, fstJ},
+	} {
+		for _, workers := range []int{1, 2, 4} {
+			b.Run(fmt.Sprintf("%s/workers=%d", w.name, workers), func(b *testing.B) {
+				for it := 0; it < b.N; it++ {
+					ok, _, err := core.ExistsSolutionTractable(w.s, w.i, w.j, core.TractableOptions{Parallelism: workers})
+					if err != nil || !ok {
+						b.Fatalf("ok=%v err=%v", ok, err)
+					}
+				}
+			})
+		}
 	}
 }
 

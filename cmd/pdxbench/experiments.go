@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"text/tabwriter"
 	"time"
 
@@ -37,6 +38,7 @@ func allExperiments() []experiment {
 		{"EXP-L2", "Lemma 2: small solutions extracted from bloated ones", expSmallSolutions},
 		{"EXP-WA", "Definition 5: weakly acyclic chase terminates; cyclic chase does not", expWeakAcyclicity},
 		{"EXP-RANK", "Substrate: position ranks bound the chase length (Fagin et al.)", expRanks},
+		{"EXP-PAR", "Substrate: serial vs parallel Figure 3 — speedup vs workers", expParallel},
 		{"EXP-EGD", "Section 4 boundary: a single target egd is NP-hard", expBoundaryEgd},
 		{"EXP-FULLT", "Section 4 boundary: a single full target tgd is NP-hard", expBoundaryFullTgd},
 		{"EXP-3COL", "Section 4 boundary: disjunctive Σts encodes 3-colorability", expThreeCol},
@@ -267,6 +269,52 @@ func tractableSweep(w io.Writer, s *core.Setting, gen func(int, bool, *rand.Rand
 			}
 			fmt.Fprintf(tw, "%d\t%v\t%v\t%d\t%d\t%s\n",
 				n, solvable, got, trace.ICan.NumFacts(), trace.MaxBlockNulls, d.Round(time.Microsecond))
+		}
+	}
+	return tw.Flush()
+}
+
+// expParallel measures the Figure 3 algorithm at growing worker counts
+// on the two Theorem 4 acceptance workloads (EXP-PAR). The parallel
+// runs produce byte-identical traces — the experiment verifies that —
+// so the table isolates pure wall-clock effects of the worker pool.
+// Speedups require cores: on GOMAXPROCS=1 hosts, expect ~1.0x.
+func expParallel(w io.Writer) error {
+	fmt.Fprintf(w, "GOMAXPROCS=%d NumCPU=%d\n", runtime.GOMAXPROCS(0), runtime.NumCPU())
+	type wl struct {
+		name string
+		s    *core.Setting
+		i, j *rel.Instance
+	}
+	lavI, lavJ := workload.LAVInstance(1600, true, rand.New(rand.NewSource(7)))
+	fstI, fstJ := workload.FullSTInstance(400, true, rand.New(rand.NewSource(7)))
+	tw := table(w)
+	fmt.Fprintln(tw, "workload\tworkers\ttime\tspeedup")
+	for _, c := range []wl{
+		{"lav n=1600", workload.LAVSetting(), lavI, lavJ},
+		{"full-st n=400", workload.FullSTSetting(), fstI, fstJ},
+	} {
+		var serial time.Duration
+		var refTrace *core.TractableTrace
+		for _, workers := range []int{1, 2, 4} {
+			var trace *core.TractableTrace
+			var err error
+			var ok bool
+			d := timed(func() {
+				ok, trace, err = core.ExistsSolutionTractable(c.s, c.i, c.j, core.TractableOptions{Parallelism: workers})
+			})
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return fmt.Errorf("EXP-PAR: %s rejected at workers=%d", c.name, workers)
+			}
+			if workers == 1 {
+				serial, refTrace = d, trace
+			} else if trace.Blocks != refTrace.Blocks || trace.StepsST != refTrace.StepsST || trace.StepsTS != refTrace.StepsTS {
+				return fmt.Errorf("EXP-PAR: %s trace diverged at workers=%d", c.name, workers)
+			}
+			fmt.Fprintf(tw, "%s\t%d\t%s\t%.2fx\n", c.name, workers, d.Round(time.Microsecond), float64(serial)/float64(d))
 		}
 	}
 	return tw.Flush()

@@ -5,9 +5,11 @@
 //
 // Usage:
 //
-//	pdxbench              # run all experiments
-//	pdxbench -exp EXP-T3  # run one experiment
-//	pdxbench -list        # list experiment ids
+//	pdxbench                        # run all experiments
+//	pdxbench -exp EXP-T3            # run one experiment
+//	pdxbench -experiment EXP-T3     # same, long spelling
+//	pdxbench -list                  # list experiment ids
+//	pdxbench -exp EXP-PAR -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
@@ -15,6 +17,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 )
 
 type experiment struct {
@@ -24,17 +28,58 @@ type experiment struct {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole program so profile-flushing defers execute on
+// every exit path (os.Exit in main would skip them).
+func run() int {
 	expID := flag.String("exp", "", "run a single experiment by id (default: all)")
+	expLong := flag.String("experiment", "", "alias for -exp")
 	list := flag.Bool("list", false, "list experiment ids and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
 	flag.Parse()
+	if *expID == "" {
+		*expID = *expLong
+	}
 
 	exps := allExperiments()
 	if *list {
 		for _, e := range exps {
 			fmt.Printf("%-12s %s\n", e.ID, e.Title)
 		}
-		return
+		return 0
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pdxbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "pdxbench: -cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pdxbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize a settled heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "pdxbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	ran := 0
 	for _, e := range exps {
 		if *expID != "" && e.ID != *expID {
@@ -44,12 +89,13 @@ func main() {
 		fmt.Printf("== %s — %s ==\n", e.ID, e.Title)
 		if err := e.Run(os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "pdxbench: %s: %v\n", e.ID, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println()
 	}
 	if ran == 0 {
 		fmt.Fprintf(os.Stderr, "pdxbench: unknown experiment %q (use -list)\n", *expID)
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

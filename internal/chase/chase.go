@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/dep"
 	"repro/internal/hom"
+	"repro/internal/par"
 	"repro/internal/rel"
 )
 
@@ -71,6 +72,17 @@ type Options struct {
 	Nulls *rel.NullSource
 	// Hom configures the homomorphism searches.
 	Hom hom.Options
+	// Parallelism bounds the workers used for trigger search: 0 means
+	// GOMAXPROCS, 1 forces the serial path. Triggers for the
+	// dependencies of a round are collected in parallel against the
+	// round-start instance and applied serially, so restricted-chase
+	// semantics, step counts, and fresh-null labels are byte-identical
+	// to the serial chase at every setting. When nonzero it overrides
+	// Hom.Parallelism for the searches the chase issues.
+	Parallelism int
+	// Seed perturbs parallel work distribution (never results); when
+	// nonzero it overrides Hom.Seed.
+	Seed int64
 }
 
 // Result reports the outcome of a chase run.
@@ -94,6 +106,19 @@ func (o Options) maxSteps() int {
 	return DefaultMaxSteps
 }
 
+// homOpts folds the chase-level parallelism knobs into the hom options
+// used for trigger search.
+func (o Options) homOpts() hom.Options {
+	h := o.Hom
+	if o.Parallelism != 0 {
+		h.Parallelism = o.Parallelism
+	}
+	if o.Seed != 0 {
+		h.Seed = o.Seed
+	}
+	return h
+}
+
 func (o Options) nulls(start *rel.Instance) *rel.NullSource {
 	if o.Nulls != nil {
 		return o.Nulls
@@ -115,6 +140,7 @@ func Run(start *rel.Instance, deps []dep.Dependency, opts Options) (*Result, err
 	st := &state{
 		inst:   start.Clone(),
 		opts:   opts,
+		hom:    opts.homOpts(),
 		nulls:  opts.nulls(start),
 		budget: opts.maxSteps(),
 	}
@@ -139,6 +165,7 @@ func RunSolutionAware(start *rel.Instance, deps []dep.Dependency, witness *rel.I
 	st := &state{
 		inst:   start.Clone(),
 		opts:   opts,
+		hom:    opts.homOpts(),
 		nulls:  opts.nulls(start),
 		budget: opts.maxSteps(),
 	}
@@ -151,6 +178,7 @@ func RunSolutionAware(start *rel.Instance, deps []dep.Dependency, witness *rel.I
 type state struct {
 	inst   *rel.Instance
 	opts   Options
+	hom    hom.Options // resolved homOpts(), applied to every search
 	nulls  *rel.NullSource
 	budget int
 	steps  int
@@ -175,15 +203,34 @@ func (st *state) run(deps []dep.Dependency, witness *rel.Instance) (*Result, err
 // round applies one pass over all dependencies, firing every applicable
 // trigger found against the instance as it evolves. It reports whether
 // any step was applied.
+//
+// When running parallel, the triggers of every tgd in the round are
+// speculatively collected up front against the round-start instance
+// (see speculate); the speculation stays valid exactly as long as no
+// step has fired, so each dependency either consumes its precomputed
+// list or — once the instance has changed — re-collects against the
+// current instance, exactly as the serial chase does. Either way the
+// steps applied, their order, and the fresh nulls drawn are
+// byte-identical to the serial chase.
 func (st *state) round(deps []dep.Dependency, witness *rel.Instance) (progressed, failed bool, failedOn string, err error) {
-	for _, d := range deps {
+	spec := st.speculate(deps)
+	dirty := false
+	for di, d := range deps {
 		switch d := d.(type) {
 		case dep.TGD:
-			p, e := st.tgdPass(d, witness)
+			var triggers []hom.Binding
+			if spec != nil && !dirty {
+				triggers = spec[di]
+			} else {
+				triggers = st.collectTriggers(d)
+			}
+			p, e := st.fireTriggers(d, triggers, witness)
 			if e != nil {
 				return false, false, "", e
 			}
-			progressed = progressed || p
+			if p {
+				progressed, dirty = true, true
+			}
 		case dep.EGD:
 			p, f, e := st.egdPass(d)
 			if e != nil {
@@ -192,33 +239,70 @@ func (st *state) round(deps []dep.Dependency, witness *rel.Instance) (progressed
 			if f {
 				return progressed, true, d.Label, nil
 			}
-			progressed = progressed || p
+			if p {
+				progressed, dirty = true, true
+			}
 		default:
 			return false, false, "", fmt.Errorf("chase: unsupported dependency type %T", d)
 		}
 	}
-	return progressed, failed, failedOn, nil
+	return progressed, false, "", nil
 }
 
-// tgdPass collects the triggers of d against the current instance and
-// fires those still unsatisfied. Triggers are collected up front so the
-// enumeration never observes its own insertions; new triggers created by
-// the fired steps are picked up by the next round.
-func (st *state) tgdPass(d dep.TGD, witness *rel.Instance) (bool, error) {
-	uvars := d.UniversalVars()
-	var triggers []hom.Binding
-	hom.ForEach(d.Body, st.inst, nil, st.opts.Hom, func(b hom.Binding) bool {
-		if st.opts.Oblivious {
-			key := triggerKey(d.Label, uvars, b)
-			if st.fired[key] {
-				return true
-			}
-		} else if hom.Exists(d.Head, st.inst, restrict(b, uvars), st.opts.Hom) {
-			return true
+// speculate collects the triggers of every tgd in the round
+// concurrently against the round-start instance, which no worker
+// mutates. It returns nil when the round runs serially (degree 1, or
+// fewer than two tgds — a single tgd's search already fans out inside
+// Enumerate). A speculated list equals what a serial scan would collect
+// as long as the instance is unchanged; round discards the speculation
+// once any step fires.
+func (st *state) speculate(deps []dep.Dependency) [][]hom.Binding {
+	degree := par.Degree(st.hom.Parallelism)
+	if degree <= 1 {
+		return nil
+	}
+	idxs := make([]int, 0, len(deps))
+	for di, d := range deps {
+		if _, ok := d.(dep.TGD); ok {
+			idxs = append(idxs, di)
 		}
-		triggers = append(triggers, restrict(b, uvars))
-		return true
+	}
+	if len(idxs) < 2 {
+		return nil
+	}
+	spec := make([][]hom.Binding, len(deps))
+	par.Do(len(idxs), degree, st.hom.Seed, func(k int) {
+		di := idxs[k]
+		spec[di] = st.collectTriggers(deps[di].(dep.TGD))
 	})
+	return spec
+}
+
+// collectTriggers enumerates the triggers of d against the current
+// instance that were not already satisfied (restricted chase) or fired
+// (oblivious chase) at collection time. The enumeration and its
+// satisfaction checks fan out across workers inside hom.Enumerate; the
+// list comes back in the serial enumeration order. Collection only
+// reads st.inst and st.fired, so concurrent collections for different
+// dependencies are safe.
+func (st *state) collectTriggers(d dep.TGD) []hom.Binding {
+	uvars := d.UniversalVars()
+	if st.opts.Oblivious {
+		return hom.Enumerate(d.Body, st.inst, nil, st.hom, func(b hom.Binding) bool {
+			return !st.fired[triggerKey(d.Label, uvars, b)]
+		})
+	}
+	return hom.Enumerate(d.Body, st.inst, nil, st.hom, func(b hom.Binding) bool {
+		return !hom.Exists(d.Head, st.inst, b, st.hom)
+	})
+}
+
+// fireTriggers fires the collected triggers of d that are still
+// applicable, serially and in collection order. Triggers were collected
+// up front so the enumeration never observes its own insertions; new
+// triggers created by the fired steps are picked up by the next round.
+func (st *state) fireTriggers(d dep.TGD, triggers []hom.Binding, witness *rel.Instance) (bool, error) {
+	uvars := d.UniversalVars()
 	progressed := false
 	for _, b := range triggers {
 		if st.opts.Oblivious {
@@ -227,7 +311,7 @@ func (st *state) tgdPass(d dep.TGD, witness *rel.Instance) (bool, error) {
 				continue
 			}
 			st.fired[key] = true
-		} else if hom.Exists(d.Head, st.inst, b, st.opts.Hom) {
+		} else if hom.Exists(d.Head, st.inst, b, st.hom) {
 			// Re-check: an earlier firing in this pass may have
 			// satisfied this trigger (restricted chase).
 			continue
@@ -256,7 +340,7 @@ func (st *state) fire(d dep.TGD, b hom.Binding, witness *rel.Instance) error {
 			// Solution-aware step: extend the trigger homomorphism into
 			// the witness, which satisfies the tgd, so an extension is
 			// guaranteed when the trigger facts lie inside the witness.
-			w, ok := hom.FindOne(d.Head, witness, b, st.opts.Hom)
+			w, ok := hom.FindOne(d.Head, witness, b, st.hom)
 			if !ok {
 				return fmt.Errorf("chase: solution-aware step for %s found no witness extension; witness does not satisfy the tgds", d.Label)
 			}
@@ -278,7 +362,7 @@ func (st *state) egdPass(d dep.EGD) (progressed, failed bool, err error) {
 	for {
 		var l, r rel.Value
 		found := false
-		hom.ForEach(d.Body, st.inst, nil, st.opts.Hom, func(b hom.Binding) bool {
+		hom.ForEach(d.Body, st.inst, nil, st.hom, func(b hom.Binding) bool {
 			if b[d.Left] != b[d.Right] {
 				l, r = b[d.Left], b[d.Right]
 				found = true

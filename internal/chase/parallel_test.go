@@ -1,0 +1,109 @@
+package chase
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// TestChaseParallelMatchesSerial: on random weakly acyclic dependency
+// sets, the parallel chase produces a byte-identical Result — the same
+// instance (including null labels), step count, and failure report — as
+// the serial chase, at every parallelism level and seed, in both
+// restricted and oblivious mode.
+func TestChaseParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 60; trial++ {
+		deps := randomWeaklyAcyclicDeps(rng)
+		inst := randomLayerInstance(rng)
+		inst.Freeze()
+		for _, oblivious := range []bool{false, true} {
+			ref, refErr := Run(inst, deps, Options{Oblivious: oblivious, Parallelism: 1})
+			for _, par := range []int{2, 4} {
+				for _, seed := range []int64{0, 19} {
+					got, err := Run(inst, deps, Options{Oblivious: oblivious, Parallelism: par, Seed: seed})
+					if (refErr == nil) != (err == nil) {
+						t.Fatalf("trial %d obl=%v par=%d: err=%v, serial err=%v", trial, oblivious, par, err, refErr)
+					}
+					if refErr != nil {
+						continue
+					}
+					if got.Steps != ref.Steps || got.Failed != ref.Failed || got.FailedOn != ref.FailedOn {
+						t.Fatalf("trial %d obl=%v par=%d seed=%d: (steps=%d failed=%v on=%q), serial (steps=%d failed=%v on=%q)",
+							trial, oblivious, par, seed, got.Steps, got.Failed, got.FailedOn, ref.Steps, ref.Failed, ref.FailedOn)
+					}
+					if got.Instance.String() != ref.Instance.String() {
+						t.Fatalf("trial %d obl=%v par=%d seed=%d: instances differ\nparallel:\n%s\nserial:\n%s",
+							trial, oblivious, par, seed, got.Instance, ref.Instance)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestChaseSolutionAwareParallelMatchesSerial: the solution-aware chase
+// is byte-identical under parallelism too.
+func TestChaseSolutionAwareParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 30; trial++ {
+		deps := randomWeaklyAcyclicDeps(rng)
+		inst := randomLayerInstance(rng)
+		wres, err := Run(inst, deps, Options{})
+		if err != nil || wres.Failed {
+			continue
+		}
+		witness := wres.Instance
+		witness.Freeze()
+		inst.Freeze()
+		ref, refErr := RunSolutionAware(inst, deps, witness, Options{Parallelism: 1})
+		got, err := RunSolutionAware(inst, deps, witness, Options{Parallelism: 4})
+		if (refErr == nil) != (err == nil) {
+			t.Fatalf("trial %d: err=%v, serial err=%v", trial, err, refErr)
+		}
+		if refErr != nil {
+			continue
+		}
+		if got.Steps != ref.Steps || got.Instance.String() != ref.Instance.String() {
+			t.Fatalf("trial %d: parallel solution-aware chase diverged (steps %d vs %d)", trial, got.Steps, ref.Steps)
+		}
+	}
+}
+
+// TestChaseConcurrentStress: many goroutines chase the same frozen
+// start instance with the same dependencies concurrently; every run
+// must agree with the serial reference. Run under -race this validates
+// the freeze-after-build discipline end to end.
+func TestChaseConcurrentStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	deps := randomWeaklyAcyclicDeps(rng)
+	inst := randomLayerInstance(rng)
+	inst.Freeze()
+	ref, refErr := Run(inst, deps, Options{Parallelism: 1})
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make([]error, goroutines)
+	results := make([]*Result, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g], errs[g] = Run(inst, deps, Options{Parallelism: 2, Seed: int64(g)})
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if (refErr == nil) != (errs[g] == nil) {
+			t.Fatalf("goroutine %d: err=%v, serial err=%v", g, errs[g], refErr)
+		}
+		if refErr != nil {
+			continue
+		}
+		if results[g].Steps != ref.Steps || results[g].Instance.String() != ref.Instance.String() {
+			t.Fatalf("goroutine %d diverged from the serial chase", g)
+		}
+	}
+	if !inst.Frozen() {
+		t.Fatal("shared instance lost its frozen mark")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/chase"
 	"repro/internal/dep"
 	"repro/internal/hom"
+	"repro/internal/par"
 	"repro/internal/rel"
 )
 
@@ -27,6 +28,28 @@ type SolveOptions struct {
 	Naive bool
 	// MaxChaseSteps bounds each chase; 0 means the chase default.
 	MaxChaseSteps int
+	// Parallelism bounds the workers of the parallel phases (chase
+	// trigger search, the candidate-violation scan over the Σts
+	// dependencies): 0 means GOMAXPROCS, 1 forces the serial paths.
+	// Verdicts, witnesses, and search statistics are byte-identical at
+	// every setting. When nonzero it overrides Hom.Parallelism.
+	Parallelism int
+	// Seed perturbs parallel work distribution (never results); when
+	// nonzero it overrides Hom.Seed.
+	Seed int64
+}
+
+// homOpts folds the option-level parallelism knobs into the hom options
+// handed to the searches.
+func (o SolveOptions) homOpts() hom.Options {
+	h := o.Hom
+	if o.Parallelism != 0 {
+		h.Parallelism = o.Parallelism
+	}
+	if o.Seed != 0 {
+		h.Seed = o.Seed
+	}
+	return h
 }
 
 // SolveStats reports search effort.
@@ -105,6 +128,9 @@ func forEachImageSolution(s *Setting, i, j *rel.Instance, opts SolveOptions, fn 
 	if len(s.T) > 0 && !s.TargetTGDsWeaklyAcyclic() {
 		return nil, ErrUnsupportedTargetTGDs
 	}
+	// Resolve the parallelism knobs once; every downstream search reads
+	// opts.Hom.
+	opts.Hom = opts.homOpts()
 	nulls := &rel.NullSource{}
 	nulls.SeenIn(i)
 	nulls.SeenIn(j)
@@ -426,24 +452,43 @@ func (sv *imageSearch) levelAdds(k int) *[]rel.Fact {
 // into a constant). Returns nil when every trigger is satisfied.
 func (sv *imageSearch) newFactViolation(gf rel.Fact) []int {
 	pruneOnNulls := len(dep.EGDs(sv.s.T)) == 0
-	for _, d := range sv.s.TS {
-		d := d
-		if resp := sv.violatedTriggerThroughFact(d.Body, func(b hom.Binding) bool {
-			return sv.tsTriggerSatisfied(d, b)
-		}, gf, pruneOnNulls); resp != nil {
-			return resp
+	total := len(sv.s.TS) + len(sv.s.TSDisj)
+	// check runs the violation scan of the di-th dependency (Σts tgds
+	// first, then the disjunctive ones). It only reads search state, so
+	// the scans for different dependencies can run concurrently.
+	check := func(di int) []int {
+		if di < len(sv.s.TS) {
+			d := sv.s.TS[di]
+			return sv.violatedTriggerThroughFact(d.Body, func(b hom.Binding) bool {
+				return sv.tsTriggerSatisfied(d, b)
+			}, gf, pruneOnNulls)
 		}
-	}
-	for _, d := range sv.s.TSDisj {
-		d := d
-		if resp := sv.violatedTriggerThroughFact(d.Body, func(b hom.Binding) bool {
+		d := sv.s.TSDisj[di-len(sv.s.TS)]
+		return sv.violatedTriggerThroughFact(d.Body, func(b hom.Binding) bool {
 			for _, disj := range d.Disjuncts {
 				if hom.Exists(disj, sv.i, b, sv.opts.Hom) {
 					return true
 				}
 			}
 			return false
-		}, gf, pruneOnNulls); resp != nil {
+		}, gf, pruneOnNulls)
+	}
+	if degree := par.Degree(sv.opts.Hom.Parallelism); degree > 1 && total > 1 {
+		// Fan out per dependency; FirstReject returns the minimal
+		// violated index, so the responsibility set returned is the one
+		// the serial scan would find — backjumping stays deterministic.
+		resps := make([][]int, total)
+		idx := par.FirstReject(total, degree, func(di int) bool {
+			resps[di] = check(di)
+			return resps[di] == nil
+		})
+		if idx >= 0 {
+			return resps[idx]
+		}
+		return nil
+	}
+	for di := 0; di < total; di++ {
+		if resp := check(di); resp != nil {
 			return resp
 		}
 	}

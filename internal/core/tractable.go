@@ -46,6 +46,28 @@ type TractableOptions struct {
 	SkipCondition1Check bool
 	// MaxChaseSteps bounds each chase phase; 0 means the chase default.
 	MaxChaseSteps int
+	// Parallelism bounds the workers of the parallel phases (chase
+	// trigger search, per-block homomorphism checks): 0 means GOMAXPROCS,
+	// 1 forces the serial paths. The verdict and the whole trace are
+	// byte-identical at every setting. When nonzero it overrides
+	// Hom.Parallelism.
+	Parallelism int
+	// Seed perturbs parallel work distribution (never results); when
+	// nonzero it overrides Hom.Seed.
+	Seed int64
+}
+
+// homOpts folds the option-level parallelism knobs into the hom options
+// handed to the searches.
+func (o TractableOptions) homOpts() hom.Options {
+	h := o.Hom
+	if o.Parallelism != 0 {
+		h.Parallelism = o.Parallelism
+	}
+	if o.Seed != 0 {
+		h.Seed = o.Seed
+	}
+	return h
 }
 
 // ExistsSolutionTractable implements the algorithm of Figure 3 of the
@@ -76,9 +98,10 @@ func ExistsSolutionTractable(s *Setting, i, j *rel.Instance, opts TractableOptio
 		return false, nil, err
 	}
 	trace.FailedBlock = -1
+	h := opts.homOpts()
 
 	if opts.WholeInstanceHom {
-		ok := hom.Exists(hom.InstanceAtoms(trace.ICan), i, nil, opts.Hom)
+		ok := hom.Exists(hom.InstanceAtoms(trace.ICan), i, nil, h)
 		if !ok {
 			trace.FailedBlock = 0
 		}
@@ -92,11 +115,13 @@ func ExistsSolutionTractable(s *Setting, i, j *rel.Instance, opts TractableOptio
 			trace.MaxBlockNulls = len(b.Nulls)
 		}
 	}
-	for idx, b := range blocks {
-		if !blockMapsInto(b, i, opts.Hom) {
-			trace.FailedBlock = idx
-			return false, trace, nil
-		}
+	// The per-block checks fan out across workers with early cancellation
+	// and a memoizing cache keyed on the canonical block signature; the
+	// reported index is the minimal failing one, exactly as the serial
+	// left-to-right scan returns (see hom.CheckBlocks).
+	if idx := hom.CheckBlocks(blocks, i, h); idx >= 0 {
+		trace.FailedBlock = idx
+		return false, trace, nil
 	}
 	return true, trace, nil
 }
@@ -107,7 +132,13 @@ func canonicalInstances(s *Setting, i, j *rel.Instance, opts TractableOptions) (
 	nulls := &rel.NullSource{}
 	nulls.SeenIn(i)
 	nulls.SeenIn(j)
-	copts := chase.Options{Nulls: nulls, Hom: opts.Hom, MaxSteps: opts.MaxChaseSteps}
+	copts := chase.Options{
+		Nulls:       nulls,
+		Hom:         opts.Hom,
+		MaxSteps:    opts.MaxChaseSteps,
+		Parallelism: opts.Parallelism,
+		Seed:        opts.Seed,
+	}
 
 	// Phase 1: (I, J_can) := chase of (I, J) with Σst.
 	res1, err := chase.Run(rel.Union(i, j), s.StDeps(), copts)
@@ -123,16 +154,17 @@ func canonicalInstances(s *Setting, i, j *rel.Instance, opts TractableOptions) (
 	}
 	ican := res2.Instance.Restrict(s.Source)
 
+	// Freeze-after-build: both canonical instances are now shared with
+	// concurrent block-check workers and must never be mutated again.
+	jcan.Freeze()
+	ican.Freeze()
+
 	return &TractableTrace{
 		JCan:    jcan,
 		ICan:    ican,
 		StepsST: res1.Steps,
 		StepsTS: res2.Steps,
 	}, nil
-}
-
-func blockMapsInto(b hom.Block, i *rel.Instance, opts hom.Options) bool {
-	return hom.BlockHomExists(b, i, opts)
 }
 
 // FindSolutionTractable runs the Figure 3 algorithm and, on acceptance,
@@ -147,7 +179,7 @@ func FindSolutionTractable(s *Setting, i, j *rel.Instance, opts TractableOptions
 	if !ok {
 		return nil, trace, nil
 	}
-	h, found := hom.FindInstanceHom(trace.ICan, i, opts.Hom)
+	h, found := hom.FindInstanceHom(trace.ICan, i, opts.homOpts())
 	if !found {
 		// Cannot happen: ExistsSolutionTractable accepted.
 		return nil, trace, fmt.Errorf("core: internal inconsistency: accepted but no homomorphism from I_can to I")

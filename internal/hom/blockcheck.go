@@ -1,0 +1,143 @@
+package hom
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/par"
+	"repro/internal/rel"
+)
+
+// blockCacheMinBlocks gates the memoizing cache: with few blocks the
+// signature hashing costs more than the duplicate checks it saves. A
+// variable so tests can force caching on small decompositions.
+var blockCacheMinBlocks = 16
+
+// containsChunkMin gates the chunked containment scan for large
+// null-free blocks. A variable so tests can force chunking.
+var containsChunkMin = 256
+
+// BlockSignature returns a canonical encoding of the block, invariant
+// under renaming of its labeled nulls: nulls are renumbered by first
+// occurrence across the block's facts. Two blocks with equal signatures
+// are isomorphic up to a bijective null renaming, and therefore have a
+// homomorphism into any fixed instance either both or neither — the
+// property the memoizing block cache relies on. (The converse does not
+// hold: isomorphic blocks whose facts are ordered differently may get
+// different signatures; that only costs a cache miss, never a wrong
+// verdict.)
+func BlockSignature(b Block) string {
+	var sb strings.Builder
+	ren := make(map[int]int, len(b.Nulls))
+	for _, f := range b.Facts {
+		sb.WriteByte(0)
+		sb.WriteString(f.Rel)
+		for _, v := range f.Args {
+			if v.IsNull() {
+				id, ok := ren[v.NullID()]
+				if !ok {
+					id = len(ren)
+					ren[v.NullID()] = id
+				}
+				sb.WriteByte(1)
+				sb.WriteString(strconv.Itoa(id))
+			} else {
+				sb.WriteByte(2)
+				sb.WriteString(v.ConstText())
+			}
+		}
+	}
+	return sb.String()
+}
+
+// blockCache memoizes per-signature verdicts of block-into-instance
+// homomorphism checks. Blocks that are copies of each other up to null
+// renaming — thousands of them in the LAV and genomic chase results —
+// share a single search. A cache is scoped to one target instance; it
+// is safe for concurrent use by the workers of one CheckBlocks call.
+type blockCache struct {
+	mu sync.RWMutex
+	m  map[string]bool
+}
+
+func (c *blockCache) lookup(sig string) (verdict, ok bool) {
+	c.mu.RLock()
+	verdict, ok = c.m[sig]
+	c.mu.RUnlock()
+	return verdict, ok
+}
+
+func (c *blockCache) store(sig string, verdict bool) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[string]bool)
+	}
+	c.m[sig] = verdict
+	c.mu.Unlock()
+}
+
+// CheckBlocks reports the index of the first block (in input order)
+// with no homomorphism into inst that is the identity on constants, or
+// -1 when every block maps. It is the per-block loop of the Figure 3
+// algorithm (via Proposition 1), run across opts.Parallelism workers
+// with early cancellation once a failing block is found, and memoized
+// so blocks isomorphic up to null renaming are checked once. The result
+// is deterministic — always the minimal failing index, exactly what a
+// serial left-to-right scan returns.
+//
+// inst must not be mutated for the duration of the call (the
+// freeze-after-build discipline of DESIGN.md §8).
+func CheckBlocks(blocks []Block, inst *rel.Instance, opts Options) int {
+	degree := par.Degree(opts.Parallelism)
+	var cache *blockCache
+	if len(blocks) >= blockCacheMinBlocks {
+		cache = &blockCache{}
+	}
+	check := func(i int) bool {
+		b := blocks[i]
+		if cache == nil || len(b.Nulls) == 0 {
+			// Null-free blocks are containment checks; memoizing them
+			// would cache a scan cheaper than the signature itself.
+			return blockHomExists(b, inst, opts)
+		}
+		sig := BlockSignature(b)
+		if verdict, ok := cache.lookup(sig); ok {
+			return verdict
+		}
+		verdict := blockHomExists(b, inst, opts)
+		cache.store(sig, verdict)
+		return verdict
+	}
+	return par.FirstReject(len(blocks), degree, check)
+}
+
+// blockHomExists checks one block; per Proposition 1 of the paper, a
+// homomorphism from k to i exists iff each block maps independently.
+func blockHomExists(block Block, i *rel.Instance, opts Options) bool {
+	if len(block.Nulls) == 0 {
+		// A null-free block maps by the identity: containment check,
+		// chunked across workers when the block is large (the common
+		// shape for families with full Σts heads, where I_can is one
+		// giant ground block).
+		degree := par.Degree(opts.Parallelism)
+		if degree > 1 && len(block.Facts) >= containsChunkMin {
+			chunks := par.Chunks(len(block.Facts), degree*enumerateChunksPerWorker)
+			return par.FirstReject(len(chunks), degree, func(c int) bool {
+				for _, f := range block.Facts[chunks[c][0]:chunks[c][1]] {
+					if !i.Contains(f) {
+						return false
+					}
+				}
+				return true
+			}) < 0
+		}
+		for _, f := range block.Facts {
+			if !i.Contains(f) {
+				return false
+			}
+		}
+		return true
+	}
+	return Exists(blockAtoms(block), i, nil, opts)
+}

@@ -6,6 +6,8 @@
 package hom
 
 import (
+	"sync"
+
 	"repro/internal/dep"
 	"repro/internal/rel"
 )
@@ -28,6 +30,18 @@ type Options struct {
 	// NoIndex disables the per-position indexes of relations, forcing
 	// full scans. It exists only for the ablation benchmarks.
 	NoIndex bool
+	// Parallelism bounds the worker count of the parallel entry points
+	// (Enumerate, CheckBlocks, InstanceHomExists): 0 means GOMAXPROCS,
+	// 1 forces the serial path, n > 1 uses n workers. Results are
+	// byte-identical at every setting; the knob only trades wall-clock
+	// for cores. Single-homomorphism searches (Exists, FindOne,
+	// ForEach) always run serially — they are the inner loops the
+	// parallel layers fan out over.
+	Parallelism int
+	// Seed perturbs how parallel work is distributed across workers
+	// (see par.Do). It never affects results; 0 is the deterministic
+	// default distribution.
+	Seed int64
 }
 
 // ForEach enumerates homomorphisms from the conjunction of atoms into
@@ -47,23 +61,71 @@ func ForEach(atoms []dep.Atom, inst *rel.Instance, init Binding, opts Options, f
 		}
 		return fn(b.Clone())
 	}
+	s := newSearcher(inst, opts, true, fn)
+	defer s.release()
 	b := Binding{}
 	for k, v := range init {
 		b[k] = v
 	}
 	order := orderAtoms(atoms, b)
-	return match(order, 0, inst, b, opts, fn)
+	return s.match(order, 0, b)
 }
 
 // Exists reports whether at least one homomorphism from the atoms into
 // the instance extends init.
 func Exists(atoms []dep.Atom, inst *rel.Instance, init Binding, opts Options) bool {
+	if sat, ok := groundSatisfied(atoms, inst, init); ok {
+		return sat
+	}
 	found := false
-	ForEach(atoms, inst, init, opts, func(Binding) bool {
+	// Internal no-clone path: the callback discards the binding, so the
+	// per-solution copy of the public ForEach contract is wasted work.
+	s := newSearcher(inst, opts, false, func(Binding) bool {
 		found = true
 		return false
 	})
+	defer s.release()
+	b := Binding{}
+	for k, v := range init {
+		b[k] = v
+	}
+	order := orderAtoms(atoms, b)
+	s.match(order, 0, b)
 	return found
+}
+
+// groundSatisfied handles the fully bound case without a backtracking
+// search: when every term of every atom is a constant or bound by init,
+// a homomorphism exists iff each grounded atom is a fact of the
+// instance. This is the hot shape of the restricted chase's
+// satisfaction re-checks for full tgds.
+func groundSatisfied(atoms []dep.Atom, inst *rel.Instance, init Binding) (sat, ok bool) {
+	for _, a := range atoms {
+		for _, term := range a.Args {
+			if term.IsConst {
+				continue
+			}
+			if _, bound := init[term.Name]; !bound {
+				return false, false
+			}
+		}
+	}
+	var t rel.Tuple
+	for _, a := range atoms {
+		t = t[:0]
+		for _, term := range a.Args {
+			if term.IsConst {
+				t = append(t, rel.Const(term.Name))
+			} else {
+				t = append(t, init[term.Name])
+			}
+		}
+		r := inst.Relation(a.Rel)
+		if r == nil || !r.Contains(t) {
+			return false, true
+		}
+	}
+	return true, true
 }
 
 // FindOne returns one homomorphism extending init, if any.
@@ -120,87 +182,133 @@ func orderAtoms(atoms []dep.Atom, init Binding) []dep.Atom {
 	return out
 }
 
-func match(atoms []dep.Atom, i int, inst *rel.Instance, b Binding, opts Options, fn func(Binding) bool) bool {
+// searcher carries the state of one backtracking search: the target
+// instance, options, the solution callback, and per-depth scratch
+// buffers reused across candidates so the inner loop stays
+// allocation-free. Searchers are pooled; each concurrent search uses
+// its own.
+type searcher struct {
+	inst  *rel.Instance
+	opts  Options
+	fn    func(Binding) bool
+	clone bool // hand fn a fresh copy (public ForEach contract)
+
+	// newly[i] holds the variables bound at depth i, reset per
+	// candidate; allIdx[i] is the full-scan candidate buffer for depth
+	// i, used when no position index applies.
+	newly  [][]string
+	allIdx [][]int
+}
+
+var searcherPool = sync.Pool{New: func() any { return &searcher{} }}
+
+func newSearcher(inst *rel.Instance, opts Options, clone bool, fn func(Binding) bool) *searcher {
+	s := searcherPool.Get().(*searcher)
+	s.inst, s.opts, s.clone, s.fn = inst, opts, clone, fn
+	return s
+}
+
+func (s *searcher) release() {
+	s.inst, s.fn = nil, nil
+	searcherPool.Put(s)
+}
+
+// match extends the binding over atoms[i:], calling the searcher's fn
+// with every complete extension. It reports whether the enumeration ran
+// to completion (true) or was stopped by fn (false).
+func (s *searcher) match(atoms []dep.Atom, i int, b Binding) bool {
 	if i == len(atoms) {
-		return fn(b.Clone())
+		if s.clone {
+			return s.fn(b.Clone())
+		}
+		return s.fn(b)
 	}
 	a := atoms[i]
-	r := inst.Relation(a.Rel)
+	r := s.inst.Relation(a.Rel)
 	if r == nil {
 		return true // no tuples: no matches for this atom; enumeration complete
 	}
-
-	candidates := candidateTuples(r, a, b, opts)
-	for _, idx := range candidates {
-		t := r.TupleAt(idx)
-		var newly []string
-		ok := true
-		for j, term := range a.Args {
-			v := t[j]
-			if term.IsConst {
-				if !v.IsConst() || v.ConstText() != term.Name {
-					ok = false
-					break
-				}
-				continue
-			}
-			if bv, bound := b[term.Name]; bound {
-				if bv != v {
-					ok = false
-					break
-				}
-				continue
-			}
-			b[term.Name] = v
-			newly = append(newly, term.Name)
-		}
-		if ok {
-			if !match(atoms, i+1, inst, b, opts, fn) {
-				for _, v := range newly {
-					delete(b, v)
-				}
-				return false
-			}
-		}
-		for _, v := range newly {
-			delete(b, v)
+	for _, idx := range s.candidateTuples(r, a, b, i) {
+		if !s.tryTuple(atoms, i, r, idx, b) {
+			return false
 		}
 	}
 	return true
 }
 
-// candidateTuples returns indexes of tuples possibly matching the atom
-// under the current binding, using the most selective position index
-// available.
-func candidateTuples(r *rel.Relation, a dep.Atom, b Binding, opts Options) []int {
-	if opts.NoIndex {
-		all := make([]int, r.Len())
-		for i := range all {
-			all[i] = i
-		}
-		return all
+// tryTuple attempts to unify atoms[i] with tuple idx of its relation
+// under b and, on success, recurses into the remaining atoms. It
+// reports whether the enumeration should continue.
+func (s *searcher) tryTuple(atoms []dep.Atom, i int, r *rel.Relation, idx int, b Binding) bool {
+	a := atoms[i]
+	t := r.TupleAt(idx)
+	for len(s.newly) <= i {
+		s.newly = append(s.newly, nil)
 	}
-	bestPos, bestVal, bestLen := -1, rel.Value{}, -1
+	newly := s.newly[i][:0]
+	ok := true
 	for j, term := range a.Args {
-		var v rel.Value
+		v := t[j]
 		if term.IsConst {
-			v = rel.Const(term.Name)
-		} else if bv, bound := b[term.Name]; bound {
-			v = bv
-		} else {
+			if !v.IsConst() || v.ConstText() != term.Name {
+				ok = false
+				break
+			}
 			continue
 		}
-		l := len(r.MatchingAt(j, v))
-		if bestLen == -1 || l < bestLen {
-			bestPos, bestVal, bestLen = j, v, l
+		if bv, bound := b[term.Name]; bound {
+			if bv != v {
+				ok = false
+				break
+			}
+			continue
+		}
+		b[term.Name] = v
+		newly = append(newly, term.Name)
+	}
+	s.newly[i] = newly
+	cont := true
+	if ok {
+		cont = s.match(atoms, i+1, b)
+	}
+	for _, v := range s.newly[i] {
+		delete(b, v)
+	}
+	return cont
+}
+
+// candidateTuples returns indexes of tuples possibly matching the atom
+// under the current binding, using the most selective position index
+// available. The returned slice is only valid until the next call at
+// the same depth.
+func (s *searcher) candidateTuples(r *rel.Relation, a dep.Atom, b Binding, depth int) []int {
+	if !s.opts.NoIndex {
+		bestPos, bestVal, bestLen := -1, rel.Value{}, -1
+		for j, term := range a.Args {
+			var v rel.Value
+			if term.IsConst {
+				v = rel.Const(term.Name)
+			} else if bv, bound := b[term.Name]; bound {
+				v = bv
+			} else {
+				continue
+			}
+			l := len(r.MatchingAt(j, v))
+			if bestLen == -1 || l < bestLen {
+				bestPos, bestVal, bestLen = j, v, l
+			}
+		}
+		if bestPos >= 0 {
+			return r.MatchingAt(bestPos, bestVal)
 		}
 	}
-	if bestPos >= 0 {
-		return r.MatchingAt(bestPos, bestVal)
+	for len(s.allIdx) <= depth {
+		s.allIdx = append(s.allIdx, nil)
 	}
-	all := make([]int, r.Len())
-	for i := range all {
-		all[i] = i
+	all := s.allIdx[depth][:0]
+	for i := 0; i < r.Len(); i++ {
+		all = append(all, i)
 	}
+	s.allIdx[depth] = all
 	return all
 }

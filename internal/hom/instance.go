@@ -54,14 +54,10 @@ func factAtom(f rel.Fact) dep.Atom {
 
 // InstanceHomExists reports whether there is a homomorphism from k to i
 // that is the identity on constants (nulls of k may map to any value
-// of i).
+// of i). The per-block checks run across opts.Parallelism workers (see
+// CheckBlocks); the verdict is identical at any setting.
 func InstanceHomExists(k, i *rel.Instance, opts Options) bool {
-	for _, block := range Blocks(k) {
-		if !blockHomExists(block, i, opts) {
-			return false
-		}
-	}
-	return true
+	return CheckBlocks(Blocks(k), i, opts) < 0
 }
 
 // FindInstanceHom returns a homomorphism from k to i as a map from the
@@ -81,21 +77,6 @@ func FindInstanceHom(k, i *rel.Instance, opts Options) (map[rel.Value]rel.Value,
 		}
 	}
 	return out, true
-}
-
-// blockHomExists checks one block; per Proposition 1 of the paper, a
-// homomorphism from k to i exists iff each block maps independently.
-func blockHomExists(block Block, i *rel.Instance, opts Options) bool {
-	if len(block.Nulls) == 0 {
-		// A null-free block maps by the identity: containment check.
-		for _, f := range block.Facts {
-			if !i.Contains(f) {
-				return false
-			}
-		}
-		return true
-	}
-	return Exists(blockAtoms(block), i, nil, opts)
 }
 
 func blockAtoms(block Block) []dep.Atom {

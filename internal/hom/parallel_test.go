@@ -1,0 +1,240 @@
+package hom
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dep"
+	"repro/internal/rel"
+)
+
+// forceParallel shrinks the fan-out thresholds so the parallel paths
+// are exercised on the small inputs tests use, restoring them on
+// cleanup.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	oldEnum, oldCache, oldChunk := enumerateMinCandidates, blockCacheMinBlocks, containsChunkMin
+	enumerateMinCandidates, blockCacheMinBlocks, containsChunkMin = 1, 1, 1
+	t.Cleanup(func() {
+		enumerateMinCandidates, blockCacheMinBlocks, containsChunkMin = oldEnum, oldCache, oldChunk
+	})
+}
+
+func randomJoinInstance(rng *rand.Rand, n int) *rel.Instance {
+	inst := rel.NewInstance()
+	for k := 0; k < n; k++ {
+		inst.Add("R", rel.Const(fmt.Sprintf("a%d", rng.Intn(n/2+1))), rel.Const(fmt.Sprintf("b%d", rng.Intn(n/2+1))))
+	}
+	for k := 0; k < n; k++ {
+		inst.Add("S", rel.Const(fmt.Sprintf("b%d", rng.Intn(n/2+1))), rel.Const(fmt.Sprintf("c%d", rng.Intn(n/2+1))))
+	}
+	return inst
+}
+
+func bindingsEqual(a, b Binding) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEnumerateMatchesForEachOrder: Enumerate returns exactly the
+// ForEach enumeration — same bindings, same order — at every
+// parallelism level and seed, with and without a keep filter.
+func TestEnumerateMatchesForEachOrder(t *testing.T) {
+	forceParallel(t)
+	atoms := []dep.Atom{
+		dep.NewAtom("R", dep.Var("x"), dep.Var("y")),
+		dep.NewAtom("S", dep.Var("y"), dep.Var("z")),
+	}
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		inst := randomJoinInstance(rng, 10+rng.Intn(40))
+		inst.Freeze()
+		var want []Binding
+		ForEach(atoms, inst, nil, Options{}, func(b Binding) bool {
+			want = append(want, b)
+			return true
+		})
+		keep := func(b Binding) bool { return b["x"] != b["z"] }
+		var wantKept []Binding
+		for _, b := range want {
+			if keep(b) {
+				wantKept = append(wantKept, b)
+			}
+		}
+		for _, par := range []int{1, 2, 4} {
+			for _, seed := range []int64{0, 7} {
+				opts := Options{Parallelism: par, Seed: seed}
+				got := Enumerate(atoms, inst, nil, opts, nil)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d par=%d seed=%d: %d bindings, want %d", trial, par, seed, len(got), len(want))
+				}
+				for i := range got {
+					if !bindingsEqual(got[i], want[i]) {
+						t.Fatalf("trial %d par=%d seed=%d: binding %d = %v, want %v", trial, par, seed, i, got[i], want[i])
+					}
+				}
+				gotKept := Enumerate(atoms, inst, nil, opts, keep)
+				if len(gotKept) != len(wantKept) {
+					t.Fatalf("trial %d par=%d seed=%d: %d kept bindings, want %d", trial, par, seed, len(gotKept), len(wantKept))
+				}
+				for i := range gotKept {
+					if !bindingsEqual(gotKept[i], wantKept[i]) {
+						t.Fatalf("trial %d par=%d seed=%d: kept binding %d = %v, want %v", trial, par, seed, i, gotKept[i], wantKept[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEnumerateWithInitBinding: init bindings constrain the parallel
+// enumeration exactly as they constrain ForEach.
+func TestEnumerateWithInitBinding(t *testing.T) {
+	forceParallel(t)
+	atoms := []dep.Atom{
+		dep.NewAtom("R", dep.Var("x"), dep.Var("y")),
+		dep.NewAtom("S", dep.Var("y"), dep.Var("z")),
+	}
+	inst := randomJoinInstance(rand.New(rand.NewSource(33)), 40)
+	init := Binding{"x": rel.Const("a1")}
+	var want []Binding
+	ForEach(atoms, inst, init, Options{}, func(b Binding) bool {
+		want = append(want, b)
+		return true
+	})
+	got := Enumerate(atoms, inst, init, Options{Parallelism: 4}, nil)
+	if len(got) != len(want) {
+		t.Fatalf("got %d bindings, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !bindingsEqual(got[i], want[i]) {
+			t.Fatalf("binding %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestBlockSignatureRenamingInvariance: renaming the nulls of a block
+// bijectively leaves the signature unchanged, and structurally
+// different blocks get different signatures.
+func TestBlockSignatureRenamingInvariance(t *testing.T) {
+	mk := func(ids ...int) Block {
+		inst := rel.NewInstance()
+		inst.Add("Rec", rel.Const("p"), rel.Const("g"), rel.Null(ids[0]))
+		inst.Add("Rec", rel.Const("p"), rel.Null(ids[1]), rel.Null(ids[0]))
+		blocks := Blocks(inst)
+		if len(blocks) != 1 {
+			t.Fatalf("expected one block, got %d", len(blocks))
+		}
+		return blocks[0]
+	}
+	a := mk(1, 2)
+	b := mk(70, 90)
+	if BlockSignature(a) != BlockSignature(b) {
+		t.Fatalf("signatures differ under null renaming:\n%q\n%q", BlockSignature(a), BlockSignature(b))
+	}
+	other := rel.NewInstance()
+	other.Add("Rec", rel.Const("q"), rel.Const("g"), rel.Null(1))
+	other.Add("Rec", rel.Const("q"), rel.Null(2), rel.Null(1))
+	ob := Blocks(other)[0]
+	if BlockSignature(a) == BlockSignature(ob) {
+		t.Fatal("different blocks share a signature")
+	}
+	// Constant/null confusion must not collide: Rec(n1, "0") vs Rec("0", n1)
+	// style mixes differ.
+	x := rel.NewInstance()
+	x.Add("T", rel.Null(1), rel.Const("0"))
+	y := rel.NewInstance()
+	y.Add("T", rel.Const("0"), rel.Null(1))
+	if BlockSignature(Blocks(x)[0]) == BlockSignature(Blocks(y)[0]) {
+		t.Fatal("signature confuses null and constant positions")
+	}
+}
+
+// TestCheckBlocksMatchesSerial: on random instances, CheckBlocks at
+// every parallelism level (with the cache and chunked-containment paths
+// forced) returns exactly the first failing index of a serial scan.
+func TestCheckBlocksMatchesSerial(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 40; trial++ {
+		// k: many near-isomorphic single-null blocks plus ground facts;
+		// i: a target that randomly misses some values, so some blocks
+		// fail to map.
+		k := rel.NewInstance()
+		i := rel.NewInstance()
+		nulls := 2 + rng.Intn(10)
+		for nid := 1; nid <= nulls; nid++ {
+			p := rel.Const(fmt.Sprintf("p%d", rng.Intn(6)))
+			k.Add("Rec", p, rel.Null(nid))
+		}
+		for g := 0; g < rng.Intn(5); g++ {
+			k.Add("G", rel.Const(fmt.Sprintf("g%d", g)))
+			if rng.Intn(3) > 0 {
+				i.Add("G", rel.Const(fmt.Sprintf("g%d", g)))
+			}
+		}
+		for p := 0; p < 6; p++ {
+			if rng.Intn(3) > 0 {
+				i.Add("Rec", rel.Const(fmt.Sprintf("p%d", p)), rel.Const("v"))
+			}
+		}
+		i.Freeze()
+		blocks := Blocks(k)
+		want := -1
+		for idx, b := range blocks {
+			if !blockHomExists(b, i, Options{Parallelism: 1}) {
+				want = idx
+				break
+			}
+		}
+		for _, par := range []int{1, 2, 4} {
+			got := CheckBlocks(blocks, i, Options{Parallelism: par})
+			if got != want {
+				t.Fatalf("trial %d par=%d: CheckBlocks=%d, serial scan=%d (%d blocks)", trial, par, got, want, len(blocks))
+			}
+		}
+		if got := InstanceHomExists(k, i, Options{Parallelism: 4}); got != (want < 0) {
+			t.Fatalf("trial %d: InstanceHomExists=%v, want %v", trial, got, want < 0)
+		}
+	}
+}
+
+// TestChunkedContainmentMatchesSerial: the chunked containment path for
+// large null-free blocks agrees with the serial scan, including on the
+// failing side.
+func TestChunkedContainmentMatchesSerial(t *testing.T) {
+	forceParallel(t)
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 20; trial++ {
+		k := rel.NewInstance()
+		i := rel.NewInstance()
+		n := 50 + rng.Intn(100)
+		missing := rng.Intn(n + 1) // index of a fact possibly withheld from i
+		for f := 0; f < n; f++ {
+			v := rel.Const(fmt.Sprintf("v%d", f))
+			k.Add("F", v)
+			if f != missing {
+				i.Add("F", v)
+			}
+		}
+		i.Freeze()
+		blocks := Blocks(k)
+		if len(blocks) != 1 || len(blocks[0].Nulls) != 0 {
+			t.Fatalf("trial %d: expected one null-free block", trial)
+		}
+		want := missing >= n // contained iff nothing was withheld
+		for _, par := range []int{1, 2, 4} {
+			if got := blockHomExists(blocks[0], i, Options{Parallelism: par}); got != want {
+				t.Fatalf("trial %d par=%d: got %v, want %v", trial, par, got, want)
+			}
+		}
+	}
+}

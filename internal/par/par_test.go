@@ -1,0 +1,117 @@
+package par
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDegree(t *testing.T) {
+	if got := Degree(0); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("Degree(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, tc := range []struct{ in, want int }{{1, 1}, {4, 4}, {-3, 1}} {
+		if got := Degree(tc.in); got != tc.want {
+			t.Errorf("Degree(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestDoCoversEveryTaskOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100} {
+		for _, degree := range []int{1, 2, 4, 13} {
+			for _, seed := range []int64{0, 1, -5, 12345} {
+				counts := make([]atomic.Int32, n)
+				Do(n, degree, seed, func(task int) {
+					counts[task].Add(1)
+				})
+				for i := range counts {
+					if got := counts[i].Load(); got != 1 {
+						t.Fatalf("n=%d degree=%d seed=%d: task %d ran %d times", n, degree, seed, i, got)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFirstRejectMatchesSerialScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(60)
+		reject := make([]bool, n)
+		for i := range reject {
+			reject[i] = rng.Intn(4) == 0
+		}
+		want := -1
+		for i, r := range reject {
+			if r {
+				want = i
+				break
+			}
+		}
+		for _, degree := range []int{1, 3, 8} {
+			got := FirstReject(n, degree, func(i int) bool { return !reject[i] })
+			if got != want {
+				t.Fatalf("trial %d degree %d: FirstReject = %d, want %d (rejects %v)", trial, degree, got, want, reject)
+			}
+		}
+	}
+}
+
+func TestFirstRejectNeverMissesEarlierRejection(t *testing.T) {
+	// Even when a late rejection is observed first, the minimum must win.
+	var order []int
+	var mu sync.Mutex
+	got := FirstReject(50, 4, func(i int) bool {
+		mu.Lock()
+		order = append(order, i)
+		mu.Unlock()
+		return i != 3 && i != 40
+	})
+	if got != 3 {
+		t.Fatalf("FirstReject = %d, want 3 (order %v)", got, order)
+	}
+}
+
+func TestDoPropagatesPanic(t *testing.T) {
+	defer func() {
+		if p := recover(); p != "boom" {
+			t.Fatalf("recovered %v, want boom", p)
+		}
+	}()
+	Do(16, 4, 0, func(task int) {
+		if task == 5 {
+			panic("boom")
+		}
+	})
+	t.Fatal("Do returned without panicking")
+}
+
+func TestChunksPartition(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 16, 100} {
+		for _, m := range []int{1, 2, 3, 7, 200} {
+			chunks := Chunks(n, m)
+			covered := 0
+			prev := 0
+			for _, c := range chunks {
+				if c[0] != prev {
+					t.Fatalf("n=%d m=%d: chunk starts at %d, want %d", n, m, c[0], prev)
+				}
+				if c[1] <= c[0] {
+					t.Fatalf("n=%d m=%d: empty chunk %v", n, m, c)
+				}
+				covered += c[1] - c[0]
+				prev = c[1]
+			}
+			if covered != n {
+				t.Fatalf("n=%d m=%d: chunks cover %d items", n, m, covered)
+			}
+			if len(chunks) > m {
+				t.Fatalf("n=%d m=%d: %d chunks exceed max", n, m, len(chunks))
+			}
+		}
+	}
+}

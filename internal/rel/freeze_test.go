@@ -1,0 +1,55 @@
+package rel
+
+import "testing"
+
+func TestFreezeBlocksMutation(t *testing.T) {
+	inst := NewInstance()
+	inst.Add("R", Const("a"), Const("b"))
+	if inst.Frozen() {
+		t.Fatal("fresh instance reports frozen")
+	}
+	inst.Freeze()
+	if !inst.Frozen() {
+		t.Fatal("Frozen() false after Freeze")
+	}
+	mustPanic(t, "AddTuple", func() { inst.Add("R", Const("c"), Const("d")) })
+	mustPanic(t, "RemoveLastTuple", func() { inst.RemoveLastTuple("R") })
+}
+
+func TestFrozenInstanceStillReadable(t *testing.T) {
+	inst := NewInstance()
+	inst.Add("R", Const("a"), Null(1))
+	inst.Freeze()
+	if inst.NumFacts() != 1 || !inst.Contains(Fact{Rel: "R", Args: Tuple{Const("a"), Null(1)}}) {
+		t.Fatal("reads broken after Freeze")
+	}
+	if len(inst.Facts()) != 1 {
+		t.Fatal("Facts broken after Freeze")
+	}
+}
+
+func TestCloneOfFrozenIsMutable(t *testing.T) {
+	inst := NewInstance()
+	inst.Add("R", Const("a"), Const("b"))
+	inst.Freeze()
+	c := inst.Clone()
+	if c.Frozen() {
+		t.Fatal("clone inherited frozen flag")
+	}
+	if !c.Add("R", Const("c"), Const("d")) {
+		t.Fatal("clone refused mutation")
+	}
+	if inst.NumFacts() != 1 {
+		t.Fatal("mutating the clone changed the frozen original")
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s on frozen instance did not panic", name)
+		}
+	}()
+	f()
+}

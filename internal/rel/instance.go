@@ -105,8 +105,15 @@ func (r *Relation) add(t Tuple) bool {
 
 // Instance is a finite set of facts over a set of relations. The zero
 // value is not usable; construct instances with NewInstance.
+//
+// Concurrency: an Instance is safe for concurrent reads as long as no
+// goroutine mutates it. The parallel search paths (hom, chase, core)
+// rely on a freeze-after-build discipline: instances are fully built by
+// one goroutine, then only read while shared. Freeze turns that
+// discipline into a checked invariant.
 type Instance struct {
-	rels map[string]*Relation
+	rels   map[string]*Relation
+	frozen bool
 }
 
 // NewInstance returns an empty instance.
@@ -122,8 +129,26 @@ func (inst *Instance) Add(relName string, args ...Value) bool {
 	return inst.AddTuple(relName, Tuple(args))
 }
 
+// Freeze marks the instance immutable: any subsequent mutation panics.
+// Freezing is idempotent and cannot be undone. It exists to enforce the
+// freeze-after-build discipline of the parallel search paths: an
+// instance handed to concurrent workers must already be frozen, or at
+// least never mutated while shared. Clones of a frozen instance are
+// mutable again.
+func (inst *Instance) Freeze() { inst.frozen = true }
+
+// Frozen reports whether Freeze has been called.
+func (inst *Instance) Frozen() bool { return inst.frozen }
+
+func (inst *Instance) mutable(op string) {
+	if inst.frozen {
+		panic("rel: " + op + " on frozen instance")
+	}
+}
+
 // AddTuple inserts the fact R(t) and reports whether it was newly added.
 func (inst *Instance) AddTuple(relName string, t Tuple) bool {
+	inst.mutable("AddTuple")
 	r, ok := inst.rels[relName]
 	if !ok {
 		r = newRelation(relName, len(t))
@@ -157,6 +182,7 @@ func (inst *Instance) AddAll(other *Instance) int {
 // solvers; removing anything but the last-added tuple is not supported.
 // It panics when the relation is absent or empty.
 func (inst *Instance) RemoveLastTuple(relName string) Tuple {
+	inst.mutable("RemoveLastTuple")
 	r, ok := inst.rels[relName]
 	if !ok {
 		panic(fmt.Sprintf("rel: RemoveLastTuple on absent relation %s", relName))
