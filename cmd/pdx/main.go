@@ -13,6 +13,7 @@
 //	pdx check    -setting FILE -source FILE [-target FILE] -candidate FILE
 //	pdx repair   -setting FILE -source FILE [-target FILE] [-queries FILE]
 //	pdx datalog  -program FILE -edb FILE [-idb-only]
+//	pdx serve    [-addr HOST:PORT] [-max-inflight N] [-max-queue N] [SETTING.pde ...]
 //
 // File formats are documented in the repository README and on
 // pde.ParseSetting / pde.ParseInstance / pde.ParseQueries.
@@ -61,6 +62,8 @@ func main() {
 		err = cmdRepair(os.Args[2:])
 	case "datalog":
 		err = cmdDatalog(os.Args[2:])
+	case "serve":
+		err = cmdServe(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -86,6 +89,7 @@ commands:
   check     verify whether a candidate target instance is a solution
   repair    compute maximal repairable subsets of the target instance
   datalog   evaluate a positive Datalog program over an instance
+  serve     run pdxd, the HTTP/JSON serving daemon
 `)
 }
 

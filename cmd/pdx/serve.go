@@ -1,0 +1,87 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+// cmdServe runs pdxd, the PDE serving daemon: an HTTP/JSON API over a
+// compiled-setting registry with request deadlines and admission
+// control (see internal/server). Positional arguments are .pde files
+// preloaded into the registry at startup. The daemon prints one line,
+// "pdxd listening on http://ADDR", once it accepts connections, and
+// drains in-flight requests on SIGINT/SIGTERM.
+func cmdServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8642", "listen address (use :0 for an ephemeral port)")
+	maxInFlight := fs.Int("max-inflight", 0, "max concurrently executing solves (0 = GOMAXPROCS)")
+	maxQueue := fs.Int("max-queue", 0, "max solves queued for a slot; beyond it requests are shed with 429 (0 = 2×max-inflight, -1 = no queue)")
+	defaultDeadline := fs.Duration("default-deadline", 30*time.Second, "solve deadline when the request sends none")
+	maxDeadline := fs.Duration("max-deadline", 5*time.Minute, "cap on client-requested deadlines")
+	maxNodes := fs.Int64("max-nodes", 0, "server-wide generic-solver node budget (0 = unbounded)")
+	parallelism := fs.Int("parallelism", 0, "workers per solve (0 = GOMAXPROCS)")
+	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	srv := server.New(server.Config{
+		Logger:          logger,
+		MaxInFlight:     *maxInFlight,
+		MaxQueue:        *maxQueue,
+		DefaultDeadline: *defaultDeadline,
+		MaxDeadline:     *maxDeadline,
+		MaxNodes:        *maxNodes,
+		Parallelism:     *parallelism,
+	})
+	for _, file := range fs.Args() {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return err
+		}
+		c, _, err := srv.Registry().Register(string(src))
+		if err != nil {
+			return fmt.Errorf("preloading %s: %w", file, err)
+		}
+		logger.Info("setting preloaded", "file", file, "id", c.ID, "name", c.Name, "strategy", c.Strategy)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "pdxd listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second signal kills
+		logger.Info("draining", "timeout", drainTimeout.String())
+		srv.StartDrain()
+		sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			return fmt.Errorf("drain: %w", err)
+		}
+		logger.Info("drained")
+		return nil
+	}
+}

@@ -1,0 +1,10 @@
+# Serving smoke setting: Example 1 of the paper, used by the pdxd e2e
+# test (cmd/pdx/serve_test.go), the CI serve-smoke script, and the
+# README curl walkthrough, together with the instances under
+# examples/corpus/. In C_tract, so the daemon solves it with the
+# polynomial Figure 3 algorithm.
+setting server_smoke
+source E/2
+target H/2
+st: E(x,z), E(z,y) -> H(x,y)
+ts: H(x,y) -> E(x,y)

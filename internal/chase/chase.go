@@ -7,6 +7,7 @@
 package chase
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -83,6 +84,11 @@ type Options struct {
 	// Seed perturbs parallel work distribution (never results); when
 	// nonzero it overrides Hom.Seed.
 	Seed int64
+	// Ctx, when non-nil, cancels the chase: every step checks it, and
+	// the trigger searches poll it, so a canceled context stops the run
+	// promptly with an error wrapping par.ErrCanceled and the context's
+	// own error. nil means never canceled.
+	Ctx context.Context
 }
 
 // Result reports the outcome of a chase run.
@@ -115,6 +121,9 @@ func (o Options) homOpts() hom.Options {
 	}
 	if o.Seed != 0 {
 		h.Seed = o.Seed
+	}
+	if h.Ctx == nil {
+		h.Ctx = o.Ctx
 	}
 	return h
 }
@@ -185,10 +194,30 @@ type state struct {
 	fired  map[string]bool // oblivious mode: trigger keys already fired
 }
 
+// ctxErr returns a wrapped cancellation error when the chase context
+// has been canceled, nil otherwise. The wrap carries both
+// par.ErrCanceled and the context's own error, so errors.Is matches
+// either identity.
+func (st *state) ctxErr() error {
+	if st.opts.Ctx == nil {
+		return nil
+	}
+	if err := st.opts.Ctx.Err(); err != nil {
+		return fmt.Errorf("chase: %w after %d steps: %w", par.ErrCanceled, st.steps, err)
+	}
+	return nil
+}
+
 func (st *state) run(deps []dep.Dependency, witness *rel.Instance) (*Result, error) {
 	for {
 		progressed, failed, failedOn, err := st.round(deps, witness)
 		if err != nil {
+			return &Result{Instance: st.inst, Steps: st.steps}, err
+		}
+		// A canceled context truncates the trigger searches, so a round
+		// under cancellation can masquerade as a fixpoint (or miss a
+		// failure); re-check before trusting the round's outcome.
+		if err := st.ctxErr(); err != nil {
 			return &Result{Instance: st.inst, Steps: st.steps}, err
 		}
 		if failed {
@@ -326,6 +355,9 @@ func (st *state) fireTriggers(d dep.TGD, triggers []hom.Binding, witness *rel.In
 
 // fire applies one tgd step for the trigger b.
 func (st *state) fire(d dep.TGD, b hom.Binding, witness *rel.Instance) error {
+	if err := st.ctxErr(); err != nil {
+		return err
+	}
 	if st.steps >= st.budget {
 		return fmt.Errorf("%w (after %d steps, chasing %s)", ErrBudgetExhausted, st.steps, d.Label)
 	}
@@ -372,6 +404,9 @@ func (st *state) egdPass(d dep.EGD) (progressed, failed bool, err error) {
 		})
 		if !found {
 			return progressed, false, nil
+		}
+		if err := st.ctxErr(); err != nil {
+			return progressed, false, err
 		}
 		if st.steps >= st.budget {
 			return progressed, false, fmt.Errorf("%w (after %d steps, chasing %s)", ErrBudgetExhausted, st.steps, d.Label)

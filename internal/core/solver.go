@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -16,6 +17,25 @@ import (
 // budget before deciding. On settings outside C_tract the search is
 // exponential in the worst case (Theorem 3), so a budget is essential.
 var ErrSearchBudget = errors.New("core: generic solver search budget exhausted")
+
+// ErrCanceled is the identity of context-cancellation errors from both
+// solvers (and, transitively, the chase runs they issue). It is the
+// execution layer's shared sentinel; errors wrapping it also wrap the
+// context's own error, so errors.Is matches context.DeadlineExceeded
+// and context.Canceled as well.
+var ErrCanceled = par.ErrCanceled
+
+// canceled returns a wrapped cancellation error when ctx is non-nil and
+// done, nil otherwise.
+func canceled(ctx context.Context, what string) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: %s: %w: %w", what, ErrCanceled, err)
+	}
+	return nil
+}
 
 // SolveOptions configures the generic solver.
 type SolveOptions struct {
@@ -37,6 +57,12 @@ type SolveOptions struct {
 	// Seed perturbs parallel work distribution (never results); when
 	// nonzero it overrides Hom.Seed.
 	Seed int64
+	// Ctx, when non-nil, cancels the search: the solver checks it at
+	// every node, the chase phases check it at every step, and the
+	// homomorphism searches poll it, so per-request deadlines and
+	// client disconnects stop work promptly with an error wrapping
+	// ErrCanceled. nil means never canceled.
+	Ctx context.Context
 }
 
 // homOpts folds the option-level parallelism knobs into the hom options
@@ -48,6 +74,9 @@ func (o SolveOptions) homOpts() hom.Options {
 	}
 	if o.Seed != 0 {
 		h.Seed = o.Seed
+	}
+	if h.Ctx == nil {
+		h.Ctx = o.Ctx
 	}
 	return h
 }
@@ -134,7 +163,7 @@ func forEachImageSolution(s *Setting, i, j *rel.Instance, opts SolveOptions, fn 
 	nulls := &rel.NullSource{}
 	nulls.SeenIn(i)
 	nulls.SeenIn(j)
-	copts := chase.Options{Nulls: nulls, Hom: opts.Hom, MaxSteps: opts.MaxChaseSteps}
+	copts := chase.Options{Nulls: nulls, Hom: opts.Hom, MaxSteps: opts.MaxChaseSteps, Ctx: opts.Ctx}
 	res, err := chase.Run(rel.Union(i, j), s.StDeps(), copts)
 	if err != nil {
 		return nil, fmt.Errorf("core: chasing Σst: %w", err)
@@ -293,6 +322,9 @@ func (sv *imageSearch) run(fn func(*rel.Instance) bool) error {
 func (sv *imageSearch) dfs(k int, fn func(*rel.Instance) bool) (int, error) {
 	if sv.stopped {
 		return noConflict, nil
+	}
+	if err := canceled(sv.opts.Ctx, "generic solver"); err != nil {
+		return noConflict, fmt.Errorf("%w (after %d nodes)", err, sv.stats.Nodes)
 	}
 	if sv.opts.MaxNodes > 0 && sv.stats.Nodes >= sv.opts.MaxNodes {
 		return noConflict, fmt.Errorf("%w (after %d nodes)", ErrSearchBudget, sv.stats.Nodes)

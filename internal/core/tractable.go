@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/chase"
@@ -55,6 +56,11 @@ type TractableOptions struct {
 	// Seed perturbs parallel work distribution (never results); when
 	// nonzero it overrides Hom.Seed.
 	Seed int64
+	// Ctx, when non-nil, cancels the run: both chase phases check it at
+	// every step and the block-homomorphism checks poll it, so
+	// per-request deadlines stop work promptly with an error wrapping
+	// ErrCanceled. nil means never canceled.
+	Ctx context.Context
 }
 
 // homOpts folds the option-level parallelism knobs into the hom options
@@ -66,6 +72,9 @@ func (o TractableOptions) homOpts() hom.Options {
 	}
 	if o.Seed != 0 {
 		h.Seed = o.Seed
+	}
+	if h.Ctx == nil {
+		h.Ctx = o.Ctx
 	}
 	return h
 }
@@ -102,6 +111,9 @@ func ExistsSolutionTractable(s *Setting, i, j *rel.Instance, opts TractableOptio
 
 	if opts.WholeInstanceHom {
 		ok := hom.Exists(hom.InstanceAtoms(trace.ICan), i, nil, h)
+		if err := canceled(opts.Ctx, "tractable algorithm"); err != nil {
+			return false, trace, err // the aborted search's verdict is meaningless
+		}
 		if !ok {
 			trace.FailedBlock = 0
 		}
@@ -119,7 +131,11 @@ func ExistsSolutionTractable(s *Setting, i, j *rel.Instance, opts TractableOptio
 	// and a memoizing cache keyed on the canonical block signature; the
 	// reported index is the minimal failing one, exactly as the serial
 	// left-to-right scan returns (see hom.CheckBlocks).
-	if idx := hom.CheckBlocks(blocks, i, h); idx >= 0 {
+	idx := hom.CheckBlocks(blocks, i, h)
+	if err := canceled(opts.Ctx, "tractable algorithm"); err != nil {
+		return false, trace, err // a canceled CheckBlocks index is meaningless
+	}
+	if idx >= 0 {
 		trace.FailedBlock = idx
 		return false, trace, nil
 	}
@@ -138,6 +154,7 @@ func canonicalInstances(s *Setting, i, j *rel.Instance, opts TractableOptions) (
 		MaxSteps:    opts.MaxChaseSteps,
 		Parallelism: opts.Parallelism,
 		Seed:        opts.Seed,
+		Ctx:         opts.Ctx,
 	}
 
 	// Phase 1: (I, J_can) := chase of (I, J) with Σst.
@@ -180,6 +197,9 @@ func FindSolutionTractable(s *Setting, i, j *rel.Instance, opts TractableOptions
 		return nil, trace, nil
 	}
 	h, found := hom.FindInstanceHom(trace.ICan, i, opts.homOpts())
+	if err := canceled(opts.Ctx, "tractable algorithm"); err != nil {
+		return nil, trace, err
+	}
 	if !found {
 		// Cannot happen: ExistsSolutionTractable accepted.
 		return nil, trace, fmt.Errorf("core: internal inconsistency: accepted but no homomorphism from I_can to I")

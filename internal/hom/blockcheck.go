@@ -88,6 +88,11 @@ func (c *blockCache) store(sig string, verdict bool) {
 //
 // inst must not be mutated for the duration of the call (the
 // freeze-after-build discipline of DESIGN.md §8).
+//
+// When opts.Ctx is canceled mid-call the returned index is meaningless
+// (cancellation is surfaced as a rejection so the early-cancellation
+// machinery stops the remaining workers); callers that set Ctx must
+// check Ctx.Err() after the call and discard the result when non-nil.
 func CheckBlocks(blocks []Block, inst *rel.Instance, opts Options) int {
 	degree := par.Degree(opts.Parallelism)
 	var cache *blockCache
@@ -95,6 +100,9 @@ func CheckBlocks(blocks []Block, inst *rel.Instance, opts Options) int {
 		cache = &blockCache{}
 	}
 	check := func(i int) bool {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			return false
+		}
 		b := blocks[i]
 		if cache == nil || len(b.Nulls) == 0 {
 			// Null-free blocks are containment checks; memoizing them

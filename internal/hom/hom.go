@@ -6,6 +6,7 @@
 package hom
 
 import (
+	"context"
 	"sync"
 
 	"repro/internal/dep"
@@ -42,6 +43,14 @@ type Options struct {
 	// (see par.Do). It never affects results; 0 is the deterministic
 	// default distribution.
 	Seed int64
+	// Ctx, when non-nil, lets long searches be abandoned: the
+	// backtracking searcher polls it periodically and stops enumerating
+	// once it is canceled. A search cut short this way may return a
+	// spurious "no homomorphism" — callers that set Ctx MUST check
+	// Ctx.Err() after the search and discard the result when it is
+	// non-nil (this is what the chase, the solvers, and CheckBlocks
+	// do). nil means never canceled.
+	Ctx context.Context
 }
 
 // ForEach enumerates homomorphisms from the conjunction of atoms into
@@ -198,6 +207,37 @@ type searcher struct {
 	// i, used when no position index applies.
 	newly  [][]string
 	allIdx [][]int
+
+	// ctxTick counts match calls between polls of opts.Ctx; canceled
+	// latches a cancellation observed mid-search so the whole search
+	// unwinds without further polling.
+	ctxTick  int
+	canceled bool
+}
+
+// ctxPollEvery is how many match calls pass between polls of the
+// search context. Polling costs a mutex acquisition inside the context,
+// so it is amortized; the bound keeps worst-case cancellation latency
+// in the microseconds on any realistic instance.
+const ctxPollEvery = 1024
+
+// cancelSearch reports whether the search's context has been canceled,
+// polling it every ctxPollEvery calls.
+func (s *searcher) cancelSearch() bool {
+	if s.opts.Ctx == nil {
+		return false
+	}
+	if s.canceled {
+		return true
+	}
+	s.ctxTick++
+	if s.ctxTick%ctxPollEvery != 0 {
+		return false
+	}
+	if s.opts.Ctx.Err() != nil {
+		s.canceled = true
+	}
+	return s.canceled
 }
 
 var searcherPool = sync.Pool{New: func() any { return &searcher{} }}
@@ -205,11 +245,12 @@ var searcherPool = sync.Pool{New: func() any { return &searcher{} }}
 func newSearcher(inst *rel.Instance, opts Options, clone bool, fn func(Binding) bool) *searcher {
 	s := searcherPool.Get().(*searcher)
 	s.inst, s.opts, s.clone, s.fn = inst, opts, clone, fn
+	s.ctxTick, s.canceled = 0, false
 	return s
 }
 
 func (s *searcher) release() {
-	s.inst, s.fn = nil, nil
+	s.inst, s.fn, s.opts.Ctx = nil, nil, nil
 	searcherPool.Put(s)
 }
 
@@ -217,6 +258,9 @@ func (s *searcher) release() {
 // with every complete extension. It reports whether the enumeration ran
 // to completion (true) or was stopped by fn (false).
 func (s *searcher) match(atoms []dep.Atom, i int, b Binding) bool {
+	if s.cancelSearch() {
+		return false // abandon: caller must check opts.Ctx.Err()
+	}
 	if i == len(atoms) {
 		if s.clone {
 			return s.fn(b.Clone())

@@ -16,10 +16,19 @@
 package par
 
 import (
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrCanceled is the shared identity of context-cancellation failures
+// across the execution layer: the chase, the generic solver, and the
+// tractable path all wrap it (together with the context's own error)
+// when a context supplied through their options is canceled or its
+// deadline expires, so callers can match cancellation uniformly with
+// errors.Is regardless of which hot loop noticed it first.
+var ErrCanceled = errors.New("execution canceled")
 
 // Degree resolves a Parallelism knob to a worker count: 0 means
 // GOMAXPROCS (use all available cores), anything below 1 means serial,

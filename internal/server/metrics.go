@@ -1,0 +1,81 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// metrics holds the daemon's counters and gauges, exposed in Prometheus
+// text format on /metrics without any external dependency. Gauges that
+// move on every request are atomics; the per-route/status counters sit
+// behind a mutex-guarded map (two map operations per request, noise
+// next to a solve).
+type metrics struct {
+	inFlight   atomic.Int64 // solves currently executing
+	queueDepth atomic.Int64 // solves waiting for an admission slot
+	shed       atomic.Int64 // requests rejected by admission control
+	nodes      atomic.Int64 // cumulative generic-solver search nodes
+
+	mu        sync.Mutex
+	requests  map[string]int64 // route|status -> count
+	durMillis map[string]int64 // route -> cumulative handler milliseconds
+	durCount  map[string]int64 // route -> observations
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		requests:  make(map[string]int64),
+		durMillis: make(map[string]int64),
+		durCount:  make(map[string]int64),
+	}
+}
+
+// observe records one completed request.
+func (m *metrics) observe(route string, status int, millis int64) {
+	m.mu.Lock()
+	m.requests[fmt.Sprintf("%s|%d", route, status)]++
+	m.durMillis[route] += millis
+	m.durCount[route]++
+	m.mu.Unlock()
+}
+
+// render writes the Prometheus text exposition. Families are emitted in
+// a fixed order and series in sorted label order, so scrapes are
+// deterministic.
+func (m *metrics) render(registrySize int) string {
+	var b strings.Builder
+	b.WriteString("# HELP pdxd_requests_total Requests served, by route and HTTP status.\n")
+	b.WriteString("# TYPE pdxd_requests_total counter\n")
+	m.mu.Lock()
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		route, status, _ := strings.Cut(k, "|")
+		fmt.Fprintf(&b, "pdxd_requests_total{route=%q,status=%q} %d\n", route, status, m.requests[k])
+	}
+	b.WriteString("# HELP pdxd_request_duration_milliseconds Cumulative handler time, by route.\n")
+	b.WriteString("# TYPE pdxd_request_duration_milliseconds counter\n")
+	routes := make([]string, 0, len(m.durCount))
+	for k := range m.durCount {
+		routes = append(routes, k)
+	}
+	sort.Strings(routes)
+	for _, r := range routes {
+		fmt.Fprintf(&b, "pdxd_request_duration_milliseconds_sum{route=%q} %d\n", r, m.durMillis[r])
+		fmt.Fprintf(&b, "pdxd_request_duration_milliseconds_count{route=%q} %d\n", r, m.durCount[r])
+	}
+	m.mu.Unlock()
+
+	fmt.Fprintf(&b, "# HELP pdxd_in_flight_solves Solves currently executing.\n# TYPE pdxd_in_flight_solves gauge\npdxd_in_flight_solves %d\n", m.inFlight.Load())
+	fmt.Fprintf(&b, "# HELP pdxd_queue_depth Solves waiting for an admission slot.\n# TYPE pdxd_queue_depth gauge\npdxd_queue_depth %d\n", m.queueDepth.Load())
+	fmt.Fprintf(&b, "# HELP pdxd_shed_total Requests rejected by admission control.\n# TYPE pdxd_shed_total counter\npdxd_shed_total %d\n", m.shed.Load())
+	fmt.Fprintf(&b, "# HELP pdxd_solver_nodes_total Cumulative generic-solver search nodes.\n# TYPE pdxd_solver_nodes_total counter\npdxd_solver_nodes_total %d\n", m.nodes.Load())
+	fmt.Fprintf(&b, "# HELP pdxd_registry_settings Registered settings.\n# TYPE pdxd_registry_settings gauge\npdxd_registry_settings %d\n", registrySize)
+	return b.String()
+}

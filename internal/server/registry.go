@@ -1,0 +1,148 @@
+// Package server implements pdxd, the PDE serving daemon behind
+// `pdx serve`: an HTTP/JSON API over a compiled-setting registry, with
+// per-request deadlines threaded into the solver hot loops, bounded
+// admission of concurrent solves, and dependency-free observability
+// (structured logs, /healthz, /metrics).
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/pde"
+)
+
+// Compiled is a setting after one-time compilation: parsed, vetted,
+// classified, and formatted to canonical text. Everything in it is
+// immutable after registration, so handlers read it without locks.
+type Compiled struct {
+	// ID is "sha256:" plus the hex digest of the canonical text, so the
+	// same setting always lands on the same ID regardless of source
+	// formatting.
+	ID string
+	// Name is the setting's declared name.
+	Name string
+	// Text is the canonical text (pde.FormatSetting output).
+	Text string
+	// Setting is the compiled form used by solves.
+	Setting *pde.Setting
+	// Report is the C_tract classification computed at registration.
+	Report pde.CtractReport
+	// Strategy is the algorithm solves will use, as a wire string.
+	Strategy string
+	// Warnings counts non-error vet diagnostics seen at registration.
+	Warnings int
+}
+
+// Registry is the concurrent compiled-setting store. Registration is
+// idempotent by content hash; lookups are read-locked and return the
+// shared immutable Compiled.
+type Registry struct {
+	mu    sync.RWMutex
+	byID  map[string]*Compiled
+	order []string // registration order, for deterministic listings
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byID: make(map[string]*Compiled)}
+}
+
+// Compile parses, vets, and classifies setting text without touching
+// any registry. A vet error rejects the setting (the daemon refuses to
+// serve settings its own static analysis calls broken).
+func Compile(src string) (*Compiled, error) {
+	s, err := pde.ParseSetting(src)
+	if err != nil {
+		return nil, fmt.Errorf("parsing setting: %w", err)
+	}
+	report := pde.Vet(src, "<register>")
+	if report.HasErrors() {
+		for _, d := range report.Diagnostics {
+			if d.Severity == pde.SeverityError {
+				return nil, fmt.Errorf("vet: %s: %s", d.Check, d.Message)
+			}
+		}
+	}
+	_, warns, _ := report.Counts()
+	cls := pde.Classify(s)
+	strategy := string(pde.StrategyGeneric)
+	if cls.InCtract {
+		strategy = string(pde.StrategyTractable)
+	}
+	text := pde.FormatSetting(s)
+	sum := sha256.Sum256([]byte(text))
+	return &Compiled{
+		ID:       "sha256:" + hex.EncodeToString(sum[:]),
+		Name:     s.Name,
+		Text:     text,
+		Setting:  s,
+		Report:   cls,
+		Strategy: strategy,
+		Warnings: warns,
+	}, nil
+}
+
+// Register compiles the setting and stores it under its content hash.
+// Re-registering an already-present setting is a no-op that returns the
+// existing entry with created=false.
+func (r *Registry) Register(src string) (c *Compiled, created bool, err error) {
+	c, err = Compile(src)
+	if err != nil {
+		return nil, false, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if have, ok := r.byID[c.ID]; ok {
+		return have, false, nil
+	}
+	r.byID[c.ID] = c
+	r.order = append(r.order, c.ID)
+	return c, true, nil
+}
+
+// Get returns the compiled setting for an ID, or nil.
+func (r *Registry) Get(id string) *Compiled {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byID[id]
+}
+
+// List returns the registered settings in registration order.
+func (r *Registry) List() []*Compiled {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Compiled, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.byID[id])
+	}
+	return out
+}
+
+// Evict removes a setting; it reports whether the ID was present.
+// In-flight solves against the evicted setting finish unaffected (they
+// hold the immutable Compiled, not the registry slot).
+func (r *Registry) Evict(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[id]; !ok {
+		return false
+	}
+	delete(r.byID, id)
+	for i, have := range r.order {
+		if have == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Len returns the number of registered settings.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byID)
+}

@@ -1,0 +1,502 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"repro/pde"
+	"repro/pde/client"
+)
+
+// Config tunes a Server. The zero value serves with sensible defaults.
+type Config struct {
+	// Logger receives one structured record per request; nil discards.
+	Logger *slog.Logger
+	// MaxInFlight bounds concurrently executing solves (admission
+	// control); 0 means GOMAXPROCS.
+	MaxInFlight int
+	// MaxQueue bounds solves waiting for an in-flight slot; beyond it
+	// requests are shed with 429 immediately. 0 means 2×MaxInFlight;
+	// negative means no queue (shed as soon as all slots are busy).
+	MaxQueue int
+	// DefaultDeadline applies to solves that don't send deadline_ms;
+	// 0 means 30s.
+	DefaultDeadline time.Duration
+	// MaxDeadline caps client-requested deadlines; 0 means 5m.
+	MaxDeadline time.Duration
+	// MaxNodes is the server-wide generic-solver budget applied when a
+	// request doesn't set max_nodes; 0 means unbounded.
+	MaxNodes int64
+	// Parallelism is handed to every solve (pde.Options.Parallelism);
+	// 0 means GOMAXPROCS. Deadlines are the primary isolation knob; this
+	// bounds how many cores one request may burn.
+	Parallelism int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.MaxQueue == 0:
+		c.MaxQueue = 2 * c.MaxInFlight
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 30 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 5 * time.Minute
+	}
+	return c
+}
+
+// Server is the pdxd HTTP server: a compiled-setting registry plus the
+// /v1 JSON API. Create with New, mount Handler on an http.Server.
+type Server struct {
+	cfg      Config
+	reg      *Registry
+	met      *metrics
+	sem      chan struct{} // admission slots, cap MaxInFlight
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// New builds a Server with an empty registry.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg: cfg.withDefaults(),
+		reg: NewRegistry(),
+		met: newMetrics(),
+	}
+	s.sem = make(chan struct{}, s.cfg.MaxInFlight)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/settings", s.route("settings-register", s.handleRegister))
+	s.mux.HandleFunc("GET /v1/settings", s.route("settings-list", s.handleList))
+	s.mux.HandleFunc("DELETE /v1/settings/{id}", s.route("settings-evict", s.handleEvict))
+	s.mux.HandleFunc("POST /v1/exists-solution", s.route("exists-solution", s.handleExists))
+	s.mux.HandleFunc("POST /v1/certain-answers", s.route("certain-answers", s.handleCertain))
+	s.mux.HandleFunc("POST /v1/classify", s.route("classify", s.handleClassify))
+	s.mux.HandleFunc("POST /v1/vet", s.route("vet", s.handleVet))
+	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealth))
+	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the compiled-setting registry (for preloading).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// InFlight returns the number of solves currently executing.
+func (s *Server) InFlight() int { return int(s.met.inFlight.Load()) }
+
+// StartDrain makes admission reject new solves with 503 while in-flight
+// ones finish. Call before http.Server.Shutdown so long solves stop
+// being admitted the moment the drain begins.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// statusWriter captures the status code for logs and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// route wraps a handler with request logging and metrics.
+func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		h(sw, r)
+		millis := time.Since(start).Milliseconds()
+		s.met.observe(name, sw.status, millis)
+		s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("route", name),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Int64("duration_ms", millis),
+			slog.String("remote", r.RemoteAddr),
+		)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) // client gone; nothing to do
+}
+
+func writeErr(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeJSON(w, status, map[string]*client.APIError{
+		"error": {Code: code, Message: fmt.Sprintf(format, args...)},
+	})
+}
+
+// decode reads a JSON body with a size cap.
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	data, err := io.ReadAll(io.LimitReader(r.Body, 64<<20))
+	if err == nil {
+		err = json.Unmarshal(data, v)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, client.CodeBadRequest, "decoding request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// admit acquires an in-flight slot, queueing up to MaxQueue waiters.
+// It returns a release function, or writes the shed/timeout response
+// and returns nil.
+func (s *Server) admit(ctx context.Context, w http.ResponseWriter) func() {
+	if s.draining.Load() {
+		s.met.shed.Add(1)
+		writeErr(w, http.StatusServiceUnavailable, client.CodeShuttingDown, "daemon is draining")
+		return nil
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		if s.met.queueDepth.Add(1) > int64(s.cfg.MaxQueue) {
+			s.met.queueDepth.Add(-1)
+			s.met.shed.Add(1)
+			writeErr(w, http.StatusTooManyRequests, client.CodeOverloaded,
+				"admission queue full (%d in flight, %d queued); retry later", s.cfg.MaxInFlight, s.cfg.MaxQueue)
+			return nil
+		}
+		select {
+		case s.sem <- struct{}{}:
+			s.met.queueDepth.Add(-1)
+		case <-ctx.Done():
+			s.met.queueDepth.Add(-1)
+			s.met.shed.Add(1)
+			if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+				writeErr(w, http.StatusGatewayTimeout, client.CodeDeadlineExceeded, "deadline expired while queued for admission")
+			} else {
+				writeErr(w, http.StatusServiceUnavailable, client.CodeCanceled, "request canceled while queued for admission")
+			}
+			return nil
+		}
+	}
+	s.met.inFlight.Add(1)
+	return func() {
+		s.met.inFlight.Add(-1)
+		<-s.sem
+	}
+}
+
+// deadline computes the per-request solve budget.
+func (s *Server) deadline(requestedMillis int64) time.Duration {
+	d := s.cfg.DefaultDeadline
+	if requestedMillis > 0 {
+		d = time.Duration(requestedMillis) * time.Millisecond
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return d
+}
+
+// solveError maps a solve failure onto an HTTP status and error code.
+func solveError(err error) (int, string) {
+	switch {
+	case errors.Is(err, pde.ErrCanceled) && errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, client.CodeDeadlineExceeded
+	case errors.Is(err, pde.ErrCanceled):
+		return http.StatusServiceUnavailable, client.CodeCanceled
+	case errors.Is(err, pde.ErrSearchBudget), errors.Is(err, pde.ErrChaseBudget):
+		return http.StatusUnprocessableEntity, client.CodeUnprocessable
+	default:
+		return http.StatusBadRequest, client.CodeBadRequest
+	}
+}
+
+// solveInput resolves the shared preamble of the solve endpoints:
+// registry lookup and instance parsing.
+func (s *Server) solveInput(w http.ResponseWriter, settingID, source, target string) (*Compiled, *pde.Instance, *pde.Instance, bool) {
+	c := s.reg.Get(settingID)
+	if c == nil {
+		writeErr(w, http.StatusNotFound, client.CodeNotFound, "setting %q is not registered", settingID)
+		return nil, nil, nil, false
+	}
+	i, err := pde.ParseInstance(source)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, client.CodeBadRequest, "parsing source instance: %v", err)
+		return nil, nil, nil, false
+	}
+	j := pde.NewInstance()
+	if target != "" {
+		if j, err = pde.ParseInstance(target); err != nil {
+			writeErr(w, http.StatusBadRequest, client.CodeBadRequest, "parsing target instance: %v", err)
+			return nil, nil, nil, false
+		}
+	}
+	return c, i, j, true
+}
+
+// options builds the per-solve pde.Options.
+func (s *Server) options(maxNodes int64) pde.Options {
+	var o pde.Options
+	o.Parallelism = s.cfg.Parallelism
+	o.Solve.MaxNodes = s.cfg.MaxNodes
+	if maxNodes > 0 {
+		o.Solve.MaxNodes = maxNodes
+	}
+	return o
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req client.RegisterRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	c, created, err := s.reg.Register(req.Setting)
+	if err != nil {
+		// A setting that parses but fails vet is well-formed input the
+		// analyzer refuses — 422; anything unparsable is 400.
+		status, code := http.StatusBadRequest, client.CodeBadRequest
+		if _, perr := pde.ParseSetting(req.Setting); perr == nil {
+			status, code = http.StatusUnprocessableEntity, client.CodeUnprocessable
+		}
+		writeErr(w, status, code, "registering setting: %v", err)
+		return
+	}
+	status := http.StatusOK
+	if created {
+		status = http.StatusCreated
+	}
+	s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "setting registered",
+		slog.String("id", c.ID), slog.String("name", c.Name),
+		slog.String("strategy", c.Strategy), slog.Bool("created", created))
+	writeJSON(w, status, client.RegisterResponse{
+		ID:       c.ID,
+		Name:     c.Name,
+		InCtract: c.Report.InCtract,
+		Strategy: c.Strategy,
+		Warnings: c.Warnings,
+		Created:  created,
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	all := s.reg.List()
+	out := client.ListSettingsResponse{Settings: make([]client.SettingSummary, 0, len(all))}
+	for _, c := range all {
+		out.Settings = append(out.Settings, client.SettingSummary{
+			ID: c.ID, Name: c.Name, InCtract: c.Report.InCtract, Strategy: c.Strategy,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if !s.reg.Evict(id) {
+		writeErr(w, http.StatusNotFound, client.CodeNotFound, "setting %q is not registered", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"evicted": id})
+}
+
+func (s *Server) handleExists(w http.ResponseWriter, r *http.Request) {
+	var req client.SolveRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	c, i, j, ok := s.solveInput(w, req.SettingID, req.Source, req.Target)
+	if !ok {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.DeadlineMillis))
+	defer cancel()
+	release := s.admit(ctx, w)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	var res pde.Result
+	var err error
+	if req.Witness {
+		res, err = pde.FindSolutionContext(ctx, c.Setting, i, j, s.options(req.MaxNodes))
+	} else {
+		res, err = pde.ExistsSolutionContext(ctx, c.Setting, i, j, s.options(req.MaxNodes))
+	}
+	s.met.nodes.Add(res.Nodes)
+	if err != nil {
+		status, code := solveError(err)
+		writeErr(w, status, code, "solve: %v", err)
+		return
+	}
+	out := client.SolveResponse{
+		Exists:        res.Exists,
+		Strategy:      string(res.Strategy),
+		Nodes:         res.Nodes,
+		ElapsedMillis: time.Since(start).Milliseconds(),
+	}
+	if req.Witness && res.Solution != nil {
+		out.Solution = pde.FormatInstance(res.Solution)
+	}
+	s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "solve",
+		slog.String("setting", c.ID), slog.Bool("exists", res.Exists),
+		slog.String("strategy", out.Strategy), slog.Int64("nodes", res.Nodes),
+		slog.Int64("elapsed_ms", out.ElapsedMillis))
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
+	var req client.CertainRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	c, i, j, ok := s.solveInput(w, req.SettingID, req.Source, req.Target)
+	if !ok {
+		return
+	}
+	qs, err := pde.ParseQueries(req.Query)
+	if err != nil || len(qs) != 1 {
+		if err == nil {
+			err = fmt.Errorf("want exactly one query, got %d", len(qs))
+		}
+		writeErr(w, http.StatusBadRequest, client.CodeBadRequest, "parsing query: %v", err)
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.DeadlineMillis))
+	defer cancel()
+	release := s.admit(ctx, w)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	var res pde.CertainResult
+	if qs[0][0].IsBoolean() {
+		res, err = pde.CertainBoolContext(ctx, c.Setting, i, j, qs[0], s.options(0))
+	} else {
+		res, err = pde.CertainAnswersContext(ctx, c.Setting, i, j, qs[0], s.options(0))
+	}
+	if err != nil {
+		status, code := solveError(err)
+		writeErr(w, status, code, "certain answers: %v", err)
+		return
+	}
+	out := client.CertainResponse{
+		SolutionExists:    res.SolutionExists,
+		Certain:           res.Certain,
+		SolutionsExamined: res.SolutionsExamined,
+		ElapsedMillis:     time.Since(start).Milliseconds(),
+	}
+	for _, t := range res.Answers {
+		row := make([]string, len(t))
+		for k, v := range t {
+			row[k] = v.String()
+		}
+		out.Answers = append(out.Answers, row)
+	}
+	s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "certain",
+		slog.String("setting", c.ID), slog.Int("answers", len(out.Answers)),
+		slog.Int64("elapsed_ms", out.ElapsedMillis))
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	var req client.ClassifyRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	var report pde.CtractReport
+	switch {
+	case req.SettingID != "" && req.Setting != "":
+		writeErr(w, http.StatusBadRequest, client.CodeBadRequest, "set either setting_id or setting, not both")
+		return
+	case req.SettingID != "":
+		c := s.reg.Get(req.SettingID)
+		if c == nil {
+			writeErr(w, http.StatusNotFound, client.CodeNotFound, "setting %q is not registered", req.SettingID)
+			return
+		}
+		report = c.Report
+	case req.Setting != "":
+		st, err := pde.ParseSetting(req.Setting)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, client.CodeBadRequest, "parsing setting: %v", err)
+			return
+		}
+		report = pde.Classify(st)
+	default:
+		writeErr(w, http.StatusBadRequest, client.CodeBadRequest, "set setting_id or setting")
+		return
+	}
+	writeJSON(w, http.StatusOK, client.ClassifyResponse{
+		InCtract:   report.InCtract,
+		Cond1:      report.Cond1,
+		Cond21:     report.Cond21,
+		Cond22:     report.Cond22,
+		Violations: report.Violations,
+		Summary:    report.Summary(),
+	})
+}
+
+func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
+	var req client.VetRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	file := req.File
+	if file == "" {
+		file = "<request>"
+	}
+	report := pde.Vet(req.Setting, file)
+	errs, warns, infos := report.Counts()
+	out := client.VetResponse{File: report.File, Errors: errs, Warnings: warns, Infos: infos}
+	for _, d := range report.Diagnostics {
+		out.Diagnostics = append(out.Diagnostics, client.Diagnostic{
+			Check:    d.Check,
+			Severity: string(d.Severity),
+			File:     d.File,
+			Line:     d.Line,
+			Col:      d.Col,
+			Message:  d.Message,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	writeJSON(w, http.StatusOK, client.HealthResponse{
+		Status:   status,
+		Settings: s.reg.Len(),
+		InFlight: s.InFlight(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	_, _ = io.WriteString(w, s.met.render(s.reg.Len()))
+}

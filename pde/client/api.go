@@ -1,0 +1,199 @@
+// Package client is the typed Go client for pdxd, the PDE serving
+// daemon (cmd/pdx serve). It also defines the wire types of the
+// HTTP/JSON API, shared with the server implementation so the two
+// cannot drift.
+//
+// All requests and responses are JSON. Settings, instances, and
+// queries travel as text in the same formats the library parsers
+// accept (pde.ParseSetting, pde.ParseInstance, pde.ParseQueries), so
+// anything that works with the pdx CLI works over the wire unchanged.
+package client
+
+import "fmt"
+
+// RegisterRequest registers a PDE setting with the daemon. The setting
+// is compiled once — parsed, vetted, classified — and stored under a
+// content hash of its canonical text, so registering the same setting
+// twice is idempotent and returns the same ID.
+type RegisterRequest struct {
+	// Setting is the setting source text (.pde format).
+	Setting string `json:"setting"`
+}
+
+// RegisterResponse acknowledges a registration.
+type RegisterResponse struct {
+	// ID is the content-hash identifier ("sha256:<hex>") used by all
+	// subsequent requests against this setting.
+	ID string `json:"id"`
+	// Name is the setting's declared name.
+	Name string `json:"name"`
+	// InCtract reports membership in the tractable class C_tract.
+	InCtract bool `json:"in_ctract"`
+	// Strategy is the algorithm solves against this setting will use
+	// ("tractable" or "generic").
+	Strategy string `json:"strategy"`
+	// Warnings counts non-error vet diagnostics recorded at
+	// registration (settings with vet errors are rejected).
+	Warnings int `json:"warnings"`
+	// Created is false when the setting was already registered and this
+	// call was a no-op.
+	Created bool `json:"created"`
+}
+
+// SettingSummary describes one registered setting.
+type SettingSummary struct {
+	ID       string `json:"id"`
+	Name     string `json:"name"`
+	InCtract bool   `json:"in_ctract"`
+	Strategy string `json:"strategy"`
+}
+
+// ListSettingsResponse lists the registry contents in registration
+// order.
+type ListSettingsResponse struct {
+	Settings []SettingSummary `json:"settings"`
+}
+
+// SolveRequest asks whether (I, J) has a solution under a registered
+// setting (the SOL(P) problem).
+type SolveRequest struct {
+	// SettingID is the registry ID returned by Register.
+	SettingID string `json:"setting_id"`
+	// Source is the source instance I as fact text ("E(a,b). E(b,c).").
+	Source string `json:"source"`
+	// Target is the target instance J; empty means ∅.
+	Target string `json:"target,omitempty"`
+	// DeadlineMillis bounds the solve; 0 uses the server default. The
+	// server caps it at its configured maximum.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+	// MaxNodes bounds the generic solver's search tree; 0 means the
+	// server default.
+	MaxNodes int64 `json:"max_nodes,omitempty"`
+	// Witness requests a witness solution in the response.
+	Witness bool `json:"witness,omitempty"`
+}
+
+// SolveResponse reports a SOL(P) verdict.
+type SolveResponse struct {
+	Exists bool `json:"exists"`
+	// Strategy is the algorithm that ran ("tractable" or "generic").
+	Strategy string `json:"strategy"`
+	// Nodes is the number of search nodes the generic solver visited
+	// (0 for the tractable algorithm).
+	Nodes int64 `json:"nodes,omitempty"`
+	// Solution is the witness solution as fact text, when requested and
+	// one exists.
+	Solution string `json:"solution,omitempty"`
+	// ElapsedMillis is the server-side solve time.
+	ElapsedMillis int64 `json:"elapsed_ms"`
+}
+
+// CertainRequest asks for the certain answers of a query over every
+// solution for (I, J).
+type CertainRequest struct {
+	SettingID string `json:"setting_id"`
+	Source    string `json:"source"`
+	Target    string `json:"target,omitempty"`
+	// Query is one conjunctive query, "q(x,y) :- H(x,y)" syntax; an
+	// empty head makes it Boolean.
+	Query          string `json:"query"`
+	DeadlineMillis int64  `json:"deadline_ms,omitempty"`
+}
+
+// CertainResponse reports a certain-answers computation.
+type CertainResponse struct {
+	// SolutionExists is false when (I, J) has no solution at all (every
+	// query is then vacuously certain).
+	SolutionExists bool `json:"solution_exists"`
+	// Certain is the verdict for Boolean queries.
+	Certain bool `json:"certain"`
+	// Answers holds the certain tuples of open queries, each a list of
+	// constants, in sorted order.
+	Answers [][]string `json:"answers,omitempty"`
+	// SolutionsExamined counts the candidate solutions enumerated.
+	SolutionsExamined int   `json:"solutions_examined,omitempty"`
+	ElapsedMillis     int64 `json:"elapsed_ms"`
+}
+
+// ClassifyRequest classifies a setting against C_tract (Definition 9).
+// Exactly one of SettingID and Setting must be set.
+type ClassifyRequest struct {
+	SettingID string `json:"setting_id,omitempty"`
+	// Setting is inline setting text, classified without registering.
+	Setting string `json:"setting,omitempty"`
+}
+
+// ClassifyResponse mirrors pde.Classify's report.
+type ClassifyResponse struct {
+	InCtract   bool     `json:"in_ctract"`
+	Cond1      bool     `json:"cond1"`
+	Cond21     bool     `json:"cond21"`
+	Cond22     bool     `json:"cond22"`
+	Violations []string `json:"violations,omitempty"`
+	Summary    string   `json:"summary"`
+}
+
+// VetRequest runs the static-analysis checks over setting text.
+type VetRequest struct {
+	Setting string `json:"setting"`
+	// File names the setting in diagnostics; defaults to "<request>".
+	File string `json:"file,omitempty"`
+}
+
+// Diagnostic is one vet finding on the wire.
+type Diagnostic struct {
+	Check    string `json:"check"`
+	Severity string `json:"severity"`
+	File     string `json:"file,omitempty"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+// VetResponse reports a vet run.
+type VetResponse struct {
+	File        string       `json:"file"`
+	Errors      int          `json:"errors"`
+	Warnings    int          `json:"warnings"`
+	Infos       int          `json:"infos"`
+	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
+}
+
+// HealthResponse reports daemon liveness.
+type HealthResponse struct {
+	Status   string `json:"status"`
+	Settings int    `json:"settings"`
+	InFlight int    `json:"in_flight"`
+}
+
+// Error codes carried in APIError.Code.
+const (
+	CodeBadRequest       = "bad_request"       // 400: malformed JSON or unparsable text
+	CodeNotFound         = "not_found"         // 404: unknown setting ID
+	CodeUnprocessable    = "unprocessable"     // 422: setting rejected by vet, or budget exhausted
+	CodeOverloaded       = "overloaded"        // 429: admission queue full, retry later
+	CodeShuttingDown     = "shutting_down"     // 503: daemon draining
+	CodeCanceled         = "canceled"          // 503: request canceled before completion
+	CodeDeadlineExceeded = "deadline_exceeded" // 504: solve exceeded its deadline
+	CodeInternal         = "internal"          // 500
+)
+
+// APIError is the error envelope every non-2xx response carries, as
+// {"error": {"code": ..., "message": ...}}. The client returns it as
+// the error value, so callers can switch on Code or Status.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// Status is the HTTP status code (filled by the client, not on the
+	// wire).
+	Status int `json:"-"`
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("pdxd: %s (%s, http %d)", e.Message, e.Code, e.Status)
+}
+
+// errorBody is the wire envelope for APIError.
+type errorBody struct {
+	Error *APIError `json:"error"`
+}

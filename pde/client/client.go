@@ -1,0 +1,142 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+)
+
+// Client talks to a pdxd daemon.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the daemon at base (e.g.
+// "http://127.0.0.1:8642"). The optional http.Client overrides the
+// default transport; per-request deadlines should normally travel in
+// the request body (DeadlineMillis) so the server can budget the solve,
+// with the context as a harder client-side stop.
+func New(base string, hc ...*http.Client) *Client {
+	c := &Client{base: strings.TrimRight(base, "/"), http: http.DefaultClient}
+	if len(hc) > 0 && hc[0] != nil {
+		c.http = hc[0]
+	}
+	return c
+}
+
+// Base returns the daemon base URL the client talks to.
+func (c *Client) Base() string { return c.base }
+
+// Register compiles and registers a setting, returning its registry ID.
+func (c *Client) Register(ctx context.Context, settingText string) (RegisterResponse, error) {
+	var out RegisterResponse
+	err := c.post(ctx, "/v1/settings", RegisterRequest{Setting: settingText}, &out)
+	return out, err
+}
+
+// Settings lists the registered settings.
+func (c *Client) Settings(ctx context.Context) (ListSettingsResponse, error) {
+	var out ListSettingsResponse
+	err := c.do(ctx, http.MethodGet, "/v1/settings", nil, &out)
+	return out, err
+}
+
+// Evict removes a setting from the registry.
+func (c *Client) Evict(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/settings/"+url.PathEscape(id), nil, nil)
+}
+
+// ExistsSolution decides SOL(P) for the given instances.
+func (c *Client) ExistsSolution(ctx context.Context, req SolveRequest) (SolveResponse, error) {
+	var out SolveResponse
+	err := c.post(ctx, "/v1/exists-solution", req, &out)
+	return out, err
+}
+
+// CertainAnswers computes the certain answers of a query.
+func (c *Client) CertainAnswers(ctx context.Context, req CertainRequest) (CertainResponse, error) {
+	var out CertainResponse
+	err := c.post(ctx, "/v1/certain-answers", req, &out)
+	return out, err
+}
+
+// Classify reports C_tract membership of a registered or inline
+// setting.
+func (c *Client) Classify(ctx context.Context, req ClassifyRequest) (ClassifyResponse, error) {
+	var out ClassifyResponse
+	err := c.post(ctx, "/v1/classify", req, &out)
+	return out, err
+}
+
+// Vet runs the static-analysis checks over setting text.
+func (c *Client) Vet(ctx context.Context, req VetRequest) (VetResponse, error) {
+	var out VetResponse
+	err := c.post(ctx, "/v1/vet", req, &out)
+	return out, err
+}
+
+// Health reports daemon liveness.
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	var out HealthResponse
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &out)
+	return out, err
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	return c.do(ctx, http.MethodPost, path, in, out)
+}
+
+// do sends one request and decodes the response into out (when
+// non-nil). Non-2xx responses decode the error envelope and return it
+// as an *APIError.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("client: encoding request: %w", err)
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("client: reading response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var eb errorBody
+		if err := json.Unmarshal(data, &eb); err == nil && eb.Error != nil {
+			eb.Error.Status = resp.StatusCode
+			return eb.Error
+		}
+		return &APIError{
+			Code:    CodeInternal,
+			Message: fmt.Sprintf("non-JSON error response: %.200s", data),
+			Status:  resp.StatusCode,
+		}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(data, out); err != nil {
+		return fmt.Errorf("client: decoding %s response: %w", path, err)
+	}
+	return nil
+}

@@ -17,9 +17,11 @@ import (
 // data-exchange fragment of the setting (Σts is not allowed): the chase
 // of (I, J) with Σst ∪ Σt. It returns nil with exists=false when the
 // chase fails (a target egd equated two constants), meaning no solution
-// exists.
-func UniversalSolution(s *Setting, i, j *Instance) (sol *Instance, exists bool, err error) {
-	res, err := uni.CanonicalSolution(s, i, j, chase.Options{})
+// exists. Options.Parallelism/Seed configure the chase's trigger
+// search.
+func UniversalSolution(s *Setting, i, j *Instance, opts ...Options) (sol *Instance, exists bool, err error) {
+	o := options(opts).normalized()
+	res, err := uni.CanonicalSolution(s, i, j, chaseOptions(o))
 	if err != nil {
 		return nil, false, err
 	}
@@ -27,6 +29,18 @@ func UniversalSolution(s *Setting, i, j *Instance) (sol *Instance, exists bool, 
 		return nil, false, nil
 	}
 	return res.Solution, true, nil
+}
+
+// chaseOptions projects the façade options onto a chase configuration
+// (used by the data-exchange helpers, which chase but never search).
+func chaseOptions(o Options) chase.Options {
+	return chase.Options{
+		Parallelism: o.Parallelism,
+		Seed:        o.Seed,
+		MaxSteps:    o.Solve.MaxChaseSteps,
+		Hom:         o.Solve.Hom,
+		Ctx:         o.Solve.Ctx,
+	}
 }
 
 // Core computes the core of an instance with labeled nulls: its
@@ -41,13 +55,14 @@ func Core(inst *Instance) *Instance {
 // polynomial time, by naive evaluation on the canonical universal
 // solution. This is the tractable contrast the paper draws with the
 // coNP-complete PDE case.
-func CertainAnswersDataExchange(s *Setting, i, j *Instance, q UCQ) (CertainResult, error) {
+func CertainAnswersDataExchange(s *Setting, i, j *Instance, q UCQ, opts ...Options) (CertainResult, error) {
+	o := options(opts).normalized()
 	if err := prepareCertain(s, i, j, q); err != nil {
 		return CertainResult{}, err
 	}
 	answers, exists, err := uni.CertainAnswers(s, i, j, func(inst *rel.Instance) []rel.Tuple {
-		return q.Eval(inst, hom.Options{})
-	}, chase.Options{})
+		return q.Eval(inst, o.Solve.Hom)
+	}, chaseOptions(o))
 	if err != nil {
 		return CertainResult{}, err
 	}
@@ -69,7 +84,7 @@ type RepairResult struct {
 // unsolvable inputs sketched in the paper's conclusion. The target
 // instance must be small (the enumeration is exponential in |J|).
 func Repairs(s *Setting, i, j *Instance, opts ...Options) (RepairResult, error) {
-	o := options(opts)
+	o := options(opts).normalized()
 	if err := s.Validate(); err != nil {
 		return RepairResult{}, err
 	}
@@ -83,7 +98,7 @@ func Repairs(s *Setting, i, j *Instance, opts ...Options) (RepairResult, error) 
 // CertainUnderRepairs computes repair-based certain answers: tuples (or
 // the Boolean verdict) certain in every solution of every repair.
 func CertainUnderRepairs(s *Setting, i, j *Instance, q UCQ, opts ...Options) (CertainResult, error) {
-	o := options(opts)
+	o := options(opts).normalized()
 	if err := prepareCertain(s, i, j, q); err != nil {
 		return CertainResult{}, err
 	}

@@ -1,0 +1,206 @@
+package pde_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/pde"
+)
+
+// cliqueExample is the Theorem 3 clique reduction (outside C_tract), a
+// setting on which the generic solver does real search work — the
+// fixture for the budget and cancellation round-trip tests.
+const cliqueExample = `
+setting clique
+source D/2, S/2, E/2
+target P/4
+st: D(x,y) -> exists z, w: P(x,z,y,w)
+ts: P(x,z,y,w) -> E(z,w)
+ts: P(x,z,y,w), P(y,z2,y2,w2) -> S(w,z2)
+`
+
+// cliqueInstance encodes "does a path of 4 vertices contain a
+// 3-clique?" (it does not), so the complete solver must exhaust an
+// exponential search space to answer.
+const cliqueInstance = `
+D(a1,a2). D(a2,a1). D(a1,a3). D(a3,a1). D(a2,a3). D(a3,a2).
+S(v0,v0). S(v1,v1). S(v2,v2). S(v3,v3).
+E(v0,v1). E(v1,v0). E(v1,v2). E(v2,v1). E(v2,v3). E(v3,v2).
+`
+
+func TestErrSearchBudgetRoundTrip(t *testing.T) {
+	s := mustSetting(t, cliqueExample)
+	i, err := pde.ParseInstance(cliqueInstance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := pde.Options{}
+	opts.Solve.MaxNodes = 5
+	_, err = pde.ExistsSolution(s, i, pde.NewInstance(), opts)
+	if err == nil {
+		t.Fatal("want a budget error, got nil")
+	}
+	if !errors.Is(err, pde.ErrSearchBudget) {
+		t.Errorf("errors.Is(err, pde.ErrSearchBudget) = false for %v", err)
+	}
+	if errors.Is(err, pde.ErrCanceled) {
+		t.Errorf("budget error unexpectedly matches pde.ErrCanceled: %v", err)
+	}
+}
+
+func TestErrCanceledRoundTripGeneric(t *testing.T) {
+	s := mustSetting(t, cliqueExample)
+	i, err := pde.ParseInstance(cliqueInstance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // canceled before the search starts
+	_, err = pde.ExistsSolutionContext(ctx, s, i, pde.NewInstance())
+	if err == nil {
+		t.Fatal("want a cancellation error, got nil")
+	}
+	if !errors.Is(err, pde.ErrCanceled) {
+		t.Errorf("errors.Is(err, pde.ErrCanceled) = false for %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+	if errors.Is(err, pde.ErrSearchBudget) {
+		t.Errorf("cancellation error unexpectedly matches pde.ErrSearchBudget: %v", err)
+	}
+}
+
+func TestErrCanceledRoundTripTractable(t *testing.T) {
+	s := mustSetting(t, example1)
+	i, err := pde.ParseInstance("E(a,b). E(b,c). E(a,c).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = pde.ExistsSolutionContext(ctx, s, i, pde.NewInstance())
+	if err == nil {
+		t.Fatal("want a cancellation error from the tractable path, got nil")
+	}
+	if !errors.Is(err, pde.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancellation identities missing from %v", err)
+	}
+}
+
+func TestErrCanceledRoundTripCertain(t *testing.T) {
+	s := mustSetting(t, example1)
+	i, err := pde.ParseInstance("E(a,a).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := pde.ParseQueries("q(x,y) :- H(x,y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = pde.CertainAnswersContext(ctx, s, i, pde.NewInstance(), qs[0])
+	if err == nil {
+		t.Fatal("want a cancellation error, got nil")
+	}
+	if !errors.Is(err, pde.ErrCanceled) {
+		t.Errorf("errors.Is(err, pde.ErrCanceled) = false for %v", err)
+	}
+}
+
+func TestContextVariantsAgreeWithPlainCalls(t *testing.T) {
+	s := mustSetting(t, example1)
+	for _, tc := range []struct {
+		src  string
+		want bool
+	}{
+		{"E(a,b). E(b,c).", false},
+		{"E(a,a).", true},
+		{"E(a,b). E(b,c). E(a,c).", true},
+	} {
+		i, err := pde.ParseInstance(tc.src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := pde.ExistsSolutionContext(context.Background(), s, i, pde.NewInstance())
+		if err != nil {
+			t.Fatalf("%s: %v", tc.src, err)
+		}
+		if res.Exists != tc.want {
+			t.Errorf("%s: exists = %v, want %v", tc.src, res.Exists, tc.want)
+		}
+	}
+}
+
+// TestParallelismKnobEndToEnd drives both strategies and the
+// certain-answers evaluator through the façade-level Parallelism knob
+// and checks the results are identical to the serial runs.
+func TestParallelismKnobEndToEnd(t *testing.T) {
+	par := pde.Options{Parallelism: 2, Seed: 13}
+	ser := pde.Options{Parallelism: 1}
+
+	s := mustSetting(t, example1)
+	clique := mustSetting(t, cliqueExample)
+	ci, err := pde.ParseInstance(cliqueInstance)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []string{"E(a,b). E(b,c).", "E(a,a).", "E(a,b). E(b,c). E(a,c)."} {
+		i, err := pde.ParseInstance(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := pde.ExistsSolution(s, i, pde.NewInstance(), ser)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := pde.ExistsSolution(s, i, pde.NewInstance(), par)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Exists != b.Exists || a.Strategy != b.Strategy {
+			t.Errorf("%s: serial (%v,%s) != parallel (%v,%s)", src, a.Exists, a.Strategy, b.Exists, b.Strategy)
+		}
+	}
+
+	a, err := pde.ExistsSolution(clique, ci, pde.NewInstance(), ser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pde.ExistsSolution(clique, ci, pde.NewInstance(), par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Exists != b.Exists || a.Nodes != b.Nodes {
+		t.Errorf("clique: serial (exists=%v nodes=%d) != parallel (exists=%v nodes=%d)",
+			a.Exists, a.Nodes, b.Exists, b.Nodes)
+	}
+	if a.Exists {
+		t.Error("path graph has no 3-clique; solver says it does")
+	}
+	if a.Nodes == 0 {
+		t.Error("generic solve reported 0 nodes; Result.Nodes is not wired")
+	}
+
+	tri, err := pde.ParseInstance("E(a,b). E(b,c). E(a,c).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := pde.ParseQueries("q(x,y) :- H(x,y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := pde.CertainAnswers(s, tri, pde.NewInstance(), qs[0], ser)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, err := pde.CertainAnswers(s, tri, pde.NewInstance(), qs[0], par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ca.Answers) != len(cb.Answers) || len(ca.Answers) != 1 {
+		t.Errorf("certain answers: serial %v parallel %v, want exactly [(a, c)]", ca.Answers, cb.Answers)
+	}
+}

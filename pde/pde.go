@@ -33,14 +33,42 @@
 package pde
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/certain"
+	"repro/internal/chase"
 	"repro/internal/core"
 	"repro/internal/dep"
 	"repro/internal/depparse"
 	"repro/internal/lint"
+	"repro/internal/par"
 	"repro/internal/rel"
+)
+
+// Typed sentinels for the failure modes of long-running calls. They
+// round-trip through every façade entry point, so callers can match
+// them with errors.Is:
+//
+//	res, err := pde.ExistsSolutionContext(ctx, s, i, j, opts)
+//	switch {
+//	case errors.Is(err, pde.ErrCanceled):     // ctx canceled or deadline hit
+//	case errors.Is(err, pde.ErrSearchBudget): // Options.Solve.MaxNodes exhausted
+//	case errors.Is(err, pde.ErrChaseBudget):  // chase step budget exhausted
+//	}
+//
+// Errors matching ErrCanceled also match the context package's own
+// context.Canceled or context.DeadlineExceeded, whichever applied.
+var (
+	// ErrSearchBudget reports that the generic solver exhausted its
+	// node budget (Options.Solve.MaxNodes) before deciding.
+	ErrSearchBudget = core.ErrSearchBudget
+	// ErrCanceled reports that a context canceled the computation
+	// before it completed.
+	ErrCanceled = par.ErrCanceled
+	// ErrChaseBudget reports that a chase phase exhausted its step
+	// budget before reaching a fixpoint.
+	ErrChaseBudget = chase.ErrBudgetExhausted
 )
 
 // Re-exported core types. See the internal packages for full
@@ -150,6 +178,10 @@ type Result struct {
 	Solution *Instance
 	// Strategy is the algorithm used.
 	Strategy Strategy
+	// Nodes is the number of search-tree nodes the generic solver
+	// visited; 0 when the tractable algorithm ran (it searches no
+	// assignment tree).
+	Nodes int64
 }
 
 // Options configures ExistsSolution and FindSolution.
@@ -157,23 +189,85 @@ type Options struct {
 	// ForceGeneric skips the C_tract dispatch and always runs the
 	// complete solver.
 	ForceGeneric bool
+	// Parallelism bounds the workers of every parallel phase (chase
+	// trigger search, block checks, the solver's violation scan): 0
+	// means GOMAXPROCS, 1 forces the serial paths. It is folded into
+	// Solve and Tractable wherever they do not set their own value;
+	// results are byte-identical at every setting.
+	Parallelism int
+	// Seed perturbs parallel work distribution (never results); folded
+	// like Parallelism.
+	Seed int64
 	// Solve configures the generic solver.
 	Solve SolveOptions
 	// Tractable configures the Figure 3 algorithm.
 	Tractable TractableOptions
 }
 
+// withContext folds a cancellation context plus the façade-level knobs
+// into the per-algorithm option structs, preserving any value those
+// structs already set.
+func (o Options) withContext(ctx context.Context) Options {
+	o = o.normalized()
+	if ctx != nil {
+		if o.Solve.Ctx == nil {
+			o.Solve.Ctx = ctx
+		}
+		if o.Tractable.Ctx == nil {
+			o.Tractable.Ctx = ctx
+		}
+	}
+	return o
+}
+
+// normalized folds the façade-level knobs (Parallelism, Seed) into the
+// per-algorithm option structs, preserving any value those structs
+// already set.
+func (o Options) normalized() Options {
+	if o.Parallelism != 0 {
+		if o.Solve.Parallelism == 0 {
+			o.Solve.Parallelism = o.Parallelism
+		}
+		if o.Tractable.Parallelism == 0 {
+			o.Tractable.Parallelism = o.Parallelism
+		}
+	}
+	if o.Seed != 0 {
+		if o.Solve.Seed == 0 {
+			o.Solve.Seed = o.Seed
+		}
+		if o.Tractable.Seed == 0 {
+			o.Tractable.Seed = o.Seed
+		}
+	}
+	return o
+}
+
 // ExistsSolution decides SOL(P) for (I, J): it runs the polynomial
 // Figure 3 algorithm when the setting is in C_tract and the complete
 // backtracking solver otherwise.
 func ExistsSolution(s *Setting, i, j *Instance, opts ...Options) (Result, error) {
-	return solve(s, i, j, false, options(opts))
+	return solve(s, i, j, false, options(opts).normalized())
+}
+
+// ExistsSolutionContext is ExistsSolution with cancellation: when ctx
+// is canceled or its deadline expires, the solver, the chase, and the
+// homomorphism searches all stop promptly and the call returns an
+// error matching pde.ErrCanceled (and the ctx's own error).
+func ExistsSolutionContext(ctx context.Context, s *Setting, i, j *Instance, opts ...Options) (Result, error) {
+	return solve(s, i, j, false, options(opts).withContext(ctx))
 }
 
 // FindSolution decides SOL(P) and constructs a witness solution when
 // one exists.
 func FindSolution(s *Setting, i, j *Instance, opts ...Options) (Result, error) {
-	return solve(s, i, j, true, options(opts))
+	return solve(s, i, j, true, options(opts).normalized())
+}
+
+// FindSolutionContext is FindSolution with cancellation; see
+// ExistsSolutionContext.
+func FindSolutionContext(ctx context.Context, s *Setting, i, j *Instance, opts ...Options) (Result, error) {
+	return solve(s, i, j, true, options(opts).withContext(ctx))
 }
 
 func options(opts []Options) Options {
@@ -207,11 +301,15 @@ func solve(s *Setting, i, j *Instance, wantWitness bool, o Options) (Result, err
 		}
 		return Result{Exists: ok, Strategy: StrategyTractable}, nil
 	}
-	ok, witness, _, err := core.ExistsSolutionGeneric(s, i, j, o.Solve)
+	ok, witness, stats, err := core.ExistsSolutionGeneric(s, i, j, o.Solve)
 	if err != nil {
 		return Result{}, err
 	}
-	return Result{Exists: ok, Solution: witness, Strategy: StrategyGeneric}, nil
+	res := Result{Exists: ok, Solution: witness, Strategy: StrategyGeneric}
+	if stats != nil {
+		res.Nodes = stats.Nodes
+	}
+	return res, nil
 }
 
 // IsSolution checks Definition 2 directly: J ⊆ J', (I, J') ⊨ Σst ∪ Σts,
@@ -239,12 +337,24 @@ type CertainResult struct {
 	Certain bool
 	// Answers holds the certain tuples for open queries, sorted.
 	Answers []Tuple
+	// SolutionsExamined counts the image solutions the evaluator
+	// enumerated before settling the verdict.
+	SolutionsExamined int
 }
 
 // CertainBool computes certain(q, (I, J)) for a Boolean union of
 // conjunctive queries (Definition 4).
 func CertainBool(s *Setting, i, j *Instance, q UCQ, opts ...Options) (CertainResult, error) {
-	o := options(opts)
+	return certainBool(s, i, j, q, options(opts).normalized())
+}
+
+// CertainBoolContext is CertainBool with cancellation; see
+// ExistsSolutionContext.
+func CertainBoolContext(ctx context.Context, s *Setting, i, j *Instance, q UCQ, opts ...Options) (CertainResult, error) {
+	return certainBool(s, i, j, q, options(opts).withContext(ctx))
+}
+
+func certainBool(s *Setting, i, j *Instance, q UCQ, o Options) (CertainResult, error) {
 	if err := prepareCertain(s, i, j, q); err != nil {
 		return CertainResult{}, err
 	}
@@ -252,13 +362,22 @@ func CertainBool(s *Setting, i, j *Instance, q UCQ, opts ...Options) (CertainRes
 	if err != nil {
 		return CertainResult{}, err
 	}
-	return CertainResult{SolutionExists: res.SolutionExists, Certain: res.Certain}, nil
+	return CertainResult{SolutionExists: res.SolutionExists, Certain: res.Certain, SolutionsExamined: res.SolutionsExamined}, nil
 }
 
 // CertainAnswers computes the certain answers of an open union of
 // conjunctive queries on (I, J).
 func CertainAnswers(s *Setting, i, j *Instance, q UCQ, opts ...Options) (CertainResult, error) {
-	o := options(opts)
+	return certainAnswers(s, i, j, q, options(opts).normalized())
+}
+
+// CertainAnswersContext is CertainAnswers with cancellation; see
+// ExistsSolutionContext.
+func CertainAnswersContext(ctx context.Context, s *Setting, i, j *Instance, q UCQ, opts ...Options) (CertainResult, error) {
+	return certainAnswers(s, i, j, q, options(opts).withContext(ctx))
+}
+
+func certainAnswers(s *Setting, i, j *Instance, q UCQ, o Options) (CertainResult, error) {
 	if err := prepareCertain(s, i, j, q); err != nil {
 		return CertainResult{}, err
 	}
@@ -266,7 +385,7 @@ func CertainAnswers(s *Setting, i, j *Instance, q UCQ, opts ...Options) (Certain
 	if err != nil {
 		return CertainResult{}, err
 	}
-	return CertainResult{SolutionExists: res.SolutionExists, Answers: res.Answers}, nil
+	return CertainResult{SolutionExists: res.SolutionExists, Answers: res.Answers, SolutionsExamined: res.SolutionsExamined}, nil
 }
 
 func prepareCertain(s *Setting, i, j *Instance, q UCQ) error {
