@@ -566,6 +566,7 @@ func BenchmarkAblationParallel(b *testing.B) {
 	} {
 		for _, workers := range []int{1, 2, 4} {
 			b.Run(fmt.Sprintf("%s/workers=%d", w.name, workers), func(b *testing.B) {
+				b.ReportAllocs()
 				for it := 0; it < b.N; it++ {
 					ok, _, err := core.ExistsSolutionTractable(w.s, w.i, w.j, core.TractableOptions{Parallelism: workers})
 					if err != nil || !ok {
@@ -588,11 +589,86 @@ func BenchmarkAblationObliviousChase(b *testing.B) {
 			name = "oblivious"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for it := 0; it < b.N; it++ {
 				if _, err := chase.Run(inst, deps, chase.Options{Oblivious: oblivious}); err != nil {
 					b.Fatal(err)
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkAblationDeltaChase (EXP-DELTA): semi-naive (delta-driven)
+// trigger collection against the naive full rescan, on the workloads
+// where rounds dominate: the LAV tractable path (two chase phases per
+// call) and the chain chase (depth+1 rounds, each adding one layer).
+func BenchmarkAblationDeltaChase(b *testing.B) {
+	lavS := workload.LAVSetting()
+	lavI, lavJ := workload.LAVInstance(1600, true, rand.New(rand.NewSource(7)))
+	for _, naive := range []bool{true, false} {
+		mode := "delta"
+		if naive {
+			mode = "naive"
+		}
+		b.Run("lav/n=1600/"+mode, func(b *testing.B) {
+			b.ReportAllocs()
+			for it := 0; it < b.N; it++ {
+				ok, _, err := core.ExistsSolutionTractable(lavS, lavI, lavJ, core.TractableOptions{NaiveChase: naive})
+				if err != nil || !ok {
+					b.Fatalf("ok=%v err=%v", ok, err)
+				}
+			}
+		})
+	}
+	deps := workload.ChainDeps(3)
+	inst := workload.ChainInstance(100)
+	for _, naive := range []bool{true, false} {
+		mode := "delta"
+		if naive {
+			mode = "naive"
+		}
+		b.Run("chain/depth=3/n=100/"+mode, func(b *testing.B) {
+			b.ReportAllocs()
+			for it := 0; it < b.N; it++ {
+				if _, err := chase.Run(inst, deps, chase.Options{NaiveTriggers: naive}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkChaseDeepRecursion (EXP-DELTA): the deep-recursion scaling
+// series. DeepChainDeps lists the chain tgds deepest first, so each
+// round fills exactly one layer and the chase takes depth+1 rounds;
+// the naive chase re-enumerates every filled layer's body every round
+// — Θ(depth²·n) tuple work — while the semi-naive chase skips
+// unchanged layers via their watermarks and touches each layer's facts
+// O(1) times. The gap widens linearly with depth.
+func BenchmarkChaseDeepRecursion(b *testing.B) {
+	for _, depth := range []int{4, 8, 16} {
+		deps := workload.DeepChainDeps(depth)
+		inst := workload.ChainInstance(200)
+		for _, naive := range []bool{true, false} {
+			mode := "delta"
+			if naive {
+				mode = "naive"
+			}
+			b.Run(fmt.Sprintf("depth=%d/n=200/%s", depth, mode), func(b *testing.B) {
+				b.ReportAllocs()
+				var steps int
+				for it := 0; it < b.N; it++ {
+					res, err := chase.Run(inst, deps, chase.Options{NaiveTriggers: naive})
+					if err != nil {
+						b.Fatal(err)
+					}
+					steps = res.Steps
+				}
+				if want := depth * 200; steps != want {
+					b.Fatalf("chase fired %d steps, want %d", steps, want)
+				}
+			})
+		}
 	}
 }

@@ -1,0 +1,241 @@
+package main
+
+// The -json flag turns pdxbench into a machine-readable perf probe: a
+// fixed suite of benchmark records (the hot paths the experiments
+// exercise, measured via testing.Benchmark) is written as JSON so CI
+// and future PRs can diff ns/op, allocs/op, step counts, and search
+// nodes against the committed BENCH_PR<k>.json trajectory files.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/reductions"
+	"repro/internal/rel"
+	"repro/internal/workload"
+)
+
+type benchRecord struct {
+	// Name is "<workload>/<variant>", stable across PRs.
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	// Steps is the chase step count of one operation (0 when the
+	// benchmark is not a chase).
+	Steps int `json:"steps,omitempty"`
+	// Nodes is the generic-solver search-node count of one operation
+	// (0 when the benchmark does not search).
+	Nodes int64 `json:"nodes,omitempty"`
+}
+
+type benchReport struct {
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+// record runs fn under testing.Benchmark and packages the result. fn
+// reports domain metrics (steps, nodes) for a single operation through
+// the returned pointers, which record reads after the timed runs.
+func record(name string, steps *int, nodes *int64, fn func(b *testing.B)) benchRecord {
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		fn(b)
+	})
+	rec := benchRecord{
+		Name:        name,
+		NsPerOp:     res.NsPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+		BytesPerOp:  res.AllocedBytesPerOp(),
+	}
+	if steps != nil {
+		rec.Steps = *steps
+	}
+	if nodes != nil {
+		rec.Nodes = *nodes
+	}
+	return rec
+}
+
+// jsonBenchSuite runs the perf-trajectory suite. Each naive/delta pair
+// measures the same work under both trigger-collection strategies and
+// fails if their chase step counts diverge — the same invariant the
+// delta gate test enforces, here on the benchmarked workloads.
+func jsonBenchSuite() (*benchReport, error) {
+	rep := &benchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+
+	// Theorem 4 LAV acceptance at the headline size.
+	lavI, lavJ := workload.LAVInstance(1600, true, rand.New(rand.NewSource(7)))
+	lavSteps := map[bool]int{}
+	for _, naive := range []bool{true, false} {
+		naive := naive
+		var steps int
+		rec := record(fmt.Sprintf("tractable-lav/n=1600/%s", modeName(naive)), &steps, nil, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ok, trace, err := core.ExistsSolutionTractable(workload.LAVSetting(), lavI, lavJ,
+					core.TractableOptions{NaiveChase: naive})
+				if err != nil || !ok {
+					b.Fatalf("lav n=1600 rejected: ok=%v err=%v", ok, err)
+				}
+				steps = trace.StepsST + trace.StepsTS
+			}
+		})
+		lavSteps[naive] = steps
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+	}
+	if lavSteps[true] != lavSteps[false] {
+		return nil, fmt.Errorf("lav step counts diverged: naive %d, delta %d", lavSteps[true], lavSteps[false])
+	}
+
+	// Chase-only slice of the same LAV run (Σst chase, restrict, Σts
+	// chase) — the acceptance number for the semi-naive rewrite,
+	// isolated from I_can block analysis and homomorphism checking.
+	{
+		s := workload.LAVSetting()
+		start := rel.Union(lavI, lavJ)
+		chaseSteps := map[bool]int{}
+		for _, naive := range []bool{true, false} {
+			naive := naive
+			var steps int
+			rec := record(fmt.Sprintf("lav-chase/n=1600/%s", modeName(naive)), &steps, nil, func(b *testing.B) {
+				for it := 0; it < b.N; it++ {
+					res, err := chase.Run(start, s.StDeps(), chase.Options{NaiveTriggers: naive})
+					if err != nil || res.Failed {
+						b.Fatalf("lav Σst chase failed: %v", err)
+					}
+					jcan := res.Instance.Restrict(s.Target)
+					res2, err := chase.Run(jcan, s.TsDeps(), chase.Options{NaiveTriggers: naive})
+					if err != nil || res2.Failed {
+						b.Fatalf("lav Σts chase failed: %v", err)
+					}
+					steps = res.Steps + res2.Steps
+				}
+			})
+			chaseSteps[naive] = steps
+			rep.Benchmarks = append(rep.Benchmarks, rec)
+		}
+		if chaseSteps[true] != chaseSteps[false] {
+			return nil, fmt.Errorf("lav-chase step counts diverged: naive %d, delta %d", chaseSteps[true], chaseSteps[false])
+		}
+	}
+
+	// Deep recursion: one tgd layer per round, where naive trigger
+	// collection is quadratic in depth.
+	for _, depth := range []int{8, 16} {
+		deps := workload.DeepChainDeps(depth)
+		inst := workload.ChainInstance(200)
+		chainSteps := map[bool]int{}
+		for _, naive := range []bool{true, false} {
+			naive := naive
+			var steps int
+			rec := record(fmt.Sprintf("deep-chain/depth=%d/%s", depth, modeName(naive)), &steps, nil, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					res, err := chase.Run(inst, deps, chase.Options{NaiveTriggers: naive})
+					if err != nil {
+						b.Fatal(err)
+					}
+					steps = res.Steps
+				}
+			})
+			chainSteps[naive] = steps
+			rep.Benchmarks = append(rep.Benchmarks, rec)
+		}
+		if chainSteps[true] != chainSteps[false] {
+			return nil, fmt.Errorf("deep-chain depth=%d step counts diverged: naive %d, delta %d",
+				depth, chainSteps[true], chainSteps[false])
+		}
+	}
+
+	// Oblivious chase (fired-key dedup hot path) on the chain workload.
+	for _, naive := range []bool{true, false} {
+		naive := naive
+		deps := workload.ChainDeps(3)
+		inst := workload.ChainInstance(100)
+		var steps int
+		rec := record(fmt.Sprintf("oblivious-chain/depth=3/n=100/%s", modeName(naive)), &steps, nil, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := chase.Run(inst, deps, chase.Options{Oblivious: true, NaiveTriggers: naive})
+				if err != nil {
+					b.Fatal(err)
+				}
+				steps = res.Steps
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+	}
+
+	// Generic solver on the Theorem 3 clique reduction: tracks search
+	// nodes, the cost driver outside C_tract.
+	{
+		g := graph.Complete(4)
+		i, j := reductions.CliqueInstance(g, 4)
+		s := reductions.CliqueSetting()
+		var nodes int64
+		rec := record("clique/k=4/generic", nil, &nodes, func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				ok, _, stats, err := core.ExistsSolutionGeneric(s, i, j, core.SolveOptions{MaxNodes: 100_000_000})
+				if err != nil || !ok {
+					b.Fatalf("clique k=4 rejected: ok=%v err=%v", ok, err)
+				}
+				nodes = stats.Nodes
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+	}
+
+	// Parallel tractable run at the headline size: the speculation path
+	// over delta collections.
+	{
+		var steps int
+		rec := record("tractable-lav/n=1600/delta-par4", &steps, nil, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ok, trace, err := core.ExistsSolutionTractable(workload.LAVSetting(), lavI, lavJ,
+					core.TractableOptions{Parallelism: 4})
+				if err != nil || !ok {
+					b.Fatalf("lav n=1600 parallel rejected: ok=%v err=%v", ok, err)
+				}
+				steps = trace.StepsST + trace.StepsTS
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+		if steps != lavSteps[false] {
+			return nil, fmt.Errorf("lav parallel step count diverged: serial %d, par4 %d", lavSteps[false], steps)
+		}
+	}
+
+	return rep, nil
+}
+
+func modeName(naive bool) string {
+	if naive {
+		return "naive"
+	}
+	return "delta"
+}
+
+// writeJSONReport runs the suite and writes the report to path.
+func writeJSONReport(path string) error {
+	rep, err := jsonBenchSuite()
+	if err != nil {
+		return err
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	return os.WriteFile(path, buf, 0o644)
+}

@@ -10,6 +10,7 @@
 //	pdxbench -experiment EXP-T3     # same, long spelling
 //	pdxbench -list                  # list experiment ids
 //	pdxbench -exp EXP-PAR -cpuprofile cpu.out -memprofile mem.out
+//	pdxbench -json BENCH_PR4.json   # machine-readable perf suite
 package main
 
 import (
@@ -39,9 +40,19 @@ func run() int {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file at exit")
+	jsonOut := flag.String("json", "", "run the perf suite and write machine-readable results to this file")
 	flag.Parse()
 	if *expID == "" {
 		*expID = *expLong
+	}
+
+	if *jsonOut != "" {
+		if err := writeJSONReport(*jsonOut); err != nil {
+			fmt.Fprintf(os.Stderr, "pdxbench: -json: %v\n", err)
+			return 1
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+		return 0
 	}
 
 	exps := allExperiments()

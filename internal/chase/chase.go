@@ -68,6 +68,13 @@ type Options struct {
 	// Exists for the ablation benchmarks; the paper's constructions use
 	// the restricted chase.
 	Oblivious bool
+	// NaiveTriggers disables the semi-naive (delta-driven) trigger
+	// collection and re-enumerates every tgd's triggers against the
+	// whole instance each round. The chase produces byte-identical
+	// results either way — steps, null labels, instances, verdicts —
+	// so the knob exists only for the ablation benchmarks and the
+	// delta-vs-naive parity gates.
+	NaiveTriggers bool
 	// Nulls supplies fresh labeled nulls; if nil, a source seeded past
 	// the nulls of the start instance is created.
 	Nulls *rel.NullSource
@@ -153,9 +160,6 @@ func Run(start *rel.Instance, deps []dep.Dependency, opts Options) (*Result, err
 		nulls:  opts.nulls(start),
 		budget: opts.maxSteps(),
 	}
-	if opts.Oblivious {
-		st.fired = make(map[string]bool)
-	}
 	return st.run(deps, nil)
 }
 
@@ -178,9 +182,6 @@ func RunSolutionAware(start *rel.Instance, deps []dep.Dependency, witness *rel.I
 		nulls:  opts.nulls(start),
 		budget: opts.maxSteps(),
 	}
-	if opts.Oblivious {
-		st.fired = make(map[string]bool)
-	}
 	return st.run(deps, witness)
 }
 
@@ -191,7 +192,18 @@ type state struct {
 	nulls  *rel.NullSource
 	budget int
 	steps  int
-	fired  map[string]bool // oblivious mode: trigger keys already fired
+
+	// Semi-naive bookkeeping, indexed by dependency position. marks[di]
+	// is the watermark of dependency di's previous trigger collection —
+	// the per-relation tuple counts of the instance it last enumerated
+	// against (nil = never collected, or invalidated by an egd merge:
+	// full rescan). uvars[di] caches the sorted universal variables of
+	// tgd di; fired[di] is the oblivious chase's per-tgd set of already
+	// fired triggers, keyed by compact value keys instead of built
+	// strings.
+	marks []hom.Delta
+	uvars [][]string
+	fired []map[firedKey]bool
 }
 
 // ctxErr returns a wrapped cancellation error when the chase context
@@ -209,6 +221,23 @@ func (st *state) ctxErr() error {
 }
 
 func (st *state) run(deps []dep.Dependency, witness *rel.Instance) (*Result, error) {
+	st.marks = make([]hom.Delta, len(deps))
+	st.uvars = make([][]string, len(deps))
+	if st.opts.Oblivious {
+		st.fired = make([]map[firedKey]bool, len(deps))
+	}
+	// Precompute per-tgd state up front so parallel speculation never
+	// lazily initializes shared maps mid-flight.
+	for di, d := range deps {
+		if t, ok := d.(dep.TGD); ok {
+			vs := append([]string(nil), t.UniversalVars()...)
+			sort.Strings(vs)
+			st.uvars[di] = vs
+			if st.opts.Oblivious {
+				st.fired[di] = make(map[firedKey]bool)
+			}
+		}
+	}
 	for {
 		progressed, failed, failedOn, err := st.round(deps, witness)
 		if err != nil {
@@ -241,7 +270,26 @@ func (st *state) run(deps []dep.Dependency, witness *rel.Instance) (*Result, err
 // current instance, exactly as the serial chase does. Either way the
 // steps applied, their order, and the fresh nulls drawn are
 // byte-identical to the serial chase.
+//
+// Trigger collection is semi-naive: each tgd enumerates only triggers
+// that touch at least one fact added since its own previous collection
+// (its watermark in st.marks). This is lossless for the restricted
+// chase because head satisfaction is monotone under tgd-only
+// additions: a trigger whose facts all predate the watermark was, by
+// the end of that earlier collection's firing pass, either satisfied
+// (and stays satisfied) or fired (oblivious mode: recorded in
+// st.fired) — so the naive enumeration would have filtered it too.
+// Egd merges break the monotonicity and rebuild the instance
+// (shuffling tuple indexes), so any egd progress resets every
+// watermark to nil, a full rescan. A dependency's watermark advances
+// only when a collection is actually consumed: to the round-start
+// counts when its speculated list is used, to a fresh snapshot when it
+// re-collects after the round went dirty. Discarded speculations leave
+// the watermark untouched.
 func (st *state) round(deps []dep.Dependency, witness *rel.Instance) (progressed, failed bool, failedOn string, err error) {
+	// Snapshot the round-start sizes once; the map is shared by every
+	// watermark taken from it and never mutated after this point.
+	roundStart := hom.Delta(st.inst.TupleCounts())
 	spec := st.speculate(deps)
 	dirty := false
 	for di, d := range deps {
@@ -250,10 +298,17 @@ func (st *state) round(deps []dep.Dependency, witness *rel.Instance) (progressed
 			var triggers []hom.Binding
 			if spec != nil && !dirty {
 				triggers = spec[di]
+				st.marks[di] = roundStart
+			} else if !dirty {
+				// Instance still equals the round start, so the shared
+				// snapshot doubles as this collection's watermark.
+				triggers = st.collectTriggers(di, d, st.marks[di])
+				st.marks[di] = roundStart
 			} else {
-				triggers = st.collectTriggers(d)
+				triggers = st.collectTriggers(di, d, st.marks[di])
+				st.marks[di] = hom.Delta(st.inst.TupleCounts())
 			}
-			p, e := st.fireTriggers(d, triggers, witness)
+			p, e := st.fireTriggers(di, d, triggers, witness)
 			if e != nil {
 				return false, false, "", e
 			}
@@ -270,6 +325,12 @@ func (st *state) round(deps []dep.Dependency, witness *rel.Instance) (progressed
 			}
 			if p {
 				progressed, dirty = true, true
+				// Merges rewrote values in place and rebuilt the tuple
+				// lists: every watermark's old/new split is now
+				// meaningless, and satisfaction may have regressed.
+				for i := range st.marks {
+					st.marks[i] = nil
+				}
 			}
 		default:
 			return false, false, "", fmt.Errorf("chase: unsupported dependency type %T", d)
@@ -302,26 +363,31 @@ func (st *state) speculate(deps []dep.Dependency) [][]hom.Binding {
 	spec := make([][]hom.Binding, len(deps))
 	par.Do(len(idxs), degree, st.hom.Seed, func(k int) {
 		di := idxs[k]
-		spec[di] = st.collectTriggers(deps[di].(dep.TGD))
+		spec[di] = st.collectTriggers(di, deps[di].(dep.TGD), st.marks[di])
 	})
 	return spec
 }
 
 // collectTriggers enumerates the triggers of d against the current
 // instance that were not already satisfied (restricted chase) or fired
-// (oblivious chase) at collection time. The enumeration and its
-// satisfaction checks fan out across workers inside hom.Enumerate; the
-// list comes back in the serial enumeration order. Collection only
-// reads st.inst and st.fired, so concurrent collections for different
-// dependencies are safe.
-func (st *state) collectTriggers(d dep.TGD) []hom.Binding {
-	uvars := d.UniversalVars()
+// (oblivious chase) at collection time, skipping — via the delta
+// watermark — triggers whose body facts all predate d's previous
+// collection. The enumeration and its satisfaction checks fan out
+// across workers inside hom.EnumerateDelta; the list comes back in the
+// serial full-enumeration order. Collection only reads st.inst,
+// st.marks, and st.fired, so concurrent collections for different
+// dependencies are safe (marks advance only in the serial round loop).
+func (st *state) collectTriggers(di int, d dep.TGD, delta hom.Delta) []hom.Binding {
+	if st.opts.NaiveTriggers {
+		delta = nil
+	}
 	if st.opts.Oblivious {
-		return hom.Enumerate(d.Body, st.inst, nil, st.hom, func(b hom.Binding) bool {
-			return !st.fired[triggerKey(d.Label, uvars, b)]
+		fired, vars := st.fired[di], st.uvars[di]
+		return hom.EnumerateDelta(d.Body, st.inst, nil, delta, st.hom, func(b hom.Binding) bool {
+			return !fired[makeFiredKey(vars, b)]
 		})
 	}
-	return hom.Enumerate(d.Body, st.inst, nil, st.hom, func(b hom.Binding) bool {
+	return hom.EnumerateDelta(d.Body, st.inst, nil, delta, st.hom, func(b hom.Binding) bool {
 		return !hom.Exists(d.Head, st.inst, b, st.hom)
 	})
 }
@@ -330,16 +396,15 @@ func (st *state) collectTriggers(d dep.TGD) []hom.Binding {
 // applicable, serially and in collection order. Triggers were collected
 // up front so the enumeration never observes its own insertions; new
 // triggers created by the fired steps are picked up by the next round.
-func (st *state) fireTriggers(d dep.TGD, triggers []hom.Binding, witness *rel.Instance) (bool, error) {
-	uvars := d.UniversalVars()
+func (st *state) fireTriggers(di int, d dep.TGD, triggers []hom.Binding, witness *rel.Instance) (bool, error) {
 	progressed := false
 	for _, b := range triggers {
 		if st.opts.Oblivious {
-			key := triggerKey(d.Label, uvars, b)
-			if st.fired[key] {
+			key := makeFiredKey(st.uvars[di], b)
+			if st.fired[di][key] {
 				continue
 			}
-			st.fired[key] = true
+			st.fired[di][key] = true
 		} else if hom.Exists(d.Head, st.inst, b, st.hom) {
 			// Re-check: an earlier firing in this pass may have
 			// satisfied this trigger (restricted chase).
@@ -362,7 +427,10 @@ func (st *state) fire(d dep.TGD, b hom.Binding, witness *rel.Instance) error {
 		return fmt.Errorf("%w (after %d steps, chasing %s)", ErrBudgetExhausted, st.steps, d.Label)
 	}
 	st.steps++
-	ext := b.Clone()
+	// Trigger bindings are consumed exactly once (fireTriggers reads the
+	// fired key and re-checks satisfaction before this call), so the
+	// existential extension can write into b directly instead of cloning.
+	ext := b
 	if exist := d.ExistentialVars(); len(exist) > 0 {
 		if witness == nil {
 			for _, v := range exist {
@@ -450,18 +518,46 @@ func groundAtom(a dep.Atom, b hom.Binding) rel.Tuple {
 	return t
 }
 
-func triggerKey(label string, vars []string, b hom.Binding) string {
-	parts := make([]string, 0, len(vars)+1)
-	parts = append(parts, label)
-	sorted := append([]string(nil), vars...)
-	sort.Strings(sorted)
-	for _, v := range sorted {
-		val := b[v]
-		kind := "c"
-		if val.IsNull() {
-			kind = "n"
-		}
-		parts = append(parts, v+"="+kind+val.String())
+// firedKey identifies an oblivious-chase trigger of one tgd: the values
+// its sorted universal variables are bound to. It is comparable, so it
+// keys the per-tgd fired set directly — the common case (≤ 4 universal
+// variables) stores the values inline and a lookup allocates nothing,
+// unlike the string key it replaced, which built and joined
+// "var=kindvalue" parts on every probe. Wider bindings spill the
+// remainder into one encoded string.
+type firedKey struct {
+	inline [firedKeyInline]rel.Value
+	rest   string
+}
+
+const firedKeyInline = 4
+
+// makeFiredKey builds the key for b over the tgd's pre-sorted universal
+// variables. Variable names are not part of the key: the fired set is
+// per-dependency and the variable order is fixed, so positions alone
+// disambiguate.
+func makeFiredKey(vars []string, b hom.Binding) firedKey {
+	var k firedKey
+	n := len(vars)
+	if n > firedKeyInline {
+		n = firedKeyInline
 	}
-	return strings.Join(parts, "|")
+	for i := 0; i < n; i++ {
+		k.inline[i] = b[vars[i]]
+	}
+	if len(vars) > firedKeyInline {
+		var sb strings.Builder
+		for _, v := range vars[firedKeyInline:] {
+			val := b[v]
+			if val.IsNull() {
+				sb.WriteByte('n')
+			} else {
+				sb.WriteByte('c')
+			}
+			sb.WriteString(val.String())
+			sb.WriteByte(0)
+		}
+		k.rest = sb.String()
+	}
+	return k
 }

@@ -1,0 +1,103 @@
+package chase_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/workload"
+)
+
+// TestChaseSemiNaiveMatchesNaiveProperty: on random weakly acyclic
+// dependency sets (mixing full tgds, existential inclusions, join
+// bodies, and key egds), the semi-naive chase is byte-identical to the
+// naive chase — same instances (including null labels), step counts,
+// and failure verdicts — in restricted and oblivious mode, at
+// Parallelism 1 and 4. This is the correctness contract of the
+// delta-driven trigger collection: it may only skip triggers the naive
+// keep filter would reject anyway.
+func TestChaseSemiNaiveMatchesNaiveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	trials := 60
+	for trial := 0; trial < trials; trial++ {
+		deps := workload.RandomWeaklyAcyclicDeps(rng)
+		inst := workload.RandomLayerInstance(rng)
+		inst.Freeze()
+		for _, oblivious := range []bool{false, true} {
+			for _, par := range []int{1, 4} {
+				naive, nerr := chase.Run(inst, deps, chase.Options{Oblivious: oblivious, Parallelism: par, NaiveTriggers: true})
+				semi, serr := chase.Run(inst, deps, chase.Options{Oblivious: oblivious, Parallelism: par})
+				if (nerr == nil) != (serr == nil) {
+					t.Fatalf("trial %d obl=%v par=%d: naive err=%v, semi-naive err=%v\ndeps: %v", trial, oblivious, par, nerr, serr, deps)
+				}
+				if nerr != nil {
+					continue
+				}
+				if naive.Steps != semi.Steps || naive.Failed != semi.Failed || naive.FailedOn != semi.FailedOn {
+					t.Fatalf("trial %d obl=%v par=%d: naive (steps=%d failed=%v on=%q), semi-naive (steps=%d failed=%v on=%q)\ndeps: %v",
+						trial, oblivious, par, naive.Steps, naive.Failed, naive.FailedOn, semi.Steps, semi.Failed, semi.FailedOn, deps)
+				}
+				if naive.Instance.String() != semi.Instance.String() {
+					t.Fatalf("trial %d obl=%v par=%d: instances differ\nnaive:\n%s\nsemi-naive:\n%s\ndeps: %v",
+						trial, oblivious, par, naive.Instance, semi.Instance, deps)
+				}
+			}
+		}
+	}
+}
+
+// TestChaseSemiNaiveMatchesNaiveSolutionAware: the parity holds for the
+// solution-aware chase of Definitions 6–7 as well.
+func TestChaseSemiNaiveMatchesNaiveSolutionAware(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 50; trial++ {
+		deps := workload.RandomWeaklyAcyclicDeps(rng)
+		inst := workload.RandomLayerInstance(rng)
+		wres, err := chase.Run(inst, deps, chase.Options{})
+		if err != nil || wres.Failed {
+			continue
+		}
+		witness := wres.Instance
+		witness.Freeze()
+		inst.Freeze()
+		for _, par := range []int{1, 4} {
+			naive, nerr := chase.RunSolutionAware(inst, deps, witness, chase.Options{Parallelism: par, NaiveTriggers: true})
+			semi, serr := chase.RunSolutionAware(inst, deps, witness, chase.Options{Parallelism: par})
+			if (nerr == nil) != (serr == nil) {
+				t.Fatalf("trial %d par=%d: naive err=%v, semi-naive err=%v", trial, par, nerr, serr)
+			}
+			if nerr != nil {
+				continue
+			}
+			if naive.Steps != semi.Steps || naive.Instance.String() != semi.Instance.String() {
+				t.Fatalf("trial %d par=%d: solution-aware parity broken (steps %d vs %d)\nnaive:\n%s\nsemi-naive:\n%s",
+					trial, par, naive.Steps, semi.Steps, naive.Instance, semi.Instance)
+			}
+		}
+	}
+}
+
+// TestChaseSemiNaiveDeepChain: the deep-recursion shape the semi-naive
+// chase exists for — a chain tgd cascade where each round adds one
+// layer of facts — still produces the exact naive result. The chain
+// chase fires depth × n steps over depth+1 rounds, so deltas shrink to
+// a sliver of the instance in every round after the first.
+func TestChaseSemiNaiveDeepChain(t *testing.T) {
+	deps := workload.ChainDeps(6)
+	inst := workload.ChainInstance(40)
+	inst.Freeze()
+	naive, nerr := chase.Run(inst, deps, chase.Options{NaiveTriggers: true})
+	semi, serr := chase.Run(inst, deps, chase.Options{})
+	if nerr != nil || serr != nil {
+		t.Fatalf("chain chase errored: naive=%v semi=%v", nerr, serr)
+	}
+	if naive.Steps != semi.Steps {
+		t.Fatalf("chain steps diverged: naive %d, semi-naive %d", naive.Steps, semi.Steps)
+	}
+	if want := 6 * 40; semi.Steps != want {
+		t.Fatalf("chain chase fired %d steps, want %d", semi.Steps, want)
+	}
+	if naive.Instance.String() != semi.Instance.String() {
+		t.Fatal("chain instances diverged")
+	}
+}

@@ -1,9 +1,12 @@
-package chase
+package chase_test
 
 import (
 	"math/rand"
 	"sync"
 	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/workload"
 )
 
 // TestChaseParallelMatchesSerial: on random weakly acyclic dependency
@@ -14,14 +17,14 @@ import (
 func TestChaseParallelMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(81))
 	for trial := 0; trial < 60; trial++ {
-		deps := randomWeaklyAcyclicDeps(rng)
-		inst := randomLayerInstance(rng)
+		deps := workload.RandomWeaklyAcyclicDeps(rng)
+		inst := workload.RandomLayerInstance(rng)
 		inst.Freeze()
 		for _, oblivious := range []bool{false, true} {
-			ref, refErr := Run(inst, deps, Options{Oblivious: oblivious, Parallelism: 1})
+			ref, refErr := chase.Run(inst, deps, chase.Options{Oblivious: oblivious, Parallelism: 1})
 			for _, par := range []int{2, 4} {
 				for _, seed := range []int64{0, 19} {
-					got, err := Run(inst, deps, Options{Oblivious: oblivious, Parallelism: par, Seed: seed})
+					got, err := chase.Run(inst, deps, chase.Options{Oblivious: oblivious, Parallelism: par, Seed: seed})
 					if (refErr == nil) != (err == nil) {
 						t.Fatalf("trial %d obl=%v par=%d: err=%v, serial err=%v", trial, oblivious, par, err, refErr)
 					}
@@ -47,17 +50,17 @@ func TestChaseParallelMatchesSerial(t *testing.T) {
 func TestChaseSolutionAwareParallelMatchesSerial(t *testing.T) {
 	rng := rand.New(rand.NewSource(83))
 	for trial := 0; trial < 30; trial++ {
-		deps := randomWeaklyAcyclicDeps(rng)
-		inst := randomLayerInstance(rng)
-		wres, err := Run(inst, deps, Options{})
+		deps := workload.RandomWeaklyAcyclicDeps(rng)
+		inst := workload.RandomLayerInstance(rng)
+		wres, err := chase.Run(inst, deps, chase.Options{})
 		if err != nil || wres.Failed {
 			continue
 		}
 		witness := wres.Instance
 		witness.Freeze()
 		inst.Freeze()
-		ref, refErr := RunSolutionAware(inst, deps, witness, Options{Parallelism: 1})
-		got, err := RunSolutionAware(inst, deps, witness, Options{Parallelism: 4})
+		ref, refErr := chase.RunSolutionAware(inst, deps, witness, chase.Options{Parallelism: 1})
+		got, err := chase.RunSolutionAware(inst, deps, witness, chase.Options{Parallelism: 4})
 		if (refErr == nil) != (err == nil) {
 			t.Fatalf("trial %d: err=%v, serial err=%v", trial, err, refErr)
 		}
@@ -76,19 +79,19 @@ func TestChaseSolutionAwareParallelMatchesSerial(t *testing.T) {
 // the freeze-after-build discipline end to end.
 func TestChaseConcurrentStress(t *testing.T) {
 	rng := rand.New(rand.NewSource(85))
-	deps := randomWeaklyAcyclicDeps(rng)
-	inst := randomLayerInstance(rng)
+	deps := workload.RandomWeaklyAcyclicDeps(rng)
+	inst := workload.RandomLayerInstance(rng)
 	inst.Freeze()
-	ref, refErr := Run(inst, deps, Options{Parallelism: 1})
+	ref, refErr := chase.Run(inst, deps, chase.Options{Parallelism: 1})
 	const goroutines = 8
 	var wg sync.WaitGroup
 	errs := make([]error, goroutines)
-	results := make([]*Result, goroutines)
+	results := make([]*chase.Result, goroutines)
 	for g := 0; g < goroutines; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			results[g], errs[g] = Run(inst, deps, Options{Parallelism: 2, Seed: int64(g)})
+			results[g], errs[g] = chase.Run(inst, deps, chase.Options{Parallelism: 2, Seed: int64(g)})
 		}(g)
 	}
 	wg.Wait()

@@ -1,72 +1,17 @@
-package chase
+// The property suites live in an external test package so they can use
+// the internal/workload generators: workload imports core, which
+// imports chase, so an in-package test would be an import cycle.
+package chase_test
 
 import (
-	"fmt"
 	"math/rand"
 	"testing"
 
+	"repro/internal/chase"
 	"repro/internal/dep"
 	"repro/internal/hom"
-	"repro/internal/rel"
+	"repro/internal/workload"
 )
-
-// randomWeaklyAcyclicDeps generates a random mix of full tgds, acyclic
-// inclusion dependencies with existentials, and key egds over a layered
-// schema L0, L1, L2 (edges only go up the layers, so the set is weakly
-// acyclic by construction).
-func randomWeaklyAcyclicDeps(rng *rand.Rand) []dep.Dependency {
-	layers := []string{"L0", "L1", "L2"}
-	var out []dep.Dependency
-	n := 1 + rng.Intn(4)
-	for k := 0; k < n; k++ {
-		from := rng.Intn(len(layers) - 1)
-		to := from + 1 + rng.Intn(len(layers)-from-1)
-		switch rng.Intn(3) {
-		case 0: // full copy up
-			out = append(out, dep.TGD{
-				Label: fmt.Sprintf("full%d", k),
-				Body:  []dep.Atom{dep.NewAtom(layers[from], dep.Var("x"), dep.Var("y"))},
-				Head:  []dep.Atom{dep.NewAtom(layers[to], dep.Var("x"), dep.Var("y"))},
-			})
-		case 1: // inclusion with existential
-			out = append(out, dep.TGD{
-				Label: fmt.Sprintf("inc%d", k),
-				Body:  []dep.Atom{dep.NewAtom(layers[from], dep.Var("x"), dep.Var("y"))},
-				Head:  []dep.Atom{dep.NewAtom(layers[to], dep.Var("y"), dep.Var("z"))},
-			})
-		default: // join body, full head
-			out = append(out, dep.TGD{
-				Label: fmt.Sprintf("join%d", k),
-				Body: []dep.Atom{
-					dep.NewAtom(layers[from], dep.Var("x"), dep.Var("y")),
-					dep.NewAtom(layers[from], dep.Var("y"), dep.Var("z")),
-				},
-				Head: []dep.Atom{dep.NewAtom(layers[to], dep.Var("x"), dep.Var("z"))},
-			})
-		}
-	}
-	if rng.Intn(2) == 0 {
-		lvl := layers[rng.Intn(len(layers))]
-		out = append(out, dep.EGD{
-			Label: "key-" + lvl,
-			Body:  []dep.Atom{dep.NewAtom(lvl, dep.Var("x"), dep.Var("y")), dep.NewAtom(lvl, dep.Var("x"), dep.Var("z"))},
-			Left:  "y", Right: "z",
-		})
-	}
-	return out
-}
-
-func randomLayerInstance(rng *rand.Rand) *rel.Instance {
-	inst := rel.NewInstance()
-	dom := []rel.Value{rel.Const("a"), rel.Const("b"), rel.Const("c")}
-	for f := 0; f < 1+rng.Intn(5); f++ {
-		inst.Add("L0", dom[rng.Intn(len(dom))], dom[rng.Intn(len(dom))])
-	}
-	if rng.Intn(3) == 0 {
-		inst.Add("L1", dom[rng.Intn(len(dom))], dom[rng.Intn(len(dom))])
-	}
-	return inst
-}
 
 // TestChaseSoundnessProperty: on random weakly acyclic dependency sets,
 // the chase either fails (egd conflict) or reaches a fixpoint that
@@ -76,13 +21,13 @@ func randomLayerInstance(rng *rand.Rand) *rel.Instance {
 func TestChaseSoundnessProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
 	for trial := 0; trial < 150; trial++ {
-		deps := randomWeaklyAcyclicDeps(rng)
+		deps := workload.RandomWeaklyAcyclicDeps(rng)
 		if !dep.WeaklyAcyclic(dep.TGDs(deps)) {
 			t.Fatalf("trial %d: generator produced a non-weakly-acyclic set", trial)
 		}
-		inst := randomLayerInstance(rng)
-		budget := BudgetHint(dep.TGDs(deps), inst.NumFacts())
-		res, err := Run(inst, deps, Options{MaxSteps: budget})
+		inst := workload.RandomLayerInstance(rng)
+		budget := chase.BudgetHint(dep.TGDs(deps), inst.NumFacts())
+		res, err := chase.Run(inst, deps, chase.Options{MaxSteps: budget})
 		if err != nil {
 			t.Fatalf("trial %d: weakly acyclic chase exhausted its budget %d: %v\ndeps: %v", trial, budget, err, deps)
 		}
@@ -91,14 +36,14 @@ func TestChaseSoundnessProperty(t *testing.T) {
 			// further to check.
 			continue
 		}
-		if !Check(res.Instance, deps, hom.Options{}) {
+		if !chase.Check(res.Instance, deps, hom.Options{}) {
 			t.Fatalf("trial %d: fixpoint violates dependencies\ndeps: %v\nresult:\n%s", trial, deps, res.Instance)
 		}
 		if !res.Instance.ContainsAll(inst) {
 			t.Fatalf("trial %d: chase lost input facts", trial)
 		}
 		// Restricted chase never does more steps than the oblivious one.
-		obl, err := Run(inst, deps, Options{MaxSteps: budget, Oblivious: true})
+		obl, err := chase.Run(inst, deps, chase.Options{MaxSteps: budget, Oblivious: true})
 		if err == nil && !obl.Failed && res.Steps > obl.Steps {
 			t.Fatalf("trial %d: restricted steps %d > oblivious steps %d", trial, res.Steps, obl.Steps)
 		}
@@ -111,10 +56,10 @@ func TestChaseSoundnessProperty(t *testing.T) {
 func TestChaseDeterminismProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(72))
 	for trial := 0; trial < 50; trial++ {
-		deps := randomWeaklyAcyclicDeps(rng)
-		inst := randomLayerInstance(rng)
-		r1, err1 := Run(inst, deps, Options{})
-		r2, err2 := Run(inst, deps, Options{})
+		deps := workload.RandomWeaklyAcyclicDeps(rng)
+		inst := workload.RandomLayerInstance(rng)
+		r1, err1 := chase.Run(inst, deps, chase.Options{})
+		r2, err2 := chase.Run(inst, deps, chase.Options{})
 		if (err1 == nil) != (err2 == nil) || (err1 == nil && r1.Failed != r2.Failed) {
 			t.Fatalf("trial %d: nondeterministic outcome", trial)
 		}

@@ -25,7 +25,7 @@ func SmallSolution(s *Setting, i, j, jsol *rel.Instance, opts SolveOptions) (*re
 	deps := s.StDeps()
 	deps = append(deps, s.T...)
 	witness := rel.Union(i, jsol)
-	copts := chase.Options{Hom: opts.Hom, MaxSteps: opts.MaxChaseSteps}
+	copts := chase.Options{Hom: opts.Hom, MaxSteps: opts.MaxChaseSteps, NaiveTriggers: opts.NaiveChase}
 	res, err := chase.RunSolutionAware(rel.Union(i, j), deps, witness, copts)
 	if err != nil {
 		return nil, fmt.Errorf("core: solution-aware chase: %w", err)

@@ -48,6 +48,10 @@ type SolveOptions struct {
 	Naive bool
 	// MaxChaseSteps bounds each chase; 0 means the chase default.
 	MaxChaseSteps int
+	// NaiveChase disables the semi-naive (delta-driven) trigger
+	// collection in the chases the solver runs. Results are
+	// byte-identical either way; exists for ablation and parity gates.
+	NaiveChase bool
 	// Parallelism bounds the workers of the parallel phases (chase
 	// trigger search, the candidate-violation scan over the Σts
 	// dependencies): 0 means GOMAXPROCS, 1 forces the serial paths.
@@ -163,7 +167,7 @@ func forEachImageSolution(s *Setting, i, j *rel.Instance, opts SolveOptions, fn 
 	nulls := &rel.NullSource{}
 	nulls.SeenIn(i)
 	nulls.SeenIn(j)
-	copts := chase.Options{Nulls: nulls, Hom: opts.Hom, MaxSteps: opts.MaxChaseSteps, Ctx: opts.Ctx}
+	copts := chase.Options{Nulls: nulls, Hom: opts.Hom, MaxSteps: opts.MaxChaseSteps, NaiveTriggers: opts.NaiveChase, Ctx: opts.Ctx}
 	res, err := chase.Run(rel.Union(i, j), s.StDeps(), copts)
 	if err != nil {
 		return nil, fmt.Errorf("core: chasing Σst: %w", err)

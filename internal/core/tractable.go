@@ -47,6 +47,11 @@ type TractableOptions struct {
 	SkipCondition1Check bool
 	// MaxChaseSteps bounds each chase phase; 0 means the chase default.
 	MaxChaseSteps int
+	// NaiveChase disables the semi-naive (delta-driven) trigger
+	// collection in both chase phases, re-enumerating every trigger
+	// against the whole instance each round. Results are byte-identical
+	// either way; exists for the ablation benchmarks and parity gates.
+	NaiveChase bool
 	// Parallelism bounds the workers of the parallel phases (chase
 	// trigger search, per-block homomorphism checks): 0 means GOMAXPROCS,
 	// 1 forces the serial paths. The verdict and the whole trace are
@@ -149,12 +154,13 @@ func canonicalInstances(s *Setting, i, j *rel.Instance, opts TractableOptions) (
 	nulls.SeenIn(i)
 	nulls.SeenIn(j)
 	copts := chase.Options{
-		Nulls:       nulls,
-		Hom:         opts.Hom,
-		MaxSteps:    opts.MaxChaseSteps,
-		Parallelism: opts.Parallelism,
-		Seed:        opts.Seed,
-		Ctx:         opts.Ctx,
+		Nulls:         nulls,
+		Hom:           opts.Hom,
+		MaxSteps:      opts.MaxChaseSteps,
+		NaiveTriggers: opts.NaiveChase,
+		Parallelism:   opts.Parallelism,
+		Seed:          opts.Seed,
+		Ctx:           opts.Ctx,
 	}
 
 	// Phase 1: (I, J_can) := chase of (I, J) with Σst.

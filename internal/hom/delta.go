@@ -1,0 +1,197 @@
+package hom
+
+import (
+	"sort"
+
+	"repro/internal/dep"
+	"repro/internal/par"
+	"repro/internal/rel"
+)
+
+// Delta is a per-relation watermark splitting an instance into an old
+// and a new (delta) segment: delta[R] is the number of tuples of R that
+// are old — the prefix of R's tuple list, since instances append new
+// tuples at the end. Relations absent from the map have no old tuples,
+// i.e. every tuple counts as new. A nil Delta means "no watermark": the
+// delta-constrained entry points then degrade to full enumeration.
+//
+// The chase maintains one Delta per dependency, recording the instance
+// sizes at the dependency's previous trigger collection; equality
+// merges (egd steps) rebuild the instance and shuffle tuple indexes, so
+// they must invalidate every watermark back to nil.
+type Delta map[string]int
+
+// oldCount returns the old-segment length for the relation, clamped to
+// the relation's current size (a stale watermark must never make the
+// delta segment negative).
+func (d Delta) oldCount(r *rel.Relation) int {
+	n := d[r.Name()]
+	if l := r.Len(); n > l {
+		return l
+	}
+	return n
+}
+
+// deltaHit pairs a collected binding with the tuple-index vector the
+// search chose along the join order. Because every candidate list is
+// scanned in ascending tuple order, the unconstrained enumeration emits
+// bindings exactly in lexicographic vector order — sorting the
+// per-slot results by vector therefore reproduces the order Enumerate
+// (and ForEach) would produce.
+type deltaHit struct {
+	vec []int
+	b   Binding
+}
+
+// EnumerateDelta is the semi-naive counterpart of Enumerate: it returns
+// every homomorphism from the atoms into the instance that uses at
+// least one new tuple (per the delta watermark), in exactly the
+// relative order Enumerate produces them. Bindings whose atoms all
+// match old tuples are skipped without being enumerated — the caller
+// guarantees it has already processed them (this is the chase's
+// invariant: a trigger over round-k facts was either satisfied or fired
+// by round k+1, and egd merges reset the watermark).
+//
+// A nil delta requests a full enumeration; so does an all-zero one
+// (the first chase round seeds the delta with the whole instance). The
+// keep filter follows the Enumerate contract: it may run concurrently
+// and must only read shared state.
+//
+// The decomposition is the textbook one: for each position s in the
+// join order, pin atom s to the delta segment, atoms before s to the
+// old segment, and leave atoms after s unconstrained. The slots
+// partition the wanted bindings by the first join position that touches
+// a new tuple, so no deduplication is needed; slots run in parallel
+// under opts.Parallelism and the merged result is re-sorted into the
+// serial enumeration order.
+func EnumerateDelta(atoms []dep.Atom, inst *rel.Instance, init Binding, delta Delta, opts Options, keep func(Binding) bool) []Binding {
+	if delta == nil {
+		return Enumerate(atoms, inst, init, opts, keep)
+	}
+	if len(atoms) == 0 {
+		// An empty body has a single (empty) trigger, independent of any
+		// facts; it was handled when the watermark was first taken.
+		return nil
+	}
+	hasNew, allNew := false, true
+	for _, a := range atoms {
+		r := inst.Relation(a.Rel)
+		if r == nil || r.Len() == 0 {
+			return nil // an empty body relation admits no homomorphism at all
+		}
+		old := delta.oldCount(r)
+		if old < r.Len() {
+			hasNew = true
+		}
+		if old > 0 {
+			allNew = false
+		}
+	}
+	if !hasNew {
+		return nil
+	}
+	if allNew {
+		// Whole instance is delta: the plain enumeration is equivalent
+		// and fans out with better granularity (per-candidate chunks).
+		return Enumerate(atoms, inst, init, opts, keep)
+	}
+
+	base := Binding{}
+	for k, v := range init {
+		base[k] = v
+	}
+	order := orderAtoms(atoms, base)
+
+	// Viable slots: the pinned atom needs a nonempty delta segment and
+	// every atom before it a nonempty old segment.
+	slots := make([]int, 0, len(order))
+	for s := range order {
+		rs := inst.Relation(order[s].Rel)
+		if delta.oldCount(rs) == rs.Len() {
+			continue
+		}
+		ok := true
+		for i := 0; i < s; i++ {
+			if delta.oldCount(inst.Relation(order[i].Rel)) == 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			slots = append(slots, s)
+		}
+	}
+	if len(slots) == 0 {
+		return nil
+	}
+
+	results := make([][]deltaHit, len(slots))
+	if degree := par.Degree(opts.Parallelism); degree > 1 && len(slots) > 1 {
+		par.Do(len(slots), degree, opts.Seed, func(k int) {
+			results[k] = enumerateSlot(order, inst, opts, base.Clone(), delta, slots[k], keep)
+		})
+	} else {
+		for k, s := range slots {
+			results[k] = enumerateSlot(order, inst, opts, base, delta, s, keep)
+		}
+	}
+	total := 0
+	for _, rs := range results {
+		total += len(rs)
+	}
+	hits := make([]deltaHit, 0, total)
+	for _, rs := range results {
+		hits = append(hits, rs...)
+	}
+	sort.Slice(hits, func(i, j int) bool { return lexLess(hits[i].vec, hits[j].vec) })
+	out := make([]Binding, len(hits))
+	for i, h := range hits {
+		out[i] = h.b
+	}
+	return out
+}
+
+// enumerateSlot runs one slot of the semi-naive decomposition: a
+// backtracking search with atom `slot` pinned to the delta segment,
+// earlier atoms pinned to the old segment, later atoms unconstrained.
+// Each hit carries its tuple-index vector for the merge sort.
+func enumerateSlot(order []dep.Atom, inst *rel.Instance, opts Options, base Binding, delta Delta, slot int, keep func(Binding) bool) []deltaHit {
+	n := len(order)
+	low := make([]int, n)
+	high := make([]int, n)
+	vec := make([]int, n)
+	const maxInt = int(^uint(0) >> 1)
+	for i, a := range order {
+		low[i], high[i] = 0, maxInt
+		old := delta.oldCount(inst.Relation(a.Rel))
+		switch {
+		case i < slot:
+			high[i] = old
+		case i == slot:
+			low[i] = old
+		}
+	}
+	var hits []deltaHit
+	s := newSearcher(inst, opts, false, nil)
+	defer s.release()
+	s.low, s.high, s.vec = low, high, vec
+	s.fn = func(b Binding) bool {
+		if keep == nil || keep(b) {
+			hits = append(hits, deltaHit{vec: append([]int(nil), vec...), b: b.Clone()})
+		}
+		return true
+	}
+	s.match(order, 0, base)
+	return hits
+}
+
+// lexLess orders tuple-index vectors lexicographically; vectors of the
+// same enumeration always have equal length.
+func lexLess(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,150 @@
+package hom
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/dep"
+	"repro/internal/rel"
+)
+
+func bindingKey(b Binding) string {
+	keys := make([]string, 0, len(b))
+	for k := range b {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var sb strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "%s=%v;", k, b[k])
+	}
+	return sb.String()
+}
+
+// deltaReference computes what EnumerateDelta must return: the full
+// enumeration order, minus the bindings that already exist against the
+// old prefix of the instance (distinct tuple-index vectors yield
+// distinct bindings here because relations deduplicate tuples, so the
+// set difference is exact).
+func deltaReference(atoms []dep.Atom, full, old *rel.Instance, opts Options) []Binding {
+	seen := map[string]bool{}
+	for _, b := range Enumerate(atoms, old, nil, opts, nil) {
+		seen[bindingKey(b)] = true
+	}
+	var out []Binding
+	for _, b := range Enumerate(atoms, full, nil, opts, nil) {
+		if !seen[bindingKey(b)] {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// buildSplitInstance adds nOld then nNew random edges to R (and a few
+// to S), returning the instance, the old-prefix copy, and the delta
+// watermark taken between the two phases.
+func buildSplitInstance(rng *rand.Rand, nOld, nNew int) (full, old *rel.Instance, delta Delta) {
+	full = rel.NewInstance()
+	old = rel.NewInstance()
+	for k := 0; k < nOld; k++ {
+		a := rel.Const(fmt.Sprintf("v%d", rng.Intn(8)))
+		b := rel.Const(fmt.Sprintf("v%d", rng.Intn(8)))
+		full.Add("R", a, b)
+		old.Add("R", a, b)
+		if k%3 == 0 {
+			full.Add("S", b, a)
+			old.Add("S", b, a)
+		}
+	}
+	delta = Delta(full.TupleCounts())
+	for k := 0; k < nNew; k++ {
+		full.Add("R", rel.Const(fmt.Sprintf("v%d", rng.Intn(8))), rel.Const(fmt.Sprintf("v%d", rng.Intn(8))))
+		if k%4 == 0 {
+			full.Add("S", rel.Const(fmt.Sprintf("v%d", rng.Intn(8))), rel.Const(fmt.Sprintf("w%d", rng.Intn(4))))
+		}
+	}
+	return full, old, delta
+}
+
+var deltaTestPatterns = [][]dep.Atom{
+	{dep.NewAtom("R", dep.Var("x"), dep.Var("y"))},
+	{dep.NewAtom("R", dep.Var("x"), dep.Var("y")), dep.NewAtom("R", dep.Var("y"), dep.Var("z"))},
+	{dep.NewAtom("R", dep.Var("x"), dep.Var("y")), dep.NewAtom("S", dep.Var("y"), dep.Var("z"))},
+	{dep.NewAtom("R", dep.Var("x"), dep.Var("x"))},
+	{dep.NewAtom("S", dep.Var("x"), dep.Var("y")), dep.NewAtom("R", dep.Var("y"), dep.Var("z")), dep.NewAtom("R", dep.Var("z"), dep.Var("w"))},
+}
+
+// TestEnumerateDeltaMatchesReference: on random old/new instance
+// splits, EnumerateDelta returns exactly the full enumeration minus the
+// old-only bindings, in the full enumeration's order, at every
+// parallelism setting and with and without indexes.
+func TestEnumerateDeltaMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		full, old, delta := buildSplitInstance(rng, 2+rng.Intn(12), rng.Intn(10))
+		full.Freeze()
+		old.Freeze()
+		for pi, atoms := range deltaTestPatterns {
+			want := deltaReference(atoms, full, old, Options{})
+			for _, opts := range []Options{{}, {Parallelism: 4}, {NoIndex: true}, {NoIndex: true, Parallelism: 4}} {
+				got := EnumerateDelta(atoms, full, nil, delta, opts, nil)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d pattern %d opts %+v: got %d bindings, want %d", trial, pi, opts, len(got), len(want))
+				}
+				for i := range got {
+					if bindingKey(got[i]) != bindingKey(want[i]) {
+						t.Fatalf("trial %d pattern %d opts %+v: binding %d is %s, want %s (order or content diverged)",
+							trial, pi, opts, i, bindingKey(got[i]), bindingKey(want[i]))
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestEnumerateDeltaDegenerateCases: nil and all-zero deltas degrade to
+// the full enumeration; a delta with no new tuples returns nothing; a
+// keep filter applies on top of the delta constraint.
+func TestEnumerateDeltaDegenerateCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	full, _, delta := buildSplitInstance(rng, 6, 5)
+	full.Freeze()
+	atoms := deltaTestPatterns[1]
+	fullEnum := Enumerate(atoms, full, nil, Options{}, nil)
+
+	if got := EnumerateDelta(atoms, full, nil, nil, Options{}, nil); len(got) != len(fullEnum) {
+		t.Fatalf("nil delta: got %d bindings, want full %d", len(got), len(fullEnum))
+	}
+	if got := EnumerateDelta(atoms, full, nil, Delta{}, Options{}, nil); len(got) != len(fullEnum) {
+		t.Fatalf("all-new delta: got %d bindings, want full %d", len(got), len(fullEnum))
+	}
+	if got := EnumerateDelta(atoms, full, nil, Delta(full.TupleCounts()), Options{}, nil); len(got) != 0 {
+		t.Fatalf("no-new delta: got %d bindings, want none", len(got))
+	}
+	if got := EnumerateDelta(nil, full, nil, delta, Options{}, nil); got != nil {
+		t.Fatalf("empty atom list with a watermark: got %d bindings, want none", len(got))
+	}
+
+	all := EnumerateDelta(atoms, full, nil, delta, Options{}, nil)
+	kept := EnumerateDelta(atoms, full, nil, delta, Options{}, func(b Binding) bool {
+		return b["x"] == rel.Const("v0")
+	})
+	for _, b := range kept {
+		if b["x"] != rel.Const("v0") {
+			t.Fatalf("keep filter leaked binding %s", bindingKey(b))
+		}
+	}
+	if len(kept) > len(all) {
+		t.Fatalf("keep filter grew the result: %d > %d", len(kept), len(all))
+	}
+
+	// A stale watermark larger than the relation (possible after an
+	// instance shrinks) clamps instead of panicking.
+	over := Delta{"R": 1 << 30, "S": 1 << 30}
+	if got := EnumerateDelta(atoms, full, nil, over, Options{}, nil); len(got) != 0 {
+		t.Fatalf("oversized watermark: got %d bindings, want none", len(got))
+	}
+}

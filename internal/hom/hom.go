@@ -7,6 +7,7 @@ package hom
 
 import (
 	"context"
+	"sort"
 	"sync"
 
 	"repro/internal/dep"
@@ -81,7 +82,11 @@ func ForEach(atoms []dep.Atom, inst *rel.Instance, init Binding, opts Options, f
 }
 
 // Exists reports whether at least one homomorphism from the atoms into
-// the instance extends init.
+// the instance extends init. When init is non-nil it is used as the
+// live search binding — extended and fully restored before Exists
+// returns — so the hot satisfaction checks of the chase pay no map
+// copy. Callers must not read init from other goroutines during the
+// call.
 func Exists(atoms []dep.Atom, inst *rel.Instance, init Binding, opts Options) bool {
 	if sat, ok := groundSatisfied(atoms, inst, init); ok {
 		return sat
@@ -94,9 +99,9 @@ func Exists(atoms []dep.Atom, inst *rel.Instance, init Binding, opts Options) bo
 		return false
 	})
 	defer s.release()
-	b := Binding{}
-	for k, v := range init {
-		b[k] = v
+	b := init
+	if b == nil {
+		b = Binding{}
 	}
 	order := orderAtoms(atoms, b)
 	s.match(order, 0, b)
@@ -153,6 +158,11 @@ func FindOne(atoms []dep.Atom, inst *rel.Instance, init Binding, opts Options) (
 // backtracking search close to linear on the acyclic patterns that
 // dominate chase bodies.
 func orderAtoms(atoms []dep.Atom, init Binding) []dep.Atom {
+	if len(atoms) <= 1 {
+		// Nothing to order; the callers never mutate the slice. This is
+		// the hot shape of the chase's per-trigger head checks.
+		return atoms
+	}
 	bound := make(map[string]bool, len(init))
 	for v := range init {
 		bound[v] = true
@@ -208,6 +218,15 @@ type searcher struct {
 	newly  [][]string
 	allIdx [][]int
 
+	// low/high, when non-nil, constrain the tuple indexes tried at each
+	// depth to [low[i], high[i]) — the semi-naive enumeration pins atoms
+	// to the old or the new (delta) segment of their relation this way.
+	// vec, when non-nil, records the tuple index chosen at each depth,
+	// so complete bindings can be merged back into the order the
+	// unconstrained search would produce (see EnumerateDelta).
+	low, high []int
+	vec       []int
+
 	// ctxTick counts match calls between polls of opts.Ctx; canceled
 	// latches a cancellation observed mid-search so the whole search
 	// unwinds without further polling.
@@ -246,11 +265,13 @@ func newSearcher(inst *rel.Instance, opts Options, clone bool, fn func(Binding) 
 	s := searcherPool.Get().(*searcher)
 	s.inst, s.opts, s.clone, s.fn = inst, opts, clone, fn
 	s.ctxTick, s.canceled = 0, false
+	s.low, s.high, s.vec = nil, nil, nil
 	return s
 }
 
 func (s *searcher) release() {
 	s.inst, s.fn, s.opts.Ctx = nil, nil, nil
+	s.low, s.high, s.vec = nil, nil, nil
 	searcherPool.Put(s)
 }
 
@@ -286,6 +307,9 @@ func (s *searcher) match(atoms []dep.Atom, i int, b Binding) bool {
 func (s *searcher) tryTuple(atoms []dep.Atom, i int, r *rel.Relation, idx int, b Binding) bool {
 	a := atoms[i]
 	t := r.TupleAt(idx)
+	if s.vec != nil {
+		s.vec[i] = idx
+	}
 	for len(s.newly) <= i {
 		s.newly = append(s.newly, nil)
 	}
@@ -323,9 +347,22 @@ func (s *searcher) tryTuple(atoms []dep.Atom, i int, r *rel.Relation, idx int, b
 
 // candidateTuples returns indexes of tuples possibly matching the atom
 // under the current binding, using the most selective position index
-// available. The returned slice is only valid until the next call at
-// the same depth.
+// available, clipped to the searcher's per-depth index bounds when set.
+// The returned slice is only valid until the next call at the same
+// depth.
 func (s *searcher) candidateTuples(r *rel.Relation, a dep.Atom, b Binding, depth int) []int {
+	lo, hi := 0, r.Len()
+	if s.low != nil {
+		if l := s.low[depth]; l > lo {
+			lo = l
+		}
+		if h := s.high[depth]; h < hi {
+			hi = h
+		}
+		if lo >= hi {
+			return nil
+		}
+	}
 	if !s.opts.NoIndex {
 		bestPos, bestVal, bestLen := -1, rel.Value{}, -1
 		for j, term := range a.Args {
@@ -343,14 +380,22 @@ func (s *searcher) candidateTuples(r *rel.Relation, a dep.Atom, b Binding, depth
 			}
 		}
 		if bestPos >= 0 {
-			return r.MatchingAt(bestPos, bestVal)
+			// Position-index lists hold ascending tuple indexes (they are
+			// append-only as tuples arrive), so the bound clip is a binary
+			// search, not a scan.
+			list := r.MatchingAt(bestPos, bestVal)
+			if s.low != nil {
+				list = list[sort.SearchInts(list, lo):]
+				list = list[:sort.SearchInts(list, hi)]
+			}
+			return list
 		}
 	}
 	for len(s.allIdx) <= depth {
 		s.allIdx = append(s.allIdx, nil)
 	}
 	all := s.allIdx[depth][:0]
-	for i := 0; i < r.Len(); i++ {
+	for i := lo; i < hi; i++ {
 		all = append(all, i)
 	}
 	s.allIdx[depth] = all

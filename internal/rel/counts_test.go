@@ -1,0 +1,44 @@
+package rel
+
+import "testing"
+
+// TestTupleCounts: counts snapshot the per-relation sizes, include
+// empty relations, and stay stable while the instance grows — the
+// append-only property the semi-naive chase watermarks rely on: tuples
+// at indexes below a snapshot's count are unchanged by later AddTuple
+// calls.
+func TestTupleCounts(t *testing.T) {
+	inst := NewInstance()
+	inst.Add("R", Const("a"), Const("b"))
+	inst.Add("R", Const("b"), Const("c"))
+	inst.Add("S", Const("a"))
+	inst.AddTuple("Empty", nil)
+	inst.RemoveLastTuple("Empty")
+
+	counts := inst.TupleCounts()
+	if counts["R"] != 2 || counts["S"] != 1 {
+		t.Fatalf("counts = %v, want R:2 S:1", counts)
+	}
+	if n, ok := counts["Empty"]; !ok || n != 0 {
+		t.Fatalf("empty relation missing from counts: %v", counts)
+	}
+
+	before := make([]Tuple, counts["R"])
+	r := inst.Relation("R")
+	for i := range before {
+		before[i] = r.TupleAt(i)
+	}
+	inst.Add("R", Const("c"), Const("d"))
+	inst.Add("S", Const("b"))
+	if counts["R"] != 2 || counts["S"] != 1 {
+		t.Fatalf("snapshot mutated by later adds: %v", counts)
+	}
+	for i, want := range before {
+		if got := inst.Relation("R").TupleAt(i); got.String() != want.String() {
+			t.Fatalf("old prefix changed at %d: %v != %v", i, got, want)
+		}
+	}
+	if got := inst.TupleCounts(); got["R"] != 3 || got["S"] != 2 {
+		t.Fatalf("fresh counts = %v, want R:3 S:2", got)
+	}
+}

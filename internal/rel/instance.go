@@ -89,6 +89,36 @@ func (r *Relation) popLast() Tuple {
 	return t
 }
 
+// clone returns a structural copy of the relation. The containers —
+// the tuple slice, the seen map, the position-index maps and their
+// index lists — are copied, so either copy can add or pop tuples
+// without disturbing the other; the stored Tuple arrays and the key
+// strings are shared, which is safe because tuples are never mutated
+// in place once added (add stores a private Clone; popLast only drops
+// the last entry). Compared with re-adding every fact, this skips the
+// per-tuple key construction and tuple copy that dominate chase-side
+// instance cloning.
+func (r *Relation) clone() *Relation {
+	c := &Relation{
+		name:     r.name,
+		arity:    r.arity,
+		tuples:   append(make([]Tuple, 0, len(r.tuples)), r.tuples...),
+		seen:     make(map[string]int, len(r.seen)),
+		posIndex: make([]map[Value][]int, len(r.posIndex)),
+	}
+	for k, v := range r.seen {
+		c.seen[k] = v
+	}
+	for i, idx := range r.posIndex {
+		m := make(map[Value][]int, len(idx))
+		for v, lst := range idx {
+			m[v] = append(make([]int, 0, len(lst)), lst...)
+		}
+		c.posIndex[i] = m
+	}
+	return c
+}
+
 func (r *Relation) add(t Tuple) bool {
 	k := tupleKey(t)
 	if _, ok := r.seen[k]; ok {
@@ -227,6 +257,21 @@ func (inst *Instance) NumFacts() int {
 // IsEmpty reports whether the instance holds no facts.
 func (inst *Instance) IsEmpty() bool { return inst.NumFacts() == 0 }
 
+// TupleCounts returns the current tuple count of every relation, keyed
+// by name. Relations grow append-only (AddTuple appends; only
+// RemoveLastTuple and the ReplaceValue/MapValues rebuilds disturb the
+// order), so a snapshot of the counts splits each relation into a
+// stable old prefix and a new suffix until the next non-append
+// mutation — this is the watermark the semi-naive chase keeps per
+// dependency (see hom.Delta). Empty relations are included.
+func (inst *Instance) TupleCounts() map[string]int {
+	counts := make(map[string]int, len(inst.rels))
+	for name, r := range inst.rels {
+		counts[name] = len(r.tuples)
+	}
+	return counts
+}
+
 // Facts returns all facts in deterministic order (relations sorted by
 // name, tuples in insertion order). The tuples are owned by the instance
 // and must not be mutated.
@@ -240,11 +285,13 @@ func (inst *Instance) Facts() []Fact {
 	return out
 }
 
-// Clone returns a deep copy of the instance.
+// Clone returns a deep copy of the instance: mutations of either copy
+// never affect the other. (The immutable tuple arrays are shared
+// internally; see Relation.clone.)
 func (inst *Instance) Clone() *Instance {
 	c := NewInstance()
-	for _, f := range inst.Facts() {
-		c.AddTuple(f.Rel, f.Args)
+	for name, r := range inst.rels {
+		c.rels[name] = r.clone()
 	}
 	return c
 }
@@ -276,11 +323,8 @@ func (inst *Instance) Equal(other *Instance) bool {
 func (inst *Instance) Restrict(s *Schema) *Instance {
 	out := NewInstance()
 	for name, r := range inst.rels {
-		if !s.Has(name) {
-			continue
-		}
-		for _, t := range r.tuples {
-			out.AddTuple(name, t)
+		if s.Has(name) {
+			out.rels[name] = r.clone()
 		}
 	}
 	return out

@@ -167,6 +167,23 @@ func ChainDeps(depth int) []dep.Dependency {
 
 func chainRel(lvl int) string { return fmt.Sprintf("T%d", lvl) }
 
+// DeepChainDeps is ChainDeps with the dependencies listed deepest
+// first. The chase processes a round's dependencies in order, so the
+// forward listing cascades the whole chain inside a single round; the
+// reversed listing fills exactly one layer per round, making the chase
+// take depth+1 rounds. This is the deep-recursion shape where the
+// naive chase re-enumerates every filled layer every round — Θ(depth²)
+// body scans — while the semi-naive chase touches each layer's facts
+// O(1) times (EXP-DELTA).
+func DeepChainDeps(depth int) []dep.Dependency {
+	fwd := ChainDeps(depth)
+	out := make([]dep.Dependency, 0, len(fwd))
+	for i := len(fwd) - 1; i >= 0; i-- {
+		out = append(out, fwd[i])
+	}
+	return out
+}
+
 // ChainInstance builds an instance with n distinct T0 facts.
 func ChainInstance(n int) *rel.Instance {
 	inst := rel.NewInstance()
@@ -263,4 +280,66 @@ func GenomicInstance(n int, clean bool, rng *rand.Rand) (*rel.Instance, *rel.Ins
 		j.Add("GeneProduct", rel.Const("LOCAL1"), rel.Const("unvouched-protein"))
 	}
 	return i, j
+}
+
+// RandomWeaklyAcyclicDeps generates a random mix of full tgds, acyclic
+// inclusion dependencies with existentials, and key egds over a layered
+// schema L0, L1, L2 (edges only go up the layers, so the set is weakly
+// acyclic by construction). It is the generator behind the chase
+// property suites: soundness, determinism, parallel-vs-serial parity,
+// and semi-naive-vs-naive parity.
+func RandomWeaklyAcyclicDeps(rng *rand.Rand) []dep.Dependency {
+	layers := []string{"L0", "L1", "L2"}
+	var out []dep.Dependency
+	n := 1 + rng.Intn(4)
+	for k := 0; k < n; k++ {
+		from := rng.Intn(len(layers) - 1)
+		to := from + 1 + rng.Intn(len(layers)-from-1)
+		switch rng.Intn(3) {
+		case 0: // full copy up
+			out = append(out, dep.TGD{
+				Label: fmt.Sprintf("full%d", k),
+				Body:  []dep.Atom{dep.NewAtom(layers[from], dep.Var("x"), dep.Var("y"))},
+				Head:  []dep.Atom{dep.NewAtom(layers[to], dep.Var("x"), dep.Var("y"))},
+			})
+		case 1: // inclusion with existential
+			out = append(out, dep.TGD{
+				Label: fmt.Sprintf("inc%d", k),
+				Body:  []dep.Atom{dep.NewAtom(layers[from], dep.Var("x"), dep.Var("y"))},
+				Head:  []dep.Atom{dep.NewAtom(layers[to], dep.Var("y"), dep.Var("z"))},
+			})
+		default: // join body, full head
+			out = append(out, dep.TGD{
+				Label: fmt.Sprintf("join%d", k),
+				Body: []dep.Atom{
+					dep.NewAtom(layers[from], dep.Var("x"), dep.Var("y")),
+					dep.NewAtom(layers[from], dep.Var("y"), dep.Var("z")),
+				},
+				Head: []dep.Atom{dep.NewAtom(layers[to], dep.Var("x"), dep.Var("z"))},
+			})
+		}
+	}
+	if rng.Intn(2) == 0 {
+		lvl := layers[rng.Intn(len(layers))]
+		out = append(out, dep.EGD{
+			Label: "key-" + lvl,
+			Body:  []dep.Atom{dep.NewAtom(lvl, dep.Var("x"), dep.Var("y")), dep.NewAtom(lvl, dep.Var("x"), dep.Var("z"))},
+			Left:  "y", Right: "z",
+		})
+	}
+	return out
+}
+
+// RandomLayerInstance generates a small random instance over the
+// layered schema of RandomWeaklyAcyclicDeps.
+func RandomLayerInstance(rng *rand.Rand) *rel.Instance {
+	inst := rel.NewInstance()
+	dom := []rel.Value{rel.Const("a"), rel.Const("b"), rel.Const("c")}
+	for f := 0; f < 1+rng.Intn(5); f++ {
+		inst.Add("L0", dom[rng.Intn(len(dom))], dom[rng.Intn(len(dom))])
+	}
+	if rng.Intn(3) == 0 {
+		inst.Add("L1", dom[rng.Intn(len(dom))], dom[rng.Intn(len(dom))])
+	}
+	return inst
 }

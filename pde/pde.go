@@ -198,6 +198,12 @@ type Options struct {
 	// Seed perturbs parallel work distribution (never results); folded
 	// like Parallelism.
 	Seed int64
+	// NaiveChase disables the semi-naive (delta-driven) trigger
+	// collection in every chase the call runs, re-enumerating triggers
+	// against the whole instance each round. Results are byte-identical
+	// either way; the knob exists for ablation benchmarks and parity
+	// gates. Folded into Solve and Tractable.
+	NaiveChase bool
 	// Solve configures the generic solver.
 	Solve SolveOptions
 	// Tractable configures the Figure 3 algorithm.
@@ -239,6 +245,10 @@ func (o Options) normalized() Options {
 		if o.Tractable.Seed == 0 {
 			o.Tractable.Seed = o.Seed
 		}
+	}
+	if o.NaiveChase {
+		o.Solve.NaiveChase = true
+		o.Tractable.NaiveChase = true
 	}
 	return o
 }
