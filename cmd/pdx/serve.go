@@ -30,6 +30,8 @@ func cmdServe(args []string) error {
 	maxDeadline := fs.Duration("max-deadline", 5*time.Minute, "cap on client-requested deadlines")
 	maxNodes := fs.Int64("max-nodes", 0, "server-wide generic-solver node budget (0 = unbounded)")
 	parallelism := fs.Int("parallelism", 0, "workers per solve (0 = GOMAXPROCS)")
+	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "chase-cache byte budget (0 = 256 MiB, -1 = no byte bound)")
+	cacheMaxEntries := fs.Int("cache-max-entries", 0, "chase-cache entry budget (0 = 1024, -1 = disable the cache)")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -44,6 +46,8 @@ func cmdServe(args []string) error {
 		MaxDeadline:     *maxDeadline,
 		MaxNodes:        *maxNodes,
 		Parallelism:     *parallelism,
+		CacheMaxBytes:   *cacheMaxBytes,
+		CacheMaxEntries: *cacheMaxEntries,
 	})
 	for _, file := range fs.Args() {
 		src, err := os.ReadFile(file)

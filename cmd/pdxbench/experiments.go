@@ -48,6 +48,7 @@ func allExperiments() []experiment {
 		{"EXP-REPAIR", "Extension: repair semantics when no solution exists", expRepairs},
 		{"EXP-PDMS", "Section 2: PDE solutions = consistent PDMS data instances", expPDMS},
 		{"EXP-MULTI", "Section 2: multi-PDE settings reduce to a single PDE", expMultiPDE},
+		{"EXP-CACHE", "Serving: cached canonical-instance fixpoints and incremental re-chase on append", expCache},
 	}
 }
 
@@ -892,4 +893,85 @@ ts: H(x,y) -> F(x,y)
 	}
 	fmt.Fprintf(w, "combined-setting solutions valid for the multi-PDE setting: %d/%d\n", agree, total)
 	return nil
+}
+
+// expCache measures what pdxd's chased-instance cache saves: a cold
+// ExistsSolutionTractable (chase + block analysis + verdict) versus the
+// warm verdict phase alone against a cached trace, and an incremental
+// 16-fact resume versus re-chasing from scratch — with verdict parity
+// checked at every size.
+func expCache(w io.Writer) error {
+	s := workload.LAVSetting()
+	tw := table(w)
+	fmt.Fprintln(tw, "n\tcold solve\twarm verdict\tspeedup\tresume(+16)\trechase(+16)\tspeedup")
+	for _, n := range []int{400, 800, 1600} {
+		i, j := workload.LAVInstance(n, true, rand.New(rand.NewSource(7)))
+
+		var trace *core.TractableTrace
+		cold := timed(func() {
+			var err error
+			trace, err = core.ChaseCanonicalTractable(s, i, j, core.TractableOptions{})
+			if err != nil {
+				panic(err)
+			}
+			if ok, _, err := core.ExistsSolutionTractableFrom(i, trace, core.TractableOptions{}); err != nil || !ok {
+				panic(fmt.Sprintf("cold lav n=%d rejected: ok=%v err=%v", n, ok, err))
+			}
+		})
+		var warmOK bool
+		warm := timed(func() {
+			var err error
+			warmOK, _, err = core.ExistsSolutionTractableFrom(i, trace, core.TractableOptions{})
+			if err != nil {
+				panic(err)
+			}
+		})
+		if !warmOK {
+			return fmt.Errorf("EXP-CACHE: warm verdict diverged at n=%d", n)
+		}
+
+		delta := rel.NewInstance()
+		for k := 0; k < 16; k++ {
+			delta.Add("Person", rel.Const(fmt.Sprintf("newp%d", k)), rel.Const(fmt.Sprintf("newg%d", k%4)))
+		}
+		var next *core.TractableTrace
+		resume := timed(func() {
+			var resumed bool
+			var err error
+			next, resumed, err = core.ResumeCanonicalTractable(s, trace, delta, core.TractableOptions{})
+			if err != nil || !resumed {
+				panic(fmt.Sprintf("resume lav n=%d: resumed=%v err=%v", n, resumed, err))
+			}
+		})
+		grown := rel.Union(i, delta)
+		var scratch *core.TractableTrace
+		rechase := timed(func() {
+			var err error
+			scratch, err = core.ChaseCanonicalTractable(s, grown, j, core.TractableOptions{})
+			if err != nil {
+				panic(err)
+			}
+		})
+		if next.JCan.NumFacts() != scratch.JCan.NumFacts() || next.ICan.NumFacts() != scratch.ICan.NumFacts() {
+			return fmt.Errorf("EXP-CACHE: resumed fixpoint diverged at n=%d: J_can %d vs %d, I_can %d vs %d",
+				n, next.JCan.NumFacts(), scratch.JCan.NumFacts(), next.ICan.NumFacts(), scratch.ICan.NumFacts())
+		}
+		rok, _, err := core.ExistsSolutionTractableFrom(grown, next, core.TractableOptions{})
+		if err != nil {
+			return err
+		}
+		sok, _, err := core.ExistsSolutionTractableFrom(grown, scratch, core.TractableOptions{})
+		if err != nil {
+			return err
+		}
+		if rok != sok {
+			return fmt.Errorf("EXP-CACHE: verdicts diverged at n=%d: resumed %v, scratch %v", n, rok, sok)
+		}
+		fmt.Fprintf(tw, "%d\t%v\t%v\t%.1fx\t%v\t%v\t%.1fx\n",
+			n, cold.Round(10*time.Microsecond), warm.Round(10*time.Microsecond),
+			float64(cold)/float64(warm),
+			resume.Round(10*time.Microsecond), rechase.Round(10*time.Microsecond),
+			float64(rechase)/float64(resume))
+	}
+	return tw.Flush()
 }

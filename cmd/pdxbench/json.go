@@ -132,6 +132,46 @@ func jsonBenchSuite() (*benchReport, error) {
 		}
 	}
 
+	// Warm-path slice of the serving cache: the verdict phase alone,
+	// running against a precomputed canonical-instance trace the way
+	// pdxd answers a repeat /v1/exists-solution. The gap between this
+	// and tractable-lav/n=1600/delta is what the cache saves per hit.
+	{
+		s := workload.LAVSetting()
+		trace, err := core.ChaseCanonicalTractable(s, lavI, lavJ, core.TractableOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("lav warm trace: %w", err)
+		}
+		rec := record("tractable-lav/n=1600/warm", nil, nil, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ok, _, err := core.ExistsSolutionTractableFrom(lavI, trace, core.TractableOptions{})
+				if err != nil || !ok {
+					b.Fatalf("lav warm verdict: ok=%v err=%v", ok, err)
+				}
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+
+		// Incremental re-chase of a 16-fact append against the same
+		// trace — the migration cost pdxd pays per cache entry on
+		// /v1/instances/{id}/append, versus re-chasing 1600 facts.
+		delta := rel.NewInstance()
+		for k := 0; k < 16; k++ {
+			delta.Add("Person", rel.Const(fmt.Sprintf("newp%d", k)), rel.Const(fmt.Sprintf("newg%d", k%4)))
+		}
+		var steps int
+		rec = record("lav-resume/n=1600/append=16", &steps, nil, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				next, resumed, err := core.ResumeCanonicalTractable(s, trace, delta, core.TractableOptions{})
+				if err != nil || !resumed {
+					b.Fatalf("lav resume: resumed=%v err=%v", resumed, err)
+				}
+				steps = next.StepsST + next.StepsTS
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+	}
+
 	// Deep recursion: one tgd layer per round, where naive trigger
 	// collection is quadratic in depth.
 	for _, depth := range []int{8, 16} {

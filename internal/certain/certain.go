@@ -165,6 +165,20 @@ func (u UCQ) EvalBool(inst *rel.Instance, opts hom.Options) bool {
 type Options struct {
 	// Solve configures the underlying solution enumeration.
 	Solve core.SolveOptions
+	// Canonical, when non-nil, is a precomputed chased canonical target
+	// for (s, i, j) (see core.ChaseCanonicalTarget); the enumeration
+	// then skips the chase phases. It must have been computed for the
+	// same setting and instances.
+	Canonical *core.CanonicalTarget
+}
+
+// forEach dispatches the image-solution enumeration to the cached or
+// from-scratch path.
+func (o Options) forEach(s *core.Setting, i, j *rel.Instance, fn func(*rel.Instance) bool) (*core.SolveStats, error) {
+	if o.Canonical != nil {
+		return core.ForEachImageSolutionFrom(s, i, j, o.Canonical, o.Solve, fn)
+	}
+	return core.ForEachImageSolution(s, i, j, o.Solve, fn)
 }
 
 // Result reports a certain-answers computation.
@@ -186,7 +200,7 @@ type Result struct {
 // conjunctive queries.
 func Boolean(s *core.Setting, i, j *rel.Instance, q UCQ, opts Options) (Result, error) {
 	res := Result{Certain: true}
-	_, err := core.ForEachImageSolution(s, i, j, opts.Solve, func(sol *rel.Instance) bool {
+	_, err := opts.forEach(s, i, j, func(sol *rel.Instance) bool {
 		res.SolutionExists = true
 		res.SolutionsExamined++
 		if !q.EvalBool(sol, opts.Solve.Hom) {
@@ -206,7 +220,7 @@ func Boolean(s *core.Setting, i, j *rel.Instance, q UCQ, opts Options) (Result, 
 func Answers(s *core.Setting, i, j *rel.Instance, q UCQ, opts Options) (Result, error) {
 	res := Result{}
 	var inter map[string]rel.Tuple
-	_, err := core.ForEachImageSolution(s, i, j, opts.Solve, func(sol *rel.Instance) bool {
+	_, err := opts.forEach(s, i, j, func(sol *rel.Instance) bool {
 		res.SolutionExists = true
 		res.SolutionsExamined++
 		cur := make(map[string]rel.Tuple)

@@ -110,6 +110,16 @@ type Result struct {
 	Failed bool
 	// FailedOn is the label of the dependency that failed.
 	FailedOn string
+	// Start is the instance the run was chased from (the caller's
+	// argument, not the working clone; for a resumed run, the union of
+	// the previous Start and the appended facts). Resume re-chases from
+	// it whenever the incremental path is unsound.
+	Start *rel.Instance
+	// EgdFired reports that at least one egd merge was applied. A merge
+	// rewrites values in place, so the fixpoint's facts are not a
+	// superset of every intermediate state and Resume must fall back to
+	// a full re-chase from Start.
+	EgdFired bool
 }
 
 func (o Options) maxSteps() int {
@@ -155,6 +165,7 @@ func Run(start *rel.Instance, deps []dep.Dependency, opts Options) (*Result, err
 	}
 	st := &state{
 		inst:   start.Clone(),
+		start:  start,
 		opts:   opts,
 		hom:    opts.homOpts(),
 		nulls:  opts.nulls(start),
@@ -177,6 +188,7 @@ func RunSolutionAware(start *rel.Instance, deps []dep.Dependency, witness *rel.I
 	}
 	st := &state{
 		inst:   start.Clone(),
+		start:  start,
 		opts:   opts,
 		hom:    opts.homOpts(),
 		nulls:  opts.nulls(start),
@@ -186,24 +198,44 @@ func RunSolutionAware(start *rel.Instance, deps []dep.Dependency, witness *rel.I
 }
 
 type state struct {
-	inst   *rel.Instance
-	opts   Options
-	hom    hom.Options // resolved homOpts(), applied to every search
-	nulls  *rel.NullSource
-	budget int
-	steps  int
+	inst     *rel.Instance
+	start    *rel.Instance // the caller's start instance, reported on Result
+	opts     Options
+	hom      hom.Options // resolved homOpts(), applied to every search
+	nulls    *rel.NullSource
+	budget   int
+	steps    int
+	egdFired bool
 
 	// Semi-naive bookkeeping, indexed by dependency position. marks[di]
 	// is the watermark of dependency di's previous trigger collection —
 	// the per-relation tuple counts of the instance it last enumerated
 	// against (nil = never collected, or invalidated by an egd merge:
-	// full rescan). uvars[di] caches the sorted universal variables of
-	// tgd di; fired[di] is the oblivious chase's per-tgd set of already
-	// fired triggers, keyed by compact value keys instead of built
-	// strings.
+	// full rescan). Resume pre-seeds marks so the first round only
+	// enumerates triggers touching the appended facts. uvars[di] caches
+	// the sorted universal variables of tgd di; fired[di] is the
+	// oblivious chase's per-tgd set of already fired triggers, keyed by
+	// compact value keys instead of built strings.
 	marks []hom.Delta
 	uvars [][]string
 	fired []map[firedKey]bool
+
+	// Egd detection watermarks, indexed by dependency position.
+	// egdMarks[di] non-nil records the per-relation counts at the end of
+	// di's last clean pass (no active trigger). Between merges relations
+	// only grow, so if none of di's body relations has grown past the
+	// mark, the body join — and hence the trigger set — is unchanged and
+	// the pass is skipped without enumerating anything. Any merge resets
+	// every egd mark (the rebuild shuffles tuple lists and may create
+	// triggers without adding tuples). erels[di] caches di's body
+	// relation names.
+	egdMarks []hom.Delta
+	erels    [][]string
+}
+
+// result packages the run's current outcome.
+func (st *state) result() *Result {
+	return &Result{Instance: st.inst, Steps: st.steps, Start: st.start, EgdFired: st.egdFired}
 }
 
 // ctxErr returns a wrapped cancellation error when the chase context
@@ -221,39 +253,56 @@ func (st *state) ctxErr() error {
 }
 
 func (st *state) run(deps []dep.Dependency, witness *rel.Instance) (*Result, error) {
-	st.marks = make([]hom.Delta, len(deps))
+	// Resume pre-seeds st.marks with the previous fixpoint's watermarks;
+	// a fresh run starts from nil marks (full first scan).
+	if st.marks == nil {
+		st.marks = make([]hom.Delta, len(deps))
+	}
 	st.uvars = make([][]string, len(deps))
+	st.egdMarks = make([]hom.Delta, len(deps))
+	st.erels = make([][]string, len(deps))
 	if st.opts.Oblivious {
 		st.fired = make([]map[firedKey]bool, len(deps))
 	}
-	// Precompute per-tgd state up front so parallel speculation never
-	// lazily initializes shared maps mid-flight.
+	// Precompute per-dependency state up front so parallel speculation
+	// never lazily initializes shared maps mid-flight.
 	for di, d := range deps {
-		if t, ok := d.(dep.TGD); ok {
-			vs := append([]string(nil), t.UniversalVars()...)
+		switch d := d.(type) {
+		case dep.TGD:
+			vs := append([]string(nil), d.UniversalVars()...)
 			sort.Strings(vs)
 			st.uvars[di] = vs
 			if st.opts.Oblivious {
 				st.fired[di] = make(map[firedKey]bool)
+			}
+		case dep.EGD:
+			seen := map[string]bool{}
+			for _, a := range d.Body {
+				if !seen[a.Rel] {
+					seen[a.Rel] = true
+					st.erels[di] = append(st.erels[di], a.Rel)
+				}
 			}
 		}
 	}
 	for {
 		progressed, failed, failedOn, err := st.round(deps, witness)
 		if err != nil {
-			return &Result{Instance: st.inst, Steps: st.steps}, err
+			return st.result(), err
 		}
 		// A canceled context truncates the trigger searches, so a round
 		// under cancellation can masquerade as a fixpoint (or miss a
 		// failure); re-check before trusting the round's outcome.
 		if err := st.ctxErr(); err != nil {
-			return &Result{Instance: st.inst, Steps: st.steps}, err
+			return st.result(), err
 		}
 		if failed {
-			return &Result{Instance: st.inst, Steps: st.steps, Failed: true, FailedOn: failedOn}, nil
+			res := st.result()
+			res.Failed, res.FailedOn = true, failedOn
+			return res, nil
 		}
 		if !progressed {
-			return &Result{Instance: st.inst, Steps: st.steps}, nil
+			return st.result(), nil
 		}
 	}
 }
@@ -316,6 +365,9 @@ func (st *state) round(deps []dep.Dependency, witness *rel.Instance) (progressed
 				progressed, dirty = true, true
 			}
 		case dep.EGD:
+			if st.egdSkip(di, roundStart, dirty) {
+				continue
+			}
 			p, f, e := st.egdPass(d)
 			if e != nil {
 				return false, false, "", e
@@ -325,11 +377,23 @@ func (st *state) round(deps []dep.Dependency, witness *rel.Instance) (progressed
 			}
 			if p {
 				progressed, dirty = true, true
+				st.egdFired = true
 				// Merges rewrote values in place and rebuilt the tuple
 				// lists: every watermark's old/new split is now
 				// meaningless, and satisfaction may have regressed.
 				for i := range st.marks {
 					st.marks[i] = nil
+					st.egdMarks[i] = nil
+				}
+			}
+			// The pass ended with no active trigger for d: record the
+			// counts it was clean at, so later rounds skip the body scan
+			// until one of d's relations grows (or a merge resets it).
+			if !st.opts.NaiveTriggers {
+				if p || dirty {
+					st.egdMarks[di] = hom.Delta(st.inst.TupleCounts())
+				} else {
+					st.egdMarks[di] = roundStart
 				}
 			}
 		default:
@@ -453,6 +517,28 @@ func (st *state) fire(d dep.TGD, b hom.Binding, witness *rel.Instance) error {
 		st.inst.AddTuple(a.Rel, groundAtom(a, ext))
 	}
 	return nil
+}
+
+// egdSkip reports whether egd di's detection pass can be skipped: its
+// last clean pass recorded a watermark, no merge has invalidated it,
+// and none of the egd's body relations has grown since. Relations are
+// append-only between merges, so equal counts mean identical tuple
+// sets, an unchanged body join, and therefore no new trigger.
+func (st *state) egdSkip(di int, roundStart hom.Delta, dirty bool) bool {
+	if st.opts.NaiveTriggers || st.egdMarks[di] == nil {
+		return false
+	}
+	cur := roundStart
+	if dirty {
+		cur = hom.Delta(st.inst.TupleCounts())
+	}
+	mark := st.egdMarks[di]
+	for _, r := range st.erels[di] {
+		if cur[r] > mark[r] {
+			return false
+		}
+	}
+	return true
 }
 
 // egdPass applies egd steps until d has no active trigger or the chase

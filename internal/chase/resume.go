@@ -1,0 +1,86 @@
+package chase
+
+// Resuming a finished chase after new facts arrive. The append-only
+// watermark invariant (relations only grow while no egd merges, and the
+// old prefix is immutable) means a finished restricted chase over pure
+// tgds can continue from its own fixpoint: every trigger whose body
+// facts predate the fixpoint was satisfied when the run ended and stays
+// satisfied under further additions, so only triggers touching the
+// appended facts need enumeration. Whenever that reasoning does not
+// apply — an egd merged values during the previous run, egds (which
+// could fire) are present now, or the previous run was oblivious (its
+// fired sets are not retained) — Resume falls back to a full re-chase
+// from the previous run's true start united with the appended facts.
+
+import (
+	"fmt"
+
+	"repro/internal/dep"
+	"repro/internal/hom"
+	"repro/internal/rel"
+)
+
+// Resumable reports whether a previous chase result can be resumed
+// incrementally for the given dependencies and options. It requires a
+// successful restricted-chase fixpoint whose run never merged values,
+// and a dependency set in which no egd could fire (pure tgds).
+func Resumable(prev *Result, deps []dep.Dependency, opts Options) bool {
+	if prev == nil || prev.Instance == nil || prev.Failed || prev.EgdFired || opts.Oblivious {
+		return false
+	}
+	for _, d := range deps {
+		if _, ok := d.(dep.TGD); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Resume continues a finished chase after appending the facts of
+// appended to its start. When the incremental path is sound (see
+// Resumable) it seeds every tgd's delta watermark with the previous
+// fixpoint's tuple counts, so the first round enumerates only triggers
+// touching the appended facts; otherwise it re-chases from
+// Union(prev.Start, appended). The returned bool reports which path
+// ran. Neither prev's instances nor appended are mutated, and the
+// result's Steps counts only the steps of this run. The resumed
+// fixpoint is a chase result of Union(prev.Start, appended): continuing
+// a terminated chase with more facts is itself a valid chase sequence
+// of the enlarged start.
+func Resume(prev *Result, deps []dep.Dependency, appended *rel.Instance, opts Options) (*Result, bool, error) {
+	for _, d := range deps {
+		if _, ok := d.(dep.DisjunctiveTGD); ok {
+			return nil, false, fmt.Errorf("chase: cannot chase disjunctive tgd %s", d.DepLabel())
+		}
+	}
+	if prev == nil || prev.Start == nil {
+		return nil, false, fmt.Errorf("chase: cannot resume a result without its start instance")
+	}
+	start := rel.Union(prev.Start, appended)
+	if !Resumable(prev, deps, opts) {
+		res, err := Run(start, deps, opts)
+		return res, false, err
+	}
+	inst := prev.Instance.Clone()
+	// The seed watermark is the fixpoint's counts, snapshotted before
+	// the appended facts land: every tgd "has already enumerated" the
+	// old prefix.
+	seed := hom.Delta(inst.TupleCounts())
+	for _, f := range appended.Facts() {
+		inst.AddTuple(f.Rel, f.Args.Clone())
+	}
+	st := &state{
+		inst:   inst,
+		start:  start,
+		opts:   opts,
+		hom:    opts.homOpts(),
+		nulls:  opts.nulls(inst),
+		budget: opts.maxSteps(),
+		marks:  make([]hom.Delta, len(deps)),
+	}
+	for i := range st.marks {
+		st.marks[i] = seed
+	}
+	res, err := st.run(deps, nil)
+	return res, true, err
+}

@@ -1,0 +1,223 @@
+// Resume property tests live in the external test package for the same
+// reason as the other property suites: they draw workloads from
+// internal/workload, which imports core → chase.
+package chase_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/dep"
+	"repro/internal/hom"
+	"repro/internal/rel"
+	"repro/internal/workload"
+)
+
+// tgdsOnly strips a random dependency set down to its tgds, the shape
+// Resume can continue incrementally.
+func tgdsOnly(deps []dep.Dependency) []dep.Dependency {
+	out := make([]dep.Dependency, 0, len(deps))
+	for _, d := range deps {
+		if _, ok := d.(dep.TGD); ok {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// TestChaseResumeProperty: on random pure-tgd workloads, resuming a
+// finished chase with an appended batch takes the incremental path and
+// lands on a fixpoint of the enlarged start: it satisfies every
+// dependency, contains Union(base, appended), and is hom-equivalent to
+// a from-scratch chase of the union. Null labels may differ between the
+// two runs (the scratch run interleaves firings differently), so the
+// comparison is mutual homomorphism, the right notion of equality for
+// chase results.
+func TestChaseResumeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	resumedSome := false
+	for trial := 0; trial < 60; trial++ {
+		deps := tgdsOnly(workload.RandomWeaklyAcyclicDeps(rng))
+		if len(deps) == 0 {
+			continue
+		}
+		base := workload.RandomLayerInstance(rng)
+		appended := workload.RandomLayerInstance(rng)
+		base.Freeze()
+		appended.Freeze()
+		for _, par := range []int{1, 4} {
+			opts := chase.Options{Parallelism: par}
+			prev, err := chase.Run(base, deps, opts)
+			if err != nil {
+				t.Fatalf("trial %d: base chase errored: %v", trial, err)
+			}
+			if prev.EgdFired || prev.Failed {
+				t.Fatalf("trial %d: pure-tgd chase reported EgdFired=%v Failed=%v", trial, prev.EgdFired, prev.Failed)
+			}
+			res, resumed, err := chase.Resume(prev, deps, appended, opts)
+			if err != nil {
+				t.Fatalf("trial %d: resume errored: %v", trial, err)
+			}
+			if !resumed {
+				t.Fatalf("trial %d: pure-tgd resume fell back to a full re-chase", trial)
+			}
+			resumedSome = true
+			union := rel.Union(base, appended)
+			if !res.Instance.ContainsAll(union) {
+				t.Fatalf("trial %d: resumed fixpoint lost facts of the enlarged start", trial)
+			}
+			if !chase.Check(res.Instance, deps, hom.Options{}) {
+				t.Fatalf("trial %d: resumed fixpoint violates dependencies\ndeps: %v\nresult:\n%s", trial, deps, res.Instance)
+			}
+			scratch, err := chase.Run(union, deps, opts)
+			if err != nil {
+				t.Fatalf("trial %d: scratch chase errored: %v", trial, err)
+			}
+			if !hom.InstanceHomExists(res.Instance, scratch.Instance, hom.Options{}) ||
+				!hom.InstanceHomExists(scratch.Instance, res.Instance, hom.Options{}) {
+				t.Fatalf("trial %d: resumed and scratch fixpoints not hom-equivalent\nresumed:\n%s\nscratch:\n%s",
+					trial, res.Instance, scratch.Instance)
+			}
+			if res.Steps > scratch.Steps {
+				t.Fatalf("trial %d: resume fired %d steps, scratch only %d", trial, res.Steps, scratch.Steps)
+			}
+		}
+	}
+	if !resumedSome {
+		t.Fatal("no trial exercised the incremental path")
+	}
+}
+
+// TestChaseResumeEmptyAppend: appending nothing to a fixpoint is a
+// no-op — zero steps, identical facts.
+func TestChaseResumeEmptyAppend(t *testing.T) {
+	deps := workload.ChainDeps(4)
+	inst := workload.ChainInstance(30)
+	inst.Freeze()
+	prev, err := chase.Run(inst, deps, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, resumed, err := chase.Resume(prev, deps, rel.NewInstance(), chase.Options{})
+	if err != nil || !resumed {
+		t.Fatalf("empty-append resume: resumed=%v err=%v", resumed, err)
+	}
+	if res.Steps != 0 {
+		t.Fatalf("empty-append resume fired %d steps, want 0", res.Steps)
+	}
+	if !res.Instance.Equal(prev.Instance) {
+		t.Fatal("empty-append resume changed the fixpoint")
+	}
+}
+
+// TestChaseResumeFallback: dependency sets containing an egd (which
+// could fire) and results from runs where an egd did fire both force
+// the fallback, and the fallback result is byte-identical to an
+// independent from-scratch chase of the union.
+func TestChaseResumeFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	fellBack := 0
+	for trial := 0; trial < 80; trial++ {
+		deps := workload.RandomWeaklyAcyclicDeps(rng)
+		hasEGD := false
+		for _, d := range deps {
+			if _, ok := d.(dep.EGD); ok {
+				hasEGD = true
+			}
+		}
+		if !hasEGD {
+			continue
+		}
+		base := workload.RandomLayerInstance(rng)
+		appended := workload.RandomLayerInstance(rng)
+		base.Freeze()
+		appended.Freeze()
+		prev, err := chase.Run(base, deps, chase.Options{})
+		if err != nil || prev.Failed {
+			continue
+		}
+		if chase.Resumable(prev, deps, chase.Options{}) {
+			t.Fatalf("trial %d: egd-bearing set reported resumable", trial)
+		}
+		res, resumed, err := chase.Resume(prev, deps, appended, chase.Options{})
+		if err != nil {
+			continue // budget exhaustion on the union is possible and fine
+		}
+		if resumed {
+			t.Fatalf("trial %d: egd-bearing set took the incremental path", trial)
+		}
+		fellBack++
+		scratch, err := chase.Run(rel.Union(base, appended), deps, chase.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: scratch chase errored after fallback succeeded: %v", trial, err)
+		}
+		if res.Steps != scratch.Steps || res.Failed != scratch.Failed {
+			t.Fatalf("trial %d: fallback (steps=%d failed=%v) differs from scratch (steps=%d failed=%v)",
+				trial, res.Steps, res.Failed, scratch.Steps, scratch.Failed)
+		}
+		if res.Instance.String() != scratch.Instance.String() {
+			t.Fatalf("trial %d: fallback instance differs from scratch", trial)
+		}
+	}
+	if fellBack == 0 {
+		t.Fatal("no trial exercised the fallback path")
+	}
+}
+
+// TestChaseResumeOblivious: an oblivious previous run is not resumable
+// (its fired sets are not retained), so Resume falls back.
+func TestChaseResumeOblivious(t *testing.T) {
+	deps := workload.ChainDeps(3)
+	inst := workload.ChainInstance(10)
+	inst.Freeze()
+	opts := chase.Options{Oblivious: true}
+	prev, err := chase.Run(inst, deps, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chase.Resumable(prev, deps, opts) {
+		t.Fatal("oblivious result reported resumable")
+	}
+	more := rel.NewInstance()
+	more.Add("T0", rel.Const("x"), rel.Const("y"))
+	more.Freeze()
+	if _, resumed, err := chase.Resume(prev, deps, more, opts); err != nil || resumed {
+		t.Fatalf("oblivious resume: resumed=%v err=%v", resumed, err)
+	}
+}
+
+// TestChaseEgdWatermarkParity: egd-heavy workloads where the detection
+// watermark actually skips passes (several rounds of tgd growth in
+// relations no egd reads) stay byte-identical to the naive pass. The
+// random suite in delta_test.go covers the mixed case; this pins the
+// shape the satellite optimization targets.
+func TestChaseEgdWatermarkParity(t *testing.T) {
+	// Deep chain cascade (one layer per round) whose egd watches only
+	// the seed layer: after the egd's first clean pass, every later
+	// round grows T1..T4 but never T0, so the delta path skips the egd
+	// body scan in every round after the first.
+	deps := workload.DeepChainDeps(4)
+	deps = append(deps, dep.EGD{
+		Label: "t0-key",
+		Body: []dep.Atom{
+			dep.NewAtom("T0", dep.Var("x"), dep.Var("y")),
+			dep.NewAtom("T0", dep.Var("x"), dep.Var("z")),
+		},
+		Left: "y", Right: "z",
+	})
+	inst := workload.ChainInstance(25)
+	inst.Freeze()
+	naive, nerr := chase.Run(inst, deps, chase.Options{NaiveTriggers: true})
+	semi, serr := chase.Run(inst, deps, chase.Options{})
+	if nerr != nil || serr != nil {
+		t.Fatalf("egd-watermark chase errored: naive=%v semi=%v", nerr, serr)
+	}
+	if naive.Steps != semi.Steps || naive.Failed != semi.Failed {
+		t.Fatalf("egd-watermark parity broken: naive steps=%d failed=%v, semi steps=%d failed=%v",
+			naive.Steps, naive.Failed, semi.Steps, semi.Failed)
+	}
+	if naive.Instance.String() != semi.Instance.String() {
+		t.Fatalf("egd-watermark instances diverged\nnaive:\n%s\nsemi:\n%s", naive.Instance, semi.Instance)
+	}
+}

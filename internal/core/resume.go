@@ -1,0 +1,115 @@
+package core
+
+// Resuming cached chase state after an instance append. Both helpers
+// wrap chase.Resume phase by phase: the Σst chase continues with the
+// appended facts as its delta, and the downstream phase (Σts or Σt) is
+// handed the re-restricted canonical target wholesale — AddTuple
+// dedups, so only the genuinely new facts land past the seeded
+// watermark. Null labels continue from the stored NullState, so a
+// resumed artifact never collides with the labels it already contains.
+// The returned bool reports whether every phase took the incremental
+// path; a false still returns a correct artifact (the fallback phases
+// re-chased from their true starts).
+
+import (
+	"fmt"
+
+	"repro/internal/chase"
+	"repro/internal/rel"
+)
+
+// ResumeCanonicalTractable continues a ChaseCanonicalTractable trace
+// after appending facts to the source/target instances it was chased
+// from. The input trace is not mutated; the returned trace is a fresh
+// artifact ready for ExistsSolutionTractableFrom. Both phases are pure
+// tgds for any setting the tractable algorithm accepts, so the
+// incremental path always applies and the bool is true unless a
+// previous result was unexpectedly non-resumable.
+func ResumeCanonicalTractable(s *Setting, trace *TractableTrace, appended *rel.Instance, opts TractableOptions) (*TractableTrace, bool, error) {
+	if trace == nil || trace.STResult == nil || trace.TSResult == nil {
+		return nil, false, fmt.Errorf("core: cannot resume a tractable trace without its chase results")
+	}
+	ns := &rel.NullSource{}
+	ns.SetState(trace.NullState)
+	copts := chase.Options{
+		Nulls:         ns,
+		Hom:           opts.Hom,
+		MaxSteps:      opts.MaxChaseSteps,
+		NaiveTriggers: opts.NaiveChase,
+		Parallelism:   opts.Parallelism,
+		Seed:          opts.Seed,
+		Ctx:           opts.Ctx,
+	}
+
+	res1, r1, err := chase.Resume(trace.STResult, s.StDeps(), appended, copts)
+	if err != nil {
+		return nil, false, fmt.Errorf("core: resuming Σst: %w", err)
+	}
+	jcan := res1.Instance.Restrict(s.Target)
+
+	// Phase 2's "appended" facts are the whole new J_can: its start was
+	// the old J_can, a subset, and the dedup on insert makes exactly the
+	// new target facts the delta.
+	res2, r2, err := chase.Resume(trace.TSResult, s.TsDeps(), jcan, copts)
+	if err != nil {
+		return nil, false, fmt.Errorf("core: resuming Σts: %w", err)
+	}
+	ican := res2.Instance.Restrict(s.Source)
+
+	jcan.Freeze()
+	ican.Freeze()
+	next := &TractableTrace{
+		JCan:      jcan,
+		ICan:      ican,
+		StepsST:   res1.Steps,
+		StepsTS:   res2.Steps,
+		STResult:  res1,
+		TSResult:  res2,
+		NullState: ns.State(),
+	}
+	next.fillBlocks()
+	return next, r1 && r2, nil
+}
+
+// ResumeCanonicalTarget continues a ChaseCanonicalTarget after
+// appending facts. Σst is always pure tgds and resumes incrementally;
+// the Σt phase resumes only when it is egd-free and its previous run
+// neither failed nor merged — otherwise chase.Resume transparently
+// re-chases the new J_can from scratch, which also revalidates a
+// previously failing Σt chase. The input is not mutated.
+func ResumeCanonicalTarget(s *Setting, ct *CanonicalTarget, appended *rel.Instance, opts SolveOptions) (*CanonicalTarget, bool, error) {
+	if ct == nil || ct.STResult == nil {
+		return nil, false, fmt.Errorf("core: cannot resume a canonical target without its chase results")
+	}
+	opts.Hom = opts.homOpts()
+	ns := &rel.NullSource{}
+	ns.SetState(ct.NullState)
+	copts := chase.Options{Nulls: ns, Hom: opts.Hom, MaxSteps: opts.MaxChaseSteps, NaiveTriggers: opts.NaiveChase, Ctx: opts.Ctx}
+
+	res, r1, err := chase.Resume(ct.STResult, s.StDeps(), appended, copts)
+	if err != nil {
+		return nil, false, fmt.Errorf("core: resuming Σst: %w", err)
+	}
+	next := &CanonicalTarget{STResult: res}
+	jcan := res.Instance.Restrict(s.Target)
+	resumed := r1
+
+	if len(s.T) > 0 {
+		tres, r2, err := chase.Resume(ct.TResult, s.T, jcan, copts)
+		if err != nil {
+			return nil, false, fmt.Errorf("core: resuming Σt: %w", err)
+		}
+		resumed = resumed && r2
+		next.TResult = tres
+		if tres.Failed {
+			next.TFailed = true
+			next.NullState = ns.State()
+			return next, resumed, nil
+		}
+		jcan = tres.Instance
+	}
+	jcan.Freeze()
+	next.JCan = jcan
+	next.NullState = ns.State()
+	return next, resumed, nil
+}

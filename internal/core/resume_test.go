@@ -1,0 +1,201 @@
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/oracle"
+	"repro/internal/rel"
+	"repro/internal/workload"
+)
+
+// randomLAVAppend builds a small random batch of new facts over
+// LAVSetting's source schema, using constants disjoint from the base
+// instance for some facts and overlapping ones for others.
+func randomLAVAppend(rng *rand.Rand, round int) *rel.Instance {
+	a := rel.NewInstance()
+	for k := 0; k < 1+rng.Intn(3); k++ {
+		person := rel.Const(fmt.Sprintf("q%d_%d", round, k))
+		group := rel.Const(fmt.Sprintf("g%d", rng.Intn(3)))
+		a.Add("Person", person, group)
+		if rng.Intn(3) > 0 {
+			a.Add("Member", person, group)
+		}
+	}
+	return a
+}
+
+// TestResumeCanonicalTractableProperty: resuming a tractable trace
+// after an append yields the same Figure 3 verdict as re-chasing from
+// scratch, across repeated append batches (the resumed trace of round
+// k feeds round k+1).
+func TestResumeCanonicalTractableProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	opts := core.TractableOptions{}
+	for trial := 0; trial < 25; trial++ {
+		s := workload.LAVSetting()
+		i, j := workload.LAVInstance(6+rng.Intn(10), rng.Intn(2) == 0, rng)
+		trace, err := core.ChaseCanonicalTractable(s, i, j, opts)
+		if err != nil {
+			t.Fatalf("trial %d: base chase: %v", trial, err)
+		}
+		for round := 0; round < 3; round++ {
+			appended := randomLAVAppend(rng, round)
+			appended.Freeze()
+			next, resumed, err := core.ResumeCanonicalTractable(s, trace, appended, opts)
+			if err != nil {
+				t.Fatalf("trial %d round %d: resume: %v", trial, round, err)
+			}
+			if !resumed {
+				t.Fatalf("trial %d round %d: pure-tgd tractable resume fell back", trial, round)
+			}
+			i = rel.Union(i, appended)
+			gotOK, _, err := core.ExistsSolutionTractableFrom(i, next, opts)
+			if err != nil {
+				t.Fatalf("trial %d round %d: verdict from resumed trace: %v", trial, round, err)
+			}
+			wantOK, wantTrace, err := core.ExistsSolutionTractable(s, i, j, opts)
+			if err != nil {
+				t.Fatalf("trial %d round %d: scratch verdict: %v", trial, round, err)
+			}
+			if gotOK != wantOK {
+				t.Fatalf("trial %d round %d: resumed verdict %v, scratch %v", trial, round, gotOK, wantOK)
+			}
+			// The canonical instances are chase results of the same input,
+			// so their sizes must agree even though null labels differ.
+			if got, want := next.ICan.NumFacts(), wantTrace.ICan.NumFacts(); got != want {
+				t.Fatalf("trial %d round %d: resumed ICan has %d facts, scratch %d", trial, round, got, want)
+			}
+			if next.Blocks != wantTrace.Blocks {
+				t.Fatalf("trial %d round %d: resumed trace has %d blocks, scratch %d", trial, round, next.Blocks, wantTrace.Blocks)
+			}
+			trace = next
+		}
+	}
+}
+
+// TestResumeCanonicalTargetProperty: over random settings (including
+// target egds, full target tgds, and disjunctive Σts) and random
+// append batches, solving from a resumed canonical target agrees with
+// the from-scratch generic solver, and witnesses are real solutions.
+func TestResumeCanonicalTargetProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	opts := core.SolveOptions{}
+	resumedSome, fellBack := false, false
+	for trial := 0; trial < 60; trial++ {
+		s := oracle.RandomSetting(rng)
+		i, j := oracle.RandomInstance(rng)
+		ct, err := core.ChaseCanonicalTarget(s, i, j, opts)
+		if err != nil {
+			t.Fatalf("trial %d: base chase: %v", trial, err)
+		}
+		for round := 0; round < 2; round++ {
+			appended := rel.NewInstance()
+			dom := []rel.Value{rel.Const("a"), rel.Const("b"), rel.Const(fmt.Sprintf("c%d", round))}
+			for k := 0; k < 1+rng.Intn(2); k++ {
+				switch rng.Intn(3) {
+				case 0:
+					appended.Add("A", dom[rng.Intn(len(dom))])
+				case 1:
+					appended.Add("B", dom[rng.Intn(len(dom))], dom[rng.Intn(len(dom))])
+				default:
+					appended.Add("T", dom[rng.Intn(len(dom))], dom[rng.Intn(len(dom))])
+				}
+			}
+			// Split the batch onto the right sides for the from-scratch call.
+			i = rel.Union(i, appended.Restrict(s.Source))
+			j = rel.Union(j, appended.Restrict(s.Target))
+			appended.Freeze()
+			next, resumed, err := core.ResumeCanonicalTarget(s, ct, appended, opts)
+			if err != nil {
+				t.Fatalf("trial %d round %d: resume: %v", trial, round, err)
+			}
+			if resumed {
+				resumedSome = true
+			} else {
+				fellBack = true
+			}
+			gotOK, gotWit, _, err := core.ExistsSolutionGenericFrom(s, i, j, next, opts)
+			if err != nil {
+				t.Fatalf("trial %d round %d: solve from resumed target: %v", trial, round, err)
+			}
+			wantOK, _, _, err := core.ExistsSolutionGeneric(s, i, j, opts)
+			if err != nil {
+				t.Fatalf("trial %d round %d: scratch solve: %v", trial, round, err)
+			}
+			if gotOK != wantOK {
+				t.Fatalf("trial %d round %d: resumed verdict %v, scratch %v\nsetting: %+v", trial, round, gotOK, wantOK, s)
+			}
+			if gotOK && !s.IsSolution(i, j, gotWit) {
+				t.Fatalf("trial %d round %d: resumed witness is not a solution", trial, round)
+			}
+			ct = next
+		}
+	}
+	if !resumedSome {
+		t.Fatal("no trial exercised the incremental path")
+	}
+	if !fellBack {
+		t.Fatal("no trial exercised the egd fallback path")
+	}
+}
+
+// instWith builds a one-fact instance.
+func instWith(r string, vs ...rel.Value) *rel.Instance {
+	in := rel.NewInstance()
+	in.Add(r, vs...)
+	return in
+}
+
+// TestResumeCanonicalTargetEgdFallback pins the fallback rule: a
+// setting whose Σt egd fired during the base chase must not resume the
+// Σt phase incrementally, and the resumed artifact still solves
+// correctly.
+func TestResumeCanonicalTargetEgdFallback(t *testing.T) {
+	s := &core.Setting{
+		Name:   "egd-fallback",
+		Source: rel.SchemaOf("A", 1, "B", 2),
+		Target: rel.SchemaOf("T", 2),
+		ST: []dep.TGD{{
+			Label: "st",
+			Body:  []dep.Atom{dep.NewAtom("A", dep.Var("x"))},
+			Head:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("u"))},
+		}},
+		T: []dep.Dependency{dep.EGD{
+			Label: "t-key",
+			Body:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("y")), dep.NewAtom("T", dep.Var("x"), dep.Var("z"))},
+			Left:  "y", Right: "z",
+		}},
+	}
+	i := instWith("A", rel.Const("a"))
+	j := instWith("T", rel.Const("a"), rel.Const("b"))
+	opts := core.SolveOptions{}
+	ct, err := core.ChaseCanonicalTarget(s, i, j, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appended := instWith("A", rel.Const("c"))
+	appended.Freeze()
+	next, resumed, err := core.ResumeCanonicalTarget(s, ct, appended, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed {
+		t.Fatal("egd-bearing Σt reported a fully incremental resume")
+	}
+	i2 := rel.Union(i, appended)
+	gotOK, _, _, err := core.ExistsSolutionGenericFrom(s, i2, j, next, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOK, _, _, err := core.ExistsSolutionGeneric(s, i2, j, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotOK != wantOK {
+		t.Fatalf("resumed verdict %v, scratch %v", gotOK, wantOK)
+	}
+}

@@ -158,45 +158,11 @@ func ForEachImageSolution(s *Setting, i, j *rel.Instance, opts SolveOptions, fn 
 var ErrUnsupportedTargetTGDs = errors.New("core: Σt has existential tgds that are not weakly acyclic; the generic solver cannot handle them")
 
 func forEachImageSolution(s *Setting, i, j *rel.Instance, opts SolveOptions, fn func(*rel.Instance) bool) (*SolveStats, error) {
-	if len(s.T) > 0 && !s.TargetTGDsWeaklyAcyclic() {
-		return nil, ErrUnsupportedTargetTGDs
-	}
-	// Resolve the parallelism knobs once; every downstream search reads
-	// opts.Hom.
-	opts.Hom = opts.homOpts()
-	nulls := &rel.NullSource{}
-	nulls.SeenIn(i)
-	nulls.SeenIn(j)
-	copts := chase.Options{Nulls: nulls, Hom: opts.Hom, MaxSteps: opts.MaxChaseSteps, NaiveTriggers: opts.NaiveChase, Ctx: opts.Ctx}
-	res, err := chase.Run(rel.Union(i, j), s.StDeps(), copts)
+	ct, err := ChaseCanonicalTarget(s, i, j, opts)
 	if err != nil {
-		return nil, fmt.Errorf("core: chasing Σst: %w", err)
+		return nil, err
 	}
-	jcan := res.Instance.Restrict(s.Target)
-
-	if len(s.T) > 0 {
-		// Pre-chase J_can with Σt. The chase result is universal for the
-		// solutions of (I, J) under Σst ∪ Σt (Lemmas 3 and 4 of the
-		// paper / Lemma 3.4 of Fagin et al.), so running the image
-		// search over its nulls preserves completeness while egd merges
-		// shrink the search space and full-tgd consequences become
-		// incrementally checkable facts. A failing chase proves that no
-		// solution exists at all.
-		tres, err := chase.Run(jcan, s.T, copts)
-		if err != nil {
-			return nil, fmt.Errorf("core: chasing Σt: %w", err)
-		}
-		if tres.Failed {
-			sv := newImageSearch(s, i, j, rel.NewInstance(), opts, copts)
-			sv.stats.Nodes = 0
-			return &sv.stats, nil
-		}
-		jcan = tres.Instance
-	}
-
-	sv := newImageSearch(s, i, j, jcan, opts, copts)
-	err = sv.run(fn)
-	return &sv.stats, err
+	return ForEachImageSolutionFrom(s, i, j, ct, opts, fn)
 }
 
 // imageSearch is the backtracking state for the assignment search over

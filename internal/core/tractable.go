@@ -30,6 +30,18 @@ type TractableTrace struct {
 	FailedBlock int
 	// StepsST and StepsTS count the chase steps of the two phases.
 	StepsST, StepsTS int
+	// BlockList is the block decomposition of ICan, computed eagerly by
+	// ChaseCanonicalTractable so cached traces skip it on the warm
+	// path. The blocks reference ICan's frozen tuples and are read-only.
+	BlockList []hom.Block
+	// STResult and TSResult are the full chase results of the two
+	// phases, retained so a cached trace can be resumed after an
+	// instance append (chase.Resume).
+	STResult, TSResult *chase.Result
+	// NullState is the null source's high-water mark after both chase
+	// phases; resumed chases continue from it so appended runs never
+	// collide with the trace's existing nulls.
+	NullState int
 }
 
 // TractableOptions configures ExistsSolutionTractable.
@@ -111,6 +123,38 @@ func ExistsSolutionTractable(s *Setting, i, j *rel.Instance, opts TractableOptio
 	if err != nil {
 		return false, nil, err
 	}
+	return ExistsSolutionTractableFrom(i, trace, opts)
+}
+
+// ChaseCanonicalTractable runs the two chase phases of Figure 3 and the
+// block decomposition of I_can, returning a trace ready for repeated
+// ExistsSolutionTractableFrom calls against different (or identical)
+// source instances. It performs the same setting checks as
+// ExistsSolutionTractable. The trace's instances are frozen and its
+// block list is read-only, so the trace may be shared concurrently.
+func ChaseCanonicalTractable(s *Setting, i, j *rel.Instance, opts TractableOptions) (*TractableTrace, error) {
+	if len(s.T) > 0 {
+		return nil, fmt.Errorf("core: ExistsSolutionTractable: setting %s has target constraints", s.Name)
+	}
+	if len(s.TSDisj) > 0 {
+		return nil, fmt.Errorf("core: ExistsSolutionTractable: setting %s has disjunctive Σts", s.Name)
+	}
+	if !opts.SkipCondition1Check {
+		if rep := dep.ClassifyCtract(s.ST, s.TS, nil); !rep.Cond1 {
+			return nil, fmt.Errorf("core: ExistsSolutionTractable: setting %s violates condition 1 of C_tract; the algorithm would be unsound: %s", s.Name, rep.Summary())
+		}
+	}
+	return canonicalInstances(s, i, j, opts)
+}
+
+// ExistsSolutionTractableFrom runs the verdict phase of the Figure 3
+// algorithm against a precomputed trace: the per-block homomorphism
+// checks of I_can into i. The input trace is not mutated — the returned
+// trace is a copy with the per-run fields (FailedBlock) filled in — so
+// a cached trace may serve concurrent solves.
+func ExistsSolutionTractableFrom(i *rel.Instance, trace *TractableTrace, opts TractableOptions) (bool, *TractableTrace, error) {
+	t := *trace
+	trace = &t
 	trace.FailedBlock = -1
 	h := opts.homOpts()
 
@@ -125,18 +169,11 @@ func ExistsSolutionTractable(s *Setting, i, j *rel.Instance, opts TractableOptio
 		return ok, trace, nil
 	}
 
-	blocks := hom.Blocks(trace.ICan)
-	trace.Blocks = len(blocks)
-	for _, b := range blocks {
-		if len(b.Nulls) > trace.MaxBlockNulls {
-			trace.MaxBlockNulls = len(b.Nulls)
-		}
-	}
 	// The per-block checks fan out across workers with early cancellation
 	// and a memoizing cache keyed on the canonical block signature; the
 	// reported index is the minimal failing one, exactly as the serial
 	// left-to-right scan returns (see hom.CheckBlocks).
-	idx := hom.CheckBlocks(blocks, i, h)
+	idx := hom.CheckBlocks(trace.BlockList, i, h)
 	if err := canceled(opts.Ctx, "tractable algorithm"); err != nil {
 		return false, trace, err // a canceled CheckBlocks index is meaningless
 	}
@@ -182,12 +219,31 @@ func canonicalInstances(s *Setting, i, j *rel.Instance, opts TractableOptions) (
 	jcan.Freeze()
 	ican.Freeze()
 
-	return &TractableTrace{
-		JCan:    jcan,
-		ICan:    ican,
-		StepsST: res1.Steps,
-		StepsTS: res2.Steps,
-	}, nil
+	trace := &TractableTrace{
+		JCan:      jcan,
+		ICan:      ican,
+		StepsST:   res1.Steps,
+		StepsTS:   res2.Steps,
+		STResult:  res1,
+		TSResult:  res2,
+		NullState: nulls.State(),
+	}
+	trace.fillBlocks()
+	return trace, nil
+}
+
+// fillBlocks computes the block decomposition of ICan and the derived
+// statistics. It runs eagerly so the decomposition is part of the
+// cacheable chase work, not the per-solve verdict phase.
+func (t *TractableTrace) fillBlocks() {
+	t.BlockList = hom.Blocks(t.ICan)
+	t.Blocks = len(t.BlockList)
+	t.MaxBlockNulls = 0
+	for _, b := range t.BlockList {
+		if len(b.Nulls) > t.MaxBlockNulls {
+			t.MaxBlockNulls = len(b.Nulls)
+		}
+	}
 }
 
 // FindSolutionTractable runs the Figure 3 algorithm and, on acceptance,
@@ -195,7 +251,17 @@ func canonicalInstances(s *Setting, i, j *rel.Instance, opts TractableOptions) (
 // a homomorphism h from I_can to I, extends it to h_J (identity outside
 // Dom(I_can)), and returns h_J(J_can).
 func FindSolutionTractable(s *Setting, i, j *rel.Instance, opts TractableOptions) (*rel.Instance, *TractableTrace, error) {
-	ok, trace, err := ExistsSolutionTractable(s, i, j, opts)
+	trace, err := ChaseCanonicalTractable(s, i, j, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return FindSolutionTractableFrom(i, trace, opts)
+}
+
+// FindSolutionTractableFrom is FindSolutionTractable over a precomputed
+// trace (see ChaseCanonicalTractable). The input trace is not mutated.
+func FindSolutionTractableFrom(i *rel.Instance, trace *TractableTrace, opts TractableOptions) (*rel.Instance, *TractableTrace, error) {
+	ok, trace, err := ExistsSolutionTractableFrom(i, trace, opts)
 	if err != nil {
 		return nil, trace, err
 	}

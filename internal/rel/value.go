@@ -111,6 +111,16 @@ func (ns *NullSource) Seen(id int) {
 	}
 }
 
+// State returns the source's high-water mark: the largest label handed
+// out or marked seen so far. Together with SetState it lets a cache
+// freeze a chase's null-naming state and restore it later, so resumed
+// runs draw exactly the labels a from-scratch run would have drawn next.
+func (ns *NullSource) State() int { return ns.next }
+
+// SetState restores a high-water mark previously obtained from State.
+// Subsequent Fresh calls return labels strictly above it.
+func (ns *NullSource) SetState(next int) { ns.next = next }
+
 // SeenIn scans an instance and marks every null label occurring in it as
 // used.
 func (ns *NullSource) SeenIn(inst *Instance) {

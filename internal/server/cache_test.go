@@ -1,0 +1,505 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+	"repro/pde"
+	"repro/pde/client"
+)
+
+func TestChaseCacheSingleFlight(t *testing.T) {
+	cc := newChaseCache(0, 16, newMetrics())
+	meta := cacheEntry{key: "k", settingID: "s", srcID: "i", tgtID: "j", kind: kindTractable}
+	var computes atomic.Int32
+	var hits atomic.Int32
+	var wg sync.WaitGroup
+	for w := 0; w < 16; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, hit, err := cc.getOrCompute(context.Background(), "k", meta, func() (any, int64, error) {
+				computes.Add(1)
+				time.Sleep(30 * time.Millisecond)
+				return "artifact", 8, nil
+			})
+			if err != nil || v != "artifact" {
+				t.Errorf("getOrCompute: %v, %v", v, err)
+			}
+			if hit {
+				hits.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if computes.Load() != 1 {
+		t.Errorf("compute ran %d times, want 1", computes.Load())
+	}
+	if hits.Load() != 15 {
+		t.Errorf("%d hits, want 15 (everyone but the leader)", hits.Load())
+	}
+}
+
+func TestChaseCacheFailedComputeNotRetained(t *testing.T) {
+	cc := newChaseCache(0, 16, newMetrics())
+	meta := cacheEntry{key: "k"}
+	boom := errors.New("budget exhausted")
+	if _, _, err := cc.getOrCompute(context.Background(), "k", meta, func() (any, int64, error) {
+		return nil, 0, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("want leader failure, got %v", err)
+	}
+	if n, _ := cc.stats(); n != 0 {
+		t.Fatalf("failed compute was retained: %d entries", n)
+	}
+	// The next requester becomes the leader and can succeed.
+	v, hit, err := cc.getOrCompute(context.Background(), "k", meta, func() (any, int64, error) {
+		return "ok", 2, nil
+	})
+	if err != nil || hit || v != "ok" {
+		t.Fatalf("recompute after failure: v=%v hit=%v err=%v", v, hit, err)
+	}
+}
+
+func TestChaseCacheLRUBounds(t *testing.T) {
+	met := newMetrics()
+	cc := newChaseCache(0, 2, met)
+	for _, k := range []string{"a", "b", "c"} {
+		cc.getOrCompute(context.Background(), k, cacheEntry{key: k}, func() (any, int64, error) {
+			return k, 100, nil
+		})
+	}
+	n, bytes := cc.stats()
+	if n != 2 || bytes != 200 {
+		t.Errorf("after 3 inserts with maxEntries=2: %d entries / %d bytes, want 2 / 200", n, bytes)
+	}
+	// "a" (least recently used) is gone; a re-get recomputes it.
+	_, hit, _ := cc.getOrCompute(context.Background(), "a", cacheEntry{key: "a"}, func() (any, int64, error) {
+		return "a", 100, nil
+	})
+	if hit {
+		t.Error("evicted entry reported a hit")
+	}
+	if got := met.cacheEvictions.Load(); got < 1 {
+		t.Errorf("evictions counter = %d, want ≥1", got)
+	}
+
+	// Byte budget: an insert that blows the bound evicts older entries
+	// but spares itself.
+	cc2 := newChaseCache(150, 0, met)
+	cc2.put(cacheEntry{key: "x"}, "x", 100)
+	cc2.put(cacheEntry{key: "y"}, "y", 120)
+	n, bytes = cc2.stats()
+	if n != 1 || bytes != 120 {
+		t.Errorf("byte bound: %d entries / %d bytes, want 1 / 120 (y only)", n, bytes)
+	}
+}
+
+// metricsValue scrapes /metrics and returns the value of an exact
+// (unlabelled) series.
+func metricsValue(t *testing.T, c *client.Client, name string) int64 {
+	t.Helper()
+	resp, err := http.Get(c.Base() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	for _, line := range strings.Split(string(body), "\n") {
+		var v int64
+		if n, _ := fmt.Sscanf(line, name+" %d", &v); n == 1 {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found", name)
+	return 0
+}
+
+// TestCacheHitAppendEndToEnd walks the full tentpole flow over HTTP:
+// register instances, solve twice (second from cache), append, solve
+// the appended instance (cache migrated), and watch the counters move.
+func TestCacheHitAppendEndToEnd(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	reg, err := c.Register(ctx, example1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := c.RegisterInstance(ctx, "E(a,b). E(b,c).")
+	if err != nil {
+		t.Fatalf("register instance: %v", err)
+	}
+	if !inst.Created || inst.Facts != 2 || !strings.HasPrefix(inst.ID, "sha256:") {
+		t.Fatalf("unexpected instance registration: %+v", inst)
+	}
+	again, err := c.RegisterInstance(ctx, "E(b,c).\nE(a,b).")
+	if err != nil || again.Created || again.ID != inst.ID {
+		t.Fatalf("instance registration not canonical/idempotent: %+v, %v", again, err)
+	}
+
+	// Cold then warm: same verdict, second solve from cache.
+	cold, err := c.ExistsSolution(ctx, client.SolveRequest{SettingID: reg.ID, SourceID: inst.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := c.ExistsSolution(ctx, client.SolveRequest{SettingID: reg.ID, SourceID: inst.ID})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.CacheHit || !warm.CacheHit || cold.Exists != warm.Exists || warm.Exists {
+		t.Fatalf("cold=%+v warm=%+v (path has no solution; warm must be a hit)", cold, warm)
+	}
+	if metricsValue(t, c, "pdxd_chase_cache_hits_total") < 1 {
+		t.Error("hit counter did not move")
+	}
+
+	// Append the closing edge: the composed pair (a,c) gets a real edge,
+	// so the appended instance has a solution. Its solve starts from the
+	// migrated cache entry.
+	app, err := c.AppendInstance(ctx, inst.ID, client.AppendRequest{Facts: "E(a,c). E(a,b)."})
+	if err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	if app.Added != 1 || app.Facts != 3 || app.Parent != inst.ID || app.ID == inst.ID {
+		t.Fatalf("append bookkeeping: %+v", app)
+	}
+	if app.Migrated != 1 || app.Resumed != 1 || app.Fallbacks != 0 {
+		t.Fatalf("migration: %+v, want 1 entry resumed incrementally", app)
+	}
+	res, err := c.ExistsSolution(ctx, client.SolveRequest{SettingID: reg.ID, SourceID: app.ID, Witness: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exists || !res.CacheHit || !strings.Contains(res.Solution, "H(a, c)") {
+		t.Fatalf("solve after append: %+v, want cached hit with H(a, c) witness", res)
+	}
+	if metricsValue(t, c, "pdxd_chase_cache_resumes_total") != 1 {
+		t.Error("resume counter did not move")
+	}
+
+	// Appending nothing new is a no-op returning the same instance.
+	noop, err := c.AppendInstance(ctx, app.ID, client.AppendRequest{Facts: "E(a,b)."})
+	if err != nil || noop.ID != app.ID || noop.Added != 0 || noop.Migrated != 0 {
+		t.Fatalf("no-op append: %+v, %v", noop, err)
+	}
+
+	// Certain answers by ID builds (and then reuses) the generic
+	// artifact.
+	ca1, err := c.CertainAnswers(ctx, client.CertainRequest{SettingID: reg.ID, SourceID: app.ID, Query: "q(x,y) :- H(x,y)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca2, err := c.CertainAnswers(ctx, client.CertainRequest{SettingID: reg.ID, SourceID: app.ID, Query: "q(x,y) :- H(x,y)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ca1.CacheHit || !ca2.CacheHit || len(ca2.Answers) != 1 || ca2.Answers[0][0] != "a" || ca2.Answers[0][1] != "c" {
+		t.Fatalf("certain: first=%+v second=%+v, want warm hit with [a c]", ca1, ca2)
+	}
+
+	// Instance listing and health see all three instances.
+	list, err := c.Instances(ctx)
+	if err != nil || len(list.Instances) != 2 {
+		t.Fatalf("instances: %+v, %v", list, err)
+	}
+	h, err := c.Health(ctx)
+	if err != nil || h.Instances != 2 {
+		t.Fatalf("health instances: %+v, %v", h, err)
+	}
+
+	// Evicting the appended instance drops its cache entries.
+	if err := c.EvictInstance(ctx, app.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := metricsValue(t, c, "pdxd_chase_cache_entries"); got != 1 {
+		t.Errorf("cache entries after instance evict = %d, want 1 (only the base entry)", got)
+	}
+	_, err = c.ExistsSolution(ctx, client.SolveRequest{SettingID: reg.ID, SourceID: app.ID})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("solve by evicted instance ID: want 404, got %v", err)
+	}
+
+	// Evicting the setting drops the remaining entry.
+	if err := c.Evict(ctx, reg.ID); err != nil {
+		t.Fatal(err)
+	}
+	if got := metricsValue(t, c, "pdxd_chase_cache_entries"); got != 0 {
+		t.Errorf("cache entries after setting evict = %d, want 0", got)
+	}
+}
+
+func TestSolveRejectsInlinePlusID(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	reg, err := c.Register(ctx, example1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := c.RegisterInstance(ctx, "E(a,a).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.ExistsSolution(ctx, client.SolveRequest{
+		SettingID: reg.ID, Source: "E(a,a).", SourceID: inst.ID,
+	})
+	var apiErr *client.APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("inline+ID source: want 400, got %v", err)
+	}
+	_, err = c.ExistsSolution(ctx, client.SolveRequest{SettingID: reg.ID, SourceID: "sha256:feed"})
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("unknown instance ID: want 404, got %v", err)
+	}
+}
+
+// cacheCase is one setting of the equivalence property test, with the
+// relations random facts are drawn from per side.
+type cacheCase struct {
+	setting string
+	srcRels []relDef
+	tgtRels []relDef
+	query   string
+}
+
+type relDef struct {
+	name  string
+	arity int
+}
+
+func randFactText(rng *rand.Rand, rels []relDef, n int) string {
+	var b strings.Builder
+	for k := 0; k < n; k++ {
+		r := rels[rng.Intn(len(rels))]
+		b.WriteString(r.name)
+		b.WriteString("(")
+		for a := 0; a < r.arity; a++ {
+			if a > 0 {
+				b.WriteString(",")
+			}
+			fmt.Fprintf(&b, "c%d", rng.Intn(4))
+		}
+		b.WriteString("). ")
+	}
+	return b.String()
+}
+
+func fmtAnswers(a [][]string) string {
+	rows := make([]string, 0, len(a))
+	for _, row := range a {
+		rows = append(rows, strings.Join(row, ","))
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, ";")
+}
+
+// TestCacheEquivalenceRandom is the tentpole's correctness property:
+// across random workloads and random append batches (including
+// egd-triggered full re-chase fallbacks), verdicts and certain answers
+// computed from cached/migrated fixpoints must equal a cache-disabled
+// server computing from scratch.
+func TestCacheEquivalenceRandom(t *testing.T) {
+	warmSrv, warm := newTestServer(t, Config{})
+	_, cold := newTestServer(t, Config{CacheMaxEntries: -1})
+	ctx := context.Background()
+	_ = warmSrv
+
+	cases := []cacheCase{
+		{
+			setting: example1,
+			srcRels: []relDef{{"E", 2}},
+			tgtRels: []relDef{{"H", 2}},
+			query:   "q(x,y) :- H(x,y)",
+		},
+		{
+			setting: `
+setting gensym
+source A/1, B/2
+target T/2
+st: A(x) -> T(x,x)
+st: B(x,y) -> T(x,y)
+ts: T(x,y) -> B(x,y)
+t: T(x,y) -> T(y,x)
+`,
+			srcRels: []relDef{{"A", 1}, {"B", 2}},
+			tgtRels: []relDef{{"T", 2}},
+			query:   "q(x,y) :- T(x,y)",
+		},
+		{
+			setting: `
+setting egdkey
+source B/2
+target T/2
+st: B(x,y) -> T(x,y)
+ts: T(x,y) -> B(x,y)
+t: T(x,y), T(x,z) -> y = z
+`,
+			srcRels: []relDef{{"B", 2}},
+			tgtRels: []relDef{{"T", 2}},
+			query:   "q(x,y) :- T(x,y)",
+		},
+	}
+	ids := make([]string, len(cases))
+	for k, tc := range cases {
+		reg, err := warm.Register(ctx, tc.setting)
+		if err != nil {
+			t.Fatalf("case %d register (warm): %v", k, err)
+		}
+		if _, err := cold.Register(ctx, tc.setting); err != nil {
+			t.Fatalf("case %d register (cold): %v", k, err)
+		}
+		ids[k] = reg.ID
+	}
+
+	var resumes, fallbacks int
+	const trials = 51
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(9000 + trial)))
+		k := trial % len(cases)
+		tc, id := cases[k], ids[k]
+
+		srcText := randFactText(rng, tc.srcRels, 3+rng.Intn(4))
+		tgtText := randFactText(rng, tc.tgtRels, 1+rng.Intn(2))
+		srcInst, err := warm.RegisterInstance(ctx, srcText)
+		if err != nil {
+			t.Fatalf("trial %d: register source: %v", trial, err)
+		}
+		tgtInst, err := warm.RegisterInstance(ctx, tgtText)
+		if err != nil {
+			t.Fatalf("trial %d: register target: %v", trial, err)
+		}
+		srcID, tgtID := srcInst.ID, tgtInst.ID
+
+		// Warm the cache, then run two append rounds: round 0 grows the
+		// source, round 1 grows the target.
+		if _, err := warm.ExistsSolution(ctx, client.SolveRequest{SettingID: id, SourceID: srcID, TargetID: tgtID}); err != nil {
+			t.Fatalf("trial %d: warmup solve: %v", trial, err)
+		}
+		if _, err := warm.CertainAnswers(ctx, client.CertainRequest{SettingID: id, SourceID: srcID, TargetID: tgtID, Query: tc.query}); err != nil {
+			t.Fatalf("trial %d: warmup certain: %v", trial, err)
+		}
+		for round := 0; round < 2; round++ {
+			var batch string
+			if round == 0 {
+				batch = randFactText(rng, tc.srcRels, 1+rng.Intn(3))
+				app, err := warm.AppendInstance(ctx, srcID, client.AppendRequest{Facts: batch})
+				if err != nil {
+					t.Fatalf("trial %d round %d: append: %v", trial, round, err)
+				}
+				srcText += " " + batch
+				srcID = app.ID
+				resumes += app.Resumed
+				fallbacks += app.Fallbacks
+			} else {
+				batch = randFactText(rng, tc.tgtRels, 1+rng.Intn(2))
+				app, err := warm.AppendInstance(ctx, tgtID, client.AppendRequest{Facts: batch})
+				if err != nil {
+					t.Fatalf("trial %d round %d: append: %v", trial, round, err)
+				}
+				tgtText += " " + batch
+				tgtID = app.ID
+				resumes += app.Resumed
+				fallbacks += app.Fallbacks
+			}
+
+			got, err := warm.ExistsSolution(ctx, client.SolveRequest{SettingID: id, SourceID: srcID, TargetID: tgtID})
+			if err != nil {
+				t.Fatalf("trial %d round %d: warm solve: %v", trial, round, err)
+			}
+			want, err := cold.ExistsSolution(ctx, client.SolveRequest{SettingID: id, Source: srcText, Target: tgtText})
+			if err != nil {
+				t.Fatalf("trial %d round %d: cold solve: %v", trial, round, err)
+			}
+			if got.Exists != want.Exists {
+				t.Errorf("trial %d round %d (%s): cached exists=%v, scratch=%v\nsource: %s\ntarget: %s",
+					trial, round, ids[k][:18], got.Exists, want.Exists, srcText, tgtText)
+			}
+			gotCA, err := warm.CertainAnswers(ctx, client.CertainRequest{SettingID: id, SourceID: srcID, TargetID: tgtID, Query: tc.query})
+			if err != nil {
+				t.Fatalf("trial %d round %d: warm certain: %v", trial, round, err)
+			}
+			wantCA, err := cold.CertainAnswers(ctx, client.CertainRequest{SettingID: id, Source: srcText, Target: tgtText, Query: tc.query})
+			if err != nil {
+				t.Fatalf("trial %d round %d: cold certain: %v", trial, round, err)
+			}
+			if gotCA.SolutionExists != wantCA.SolutionExists || fmtAnswers(gotCA.Answers) != fmtAnswers(wantCA.Answers) {
+				t.Errorf("trial %d round %d: cached certain=%+v, scratch=%+v\nsource: %s\ntarget: %s",
+					trial, round, gotCA, wantCA, srcText, tgtText)
+			}
+		}
+	}
+	// The trial mix must exercise both migration paths: incremental
+	// resumes (pure-tgd settings) and egd-triggered full re-chases.
+	if resumes == 0 || fallbacks == 0 {
+		t.Errorf("migration paths not both exercised: %d resumes, %d fallbacks", resumes, fallbacks)
+	}
+}
+
+// TestWarmColdLatency is the acceptance bar: a warm repeat of
+// /v1/exists-solution against a registered instance must be at least
+// 5× faster (p50) than the cold solve that populated the cache.
+func TestWarmColdLatency(t *testing.T) {
+	if testing.Short() {
+		t.Skip("latency measurement")
+	}
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	s := workload.LAVSetting()
+	rng := rand.New(rand.NewSource(42))
+	i, j := workload.LAVInstance(1600, true, rng)
+	reg, err := c.Register(ctx, pde.FormatSetting(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := c.RegisterInstance(ctx, pde.FormatInstance(i))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tj, err := c.RegisterInstance(ctx, pde.FormatInstance(j))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	req := client.SolveRequest{SettingID: reg.ID, SourceID: si.ID, TargetID: tj.ID, DeadlineMillis: 120_000}
+	start := time.Now()
+	coldRes, err := c.ExistsSolution(ctx, req)
+	coldDur := time.Since(start)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldRes.CacheHit {
+		t.Fatal("first solve reported a cache hit")
+	}
+
+	var warmDurs []time.Duration
+	for n := 0; n < 7; n++ {
+		start = time.Now()
+		res, err := c.ExistsSolution(ctx, req)
+		warmDurs = append(warmDurs, time.Since(start))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.CacheHit || res.Exists != coldRes.Exists {
+			t.Fatalf("warm solve %d: %+v (cold exists=%v)", n, res, coldRes.Exists)
+		}
+	}
+	sort.Slice(warmDurs, func(a, b int) bool { return warmDurs[a] < warmDurs[b] })
+	warmP50 := warmDurs[len(warmDurs)/2]
+	t.Logf("cold=%v warm p50=%v (%.1fx)", coldDur, warmP50, float64(coldDur)/float64(warmP50))
+	if coldDur < 5*warmP50 {
+		t.Errorf("warm p50 %v is not ≥5x faster than cold %v", warmP50, coldDur)
+	}
+}

@@ -1,0 +1,269 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"repro/pde"
+)
+
+// cacheKind distinguishes the two chased artifacts a (setting, I, J)
+// pair can cache. Certain-answers always enumerates image solutions, so
+// it needs the generic artifact even for tractable settings; an
+// exists-solution against the same pair uses the tractable one. The
+// kind is part of the cache key.
+type cacheKind string
+
+const (
+	kindTractable cacheKind = "tractable"
+	kindGeneric   cacheKind = "generic"
+)
+
+// cacheKey builds the composite key. IDs are "sha256:<hex>" so '\x00'
+// can never occur inside a component.
+func cacheKey(settingID, srcID, tgtID string, kind cacheKind) string {
+	return settingID + "\x00" + srcID + "\x00" + tgtID + "\x00" + string(kind)
+}
+
+// cacheEntry is one cached chased artifact. value is a
+// *core.TractableTrace or *core.CanonicalTarget depending on kind; it
+// is immutable once done (the From-style solvers never mutate it), so
+// any number of solves may share it concurrently.
+type cacheEntry struct {
+	key       string
+	settingID string
+	srcID     string
+	tgtID     string
+	kind      cacheKind
+	value     any
+	bytes     int64
+	done      bool          // computation finished (value/err valid)
+	err       error         // leader's failure, observed by waiters once
+	ready     chan struct{} // closed when done flips true
+}
+
+// chaseCache is the LRU, single-flight store of chased artifacts keyed
+// by (setting, source instance, target instance, kind). Entries are
+// inserted pending, computed once by the first requester, and evicted
+// least-recently-used when the byte or entry budget is exceeded, or
+// explicitly when their setting or an underlying instance is evicted.
+// Failed computations (budget exhausted, deadline, cancellation) are
+// never retained: the pending entry is removed and the next requester
+// becomes the new leader.
+type chaseCache struct {
+	maxBytes   int64
+	maxEntries int
+	disabled   bool
+	met        *metrics
+
+	mu    sync.Mutex // never held across a chase; guards the three fields below
+	items map[string]*list.Element
+	lru   *list.List // front = most recently used; holds *cacheEntry
+	bytes int64
+}
+
+func newChaseCache(maxBytes int64, maxEntries int, met *metrics) *chaseCache {
+	return &chaseCache{
+		maxBytes:   maxBytes,
+		maxEntries: maxEntries,
+		disabled:   maxEntries < 0,
+		met:        met,
+		items:      make(map[string]*list.Element),
+		lru:        list.New(),
+	}
+}
+
+func (c *chaseCache) lock()   { c.mu.Lock() }
+func (c *chaseCache) unlock() { c.mu.Unlock() }
+
+// getOrCompute returns the cached artifact for key, computing it via
+// compute exactly once per concurrent burst. The boolean reports a hit
+// (the artifact existed, or another request's computation was joined).
+// On compute failure the error is returned and nothing is cached.
+func (c *chaseCache) getOrCompute(ctx context.Context, key string, meta cacheEntry, compute func() (any, int64, error)) (any, bool, error) {
+	if c.disabled {
+		v, _, err := compute()
+		return v, false, err
+	}
+	for {
+		c.lock()
+		if el, ok := c.items[key]; ok {
+			e := el.Value.(*cacheEntry)
+			if e.done {
+				// Completed entries always hold a value: a failed leader
+				// removes its entry before closing ready.
+				c.lru.MoveToFront(el)
+				c.unlock()
+				c.met.cacheHits.Add(1)
+				return e.value, true, nil
+			}
+			ready := e.ready
+			c.unlock()
+			select {
+			case <-ready:
+				// The leader finished (or failed and removed the entry);
+				// loop to observe the outcome under the lock.
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			continue
+		}
+		e := &cacheEntry{
+			key:       key,
+			settingID: meta.settingID,
+			srcID:     meta.srcID,
+			tgtID:     meta.tgtID,
+			kind:      meta.kind,
+			ready:     make(chan struct{}),
+		}
+		c.items[key] = c.lru.PushFront(e)
+		c.unlock()
+		c.met.cacheMisses.Add(1)
+
+		v, bytes, err := compute()
+		c.lock()
+		e.value, e.bytes, e.err, e.done = v, bytes, err, true
+		if err != nil {
+			c.removeLocked(key)
+		} else {
+			c.bytes += bytes
+			c.evictOverBudgetLocked(key)
+		}
+		c.unlock()
+		close(e.ready)
+		return v, false, err
+	}
+}
+
+// put inserts a completed artifact directly (append migration). An
+// existing entry for the key — even a pending one — wins; migration is
+// best-effort and must not clobber an in-flight leader.
+func (c *chaseCache) put(meta cacheEntry, value any, bytes int64) {
+	if c.disabled {
+		return
+	}
+	c.lock()
+	defer c.unlock()
+	if _, ok := c.items[meta.key]; ok {
+		return
+	}
+	e := &cacheEntry{
+		key:       meta.key,
+		settingID: meta.settingID,
+		srcID:     meta.srcID,
+		tgtID:     meta.tgtID,
+		kind:      meta.kind,
+		value:     value,
+		bytes:     bytes,
+		done:      true,
+		ready:     make(chan struct{}),
+	}
+	close(e.ready)
+	c.items[meta.key] = c.lru.PushFront(e)
+	c.bytes += bytes
+	c.evictOverBudgetLocked(meta.key)
+}
+
+// entries snapshots the completed entries, most recently used first
+// (append migration walks this without holding the lock across chases).
+func (c *chaseCache) entries() []*cacheEntry {
+	if c.disabled {
+		return nil
+	}
+	c.lock()
+	defer c.unlock()
+	out := make([]*cacheEntry, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		if e := el.Value.(*cacheEntry); e.done && e.err == nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// evictMatching removes every completed entry the predicate selects and
+// returns how many went. Pending entries are skipped: their leader owns
+// them until done.
+func (c *chaseCache) evictMatching(match func(*cacheEntry) bool) int {
+	if c.disabled {
+		return 0
+	}
+	c.lock()
+	defer c.unlock()
+	n := 0
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); e.done && match(e) {
+			c.removeLocked(e.key)
+			c.met.cacheEvictions.Add(1)
+			n++
+		}
+		el = next
+	}
+	return n
+}
+
+// stats returns the current entry count and byte total.
+func (c *chaseCache) stats() (entries int, bytes int64) {
+	if c.disabled {
+		return 0, 0
+	}
+	c.lock()
+	defer c.unlock()
+	return c.lru.Len(), c.bytes
+}
+
+// evictOverBudgetLocked drops least-recently-used completed entries
+// until the cache fits its budgets again. The just-inserted key is
+// spared so a single oversized artifact still serves its own request
+// burst; it goes next time something else lands.
+func (c *chaseCache) evictOverBudgetLocked(justInserted string) {
+	over := func() bool {
+		if c.maxEntries > 0 && c.lru.Len() > c.maxEntries {
+			return true
+		}
+		return c.maxBytes > 0 && c.bytes > c.maxBytes
+	}
+	for el := c.lru.Back(); el != nil && over(); {
+		prev := el.Prev()
+		e := el.Value.(*cacheEntry)
+		if e.done && e.key != justInserted {
+			c.removeLocked(e.key)
+			c.met.cacheEvictions.Add(1)
+		}
+		el = prev
+	}
+}
+
+// removeLocked unlinks an entry from both indexes and the byte total.
+func (c *chaseCache) removeLocked(key string) {
+	el, ok := c.items[key]
+	if !ok {
+		return
+	}
+	e := el.Value.(*cacheEntry)
+	if e.done && e.err == nil {
+		c.bytes -= e.bytes
+	}
+	delete(c.items, key)
+	c.lru.Remove(el)
+}
+
+// instanceBytes approximates the heap footprint of an instance for the
+// cache's byte accounting: per-fact map/slice overhead plus the value
+// strings. Precision is not the point — bounding growth is.
+func instanceBytes(inst *pde.Instance) int64 {
+	if inst == nil {
+		return 0
+	}
+	var n int64
+	for _, f := range inst.Facts() {
+		n += 48 // tuple header + index slots
+		n += int64(len(f.Rel))
+		for _, v := range f.Args {
+			n += 16 + int64(len(v.String()))
+		}
+	}
+	return n
+}

@@ -1,0 +1,154 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/pde"
+)
+
+// StoredInstance is a registered instance: parsed once, canonicalized,
+// frozen, and stored under a content hash of its canonical text, so the
+// same set of facts always lands on the same ID and appends that add
+// nothing are free no-ops. Everything in it is immutable after
+// registration.
+type StoredInstance struct {
+	// ID is "sha256:" plus the hex digest of the canonical text.
+	ID string
+	// Text is the canonical text (pde.FormatInstance output).
+	Text string
+	// Inst is the frozen instance handed to solves. Shared; never
+	// mutated.
+	Inst *pde.Instance
+	// Facts is the number of facts.
+	Facts int
+	// Parent is the ID of the instance this one was appended from, or
+	// empty for directly registered instances.
+	Parent string
+}
+
+// instanceID hashes canonical instance text to a registry/cache ID.
+func instanceID(text string) string {
+	sum := sha256.Sum256([]byte(text))
+	return "sha256:" + hex.EncodeToString(sum[:])
+}
+
+// compileInstance parses and canonicalizes instance text.
+func compileInstance(src string) (*StoredInstance, error) {
+	inst, err := pde.ParseInstance(src)
+	if err != nil {
+		return nil, err
+	}
+	return freezeInstance(inst, ""), nil
+}
+
+// freezeInstance canonicalizes and freezes an already-built instance.
+func freezeInstance(inst *pde.Instance, parent string) *StoredInstance {
+	text := pde.FormatInstance(inst)
+	inst.Freeze()
+	return &StoredInstance{
+		ID:     instanceID(text),
+		Text:   text,
+		Inst:   inst,
+		Facts:  inst.NumFacts(),
+		Parent: parent,
+	}
+}
+
+// InstanceRegistry is the concurrent content-addressed instance store,
+// the mirror of Registry for data rather than settings.
+type InstanceRegistry struct {
+	mu    sync.RWMutex
+	byID  map[string]*StoredInstance
+	order []string
+}
+
+// NewInstanceRegistry returns an empty instance registry.
+func NewInstanceRegistry() *InstanceRegistry {
+	return &InstanceRegistry{byID: make(map[string]*StoredInstance)}
+}
+
+// Register parses and stores instance text under its content hash.
+// Idempotent: re-registering returns the existing entry, created=false.
+func (r *InstanceRegistry) Register(src string) (*StoredInstance, bool, error) {
+	si, err := compileInstance(src)
+	if err != nil {
+		return nil, false, fmt.Errorf("parsing instance: %w", err)
+	}
+	return r.insert(si)
+}
+
+func (r *InstanceRegistry) insert(si *StoredInstance) (*StoredInstance, bool, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if have, ok := r.byID[si.ID]; ok {
+		return have, false, nil
+	}
+	r.byID[si.ID] = si
+	r.order = append(r.order, si.ID)
+	return si, true, nil
+}
+
+// Get returns the stored instance for an ID, or nil.
+func (r *InstanceRegistry) Get(id string) *StoredInstance {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.byID[id]
+}
+
+// List returns the stored instances in registration order.
+func (r *InstanceRegistry) List() []*StoredInstance {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*StoredInstance, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.byID[id])
+	}
+	return out
+}
+
+// Evict removes an instance; it reports whether the ID was present.
+func (r *InstanceRegistry) Evict(id string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.byID[id]; !ok {
+		return false
+	}
+	delete(r.byID, id)
+	for i, have := range r.order {
+		if have == id {
+			r.order = append(r.order[:i], r.order[i+1:]...)
+			break
+		}
+	}
+	return true
+}
+
+// Len returns the number of stored instances.
+func (r *InstanceRegistry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.byID)
+}
+
+// Append builds the instance base ∪ batch and registers it as a child
+// of base. It returns the stored child (which is base itself when the
+// batch adds nothing), the delta instance holding exactly the
+// genuinely new facts, and whether a new registry entry was created.
+func (r *InstanceRegistry) Append(base *StoredInstance, batch *pde.Instance) (*StoredInstance, *pde.Instance, bool) {
+	delta := pde.NewInstance()
+	union := base.Inst.Clone()
+	for _, f := range batch.Facts() {
+		if union.AddFact(f) {
+			delta.AddFact(f)
+		}
+	}
+	if delta.NumFacts() == 0 {
+		return base, delta, false
+	}
+	delta.Freeze()
+	child, created, _ := r.insert(freezeInstance(union, base.ID))
+	return child, delta, created
+}

@@ -19,6 +19,12 @@ type metrics struct {
 	shed       atomic.Int64 // requests rejected by admission control
 	nodes      atomic.Int64 // cumulative generic-solver search nodes
 
+	cacheHits      atomic.Int64 // solves served from a cached chased artifact
+	cacheMisses    atomic.Int64 // solves that had to chase from scratch
+	cacheResumes   atomic.Int64 // append migrations that resumed incrementally
+	cacheFallbacks atomic.Int64 // append migrations that re-chased fully
+	cacheEvictions atomic.Int64 // cache entries dropped (LRU or explicit)
+
 	mu        sync.Mutex
 	requests  map[string]int64 // route|status -> count
 	durMillis map[string]int64 // route -> cumulative handler milliseconds
@@ -45,7 +51,7 @@ func (m *metrics) observe(route string, status int, millis int64) {
 // render writes the Prometheus text exposition. Families are emitted in
 // a fixed order and series in sorted label order, so scrapes are
 // deterministic.
-func (m *metrics) render(registrySize int) string {
+func (m *metrics) render(registrySize, instanceCount, cacheEntries int, cacheBytes int64) string {
 	var b strings.Builder
 	b.WriteString("# HELP pdxd_requests_total Requests served, by route and HTTP status.\n")
 	b.WriteString("# TYPE pdxd_requests_total counter\n")
@@ -77,5 +83,13 @@ func (m *metrics) render(registrySize int) string {
 	fmt.Fprintf(&b, "# HELP pdxd_shed_total Requests rejected by admission control.\n# TYPE pdxd_shed_total counter\npdxd_shed_total %d\n", m.shed.Load())
 	fmt.Fprintf(&b, "# HELP pdxd_solver_nodes_total Cumulative generic-solver search nodes.\n# TYPE pdxd_solver_nodes_total counter\npdxd_solver_nodes_total %d\n", m.nodes.Load())
 	fmt.Fprintf(&b, "# HELP pdxd_registry_settings Registered settings.\n# TYPE pdxd_registry_settings gauge\npdxd_registry_settings %d\n", registrySize)
+	fmt.Fprintf(&b, "# HELP pdxd_instances Registered instances.\n# TYPE pdxd_instances gauge\npdxd_instances %d\n", instanceCount)
+	fmt.Fprintf(&b, "# HELP pdxd_chase_cache_hits_total Solves served from a cached chased artifact.\n# TYPE pdxd_chase_cache_hits_total counter\npdxd_chase_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintf(&b, "# HELP pdxd_chase_cache_misses_total Solves that chased from scratch.\n# TYPE pdxd_chase_cache_misses_total counter\npdxd_chase_cache_misses_total %d\n", m.cacheMisses.Load())
+	fmt.Fprintf(&b, "# HELP pdxd_chase_cache_resumes_total Append migrations that resumed the chase incrementally.\n# TYPE pdxd_chase_cache_resumes_total counter\npdxd_chase_cache_resumes_total %d\n", m.cacheResumes.Load())
+	fmt.Fprintf(&b, "# HELP pdxd_chase_cache_fallbacks_total Append migrations that re-chased fully (egd or non-resumable state).\n# TYPE pdxd_chase_cache_fallbacks_total counter\npdxd_chase_cache_fallbacks_total %d\n", m.cacheFallbacks.Load())
+	fmt.Fprintf(&b, "# HELP pdxd_chase_cache_evictions_total Cache entries dropped by LRU bounds or explicit eviction.\n# TYPE pdxd_chase_cache_evictions_total counter\npdxd_chase_cache_evictions_total %d\n", m.cacheEvictions.Load())
+	fmt.Fprintf(&b, "# HELP pdxd_chase_cache_entries Cached chased artifacts.\n# TYPE pdxd_chase_cache_entries gauge\npdxd_chase_cache_entries %d\n", cacheEntries)
+	fmt.Fprintf(&b, "# HELP pdxd_chase_cache_bytes Approximate bytes held by the chase cache.\n# TYPE pdxd_chase_cache_bytes gauge\npdxd_chase_cache_bytes %d\n", cacheBytes)
 	return b.String()
 }

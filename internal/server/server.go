@@ -39,6 +39,13 @@ type Config struct {
 	// 0 means GOMAXPROCS. Deadlines are the primary isolation knob; this
 	// bounds how many cores one request may burn.
 	Parallelism int
+	// CacheMaxBytes bounds the approximate bytes held by the
+	// chased-result cache; 0 means 256 MiB, negative means no byte
+	// bound.
+	CacheMaxBytes int64
+	// CacheMaxEntries bounds the number of cached chased artifacts;
+	// 0 means 1024, negative disables the cache entirely.
+	CacheMaxEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -60,6 +67,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxDeadline <= 0 {
 		c.MaxDeadline = 5 * time.Minute
 	}
+	if c.CacheMaxBytes == 0 {
+		c.CacheMaxBytes = 256 << 20
+	}
+	if c.CacheMaxEntries == 0 {
+		c.CacheMaxEntries = 1024
+	}
 	return c
 }
 
@@ -68,24 +81,32 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg      Config
 	reg      *Registry
+	inst     *InstanceRegistry
+	cache    *chaseCache
 	met      *metrics
 	sem      chan struct{} // admission slots, cap MaxInFlight
 	mux      *http.ServeMux
 	draining atomic.Bool
 }
 
-// New builds a Server with an empty registry.
+// New builds a Server with empty registries and an empty chase cache.
 func New(cfg Config) *Server {
 	s := &Server{
-		cfg: cfg.withDefaults(),
-		reg: NewRegistry(),
-		met: newMetrics(),
+		cfg:  cfg.withDefaults(),
+		reg:  NewRegistry(),
+		inst: NewInstanceRegistry(),
+		met:  newMetrics(),
 	}
+	s.cache = newChaseCache(s.cfg.CacheMaxBytes, s.cfg.CacheMaxEntries, s.met)
 	s.sem = make(chan struct{}, s.cfg.MaxInFlight)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/settings", s.route("settings-register", s.handleRegister))
 	s.mux.HandleFunc("GET /v1/settings", s.route("settings-list", s.handleList))
 	s.mux.HandleFunc("DELETE /v1/settings/{id}", s.route("settings-evict", s.handleEvict))
+	s.mux.HandleFunc("POST /v1/instances", s.route("instances-register", s.handleInstanceRegister))
+	s.mux.HandleFunc("GET /v1/instances", s.route("instances-list", s.handleInstanceList))
+	s.mux.HandleFunc("DELETE /v1/instances/{id}", s.route("instances-evict", s.handleInstanceEvict))
+	s.mux.HandleFunc("POST /v1/instances/{id}/append", s.route("instances-append", s.handleInstanceAppend))
 	s.mux.HandleFunc("POST /v1/exists-solution", s.route("exists-solution", s.handleExists))
 	s.mux.HandleFunc("POST /v1/certain-answers", s.route("certain-answers", s.handleCertain))
 	s.mux.HandleFunc("POST /v1/classify", s.route("classify", s.handleClassify))
@@ -100,6 +121,9 @@ func (s *Server) Handler() http.Handler { return s.mux }
 
 // Registry exposes the compiled-setting registry (for preloading).
 func (s *Server) Registry() *Registry { return s.reg }
+
+// Instances exposes the instance registry (for preloading and tests).
+func (s *Server) Instances() *InstanceRegistry { return s.inst }
 
 // InFlight returns the number of solves currently executing.
 func (s *Server) InFlight() int { return int(s.met.inFlight.Load()) }
@@ -231,38 +255,57 @@ func solveError(err error) (int, string) {
 	}
 }
 
+// resolveInstance resolves one side of a solve request: inline fact
+// text XOR a registered instance ID. Inline instances are canonicalized
+// and hashed so they share the chase cache with registered ones; an
+// empty side is the empty instance.
+func (s *Server) resolveInstance(w http.ResponseWriter, side, inline, byID string) (*pde.Instance, string, bool) {
+	switch {
+	case inline != "" && byID != "":
+		writeErr(w, http.StatusBadRequest, client.CodeBadRequest, "set either %s or %s_id, not both", side, side)
+		return nil, "", false
+	case byID != "":
+		si := s.inst.Get(byID)
+		if si == nil {
+			writeErr(w, http.StatusNotFound, client.CodeNotFound, "instance %q is not registered", byID)
+			return nil, "", false
+		}
+		return si.Inst, si.ID, true
+	default:
+		inst, err := pde.ParseInstance(inline)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, client.CodeBadRequest, "parsing %s instance: %v", side, err)
+			return nil, "", false
+		}
+		return inst, instanceID(pde.FormatInstance(inst)), true
+	}
+}
+
 // solveInput resolves the shared preamble of the solve endpoints:
-// registry lookup and instance parsing.
-func (s *Server) solveInput(w http.ResponseWriter, settingID, source, target string) (*Compiled, *pde.Instance, *pde.Instance, bool) {
+// setting lookup, instance resolution, and schema validation.
+func (s *Server) solveInput(w http.ResponseWriter, settingID, source, sourceID, target, targetID string) (*Compiled, *solvePair, bool) {
 	c := s.reg.Get(settingID)
 	if c == nil {
 		writeErr(w, http.StatusNotFound, client.CodeNotFound, "setting %q is not registered", settingID)
-		return nil, nil, nil, false
+		return nil, nil, false
 	}
-	i, err := pde.ParseInstance(source)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, client.CodeBadRequest, "parsing source instance: %v", err)
-		return nil, nil, nil, false
+	i, srcID, ok := s.resolveInstance(w, "source", source, sourceID)
+	if !ok {
+		return nil, nil, false
 	}
-	j := pde.NewInstance()
-	if target != "" {
-		if j, err = pde.ParseInstance(target); err != nil {
-			writeErr(w, http.StatusBadRequest, client.CodeBadRequest, "parsing target instance: %v", err)
-			return nil, nil, nil, false
-		}
+	j, tgtID, ok := s.resolveInstance(w, "target", target, targetID)
+	if !ok {
+		return nil, nil, false
 	}
-	return c, i, j, true
-}
-
-// options builds the per-solve pde.Options.
-func (s *Server) options(maxNodes int64) pde.Options {
-	var o pde.Options
-	o.Parallelism = s.cfg.Parallelism
-	o.Solve.MaxNodes = s.cfg.MaxNodes
-	if maxNodes > 0 {
-		o.Solve.MaxNodes = maxNodes
+	if err := i.ValidateAgainst(c.Setting.Source); err != nil {
+		writeErr(w, http.StatusBadRequest, client.CodeBadRequest, "source instance: %v", err)
+		return nil, nil, false
 	}
-	return o
+	if err := j.ValidateAgainst(c.Setting.Target); err != nil {
+		writeErr(w, http.StatusBadRequest, client.CodeBadRequest, "target instance: %v", err)
+		return nil, nil, false
+	}
+	return c, &solvePair{i: i, j: j, srcID: srcID, tgtID: tgtID}, true
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
@@ -315,6 +358,7 @@ func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, client.CodeNotFound, "setting %q is not registered", id)
 		return
 	}
+	s.cache.evictMatching(func(e *cacheEntry) bool { return e.settingID == id })
 	writeJSON(w, http.StatusOK, map[string]string{"evicted": id})
 }
 
@@ -323,7 +367,7 @@ func (s *Server) handleExists(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	c, i, j, ok := s.solveInput(w, req.SettingID, req.Source, req.Target)
+	c, p, ok := s.solveInput(w, req.SettingID, req.Source, req.SourceID, req.Target, req.TargetID)
 	if !ok {
 		return
 	}
@@ -336,13 +380,7 @@ func (s *Server) handleExists(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	start := time.Now()
-	var res pde.Result
-	var err error
-	if req.Witness {
-		res, err = pde.FindSolutionContext(ctx, c.Setting, i, j, s.options(req.MaxNodes))
-	} else {
-		res, err = pde.ExistsSolutionContext(ctx, c.Setting, i, j, s.options(req.MaxNodes))
-	}
+	res, hit, err := s.solveExists(ctx, c, p, req.Witness, req.MaxNodes)
 	s.met.nodes.Add(res.Nodes)
 	if err != nil {
 		status, code := solveError(err)
@@ -353,6 +391,7 @@ func (s *Server) handleExists(w http.ResponseWriter, r *http.Request) {
 		Exists:        res.Exists,
 		Strategy:      string(res.Strategy),
 		Nodes:         res.Nodes,
+		CacheHit:      hit,
 		ElapsedMillis: time.Since(start).Milliseconds(),
 	}
 	if req.Witness && res.Solution != nil {
@@ -361,7 +400,7 @@ func (s *Server) handleExists(w http.ResponseWriter, r *http.Request) {
 	s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "solve",
 		slog.String("setting", c.ID), slog.Bool("exists", res.Exists),
 		slog.String("strategy", out.Strategy), slog.Int64("nodes", res.Nodes),
-		slog.Int64("elapsed_ms", out.ElapsedMillis))
+		slog.Bool("cache_hit", hit), slog.Int64("elapsed_ms", out.ElapsedMillis))
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -370,7 +409,7 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	c, i, j, ok := s.solveInput(w, req.SettingID, req.Source, req.Target)
+	c, p, ok := s.solveInput(w, req.SettingID, req.Source, req.SourceID, req.Target, req.TargetID)
 	if !ok {
 		return
 	}
@@ -382,6 +421,10 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, client.CodeBadRequest, "parsing query: %v", err)
 		return
 	}
+	if err := qs[0].Validate(c.Setting.Target); err != nil {
+		writeErr(w, http.StatusBadRequest, client.CodeBadRequest, "query: %v", err)
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.DeadlineMillis))
 	defer cancel()
 	release := s.admit(ctx, w)
@@ -391,12 +434,7 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	start := time.Now()
-	var res pde.CertainResult
-	if qs[0][0].IsBoolean() {
-		res, err = pde.CertainBoolContext(ctx, c.Setting, i, j, qs[0], s.options(0))
-	} else {
-		res, err = pde.CertainAnswersContext(ctx, c.Setting, i, j, qs[0], s.options(0))
-	}
+	res, hit, err := s.solveCertain(ctx, c, p, qs[0])
 	if err != nil {
 		status, code := solveError(err)
 		writeErr(w, status, code, "certain answers: %v", err)
@@ -406,6 +444,7 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 		SolutionExists:    res.SolutionExists,
 		Certain:           res.Certain,
 		SolutionsExamined: res.SolutionsExamined,
+		CacheHit:          hit,
 		ElapsedMillis:     time.Since(start).Milliseconds(),
 	}
 	for _, t := range res.Answers {
@@ -490,13 +529,15 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		status = "draining"
 	}
 	writeJSON(w, http.StatusOK, client.HealthResponse{
-		Status:   status,
-		Settings: s.reg.Len(),
-		InFlight: s.InFlight(),
+		Status:    status,
+		Settings:  s.reg.Len(),
+		Instances: s.inst.Len(),
+		InFlight:  s.InFlight(),
 	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	entries, bytes := s.cache.stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	_, _ = io.WriteString(w, s.met.render(s.reg.Len()))
+	_, _ = io.WriteString(w, s.met.render(s.reg.Len(), s.inst.Len(), entries, bytes))
 }

@@ -54,15 +54,93 @@ type ListSettingsResponse struct {
 	Settings []SettingSummary `json:"settings"`
 }
 
+// RegisterInstanceRequest registers an instance with the daemon. Like
+// settings, instances are stored under a content hash of their
+// canonical text, so registration is idempotent and the ID doubles as
+// the key of the server's chased-result cache.
+type RegisterInstanceRequest struct {
+	// Instance is the instance as fact text ("E(a,b). E(b,c).").
+	Instance string `json:"instance"`
+}
+
+// RegisterInstanceResponse acknowledges an instance registration.
+type RegisterInstanceResponse struct {
+	// ID is the content-hash identifier ("sha256:<hex>").
+	ID string `json:"id"`
+	// Facts is the number of distinct facts stored.
+	Facts int `json:"facts"`
+	// Created is false when the instance was already registered.
+	Created bool `json:"created"`
+}
+
+// InstanceSummary describes one stored instance.
+type InstanceSummary struct {
+	ID    string `json:"id"`
+	Facts int    `json:"facts"`
+	// Parent is the instance this one was appended from, when any.
+	Parent string `json:"parent,omitempty"`
+}
+
+// ListInstancesResponse lists the instance registry in registration
+// order.
+type ListInstancesResponse struct {
+	Instances []InstanceSummary `json:"instances"`
+}
+
+// AppendRequest appends facts to a registered instance. Instances are
+// immutable, so the append produces a new instance (base ∪ facts) under
+// its own content hash; the response carries the new ID. Chased-result
+// cache entries built over the base instance are migrated eagerly to
+// the new instance by resuming their chases with just the appended
+// facts (falling back to a full re-chase when egds are involved).
+type AppendRequest struct {
+	// Facts is the batch to append, as fact text.
+	Facts string `json:"facts"`
+	// DeadlineMillis bounds the cache migration work; 0 uses the server
+	// default.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+}
+
+// AppendResponse reports an append.
+type AppendResponse struct {
+	// ID identifies the appended-to instance (equal to the base ID when
+	// the batch added nothing new).
+	ID string `json:"id"`
+	// Parent is the base instance ID.
+	Parent string `json:"parent"`
+	// Added is the number of genuinely new facts (batch minus
+	// duplicates).
+	Added int `json:"added"`
+	// Facts is the total fact count of the new instance.
+	Facts int `json:"facts"`
+	// Migrated counts the cache entries carried over to the new
+	// instance; Resumed of them continued their chase incrementally,
+	// Fallbacks re-chased from scratch.
+	Migrated  int `json:"migrated"`
+	Resumed   int `json:"resumed"`
+	Fallbacks int `json:"fallbacks"`
+	// Created is false when the resulting instance was already
+	// registered.
+	Created bool `json:"created"`
+}
+
 // SolveRequest asks whether (I, J) has a solution under a registered
-// setting (the SOL(P) problem).
+// setting (the SOL(P) problem). Each instance travels either inline
+// (Source/Target, fact text) or by registry ID (SourceID/TargetID) —
+// setting both for the same side is an error. Registered instances hit
+// the server's chased-result cache by ID; inline instances are hashed
+// and cached the same way.
 type SolveRequest struct {
 	// SettingID is the registry ID returned by Register.
 	SettingID string `json:"setting_id"`
 	// Source is the source instance I as fact text ("E(a,b). E(b,c).").
-	Source string `json:"source"`
+	Source string `json:"source,omitempty"`
+	// SourceID is the registry ID of the source instance.
+	SourceID string `json:"source_id,omitempty"`
 	// Target is the target instance J; empty means ∅.
 	Target string `json:"target,omitempty"`
+	// TargetID is the registry ID of the target instance.
+	TargetID string `json:"target_id,omitempty"`
 	// DeadlineMillis bounds the solve; 0 uses the server default. The
 	// server caps it at its configured maximum.
 	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
@@ -84,6 +162,9 @@ type SolveResponse struct {
 	// Solution is the witness solution as fact text, when requested and
 	// one exists.
 	Solution string `json:"solution,omitempty"`
+	// CacheHit reports that the solve started from a cached chased
+	// instance instead of chasing from scratch.
+	CacheHit bool `json:"cache_hit,omitempty"`
 	// ElapsedMillis is the server-side solve time.
 	ElapsedMillis int64 `json:"elapsed_ms"`
 }
@@ -92,8 +173,12 @@ type SolveResponse struct {
 // solution for (I, J).
 type CertainRequest struct {
 	SettingID string `json:"setting_id"`
-	Source    string `json:"source"`
-	Target    string `json:"target,omitempty"`
+	// Source/SourceID and Target/TargetID resolve exactly as in
+	// SolveRequest: inline text or a registered instance ID per side.
+	Source   string `json:"source,omitempty"`
+	SourceID string `json:"source_id,omitempty"`
+	Target   string `json:"target,omitempty"`
+	TargetID string `json:"target_id,omitempty"`
 	// Query is one conjunctive query, "q(x,y) :- H(x,y)" syntax; an
 	// empty head makes it Boolean.
 	Query          string `json:"query"`
@@ -111,8 +196,11 @@ type CertainResponse struct {
 	// constants, in sorted order.
 	Answers [][]string `json:"answers,omitempty"`
 	// SolutionsExamined counts the candidate solutions enumerated.
-	SolutionsExamined int   `json:"solutions_examined,omitempty"`
-	ElapsedMillis     int64 `json:"elapsed_ms"`
+	SolutionsExamined int `json:"solutions_examined,omitempty"`
+	// CacheHit reports that the enumeration started from a cached
+	// chased instance.
+	CacheHit      bool  `json:"cache_hit,omitempty"`
+	ElapsedMillis int64 `json:"elapsed_ms"`
 }
 
 // ClassifyRequest classifies a setting against C_tract (Definition 9).
@@ -161,9 +249,10 @@ type VetResponse struct {
 
 // HealthResponse reports daemon liveness.
 type HealthResponse struct {
-	Status   string `json:"status"`
-	Settings int    `json:"settings"`
-	InFlight int    `json:"in_flight"`
+	Status    string `json:"status"`
+	Settings  int    `json:"settings"`
+	Instances int    `json:"instances"`
+	InFlight  int    `json:"in_flight"`
 }
 
 // Error codes carried in APIError.Code.

@@ -52,6 +52,35 @@ func (c *Client) Evict(ctx context.Context, id string) error {
 	return c.do(ctx, http.MethodDelete, "/v1/settings/"+url.PathEscape(id), nil, nil)
 }
 
+// RegisterInstance stores an instance under its content hash,
+// enabling solve-by-ID and the server's chased-result cache.
+func (c *Client) RegisterInstance(ctx context.Context, instanceText string) (RegisterInstanceResponse, error) {
+	var out RegisterInstanceResponse
+	err := c.post(ctx, "/v1/instances", RegisterInstanceRequest{Instance: instanceText}, &out)
+	return out, err
+}
+
+// Instances lists the stored instances.
+func (c *Client) Instances(ctx context.Context) (ListInstancesResponse, error) {
+	var out ListInstancesResponse
+	err := c.do(ctx, http.MethodGet, "/v1/instances", nil, &out)
+	return out, err
+}
+
+// EvictInstance removes a stored instance and drops its cached chase
+// results.
+func (c *Client) EvictInstance(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/instances/"+url.PathEscape(id), nil, nil)
+}
+
+// AppendInstance appends facts to a stored instance, producing a new
+// instance ID and migrating cached chase results to it.
+func (c *Client) AppendInstance(ctx context.Context, id string, req AppendRequest) (AppendResponse, error) {
+	var out AppendResponse
+	err := c.post(ctx, "/v1/instances/"+url.PathEscape(id)+"/append", req, &out)
+	return out, err
+}
+
 // ExistsSolution decides SOL(P) for the given instances.
 func (c *Client) ExistsSolution(ctx context.Context, req SolveRequest) (SolveResponse, error) {
 	var out SolveResponse

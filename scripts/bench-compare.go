@@ -1,0 +1,130 @@
+// Command bench-compare gates perf regressions in CI: it diffs a fresh
+// `pdxbench -json` run against a committed baseline (BENCH_PR<k>.json)
+// and fails when any benchmark present in both runs got more than
+// -threshold slower in ns/op. Names only in one run are reported but
+// never gate, so adding or retiring benchmarks doesn't break the gate.
+//
+// Usage:
+//
+//	go run ./scripts -baseline BENCH_PR4.json -current /tmp/bench.json
+//	go run ./scripts -baseline BENCH_PR4.json -current /tmp/bench.json -threshold 0.40
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type benchRecord struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	Steps       int    `json:"steps,omitempty"`
+	Nodes       int64  `json:"nodes,omitempty"`
+}
+
+type benchReport struct {
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+func load(path string) (*benchReport, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return &rep, nil
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "committed baseline JSON (e.g. BENCH_PR4.json)")
+	current := flag.String("current", "", "fresh pdxbench -json output to compare")
+	threshold := flag.Float64("threshold", 0.25, "max tolerated ns/op regression (0.25 = +25%)")
+	flag.Parse()
+	if *baseline == "" || *current == "" {
+		fmt.Fprintln(os.Stderr, "bench-compare: -baseline and -current are required")
+		os.Exit(2)
+	}
+
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-compare: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*current)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench-compare: %v\n", err)
+		os.Exit(2)
+	}
+	if base.GoVersion != cur.GoVersion || base.NumCPU != cur.NumCPU {
+		fmt.Printf("note: environments differ (baseline %s/%d cpu, current %s/%d cpu); ns/op deltas include machine skew\n",
+			base.GoVersion, base.NumCPU, cur.GoVersion, cur.NumCPU)
+	}
+
+	baseByName := make(map[string]benchRecord, len(base.Benchmarks))
+	for _, r := range base.Benchmarks {
+		baseByName[r.Name] = r
+	}
+
+	var regressions []string
+	names := make([]string, 0, len(cur.Benchmarks))
+	for _, r := range cur.Benchmarks {
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+	curByName := make(map[string]benchRecord, len(cur.Benchmarks))
+	for _, r := range cur.Benchmarks {
+		curByName[r.Name] = r
+	}
+
+	fmt.Printf("%-40s %14s %14s %8s\n", "benchmark", "baseline ns", "current ns", "delta")
+	for _, name := range names {
+		c := curByName[name]
+		b, ok := baseByName[name]
+		if !ok {
+			fmt.Printf("%-40s %14s %14d %8s\n", name, "(new)", c.NsPerOp, "-")
+			continue
+		}
+		ratio := float64(c.NsPerOp)/float64(b.NsPerOp) - 1
+		mark := ""
+		if ratio > *threshold {
+			mark = "  REGRESSION"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %d -> %d ns/op (%+.1f%%, limit %+.0f%%)", name, b.NsPerOp, c.NsPerOp, 100*ratio, 100**threshold))
+		}
+		fmt.Printf("%-40s %14d %14d %+7.1f%%%s\n", name, b.NsPerOp, c.NsPerOp, 100*ratio, mark)
+		if b.Steps != 0 && c.Steps != 0 && b.Steps != c.Steps {
+			fmt.Printf("%-40s   steps changed: %d -> %d\n", "", b.Steps, c.Steps)
+		}
+		if b.Nodes != 0 && c.Nodes != 0 && b.Nodes != c.Nodes {
+			fmt.Printf("%-40s   nodes changed: %d -> %d\n", "", b.Nodes, c.Nodes)
+		}
+	}
+	for name := range baseByName {
+		if _, ok := curByName[name]; !ok {
+			fmt.Printf("%-40s retired (baseline only)\n", name)
+		}
+	}
+
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "\nbench-compare: %d regression(s) beyond the %.0f%% gate:\n", len(regressions), 100**threshold)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("\nbench-compare: ok (%d compared, gate %.0f%%)\n", len(curByName), 100**threshold)
+}

@@ -57,8 +57,53 @@ case "$answers" in
   *) echo "FAIL: certain answers response: $answers"; exit 1 ;;
 esac
 
+# Chased-instance cache: register the path instance, solve twice by ID
+# (the repeat must bump the cache-hit counter), append the closing edge,
+# and re-solve against the migrated cache entry.
+iid=$(curl -sS -X POST "$base/v1/instances" \
+  -d "{\"instance\":$(json_text examples/corpus/path.facts)}" |
+  sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$iid" ] || { echo "FAIL: instance registration returned no id"; exit 1; }
+echo "registered instance $iid"
+
+check_exists_by_id() { # check_exists_by_id INSTANCE_ID WANT
+  local got
+  got=$(curl -sS -X POST "$base/v1/exists-solution" \
+    -d "{\"setting_id\":\"$id\",\"source_id\":\"$1\"}" |
+    sed -n 's/.*"exists":\(true\|false\).*/\1/p')
+  if [ "$got" != "$2" ]; then
+    echo "FAIL: solve by id $1 -> exists=$got, want $2"
+    exit 1
+  fi
+}
+
+cache_hits() {
+  curl -sS "$base/metrics" | sed -n 's/^pdxd_chase_cache_hits_total \([0-9]*\)$/\1/p'
+}
+
+hits_before=$(cache_hits)
+check_exists_by_id "$iid" false
+check_exists_by_id "$iid" false
+hits_after=$(cache_hits)
+[ "$hits_after" -gt "$hits_before" ] || {
+  echo "FAIL: cache hit counter did not move ($hits_before -> $hits_after)"; exit 1; }
+echo "ok: warm repeat solve hit the chase cache ($hits_before -> $hits_after)"
+
+append=$(curl -sS -X POST "$base/v1/instances/$iid/append" -d '{"facts":"E(a,c)."}')
+newid=$(printf '%s' "$append" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+{ [ -n "$newid" ] && [ "$newid" != "$iid" ]; } || {
+  echo "FAIL: append response: $append"; exit 1; }
+case "$append" in
+  *'"resumed":1'*) echo "ok: append migrated the cache entry incrementally" ;;
+  *) echo "FAIL: append did not resume the cached chase: $append"; exit 1 ;;
+esac
+check_exists_by_id "$newid" true
+echo "ok: re-solve after append (triangle closed -> solution exists)"
+
 curl -sS "$base/metrics" | grep -q '^pdxd_registry_settings 1$' || {
   echo "FAIL: metrics missing registry gauge"; exit 1; }
+curl -sS "$base/metrics" | grep -q '^pdxd_chase_cache_resumes_total 1$' || {
+  echo "FAIL: metrics missing resume counter"; exit 1; }
 
 kill -TERM "$pid"
 wait "$pid" || { echo "FAIL: daemon exited uncleanly"; cat "$workdir/stderr"; exit 1; }
