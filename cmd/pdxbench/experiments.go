@@ -527,7 +527,7 @@ func expSmallSolutions(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		minimal := core.MinimizeSolution(s, i, j, small)
+		minimal := core.MinimizeSolution(s, i, j, small, core.SolveOptions{})
 		ok := s.IsSolution(i, j, small) && s.IsSolution(i, j, minimal)
 		fmt.Fprintf(tw, "%d\t%d\t%d\t%d\t%v\n", n, bloated.NumFacts(), small.NumFacts(), minimal.NumFacts(), ok)
 	}

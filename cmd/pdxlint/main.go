@@ -1,0 +1,237 @@
+// Command pdxlint runs the repro static-analysis suite
+// (internal/lintgo): frozenmut, mapdet, ctxpoll, sentinelwrap, nondet,
+// nilness. It runs two ways:
+//
+// Standalone, loading packages through the go toolchain:
+//
+//	pdxlint [-json] [packages]
+//
+// As a go vet backend, speaking the cmd/go vettool protocol:
+//
+//	go vet -vettool=$(pwd)/bin/pdxlint ./...
+//
+// In both modes the exit status is 0 iff no diagnostics were reported,
+// which is what CI gates on. -json emits the diagnostics to stdout in
+// the same shape as `pdx vet -json`: an object with a "diagnostics"
+// array.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lintgo"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// cmd/go handshakes: `pdxlint -flags` asks for the supported flag
+	// set; `pdxlint -V=full` asks for a version line.
+	for _, a := range args {
+		switch {
+		case a == "-flags":
+			return printFlags()
+		case strings.HasPrefix(a, "-V"):
+			fmt.Println("pdxlint version v1 built with", "repro")
+			return 0
+		}
+	}
+
+	fs := flag.NewFlagSet("pdxlint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON on stdout")
+	checks := fs.String("checks", "", "comma-separated analyzer names to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: pdxlint [-json] [-checks a,b] [packages]\n")
+		fmt.Fprintf(fs.Output(), "       go vet -vettool=/path/to/pdxlint ./...\n\nanalyzers:\n")
+		for _, a := range lintgo.Analyzers() {
+			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	analyzers, err := selectAnalyzers(*checks)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdxlint:", err)
+		return 2
+	}
+
+	// vettool mode: cmd/go invokes `pdxlint <flags> <objdir>/vet.cfg`.
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runVetConfig(rest[0], analyzers, *jsonOut)
+	}
+	return runStandalone(rest, analyzers, *jsonOut)
+}
+
+// printFlags answers the cmd/go `-flags` handshake: a JSON array
+// describing the flags the tool accepts, so `go vet -json` and
+// friends can be forwarded.
+func printFlags() int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	flags := []jsonFlag{
+		{Name: "json", Bool: true, Usage: "emit diagnostics as JSON"},
+		{Name: "checks", Bool: false, Usage: "comma-separated analyzer names to run"},
+	}
+	data, err := json.Marshal(flags)
+	if err != nil {
+		return 2
+	}
+	os.Stdout.Write(data)
+	fmt.Println()
+	return 0
+}
+
+func selectAnalyzers(checks string) ([]*lintgo.Analyzer, error) {
+	if checks == "" {
+		return lintgo.Analyzers(), nil
+	}
+	var out []*lintgo.Analyzer
+	for _, name := range strings.Split(checks, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a := lintgo.AnalyzerByName(strings.TrimPrefix(name, "pdxlint/"))
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// vetConfig is the package description cmd/go writes to
+// <objdir>/vet.cfg for each package (cmd/go/internal/work.vetConfig).
+type vetConfig struct {
+	ID          string
+	Compiler    string
+	Dir         string
+	ImportPath  string
+	GoFiles     []string
+	ImportMap   map[string]string
+	PackageFile map[string]string
+	Standard    map[string]bool
+
+	VetxOnly   bool
+	VetxOutput string
+
+	SucceedOnTypecheckFailure bool
+}
+
+// runVetConfig analyzes one package as directed by a vet.cfg.
+func runVetConfig(path string, analyzers []*lintgo.Analyzer, jsonOut bool) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdxlint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "pdxlint: parsing %s: %v\n", path, err)
+		return 2
+	}
+	// cmd/go requires the facts file to exist before it will trust the
+	// run; the suite carries no cross-package facts, so it is empty.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "pdxlint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// go vet also feeds the test variants (pkg_test, pkg [pkg.test]).
+	// The suite deliberately skips test files — property tests use
+	// seeded randomness, fixtures mutate instances freely — so a
+	// package with nothing but test files has nothing to analyze.
+	files := cfg.GoFiles[:0:0]
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return 0
+	}
+	pkg, err := lintgo.TypeCheck(cfg.ImportPath, cfg.Dir, files, cfg.PackageFile, cfg.ImportMap)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "pdxlint:", err)
+		return 2
+	}
+	diags := lintgo.RunAnalyzers(pkg, analyzers)
+	return report(diags, jsonOut)
+}
+
+// runStandalone loads packages through `go list` and analyzes them
+// all.
+func runStandalone(patterns []string, analyzers []*lintgo.Analyzer, jsonOut bool) int {
+	pkgs, err := lintgo.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdxlint:", err)
+		return 2
+	}
+	var diags []lintgo.Diagnostic
+	for _, pkg := range pkgs {
+		diags = append(diags, lintgo.RunAnalyzers(pkg, analyzers)...)
+	}
+	return report(diags, jsonOut)
+}
+
+// report prints the diagnostics (JSON on stdout, or vet-style lines on
+// stderr) and converts their presence into the exit status.
+func report(diags []lintgo.Diagnostic, jsonOut bool) int {
+	if jsonOut {
+		if diags == nil {
+			diags = []lintgo.Diagnostic{}
+		}
+		out := struct {
+			Diagnostics []lintgo.Diagnostic `json:"diagnostics"`
+		}{Diagnostics: diags}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, shortenPath(d.String()))
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// shortenPath rewrites an absolute file path at the start of a
+// diagnostic line relative to the working directory, matching go
+// vet's output style.
+func shortenPath(line string) string {
+	wd, err := os.Getwd()
+	if err != nil {
+		return line
+	}
+	if rel, err := filepath.Rel(wd, strings.SplitN(line, ":", 2)[0]); err == nil && !strings.HasPrefix(rel, "..") {
+		if i := strings.Index(line, ":"); i >= 0 {
+			return rel + line[i:]
+		}
+	}
+	return line
+}

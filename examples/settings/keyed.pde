@@ -1,0 +1,13 @@
+# A target schema with a key constraint: H's first column determines
+# its second. Legal and solvable, but the egd costs two guarantees and
+# `pdx vet` warns about both: the setting leaves C_tract (target
+# constraints must be empty, Definition 9), and chase results stop
+# being resumable — every append to a served setting falls back to a
+# full re-chase because the egd may merge values (chase.Resume requires
+# pure tgds).
+setting keyed
+source E/2
+target H/2
+st: E(x,y) -> H(x,y)
+ts: H(x,y) -> E(x,y)
+t: H(x,y), H(x,z) -> y = z

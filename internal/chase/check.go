@@ -2,6 +2,7 @@ package chase
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/dep"
 	"repro/internal/hom"
@@ -119,13 +120,7 @@ func bindingString(b hom.Binding) string {
 		names = append(names, n)
 	}
 	// Deterministic rendering for errors and tests.
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			if names[j] < names[i] {
-				names[i], names[j] = names[j], names[i]
-			}
-		}
-	}
+	sort.Strings(names)
 	s := "{"
 	for i, n := range names {
 		if i > 0 {

@@ -1,6 +1,7 @@
 package core_test
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -433,7 +434,7 @@ func TestMinimizeSolution(t *testing.T) {
 	big.Add("H", rel.Const("a"), rel.Const("c"))
 	big.Add("H", rel.Const("a"), rel.Const("b"))
 	big.Add("H", rel.Const("b"), rel.Const("c"))
-	minimal := core.MinimizeSolution(s, i, j, big)
+	minimal := core.MinimizeSolution(s, i, j, big, core.SolveOptions{})
 	if !s.IsSolution(i, j, minimal) {
 		t.Fatal("minimized instance is not a solution")
 	}
@@ -444,7 +445,7 @@ func TestMinimizeSolution(t *testing.T) {
 	j2 := rel.NewInstance()
 	j2.Add("H", rel.Const("a"), rel.Const("b"))
 	big2 := big.Clone()
-	minimal2 := core.MinimizeSolution(s, i, j2, big2)
+	minimal2 := core.MinimizeSolution(s, i, j2, big2, core.SolveOptions{})
 	if !minimal2.Contains(rel.Fact{Rel: "H", Args: rel.Tuple{rel.Const("a"), rel.Const("b")}}) {
 		t.Error("minimization removed a J fact")
 	}
@@ -484,5 +485,26 @@ func TestDataExchangeContrast(t *testing.T) {
 		if !got {
 			t.Errorf("data exchange setting must always have a solution")
 		}
+	}
+}
+
+func TestMinimizeSolutionCanceledContextReturnsEarly(t *testing.T) {
+	// A pre-canceled context stops the greedy fixpoint before any
+	// removal round: the result is the (cloned) input, and callers that
+	// set Ctx must check Ctx.Err and discard it.
+	s := example1Setting()
+	i := edges([2]string{"a", "b"}, [2]string{"b", "c"})
+	j := rel.NewInstance()
+	big := rel.NewInstance()
+	big.Add("H", rel.Const("a"), rel.Const("c"))
+	big.Add("H", rel.Const("a"), rel.Const("b"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got := core.MinimizeSolution(s, i, j, big, core.SolveOptions{Ctx: ctx})
+	if got.NumFacts() != big.NumFacts() {
+		t.Errorf("canceled MinimizeSolution still removed facts: %d -> %d", big.NumFacts(), got.NumFacts())
+	}
+	if big.NumFacts() != 2 {
+		t.Errorf("input mutated: %d facts", big.NumFacts())
 	}
 }

@@ -45,9 +45,17 @@ func SmallSolution(s *Setting, i, j, jsol *rel.Instance, opts SolveOptions) (*re
 // fact can be removed. The result is a subset-minimal solution between
 // j and jsol; it is generally not of minimum cardinality (finding that
 // is NP-hard), but it is what the small-solution experiments measure.
-func MinimizeSolution(s *Setting, i, j, jsol *rel.Instance) *rel.Instance {
+//
+// The greedy fixpoint polls opts.Ctx between rounds: a canceled run
+// returns the solution minimized so far, which need not be
+// subset-minimal — callers that set Ctx MUST check Ctx.Err()
+// afterwards and discard the result when non-nil.
+func MinimizeSolution(s *Setting, i, j, jsol *rel.Instance, opts SolveOptions) *rel.Instance {
 	cur := jsol.Clone()
 	for {
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			return cur
+		}
 		removed := false
 		for _, f := range cur.Facts() {
 			if j.Contains(f) {

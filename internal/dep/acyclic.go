@@ -184,6 +184,7 @@ func (g *DependencyGraph) reaches(from, to Position) bool {
 				}
 				if !seen[next] {
 					seen[next] = true
+					//lint:ignore pdxlint/mapdet DFS worklist for a boolean reachability query; visit order cannot affect the answer
 					stack = append(stack, next)
 				}
 			}

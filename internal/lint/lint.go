@@ -178,6 +178,7 @@ func Analyzers() []*Analyzer {
 		acyclicAnalyzer,
 		deadcodeAnalyzer,
 		redundantAnalyzer,
+		resumableAnalyzer,
 	}
 }
 

@@ -2,6 +2,8 @@ package lint
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"reflect"
 	"strings"
 	"testing"
@@ -300,5 +302,69 @@ func TestAnalyzersDeclareTheirChecks(t *testing.T) {
 				t.Errorf("emitted check %s is not declared by any analyzer", d.Check)
 			}
 		}
+	}
+}
+
+func TestVetResumeIneligible(t *testing.T) {
+	src := "setting keyed\n" +
+		"source E/2\n" +
+		"target H/2\n" +
+		"st: E(x,y) -> H(x,y)\n" +
+		"ts: H(x,y) -> E(x,y)\n" +
+		"t: H(x,y), H(x,z) -> y = z\n"
+	r := Vet(src, "keyed.pde")
+	d := find(r, "resume-ineligible")
+	if len(d) != 1 {
+		t.Fatalf("got %d resume-ineligible diagnostics, want 1: %v", len(d), r.Diagnostics)
+	}
+	if d[0].Severity != SeverityWarn {
+		t.Errorf("severity = %s, want warn", d[0].Severity)
+	}
+	if d[0].Line != 6 {
+		t.Errorf("position line = %d, want 6 (the t: line)", d[0].Line)
+	}
+	if d[0].Witness == nil || d[0].Witness.TGD == "" {
+		t.Fatalf("missing witness: %+v", d[0])
+	}
+	if got := d[0].Witness.Vars; !reflect.DeepEqual(got, []string{"y", "z"}) {
+		t.Errorf("witness vars = %v, want [y z]", got)
+	}
+
+	// Pure target tgds stay silent: only egds break resumability.
+	pure := "setting pure\n" +
+		"source E/2\n" +
+		"target H/2\n" +
+		"st: E(x,y) -> H(x,y)\n" +
+		"ts: H(x,y) -> E(x,y)\n" +
+		"t: H(x,y) -> H(y,x)\n"
+	if d := find(Vet(pure, "pure.pde"), "resume-ineligible"); len(d) != 0 {
+		t.Errorf("pure-tgd setting flagged non-resumable: %v", d)
+	}
+}
+
+// TestVetResumeIneligibleOverExamples pins the check's behavior on the
+// shipped example settings: exactly the keyed example (the one with a
+// target egd) is flagged.
+func TestVetResumeIneligibleOverExamples(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "settings", "*.pde"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("globbing example settings: %v (%d files)", err, len(files))
+	}
+	flagged := map[string]bool{}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := Vet(string(src), filepath.Base(f))
+		if r.HasErrors() {
+			t.Errorf("%s: example setting has vet errors: %v", f, r.Diagnostics)
+		}
+		if len(find(r, "resume-ineligible")) > 0 {
+			flagged[filepath.Base(f)] = true
+		}
+	}
+	if !reflect.DeepEqual(flagged, map[string]bool{"keyed.pde": true}) {
+		t.Errorf("resume-ineligible flagged %v, want exactly keyed.pde", flagged)
 	}
 }

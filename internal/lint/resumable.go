@@ -1,0 +1,49 @@
+package lint
+
+import (
+	"fmt"
+
+	"repro/internal/dep"
+)
+
+// resumableAnalyzer warns when a setting cannot use the incremental
+// resume path of the chase (chase.Resume / the pdxd chased-instance
+// cache). The append-only watermark argument behind Resume holds only
+// for pure tgds: an egd among the target constraints means a previous
+// run may have merged values (Result.EgdFired) and, worse, that a
+// future run could — so Resumable rejects the setting up front and
+// every append degrades to a full re-chase. Serving workloads that
+// lean on the chase cache lose the incremental speedup silently; this
+// check makes the degradation visible at vet time.
+var resumableAnalyzer = &Analyzer{
+	Name:   "resumable",
+	Doc:    "warn when egds make chase results non-resumable",
+	Checks: []string{"resume-ineligible"},
+	Run:    runResumable,
+}
+
+func runResumable(p *Pass) {
+	var egds []dep.EGD
+	for _, d := range p.Setting.T {
+		if e, ok := d.(dep.EGD); ok {
+			egds = append(egds, e)
+		}
+	}
+	if len(egds) == 0 {
+		return
+	}
+	// One diagnostic per egd: each carries its own span, and fixing one
+	// does not fix the others.
+	for _, e := range egds {
+		p.Report(Diagnostic{
+			Check:    "resume-ineligible",
+			Severity: SeverityWarn,
+			Line:     e.Span.Line,
+			Col:      e.Span.Col,
+			Message: fmt.Sprintf(
+				"target egd %s makes chase results non-resumable: appends fall back to a full re-chase (chase.Resume requires pure tgds), so the serving chase cache loses its incremental path",
+				e.Label),
+			Witness: &Witness{TGD: e.Label, Vars: []string{e.Left, e.Right}},
+		})
+	}
+}

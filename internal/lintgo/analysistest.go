@@ -1,0 +1,177 @@
+package lintgo
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// AnalysisTest runs one analyzer over the testdata package in
+// testdata/src/<pkgname> and checks its diagnostics against the
+// `// want "regexp"` comments in the sources, in the style of
+// golang.org/x/tools/go/analysis/analysistest:
+//
+//   - every line carrying a want comment must produce a diagnostic of
+//     the analyzer matching each quoted regexp on that line;
+//   - every diagnostic must be covered by a want comment.
+//
+// importPath is the package path the testdata is type-checked under;
+// analyzers that scope themselves by import path (ctxpoll, nondet,
+// sentinelwrap) are tested by checking the same sources under an
+// in-scope and an out-of-scope path. Imports of testdata files resolve
+// against the real repository packages via `go list -export`.
+func AnalysisTest(t *testing.T, a *Analyzer, pkgname, importPath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkgname)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading testdata dir: %v", err)
+	}
+	var filenames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			filenames = append(filenames, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(filenames) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+	sort.Strings(filenames)
+
+	// Resolve the testdata package's imports against the real module.
+	imports, err := collectImports(filenames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exports map[string]string
+	if len(imports) > 0 {
+		exports, err = ListExports(repoRoot(t), imports...)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	pkg, err := TypeCheck(importPath, dir, filenames, exports, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(pkg, []*Analyzer{a})
+	checkWants(t, pkg, diags)
+}
+
+// repoRoot walks up from the working directory to the go.mod root, so
+// testdata imports resolve no matter which package runs the test.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above working directory")
+		}
+		dir = parent
+	}
+}
+
+// collectImports parses just the import clauses of the files.
+func collectImports(filenames []string) ([]string, error) {
+	fset := token.NewFileSet()
+	seen := make(map[string]bool)
+	var out []string
+	for _, name := range filenames {
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("lintgo: %v", err)
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if !seen[path] {
+				seen[path] = true
+				out = append(out, path)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// want is one expectation parsed from a `// want "re"` comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+// checkWants cross-checks diagnostics against want comments.
+func checkWants(t *testing.T, pkg *Package, diags []Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				position := pkg.Fset.Position(c.Pos())
+				matches := wantRE.FindAllStringSubmatch(text, -1)
+				if len(matches) == 0 {
+					t.Errorf("%s:%d: malformed want comment %q", position.Filename, position.Line, c.Text)
+					continue
+				}
+				for _, m := range matches {
+					pattern := m[1]
+					if m[2] != "" {
+						pattern = m[2]
+					} else if m[1] != "" {
+						if unq, err := strconv.Unquote(`"` + m[1] + `"`); err == nil {
+							pattern = unq
+						}
+					}
+					re, err := regexp.Compile(pattern)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", position.Filename, position.Line, pattern, err)
+						continue
+					}
+					wants = append(wants, &want{file: position.Filename, line: position.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no diagnostic matched %q", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package lintgo
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxpoll enforces the cancellation discipline in the hot engine
+// packages: an unbounded loop (`for { ... }`) must poll the context —
+// directly (ctx.Err(), ctx.Done()) or by calling a same-package
+// function that transitively does (st.ctxErr(), canceled(ctx, ...),
+// the searcher's cancelSearch). Without a poll, a request deadline or
+// a pdxd admission-control cancel cannot stop the chase or the
+// homomorphism search, which is exactly the bug class PR 4's deadline
+// machinery exists to prevent.
+//
+// The check is scoped to the packages with unbounded fixpoint loops:
+// internal/hom, internal/chase, internal/core, internal/uni.
+var ctxpollAnalyzer = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "unbounded for-loops in hot engine packages must poll the context",
+	Run:  runCtxpoll,
+}
+
+// ctxpollPackages are the import paths the analyzer applies to.
+var ctxpollPackages = map[string]bool{
+	"repro/internal/hom":   true,
+	"repro/internal/chase": true,
+	"repro/internal/core":  true,
+	"repro/internal/uni":   true,
+}
+
+func runCtxpoll(p *Pass) {
+	if !ctxpollPackages[p.Path()] {
+		return
+	}
+	polling := pollingFuncs(p)
+	forEachFunc(p, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			loop, ok := n.(*ast.ForStmt)
+			if !ok || loop.Cond != nil {
+				return true
+			}
+			if !pollsContext(p, loop.Body, polling) {
+				p.Reportf(loop.Pos(), "unbounded for-loop without a context poll; check Ctx (directly or via a polling helper) so deadlines and cancellation can stop it")
+			}
+			return true
+		})
+	})
+}
+
+// pollingFuncs computes, to a fixpoint, the same-package functions and
+// methods whose bodies reach a direct context poll.
+func pollingFuncs(p *Pass) map[*types.Func]bool {
+	type fn struct {
+		obj  *types.Func
+		body *ast.BlockStmt
+	}
+	var fns []fn
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := p.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fns = append(fns, fn{obj, fd.Body})
+		}
+	}
+	polling := make(map[*types.Func]bool)
+	for _, f := range fns {
+		if directCtxPoll(p, f.body) {
+			polling[f.obj] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fns {
+			if polling[f.obj] {
+				continue
+			}
+			if callsPolling(p, f.body, polling) {
+				polling[f.obj] = true
+				changed = true
+			}
+		}
+	}
+	return polling
+}
+
+// directCtxPoll reports whether the node contains a .Err() or .Done()
+// call on a context.Context value.
+func directCtxPoll(p *Pass, n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return !found
+		}
+		if sel.Sel.Name != "Err" && sel.Sel.Name != "Done" {
+			return !found
+		}
+		if t := p.Info.TypeOf(sel.X); t != nil && isContextType(t) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// callsPolling reports whether the node calls any function in the
+// polling set.
+func callsPolling(p *Pass, n ast.Node, polling map[*types.Func]bool) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if call, ok := c.(*ast.CallExpr); ok {
+			if fn := calleeFunc(p.Info, call); fn != nil && polling[fn] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// pollsContext reports whether a loop body polls: directly, or through
+// a call to a same-package polling function.
+func pollsContext(p *Pass, body *ast.BlockStmt, polling map[*types.Func]bool) bool {
+	return directCtxPoll(p, body) || callsPolling(p, body, polling)
+}

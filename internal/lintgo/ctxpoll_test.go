@@ -1,0 +1,13 @@
+package lintgo
+
+import "testing"
+
+func TestCtxpoll(t *testing.T) {
+	AnalysisTest(t, ctxpollAnalyzer, "ctxpoll", "repro/internal/chase")
+}
+
+// TestCtxpollOutOfScope type-checks an unpolled loop under a
+// non-engine import path: the analyzer must stay silent.
+func TestCtxpollOutOfScope(t *testing.T) {
+	AnalysisTest(t, ctxpollAnalyzer, "ctxpoll_scope", "repro/x/other")
+}

@@ -1,0 +1,7 @@
+package lintgo
+
+import "testing"
+
+func TestFrozenmut(t *testing.T) {
+	AnalysisTest(t, frozenmutAnalyzer, "frozenmut", "repro/x/frozenmut")
+}

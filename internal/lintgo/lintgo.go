@@ -1,0 +1,229 @@
+// Package lintgo is the Go-level static-analysis layer of the
+// reproduction: a suite of analyzers, in the style of
+// golang.org/x/tools/go/analysis, that statically enforce the
+// invariants the engine's correctness rests on — freeze-before-share,
+// deterministic map iteration, cancellation polling in unbounded
+// loops, sentinel error wrapping, and the ban on ambient
+// nondeterminism in chase-reachable packages. It is the engine behind
+// `pdxlint` (cmd/pdxlint), which runs both standalone and as a
+// `go vet -vettool` backend.
+//
+// The toolchain in this repository deliberately has no external module
+// dependencies, so the framework is built on the standard library
+// alone: packages are loaded through `go list -export` (load.go) and
+// type-checked against compiler export data, mirroring exactly what
+// `go vet` hands a vettool.
+//
+// Suppression: a diagnostic of analyzer <name> is suppressed by a
+// comment of the form
+//
+//	//lint:ignore pdxlint/<name> reason
+//
+// on the flagged line or on the line immediately above it. The reason
+// is mandatory; an ignore directive without one is itself reported.
+package lintgo
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned in the analyzed source. The
+// JSON shape mirrors internal/lint.Diagnostic (the `pdx vet` report),
+// so `pdxlint -json` and `pdx vet -json` read the same.
+type Diagnostic struct {
+	// Check is the stable identifier "pdxlint/<analyzer>".
+	Check string `json:"check"`
+	// Severity is always "error" for lintgo: every finding is a broken
+	// engine invariant, and CI gates on zero diagnostics.
+	Severity string `json:"severity"`
+	// File is the source file path.
+	File string `json:"file,omitempty"`
+	// Line and Col are 1-based.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Message is the human-readable finding.
+	Message string `json:"message"`
+
+	pos token.Pos
+}
+
+// String renders the diagnostic in the conventional
+// file:line:col: message [check] form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Col, d.Message, d.Check)
+}
+
+// Pass carries one analyzed package to an analyzer.
+type Pass struct {
+	// Fset positions every file of the package.
+	Fset *token.FileSet
+	// Files are the parsed source files (test files excluded; the
+	// invariants target production code, and property tests use seeded
+	// randomness legitimately).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info carries the type-checking results for the files.
+	Info *types.Info
+
+	analyzer *Analyzer
+	diags    *[]Diagnostic
+}
+
+// Path returns the import path of the analyzed package. Analyzers that
+// scope themselves to engine packages match against it.
+func (p *Pass) Path() string { return p.Pkg.Path() }
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:    "pdxlint/" + p.analyzer.Name,
+		Severity: "error",
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+		pos:      pos,
+	})
+}
+
+// Analyzer is one static-analysis pass over a type-checked package.
+type Analyzer struct {
+	// Name is the analyzer's stable name; diagnostics carry the check
+	// ID "pdxlint/<name>" and suppressions reference it.
+	Name string
+	// Doc is a one-line description, shown by `pdxlint -h` and in the
+	// vettool's -flags handshake.
+	Doc string
+	// Run inspects the pass and reports diagnostics via Reportf.
+	Run func(*Pass)
+}
+
+// Analyzers returns the full suite in execution order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		frozenmutAnalyzer,
+		mapdetAnalyzer,
+		ctxpollAnalyzer,
+		sentinelwrapAnalyzer,
+		nondetAnalyzer,
+		nilnessAnalyzer,
+	}
+}
+
+// AnalyzerByName returns the named analyzer, or nil.
+func AnalyzerByName(name string) *Analyzer {
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// RunAnalyzers runs the given analyzers over a loaded package and
+// returns the surviving diagnostics, sorted by position, with
+// //lint:ignore suppressions applied.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			analyzer: a,
+			diags:    &diags,
+		}
+		a.Run(pass)
+	}
+	diags = applySuppressions(pkg, diags)
+	sort.SliceStable(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}
+
+// ignoreDirective is one parsed //lint:ignore comment.
+type ignoreDirective struct {
+	file   string
+	line   int // line the directive sits on
+	check  string
+	reason string
+}
+
+// applySuppressions drops diagnostics covered by a //lint:ignore
+// pdxlint/<name> directive on the same line or the line above, and
+// reports malformed directives (missing reason) as diagnostics of
+// their own so they cannot silently rot.
+func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+	var directives []ignoreDirective
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:ignore ")
+				if !ok {
+					continue
+				}
+				position := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				d := ignoreDirective{file: position.Filename, line: position.Line}
+				if len(fields) > 0 {
+					d.check = fields[0]
+				}
+				if len(fields) > 1 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				if strings.HasPrefix(d.check, "pdxlint/") && d.reason == "" {
+					diags = append(diags, Diagnostic{
+						Check:    d.check,
+						Severity: "error",
+						File:     position.Filename,
+						Line:     position.Line,
+						Col:      position.Column,
+						Message:  "lint:ignore directive needs a reason after the check name",
+					})
+					continue
+				}
+				directives = append(directives, d)
+			}
+		}
+	}
+	if len(directives) == 0 {
+		return diags
+	}
+	suppressed := func(d Diagnostic) bool {
+		for _, dir := range directives {
+			if dir.check != d.Check || dir.file != d.File {
+				continue
+			}
+			if dir.line == d.Line || dir.line == d.Line-1 {
+				return true
+			}
+		}
+		return false
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if !suppressed(d) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package lintgo
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSuppression checks that well-formed //lint:ignore directives
+// (same line or line above) silence the targeted analyzer and that
+// directives for other tools are left alone.
+func TestSuppression(t *testing.T) {
+	AnalysisTest(t, mapdetAnalyzer, "suppress", "repro/x/suppress")
+}
+
+// TestSuppressionNeedsReason checks that an ignore directive without a
+// reason is itself reported and does not suppress anything.
+func TestSuppressionNeedsReason(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "suppress_bad")
+	pkg, err := TypeCheck("repro/x/suppressbad", dir,
+		[]string{filepath.Join(dir, "a.go")}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunAnalyzers(pkg, []*Analyzer{mapdetAnalyzer})
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2 (bad directive + undropped finding): %v", len(diags), diags)
+	}
+	var sawDirective, sawFinding bool
+	for _, d := range diags {
+		switch {
+		case strings.Contains(d.Message, "needs a reason"):
+			sawDirective = true
+		case strings.Contains(d.Message, "without a later sort"):
+			sawFinding = true
+		}
+	}
+	if !sawDirective || !sawFinding {
+		t.Fatalf("missing expected diagnostics: %v", diags)
+	}
+}
+
+// TestAnalyzerRegistry checks the suite's shape: stable names, docs,
+// and lookup.
+func TestAnalyzerRegistry(t *testing.T) {
+	as := Analyzers()
+	if len(as) < 5 {
+		t.Fatalf("suite has %d analyzers, want at least 5", len(as))
+	}
+	seen := make(map[string]bool)
+	for _, a := range as {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incomplete", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if AnalyzerByName(a.Name) != a {
+			t.Errorf("AnalyzerByName(%q) did not round-trip", a.Name)
+		}
+	}
+	if AnalyzerByName("nope") != nil {
+		t.Error("AnalyzerByName of unknown name should be nil")
+	}
+}
+
+// TestLoadSelf loads this package through the go list pipeline — the
+// same path cmd/pdxlint takes in standalone mode.
+func TestLoadSelf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the build toolchain")
+	}
+	pkgs, err := Load(repoRoot(t), "./internal/lintgo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	if pkgs[0].ImportPath != "repro/internal/lintgo" {
+		t.Fatalf("loaded %q", pkgs[0].ImportPath)
+	}
+	if len(pkgs[0].Files) == 0 {
+		t.Fatal("no files loaded")
+	}
+	for _, name := range pkgs[0].GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			t.Fatalf("test file %s leaked into the load", name)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package lintgo
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes. It doubles as the decoder for the vet.cfg PackageFile map
+// shape (see cmd/pdxlint).
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+}
+
+// Load lists the packages matching patterns (relative to dir, "" for
+// the current directory), builds export data for them and their
+// dependencies, and returns the matched non-standard packages parsed
+// and type-checked. Test files are excluded throughout: `go list`'s
+// GoFiles field never includes them, which matches the suite's scope.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Incomplete",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lintgo: go list: %v\n%s", err, stderr.String())
+	}
+	exports := make(map[string]string)
+	var targets []*listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lintgo: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			q := p
+			targets = append(targets, &q)
+		}
+	}
+	pkgs := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		if t.Incomplete || len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, g := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, g)
+		}
+		pkg, err := TypeCheck(t.ImportPath, t.Dir, files, exports, nil)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// TypeCheck parses the given files and type-checks them as the package
+// at importPath, resolving imports through compiler export data:
+// exports maps a package path to its export file (as produced by
+// `go list -export` or handed over in a vet.cfg), and importMap
+// (optional) maps source-level import paths to package paths.
+func TypeCheck(importPath, dir string, filenames []string, exports, importMap map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var goFiles []string
+	for _, name := range filenames {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lintgo: %v", err)
+		}
+		files = append(files, f)
+		goFiles = append(goFiles, name)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lintgo: package %s has no non-test Go files", importPath)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := importMap[path]; ok {
+			path = mapped
+		}
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{
+		Importer: remappingImporter{
+			underlying: importer.ForCompiler(fset, "gc", lookup),
+			importMap:  importMap,
+		},
+	}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lintgo: type-checking %s: %v", importPath, err)
+	}
+	return &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		GoFiles:    goFiles,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		Info:       info,
+	}, nil
+}
+
+// remappingImporter rewrites source-level import paths through a
+// vet.cfg ImportMap before delegating to the export-data importer. The
+// gc importer caches by the path it is asked for, so the remap has to
+// happen above it, not only inside the lookup function.
+type remappingImporter struct {
+	underlying types.Importer
+	importMap  map[string]string
+}
+
+func (r remappingImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := r.importMap[path]; ok {
+		path = mapped
+	}
+	return r.underlying.Import(path)
+}
+
+// ListExports runs `go list -export -deps` over the given import paths
+// and returns the package-path → export-file map. The analysistest
+// harness uses it to resolve the imports of testdata packages against
+// the real repository packages.
+func ListExports(dir string, importPaths ...string) (map[string]string, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps", "-json=ImportPath,Export",
+	}, importPaths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lintgo: go list -export: %v\n%s", err, stderr.String())
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lintgo: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}

@@ -1,0 +1,176 @@
+package lintgo
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// mapdet flags range statements over maps whose iteration order leaks
+// into an ordered result: appending loop-derived values to a slice
+// declared outside the loop with no deterministic sort afterwards, or
+// writing output (fmt.Fprint*, Write*, Encode) inside the loop body.
+// This is exactly the bug class the byte-identical parity suites exist
+// to catch at run time; mapdet catches it at compile time.
+//
+// The canonical fix — collect the keys, sort them, then iterate — is
+// recognized and not flagged: an append is fine when the slice is
+// passed to a sort (sort.*, slices.Sort*, or any local helper whose
+// name contains "sort") later in the same function.
+var mapdetAnalyzer = &Analyzer{
+	Name: "mapdet",
+	Doc:  "map iteration order must not leak into slices or output without a sort",
+	Run:  runMapdet,
+}
+
+func runMapdet(p *Pass) {
+	forEachFunc(p, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(p, body, rng)
+			return true
+		})
+	})
+}
+
+// loopVarObjects returns the objects of the range statement's key and
+// value variables.
+func loopVarObjects(info *types.Info, rng *ast.RangeStmt) []types.Object {
+	var out []types.Object
+	for _, e := range []ast.Expr{rng.Key, rng.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := info.Defs[id]; obj != nil {
+				out = append(out, obj)
+			} else if obj := info.Uses[id]; obj != nil {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// checkMapRange inspects one range-over-map statement for
+// order-leaking appends and output writes. enclosing is the function
+// body used for the sorted-later scan.
+func checkMapRange(p *Pass, enclosing *ast.BlockStmt, rng *ast.RangeStmt) {
+	loopVars := loopVarObjects(p.Info, rng)
+	dependsOnLoop := func(n ast.Node) bool {
+		for _, obj := range loopVars {
+			if mentionsObject(p.Info, n, obj) {
+				return true
+			}
+		}
+		// A range with discarded variables (for range m) yields nothing
+		// order-dependent.
+		return false
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			// Nested map ranges report on their own.
+			if n != rng {
+				if t := p.Info.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						return false
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isOutputSink(p.Info, n) && dependsOnLoop(n) {
+				p.Reportf(n.Pos(), "output written inside range over map; iteration order is nondeterministic — emit from sorted keys instead")
+				return true
+			}
+			if target, appendArgs := appendTarget(p.Info, n); target != nil {
+				if !declaredWithin(target, rng) && dependsOnLoopArgs(appendArgs, dependsOnLoop) {
+					if !sortedAfter(p, enclosing, rng, target) {
+						p.Reportf(n.Pos(), "append to %s inside range over map without a later sort; iteration order leaks into the slice", target.Name())
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+func dependsOnLoopArgs(args []ast.Expr, dependsOnLoop func(ast.Node) bool) bool {
+	for _, a := range args {
+		if dependsOnLoop(a) {
+			return true
+		}
+	}
+	return false
+}
+
+// appendTarget recognizes s = append(s, ...) style calls and returns
+// the slice's object and the appended arguments.
+func appendTarget(info *types.Info, call *ast.CallExpr) (types.Object, []ast.Expr) {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return nil, nil
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil, nil
+	}
+	base := rootIdentOf(call.Args[0])
+	if base == nil {
+		return nil, nil
+	}
+	// Only variables accumulate across iterations; appending to a fresh
+	// slice expression (append(make(...), ...)) is order-free.
+	v, ok := info.Uses[base].(*types.Var)
+	if !ok {
+		return nil, nil
+	}
+	return v, call.Args[1:]
+}
+
+// isOutputSink reports whether the call writes externally visible
+// output: fmt.Fprint*, fmt.Print*, or a method named Write*, Encode,
+// or Marshal on any receiver.
+func isOutputSink(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch fn.Name() {
+		case "Fprint", "Fprintf", "Fprintln", "Print", "Printf", "Println":
+			return true
+		}
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() == nil {
+		return false
+	}
+	name := fn.Name()
+	return name == "Encode" ||
+		name == "Write" || name == "WriteString" || name == "WriteByte" || name == "WriteRune"
+}
+
+// sortedAfter reports whether the slice object is passed to a
+// sort-like call after the range statement, anywhere later in the
+// function body.
+func sortedAfter(p *Pass, enclosing *ast.BlockStmt, rng *ast.RangeStmt, slice types.Object) bool {
+	sorted := false
+	ast.Inspect(enclosing, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		if looksLikeSort(p.Info, call) && mentionsObject(p.Info, call, slice) {
+			sorted = true
+			return false
+		}
+		return !sorted
+	})
+	return sorted
+}

@@ -1,0 +1,7 @@
+package lintgo
+
+import "testing"
+
+func TestMapdet(t *testing.T) {
+	AnalysisTest(t, mapdetAnalyzer, "mapdet", "repro/x/mapdet")
+}

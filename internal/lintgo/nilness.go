@@ -1,0 +1,177 @@
+package lintgo
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// nilness is a focused replacement for the x/tools nilness analyzer
+// (unavailable here: the module has no external dependencies). It
+// flags uses of a value inside the very branch that just established
+// it is nil:
+//
+//	if inst == nil {
+//	    return inst.Facts() // boom
+//	}
+//
+// Tracked uses: pointer dereference and field access, method calls on
+// nil interfaces, writes to nil maps, indexing nil slices, calling nil
+// functions, and sending on nil channels. Tracking stops as soon as
+// the variable is reassigned inside the branch, and nested function
+// literals are skipped (they may run after a reassignment).
+var nilnessAnalyzer = &Analyzer{
+	Name: "nilness",
+	Doc:  "no use of a value inside the branch that proved it nil",
+	Run:  runNilness,
+}
+
+func runNilness(p *Pass) {
+	forEachFunc(p, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			ifStmt, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			obj := nilComparedObject(p, ifStmt.Cond)
+			if obj == nil {
+				return true
+			}
+			checkNilBranch(p, ifStmt.Body, obj)
+			return true
+		})
+	})
+}
+
+// nilComparedObject returns the variable x when cond is exactly
+// `x == nil` (either operand order) and x has a nilable type.
+func nilComparedObject(p *Pass, cond ast.Expr) types.Object {
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.EQL {
+		return nil
+	}
+	operand := ast.Unparen(bin.X)
+	if isNilIdent(p.Info, bin.X) {
+		operand = ast.Unparen(bin.Y)
+	} else if !isNilIdent(p.Info, bin.Y) {
+		return nil
+	}
+	id, ok := operand.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	obj := p.Info.Uses[id]
+	if obj == nil {
+		return nil
+	}
+	switch obj.Type().Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Signature, *types.Chan, *types.Interface:
+		return obj
+	}
+	return nil
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// checkNilBranch scans the then-block statement by statement, flagging
+// uses of obj that panic on nil, until obj is reassigned or the block
+// returns.
+func checkNilBranch(p *Pass, body *ast.BlockStmt, obj types.Object) {
+	for _, stmt := range body.List {
+		reportNilUses(p, stmt, obj)
+		if assignsObject(p.Info, stmt, obj) {
+			return
+		}
+		if _, isReturn := stmt.(*ast.ReturnStmt); isReturn {
+			return // statements after a top-level return are unreachable
+		}
+	}
+}
+
+// assignsObject reports whether the statement reassigns obj at its top
+// level.
+func assignsObject(info *types.Info, stmt ast.Stmt, obj types.Object) bool {
+	assign, ok := stmt.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range assign.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && info.Uses[id] == obj {
+			return true
+		}
+	}
+	return false
+}
+
+// reportNilUses flags the panicking uses of obj within one statement.
+func reportNilUses(p *Pass, stmt ast.Stmt, obj types.Object) {
+	isObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && p.Info.Uses[id] == obj
+	}
+	if send, ok := stmt.(*ast.SendStmt); ok && isObj(send.Chan) {
+		if _, isChan := obj.Type().Underlying().(*types.Chan); isChan {
+			p.Reportf(send.Pos(), "send on %s, which is nil on this branch; a send on a nil channel blocks forever", obj.Name())
+		}
+	}
+	mapWrites := map[*ast.IndexExpr]bool{}
+	if assign, ok := stmt.(*ast.AssignStmt); ok {
+		for _, lhs := range assign.Lhs {
+			if idx, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+				mapWrites[idx] = true
+			}
+		}
+	}
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.StarExpr:
+			if isObj(n.X) {
+				p.Reportf(n.Pos(), "dereference of %s, which is nil on this branch", obj.Name())
+			}
+		case *ast.SelectorExpr:
+			if !isObj(n.X) {
+				return true
+			}
+			sel := p.Info.Selections[n]
+			if sel == nil {
+				return true
+			}
+			switch obj.Type().Underlying().(type) {
+			case *types.Pointer:
+				if sel.Kind() == types.FieldVal {
+					p.Reportf(n.Pos(), "field access %s.%s, but %s is nil on this branch", obj.Name(), n.Sel.Name, obj.Name())
+				}
+			case *types.Interface:
+				p.Reportf(n.Pos(), "method call on %s, which is a nil interface on this branch", obj.Name())
+			}
+		case *ast.IndexExpr:
+			if !isObj(n.X) {
+				return true
+			}
+			switch obj.Type().Underlying().(type) {
+			case *types.Slice:
+				p.Reportf(n.Pos(), "index of %s, which is a nil (empty) slice on this branch", obj.Name())
+			case *types.Map:
+				if mapWrites[n] {
+					p.Reportf(n.Pos(), "assignment to entry of %s, which is a nil map on this branch", obj.Name())
+				}
+			}
+		case *ast.CallExpr:
+			if isObj(n.Fun) {
+				if _, isFunc := obj.Type().Underlying().(*types.Signature); isFunc {
+					p.Reportf(n.Pos(), "call of %s, which is a nil function on this branch", obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}

@@ -1,0 +1,7 @@
+package lintgo
+
+import "testing"
+
+func TestNilness(t *testing.T) {
+	AnalysisTest(t, nilnessAnalyzer, "nilness", "repro/x/nilness")
+}

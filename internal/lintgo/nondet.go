@@ -1,0 +1,146 @@
+package lintgo
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// nondet bans ambient nondeterminism from the packages the chase can
+// reach. The engine's contract — PR 2's byte-identical parity suites,
+// PR 5's resumable chase — requires that a run is a pure function of
+// (setting, instance, options, seed). Inside the engine packages the
+// analyzer flags:
+//
+//   - wall-clock reads: time.Now, time.Since, time.Until (deadlines
+//     belong to the caller's context, timing to the bench harness);
+//   - the global math/rand source: package-level rand.Intn,
+//     rand.Shuffle, ... (a seeded *rand.Rand threaded from the caller
+//     is fine, and is what oracle/graph already do);
+//   - order-dependent iteration over the engine's count maps —
+//     rel.Instance.TupleCounts() results and hom.Delta watermarks —
+//     when a loop-derived value escapes into a slice without a sort,
+//     into output, or into a function call.
+var nondetAnalyzer = &Analyzer{
+	Name: "nondet",
+	Doc:  "no wall clocks, global rand, or unsorted count-map iteration in engine packages",
+	Run:  runNondet,
+}
+
+// nondetPackages are the chase-reachable engine packages.
+var nondetPackages = map[string]bool{
+	"repro/internal/rel":        true,
+	"repro/internal/dep":        true,
+	"repro/internal/hom":        true,
+	"repro/internal/chase":      true,
+	"repro/internal/core":       true,
+	"repro/internal/uni":        true,
+	"repro/internal/certain":    true,
+	"repro/internal/datalog":    true,
+	"repro/internal/pdms":       true,
+	"repro/internal/repair":     true,
+	"repro/internal/oracle":     true,
+	"repro/internal/reductions": true,
+	"repro/internal/graph":      true,
+}
+
+func runNondet(p *Pass) {
+	if !nondetPackages[p.Path()] {
+		return
+	}
+	forEachFunc(p, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkAmbientCall(p, n)
+			case *ast.RangeStmt:
+				if countMap, ok := countMapRange(p, n); ok {
+					checkCountMapRange(p, body, n, countMap)
+				}
+			}
+			return true
+		})
+	})
+}
+
+// checkAmbientCall flags wall-clock and global-rand calls.
+func checkAmbientCall(p *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(p.Info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			p.Reportf(call.Pos(), "time.%s in an engine package; wall-clock reads make runs irreproducible — deadlines come from the caller's Ctx, timing belongs to the bench harness", fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		if fn.Type().(*types.Signature).Recv() != nil {
+			return // methods on a caller-seeded *rand.Rand are fine
+		}
+		switch fn.Name() {
+		case "New", "NewSource", "NewPCG", "NewChaCha8", "NewZipf":
+			return // constructors around an explicit seed
+		}
+		p.Reportf(call.Pos(), "package-level rand.%s uses the shared global source; thread a seeded *rand.Rand from the caller instead", fn.Name())
+	}
+}
+
+// countMapRange reports whether the range iterates one of the engine's
+// count maps, and names it for the report.
+func countMapRange(p *Pass, rng *ast.RangeStmt) (string, bool) {
+	if t := p.Info.TypeOf(rng.X); t != nil && namedTypeIs(t, "repro/internal/hom", "Delta") {
+		return "hom.Delta", true
+	}
+	if call, ok := ast.Unparen(rng.X).(*ast.CallExpr); ok {
+		if fn := calleeFunc(p.Info, call); fn != nil && fn.Name() == "TupleCounts" {
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil && namedTypeIs(recv.Type(), relPkgPath, "Instance") {
+				return "TupleCounts()", true
+			}
+		}
+	}
+	return "", false
+}
+
+// checkCountMapRange applies a stricter rule than mapdet to count-map
+// iteration: beyond unsorted appends and output sinks, any call that
+// consumes a loop variable is order-dependent work and is flagged.
+// The canonical idiom — collect the relation names, sort, re-index —
+// stays silent.
+func checkCountMapRange(p *Pass, enclosing *ast.BlockStmt, rng *ast.RangeStmt, countMap string) {
+	checkMapRange(p, enclosing, rng)
+	loopVars := loopVarObjects(p.Info, rng)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if target, _ := appendTarget(p.Info, call); target != nil || looksLikeSort(p.Info, call) {
+			return true
+		}
+		if _, ok := p.Info.Uses[identOf(call.Fun)].(*types.Builtin); ok {
+			return true
+		}
+		for _, arg := range call.Args {
+			for _, obj := range loopVars {
+				if mentionsObject(p.Info, arg, obj) {
+					p.Reportf(call.Pos(), "call consumes a loop variable of a range over %s; iteration order is nondeterministic — sort the relation names first", countMap)
+					return false
+				}
+			}
+		}
+		return true
+	})
+}
+
+// identOf returns the identifier of a call target, unwrapping parens
+// and selectors.
+func identOf(e ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	}
+	return nil
+}

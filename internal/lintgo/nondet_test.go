@@ -1,0 +1,13 @@
+package lintgo
+
+import "testing"
+
+func TestNondet(t *testing.T) {
+	AnalysisTest(t, nondetAnalyzer, "nondet", "repro/internal/chase")
+}
+
+// TestNondetOutOfScope checks that the bench harness and server side
+// may keep their wall clocks.
+func TestNondetOutOfScope(t *testing.T) {
+	AnalysisTest(t, nondetAnalyzer, "nondet_scope", "repro/x/other")
+}

@@ -1,0 +1,134 @@
+package lintgo
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// sentinelwrap keeps the error-sentinel contract intact: callers match
+// cancellation and budget exhaustion with errors.Is(err,
+// par.ErrCanceled) / errors.Is(err, core.ErrSearchBudget), so any code
+// that reformats such an error must wrap it with %w. The analyzer
+// flags:
+//
+//   - a sentinel error (an exported Err* variable from a repro
+//     package, or context.Canceled / context.DeadlineExceeded) passed
+//     to fmt.Errorf under a verb other than %w — the resulting error
+//     no longer matches errors.Is;
+//   - in the solver packages, a fresh errors.New / non-wrapping
+//     fmt.Errorf whose text talks about cancellation or budgets —
+//     a shadow sentinel that silently diverges from the real one.
+var sentinelwrapAnalyzer = &Analyzer{
+	Name: "sentinelwrap",
+	Doc:  "sentinel errors must be wrapped with %w, never reformatted or shadowed",
+	Run:  runSentinelwrap,
+}
+
+// sentinelShadowPackages are the packages where inventing a fresh
+// cancel/budget error is flagged (the packages that own or forward the
+// real sentinels).
+var sentinelShadowPackages = map[string]bool{
+	"repro/internal/chase":   true,
+	"repro/internal/core":    true,
+	"repro/internal/hom":     true,
+	"repro/internal/uni":     true,
+	"repro/internal/certain": true,
+	"repro/pde":              true,
+}
+
+// shadowTextRE matches the states owned by the real sentinels
+// (cancellation, exhausted budgets) without catching option-validation
+// messages that merely mention the word "budget".
+var shadowTextRE = regexp.MustCompile(`(?i)\b(cancell?ed|budget (exhausted|exceeded)|exhausted .*budget)\b`)
+
+func runSentinelwrap(p *Pass) {
+	shadowScope := sentinelShadowPackages[p.Path()]
+	forEachFunc(p, func(decl *ast.FuncDecl, body *ast.BlockStmt) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			switch {
+			case isFuncNamed(fn, "fmt", "Errorf"):
+				checkErrorf(p, call, shadowScope)
+			case isFuncNamed(fn, "errors", "New") && shadowScope:
+				if text, ok := constString(p.Info, call.Args[0]); ok && shadowTextRE.MatchString(text) {
+					p.Reportf(call.Pos(), "errors.New(%q) creates a shadow sentinel; wrap the real cancellation/budget sentinel with %%w so errors.Is keeps matching", text)
+				}
+			}
+			return true
+		})
+	})
+}
+
+// checkErrorf inspects one fmt.Errorf call for sentinel arguments
+// under non-wrapping verbs, and (in shadow scope) for cancel/budget
+// text with no %w at all.
+func checkErrorf(p *Pass, call *ast.CallExpr, shadowScope bool) {
+	if len(call.Args) == 0 {
+		return
+	}
+	format, haveFormat := constString(p.Info, call.Args[0])
+	verbs, verbsOK := []byte(nil), false
+	if haveFormat {
+		verbs, verbsOK = printfVerbs(format)
+	}
+	wraps := false
+	if verbsOK {
+		for _, v := range verbs {
+			if v == 'w' {
+				wraps = true
+			}
+		}
+	}
+	for i, arg := range call.Args[1:] {
+		obj := usedObject(p.Info, arg)
+		if !isSentinelError(obj) {
+			continue
+		}
+		if !verbsOK {
+			continue // indexed verbs: cannot match args to verbs
+		}
+		if i < len(verbs) && verbs[i] == 'w' {
+			continue
+		}
+		p.Reportf(arg.Pos(), "sentinel %s.%s formatted without %%w; errors.Is on the result will no longer match — use %%w", obj.Pkg().Name(), obj.Name())
+	}
+	if shadowScope && haveFormat && verbsOK && !wraps && shadowTextRE.MatchString(format) {
+		p.Reportf(call.Pos(), "fmt.Errorf(%q) creates a shadow sentinel; wrap the real cancellation/budget sentinel with %%w so errors.Is keeps matching", format)
+	}
+}
+
+// isSentinelError reports whether obj is a sentinel error variable:
+// an Err*-named package-level error from this module, or one of the
+// context package's sentinels.
+func isSentinelError(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	errType := types.Universe.Lookup("error").Type()
+	if !types.AssignableTo(v.Type(), errType) {
+		return false
+	}
+	path := v.Pkg().Path()
+	if path == "context" {
+		return v.Name() == "Canceled" || v.Name() == "DeadlineExceeded"
+	}
+	return strings.HasPrefix(v.Name(), "Err") &&
+		(path == "repro" || strings.HasPrefix(path, "repro/"))
+}
+
+// constString returns the constant string value of an expression.
+func constString(info *types.Info, e ast.Expr) (string, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}

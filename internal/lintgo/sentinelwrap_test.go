@@ -1,0 +1,13 @@
+package lintgo
+
+import "testing"
+
+func TestSentinelwrap(t *testing.T) {
+	AnalysisTest(t, sentinelwrapAnalyzer, "sentinelwrap", "repro/internal/chase")
+}
+
+// TestSentinelwrapOutOfScope checks that the shadow-sentinel rule is
+// confined to the solver packages.
+func TestSentinelwrapOutOfScope(t *testing.T) {
+	AnalysisTest(t, sentinelwrapAnalyzer, "sentinelwrap_scope", "repro/x/other")
+}

@@ -1,0 +1,77 @@
+// Package ctxpoll exercises the cancellation-polling analyzer. The
+// test type-checks it under an in-scope engine import path.
+package ctxpoll
+
+import "context"
+
+func unpolled(ctx context.Context) int {
+	i := 0
+	for { // want `unbounded for-loop without a context poll`
+		i++
+		if i > 1000 {
+			break
+		}
+	}
+	_ = ctx
+	return i
+}
+
+func directPoll(ctx context.Context) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+}
+
+func selectPoll(ctx context.Context, ch chan int) int {
+	total := 0
+	for {
+		select {
+		case v := <-ch:
+			total += v
+		case <-ctx.Done():
+			return total
+		}
+	}
+}
+
+type state struct{ ctx context.Context }
+
+func (s *state) ctxErr() error { return s.ctx.Err() }
+
+func (s *state) helperPoll() error {
+	for {
+		if err := s.ctxErr(); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *state) round() error { return s.ctxErr() }
+
+func (s *state) transitivePoll() error {
+	for {
+		if err := s.round(); err != nil {
+			return err
+		}
+	}
+}
+
+func (s *state) neverPolls() int {
+	n := 0
+	for { // want `unbounded for-loop without a context poll`
+		n++
+		if n > 10 {
+			return n
+		}
+	}
+}
+
+func bounded(n int) int {
+	total := 0
+	for i := 0; i < n; i++ { // ok: not an unbounded loop
+		total += i
+	}
+	return total
+}

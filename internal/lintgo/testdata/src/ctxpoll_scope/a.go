@@ -1,0 +1,14 @@
+// Package ctxpollscope holds an unpolled unbounded loop with no want
+// comments: type-checked under a non-engine import path, the ctxpoll
+// analyzer must stay silent.
+package ctxpollscope
+
+func spin() {
+	n := 0
+	for { // no diagnostic: package out of ctxpoll scope
+		n++
+		if n > 100 {
+			return
+		}
+	}
+}

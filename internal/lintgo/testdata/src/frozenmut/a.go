@@ -1,0 +1,74 @@
+// Package frozenmut exercises the freeze-after-build analyzer.
+package frozenmut
+
+import (
+	"repro/internal/par"
+	"repro/internal/rel"
+)
+
+func freezeThenMutate() {
+	inst := rel.NewInstance()
+	inst.Add("R", rel.Const("a"))
+	inst.Freeze()
+	inst.Add("R", rel.Const("b")) // want `Add called on inst, frozen at line`
+}
+
+func freezeThenClone() {
+	inst := rel.NewInstance()
+	inst.Freeze()
+	j := inst.Clone()
+	j.Add("R", rel.Const("a")) // ok: the clone is mutable
+}
+
+func reassignClears() {
+	inst := rel.NewInstance()
+	inst.Freeze()
+	inst = rel.NewInstance()
+	inst.Add("R", rel.Const("a")) // ok: reassigned to a fresh instance
+}
+
+type holder struct{ inst *rel.Instance }
+
+func fieldReceiver(s *holder) {
+	s.inst.Freeze()
+	s.inst.AddTuple("R", rel.Tuple{rel.Const("x")}) // want `AddTuple called on s.inst, frozen at line`
+}
+
+func mutateBeforeFreeze() {
+	inst := rel.NewInstance()
+	inst.Add("R", rel.Const("a")) // ok: not frozen yet
+	inst.Freeze()
+}
+
+func parDoMutation(shared *rel.Instance) {
+	par.Do(4, 2, 1, func(task int) {
+		shared.Add("R", rel.Const("x")) // want `Add mutates captured instance shared inside a par.Do worker`
+	})
+}
+
+func parDoLocalInstance() {
+	par.Do(4, 2, 1, func(task int) {
+		local := rel.NewInstance()
+		local.Add("R", rel.Const("x")) // ok: declared inside the closure
+	})
+}
+
+func firstRejectMutation(shared *rel.Instance) {
+	par.FirstReject(4, 2, func(task int) bool {
+		shared.AddAll(rel.NewInstance()) // want `AddAll mutates captured instance shared inside a par.FirstReject worker`
+		return true
+	})
+}
+
+func goMutation(shared *rel.Instance, done chan struct{}) {
+	go func() {
+		shared.AddFact(rel.Fact{}) // want `AddFact mutates captured instance shared inside a goroutine`
+		close(done)
+	}()
+}
+
+func goReadOnly(shared *rel.Instance, out chan int) {
+	go func() {
+		out <- shared.NumFacts() // ok: reads are safe on a frozen shared instance
+	}()
+}

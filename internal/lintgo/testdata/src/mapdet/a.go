@@ -1,0 +1,83 @@
+// Package mapdet exercises the map-iteration-determinism analyzer.
+package mapdet
+
+import (
+	"fmt"
+	"sort"
+)
+
+func leakUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside range over map without a later sort`
+	}
+	return out
+}
+
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // ok: sorted below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedByHelper(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // ok: local sort helper below
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(ks []string) { sort.Strings(ks) }
+
+func printInLoop(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `output written inside range over map`
+	}
+}
+
+func countOnly(m map[string]int) int {
+	n := 0
+	for range m {
+		n++ // ok: nothing order-dependent escapes
+	}
+	return n
+}
+
+func appendConstant(m map[string]int) []int {
+	var out []int
+	for range m {
+		out = append(out, 1) // ok: appended value independent of iteration order
+	}
+	return out
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string)
+	for k, v := range m {
+		out[v] = k // ok: writes into a map, order-irrelevant
+	}
+	return out
+}
+
+func innerSliceRange(m map[string][]string) {
+	for _, vs := range m {
+		var local []string
+		for _, v := range vs {
+			local = append(local, v) // ok: slice iteration into a loop-local slice
+		}
+		_ = local
+	}
+}
+
+func valueSum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // ok: commutative accumulation
+	}
+	return total
+}

@@ -1,0 +1,113 @@
+// Package nilness exercises the nil-branch-use analyzer.
+package nilness
+
+type node struct {
+	next *node
+	val  int
+}
+
+func (n *node) len() int {
+	if n == nil {
+		return 0
+	}
+	return 1 + n.next.len()
+}
+
+func derefField(p *node) int {
+	if p == nil {
+		return p.val // want `field access p.val, but p is nil on this branch`
+	}
+	return p.val
+}
+
+func derefStar(p *int) int {
+	if p == nil {
+		return *p // want `dereference of p, which is nil on this branch`
+	}
+	return *p
+}
+
+func reversedOperands(p *node) int {
+	if nil == p {
+		return p.val // want `field access p.val, but p is nil on this branch`
+	}
+	return 0
+}
+
+func reassignedFirst(p *node) int {
+	if p == nil {
+		p = &node{}
+		return p.val // ok: reassigned before use
+	}
+	return p.val
+}
+
+func nilMapWrite(m map[string]int) {
+	if m == nil {
+		m["x"] = 1 // want `assignment to entry of m, which is a nil map`
+	}
+}
+
+func nilMapRead(m map[string]int) int {
+	if m == nil {
+		return m["x"] // ok: reads of nil maps are well-defined
+	}
+	return 0
+}
+
+func nilSliceIndex(s []int) int {
+	if s == nil {
+		return s[0] // want `index of s, which is a nil \(empty\) slice`
+	}
+	return s[0]
+}
+
+func nilFuncCall(f func() int) int {
+	if f == nil {
+		return f() // want `call of f, which is a nil function`
+	}
+	return f()
+}
+
+func nilChanSend(c chan int) {
+	if c == nil {
+		c <- 1 // want `send on c, which is nil on this branch`
+	}
+}
+
+type reader interface{ read() int }
+
+func nilInterfaceCall(r reader) int {
+	if r == nil {
+		return r.read() // want `method call on r, which is a nil interface`
+	}
+	return r.read()
+}
+
+func nilReceiverIdiom(p *node) int {
+	if p == nil {
+		return p.len() // ok: nil-receiver methods are a supported idiom
+	}
+	return p.len()
+}
+
+func guardReturns(p *node) int {
+	if p == nil {
+		return 0 // ok: plain guard
+	}
+	return p.val
+}
+
+func notNilBranch(p *node) int {
+	if p != nil {
+		return p.val // ok: branch proves non-nil
+	}
+	return 0
+}
+
+func deferredUse(p *node) func() int {
+	if p == nil {
+		return func() int { return p.val } // ok: closures are skipped, p may be set later
+	}
+	return nil
+}

@@ -1,0 +1,73 @@
+// Package nondet exercises the ambient-nondeterminism analyzer. The
+// test type-checks it under an in-scope engine import path.
+package nondet
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/hom"
+	"repro/internal/rel"
+)
+
+func wallClock() int64 {
+	return time.Now().UnixNano() // want `time.Now in an engine package`
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `time.Since in an engine package`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `package-level rand.Intn uses the shared global source`
+}
+
+func seededRand(rng *rand.Rand) int {
+	return rng.Intn(10) // ok: caller-seeded source
+}
+
+func newSeeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // ok: constructors around an explicit seed
+}
+
+func unsortedCounts(inst *rel.Instance) []string {
+	var names []string
+	for name := range inst.TupleCounts() {
+		names = append(names, name) // want `append to names inside range over map without a later sort`
+	}
+	return names
+}
+
+func sortedCounts(inst *rel.Instance) []string {
+	var names []string
+	for name := range inst.TupleCounts() {
+		names = append(names, name) // ok: sorted below
+	}
+	sort.Strings(names)
+	return names
+}
+
+func orderDependentCall(d hom.Delta) {
+	for name, n := range d {
+		record(name, n) // want `call consumes a loop variable of a range over hom.Delta`
+	}
+}
+
+func record(string, int) {}
+
+func deltaToMap(d hom.Delta) map[string]int {
+	out := make(map[string]int)
+	for name, n := range d {
+		out[name] = n // ok: map write, order-irrelevant
+	}
+	return out
+}
+
+func deltaTotal(d hom.Delta) int {
+	total := 0
+	for _, n := range d {
+		total += n // ok: commutative accumulation
+	}
+	return total
+}

@@ -1,0 +1,13 @@
+// Package nondetscope holds wall-clock and global-rand calls and no
+// expectations: type-checked under a non-engine import path (the
+// bench harness, the server), nondet must stay silent.
+package nondetscope
+
+import (
+	"math/rand"
+	"time"
+)
+
+func benchTiming() (time.Time, int) {
+	return time.Now(), rand.Intn(10) // no diagnostic: package out of engine scope
+}

@@ -1,0 +1,51 @@
+// Package sentinelwrap exercises the sentinel-wrapping analyzer. The
+// test type-checks it under an in-scope solver import path so the
+// shadow-sentinel rule applies.
+package sentinelwrap
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/par"
+)
+
+func reformat(err error) error {
+	if errors.Is(err, par.ErrCanceled) {
+		return fmt.Errorf("search stopped: %v", par.ErrCanceled) // want `sentinel par.ErrCanceled formatted without %w`
+	}
+	return err
+}
+
+func wrapped(steps int) error {
+	return fmt.Errorf("chase stopped after %d steps: %w", steps, par.ErrCanceled) // ok: %w keeps errors.Is matching
+}
+
+func stringified() string {
+	return fmt.Errorf("got: %s", par.ErrCanceled).Error() // want `sentinel par.ErrCanceled formatted without %w`
+}
+
+func contextSentinel() error {
+	return fmt.Errorf("deadline hit: %v", context.DeadlineExceeded) // want `sentinel context.DeadlineExceeded formatted without %w`
+}
+
+func shadowNew() error {
+	return errors.New("chase canceled") // want `creates a shadow sentinel`
+}
+
+func shadowErrorf(n int) error {
+	return fmt.Errorf("budget exhausted after %d steps", n) // want `creates a shadow sentinel`
+}
+
+func harmlessNew() error {
+	return errors.New("no homomorphism found") // ok: unrelated text
+}
+
+func wrappedBudget(err error) error {
+	return fmt.Errorf("chase budget exhausted: %w", err) // ok: wraps the underlying error
+}
+
+func validationMessage(budget int) error {
+	return fmt.Errorf("chase budget %d must be positive", budget) // ok: option validation, not a sentinel state
+}

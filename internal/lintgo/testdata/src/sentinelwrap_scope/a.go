@@ -1,0 +1,11 @@
+// Package sentinelwrapscope holds a shadow sentinel with no want
+// comments: outside the solver packages the shadow rule must stay
+// silent. The %w rule for real sentinels applies everywhere, so this
+// file only uses plain errors.
+package sentinelwrapscope
+
+import "errors"
+
+func localCancelError() error {
+	return errors.New("operation canceled by user") // no diagnostic: package out of shadow scope
+}

@@ -1,0 +1,30 @@
+// Package suppress exercises //lint:ignore handling: every violation
+// here carries a well-formed directive, so the suite must report
+// nothing.
+package suppress
+
+func directiveAbove(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//lint:ignore pdxlint/mapdet membership probe, order never observed
+		out = append(out, k)
+	}
+	return out
+}
+
+func directiveSameLine(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) //lint:ignore pdxlint/mapdet membership probe, order never observed
+	}
+	return out
+}
+
+func foreignDirective(m map[string]int) map[int]bool {
+	out := make(map[int]bool)
+	for _, v := range m {
+		//lint:ignore S1036 staticcheck-style directive for another tool
+		out[v] = true
+	}
+	return out
+}

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"math/bits"
 	"math/rand"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/dep"
@@ -62,6 +63,9 @@ func ExhaustiveSOL(s *core.Setting, i, j *rel.Instance, cfg Config) (bool, error
 	for v := range rel.Union(i, j).ActiveDomain() {
 		dom = append(dom, v)
 	}
+	// Candidate enumeration (and thus witness choice and error text)
+	// must not depend on map iteration order.
+	sort.Slice(dom, func(a, b int) bool { return dom[a].Less(dom[b]) })
 	for f := 0; f < cfg.freshValues(); f++ {
 		dom = append(dom, rel.Const(fmt.Sprintf("fresh%d", f+1)))
 	}

@@ -15,6 +15,7 @@ package pdms
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/chase"
 	"repro/internal/core"
@@ -150,8 +151,15 @@ func (p *PDMS) definitionalViolations(d DataInstance, opts hom.Options) []string
 	if err != nil {
 		return []string{fmt.Sprintf("definitional mappings: %v", err)}
 	}
-	var out []string
+	// Violations are reported (and asserted on in tests) in relation
+	// order, not map iteration order.
+	idb := make([]string, 0, len(p.Definitional.IDB()))
 	for relName := range p.Definitional.IDB() {
+		idb = append(idb, relName)
+	}
+	sort.Strings(idb)
+	var out []string
+	for _, relName := range idb {
 		have := relationFacts(d.Peers, relName)
 		want := relationFacts(fix, relName)
 		if len(have) != len(want) {

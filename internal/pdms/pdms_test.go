@@ -1,6 +1,7 @@
 package pdms_test
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -206,5 +207,43 @@ func TestFromPDEHasNoDefinitionalMappings(t *testing.T) {
 	}
 	if p.Definitional != nil {
 		t.Error("the paper's N(P) construction must not produce definitional mappings")
+	}
+}
+
+func TestDefinitionalViolationOrderIsDeterministic(t *testing.T) {
+	// Two defined relations, both violated: the report must come out in
+	// relation order on every run, not in map iteration order.
+	p := &pdms.PDMS{
+		Name:        "multi",
+		PeerSchemas: rel.SchemaOf("Link", 2, "Fwd", 2, "Rev", 2),
+		Definitional: &datalog.Program{Rules: []datalog.Rule{
+			{
+				Label: "fwd",
+				Head:  dep.NewAtom("Fwd", dep.Var("x"), dep.Var("y")),
+				Body:  []dep.Atom{dep.NewAtom("Link", dep.Var("x"), dep.Var("y"))},
+			},
+			{
+				Label: "rev",
+				Head:  dep.NewAtom("Rev", dep.Var("y"), dep.Var("x")),
+				Body:  []dep.Atom{dep.NewAtom("Link", dep.Var("x"), dep.Var("y"))},
+			},
+		}},
+	}
+	peers := rel.NewInstance()
+	peers.Add("Link", rel.Const("a"), rel.Const("b"))
+	d := pdms.DataInstance{Local: rel.NewInstance(), Peers: peers}
+
+	first := p.Inconsistencies(d, hom.Options{})
+	if len(first) != 2 {
+		t.Fatalf("got %d violations, want 2: %v", len(first), first)
+	}
+	if !strings.Contains(first[0], "Fwd") || !strings.Contains(first[1], "Rev") {
+		t.Errorf("violations not in relation order: %v", first)
+	}
+	for run := 0; run < 20; run++ {
+		again := p.Inconsistencies(d, hom.Options{})
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("violation order changed between runs:\n%v\n%v", first, again)
+		}
 	}
 }

@@ -73,6 +73,14 @@ func CanonicalSolution(s *core.Setting, i, j *rel.Instance, opts chase.Options) 
 func Core(k *rel.Instance, opts hom.Options) *rel.Instance {
 	cur := k.Clone()
 	for {
+		// The shrink fixpoint is unbounded in the instance size, so it
+		// must poll like every other hot loop. As with the hom searches
+		// it wraps, a canceled run returns the instance shrunk so far,
+		// which need not be the core: callers that set opts.Ctx MUST
+		// check Ctx.Err() afterwards and discard the result when non-nil.
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			return cur
+		}
 		shrunk := false
 		for _, block := range hom.Blocks(cur) {
 			if len(block.Nulls) == 0 {

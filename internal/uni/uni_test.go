@@ -1,6 +1,7 @@
 package uni_test
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -298,5 +299,27 @@ func TestCoreChainedBlocks(t *testing.T) {
 	}
 	if c.NumFacts() != 2 {
 		t.Errorf("core = %d facts, want the 2 ground facts:\n%s", c.NumFacts(), c)
+	}
+}
+
+func TestCoreCanceledContextReturnsEarly(t *testing.T) {
+	// A pre-canceled context must stop the shrink fixpoint before the
+	// first round: Core returns the (cloned) input untouched, and the
+	// caller contract is to check Ctx.Err and discard it.
+	k := rel.NewInstance()
+	k.Add("E", rel.Const("a"), rel.Null(1))
+	k.Add("E", rel.Const("a"), rel.Const("b"))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := uni.Core(k, hom.Options{Ctx: ctx})
+	if ctx.Err() == nil {
+		t.Fatal("context should be canceled")
+	}
+	if c.NumFacts() != k.NumFacts() {
+		t.Errorf("canceled Core still shrank the instance: %d -> %d facts", k.NumFacts(), c.NumFacts())
+	}
+	// The input itself must not have been mutated.
+	if k.NumFacts() != 2 {
+		t.Errorf("input mutated: %d facts", k.NumFacts())
 	}
 }

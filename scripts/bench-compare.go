@@ -113,10 +113,15 @@ func main() {
 			fmt.Printf("%-40s   nodes changed: %d -> %d\n", "", b.Nodes, c.Nodes)
 		}
 	}
+	var retired []string
 	for name := range baseByName {
 		if _, ok := curByName[name]; !ok {
-			fmt.Printf("%-40s retired (baseline only)\n", name)
+			retired = append(retired, name)
 		}
+	}
+	sort.Strings(retired)
+	for _, name := range retired {
+		fmt.Printf("%-40s retired (baseline only)\n", name)
 	}
 
 	if len(regressions) > 0 {

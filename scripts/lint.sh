@@ -1,0 +1,64 @@
+#!/usr/bin/env bash
+# lint.sh — the full local lint stack, in the same order CI runs it.
+#
+#   gofmt          formatting (fails on any unformatted file)
+#   go vet         the standard vet suite
+#   go vet (extra) copylocks + lostcancel explicitly, so a vet-default
+#                  change upstream can't silently drop them
+#   pdxlint        the repo's own analyzers (internal/lintgo) run as a
+#                  -vettool backend; zero diagnostics required
+#   go test        the analyzer test suites themselves
+#   staticcheck    only if installed (CI installs it; local runs skip)
+#   govulncheck    only if installed (never installed by this script)
+#
+# The script installs nothing: optional tools are gated on `command -v`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+
+echo "== gofmt"
+unformatted=$(gofmt -l . 2>/dev/null | grep -v '^internal/lintgo/testdata/' || true)
+if [ -n "$unformatted" ]; then
+  echo "unformatted files:"
+  echo "$unformatted"
+  fail=1
+fi
+
+echo "== go vet ./..."
+go vet ./... || fail=1
+
+echo "== go vet -copylocks -lostcancel ./..."
+go vet -copylocks -lostcancel ./... || fail=1
+
+echo "== pdxlint (go vet -vettool)"
+mkdir -p bin
+go build -o bin/pdxlint ./cmd/pdxlint
+if go vet -vettool="$PWD/bin/pdxlint" ./...; then
+  echo "pdxlint: 0 diagnostics"
+else
+  fail=1
+fi
+
+echo "== go test ./internal/lintgo/... ./internal/lint/..."
+go test ./internal/lintgo/... ./internal/lint/... || fail=1
+
+if command -v staticcheck >/dev/null 2>&1; then
+  echo "== staticcheck ./..."
+  staticcheck ./... || fail=1
+else
+  echo "== staticcheck: not installed, skipping"
+fi
+
+if command -v govulncheck >/dev/null 2>&1; then
+  echo "== govulncheck ./..."
+  govulncheck ./... || fail=1
+else
+  echo "== govulncheck: not installed, skipping"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  echo "lint: FAIL"
+  exit 1
+fi
+echo "lint: OK"
