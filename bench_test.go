@@ -13,6 +13,7 @@ import (
 	"repro/internal/certain"
 	"repro/internal/chase"
 	"repro/internal/core"
+	"repro/internal/dep"
 	"repro/internal/graph"
 	"repro/internal/hom"
 	"repro/internal/pdms"
@@ -671,4 +672,76 @@ func BenchmarkChaseDeepRecursion(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkChaseEgdMerge (EXP-UF): egd-merge scaling on the keyed LAV
+// workload, where every person contributes exactly one key-egd merge.
+// The union-find engine rewrites only the tuples that mention a merged
+// value (near-linear total work), while the RebuildMerges ablation
+// replays the legacy engine: each merge rebuilds the instance and
+// resets every watermark, so the chase re-enumerates all triggers
+// after every merge — Θ(n²) tuple work across n merges.
+func BenchmarkChaseEgdMerge(b *testing.B) {
+	s := workload.KeyedLAVSetting()
+	deps := append(append([]dep.Dependency{}, s.StDeps()...), s.T...)
+	for _, n := range []int{100, 400, 1600} {
+		i, j := workload.KeyedLAVInstance(n)
+		start := rel.Union(i, j)
+		for _, rebuild := range []bool{false, true} {
+			mode := "uf"
+			if rebuild {
+				mode = "rebuild"
+			}
+			b.Run(fmt.Sprintf("keyedlav/n=%d/%s", n, mode), func(b *testing.B) {
+				b.ReportAllocs()
+				for it := 0; it < b.N; it++ {
+					res, err := chase.Run(start, deps, chase.Options{RebuildMerges: rebuild})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Failed || res.Merges != n {
+						b.Fatalf("failed=%v merges=%d want %d", res.Failed, res.Merges, n)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkChaseKeyedResume (EXP-UF): warm append on a keyed setting.
+// The cold path re-chases the enlarged start from scratch; the warm
+// path resumes from the retained fixpoint + union-find, canonicalizes
+// the appended facts through the merge classes, and only chases the
+// delta. Before the union-find engine, any egd-bearing setting forced
+// the cold path.
+func BenchmarkChaseKeyedResume(b *testing.B) {
+	s := workload.KeyedLAVSetting()
+	deps := append(append([]dep.Dependency{}, s.StDeps()...), s.T...)
+	const n, k = 1600, 16
+	i, j := workload.KeyedLAVInstance(n)
+	start := rel.Union(i, j)
+	prev, err := chase.Run(start, deps, chase.Options{})
+	if err != nil || prev.Failed {
+		b.Fatalf("base chase: failed=%v err=%v", prev != nil && prev.Failed, err)
+	}
+	delta := workload.KeyedLAVAppend(n, k)
+	b.Run(fmt.Sprintf("keyedlav/n=%d/k=%d/warm", n, k), func(b *testing.B) {
+		b.ReportAllocs()
+		for it := 0; it < b.N; it++ {
+			res, resumed, err := chase.Resume(prev, deps, delta, chase.Options{})
+			if err != nil || !resumed || res.Failed {
+				b.Fatalf("resumed=%v failed=%v err=%v", resumed, res != nil && res.Failed, err)
+			}
+		}
+	})
+	cold := rel.Union(start, delta)
+	b.Run(fmt.Sprintf("keyedlav/n=%d/k=%d/cold", n, k), func(b *testing.B) {
+		b.ReportAllocs()
+		for it := 0; it < b.N; it++ {
+			res, err := chase.Run(cold, deps, chase.Options{})
+			if err != nil || res.Failed {
+				b.Fatalf("failed=%v err=%v", res != nil && res.Failed, err)
+			}
+		}
+	})
 }

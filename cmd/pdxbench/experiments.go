@@ -938,7 +938,7 @@ func expCache(w io.Writer) error {
 		resume := timed(func() {
 			var resumed bool
 			var err error
-			next, resumed, err = core.ResumeCanonicalTractable(s, trace, delta, core.TractableOptions{})
+			next, resumed, _, err = core.ResumeCanonicalTractable(s, trace, delta, core.TractableOptions{})
 			if err != nil || !resumed {
 				panic(fmt.Sprintf("resume lav n=%d: resumed=%v err=%v", n, resumed, err))
 			}

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/chase"
 	"repro/internal/core"
+	"repro/internal/dep"
 	"repro/internal/graph"
 	"repro/internal/reductions"
 	"repro/internal/rel"
@@ -34,6 +35,10 @@ type benchRecord struct {
 	// Nodes is the generic-solver search-node count of one operation
 	// (0 when the benchmark does not search).
 	Nodes int64 `json:"nodes,omitempty"`
+	// Merges and Finds are the union-find egd-engine counters of one
+	// operation (0 when the benchmark fires no egds).
+	Merges int `json:"merges,omitempty"`
+	Finds  int `json:"finds,omitempty"`
 }
 
 type benchReport struct {
@@ -162,7 +167,7 @@ func jsonBenchSuite() (*benchReport, error) {
 		var steps int
 		rec = record("lav-resume/n=1600/append=16", &steps, nil, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				next, resumed, err := core.ResumeCanonicalTractable(s, trace, delta, core.TractableOptions{})
+				next, resumed, _, err := core.ResumeCanonicalTractable(s, trace, delta, core.TractableOptions{})
 				if err != nil || !resumed {
 					b.Fatalf("lav resume: resumed=%v err=%v", resumed, err)
 				}
@@ -217,6 +222,62 @@ func jsonBenchSuite() (*benchReport, error) {
 		rep.Benchmarks = append(rep.Benchmarks, rec)
 	}
 
+	// Union-find egd engine on the keyed LAV workload (EXP-UF): every
+	// person contributes one key-egd merge, so merge cost dominates.
+	// The rebuild record replays the legacy rebuild-on-merge engine
+	// via Options.RebuildMerges; both engines must agree on steps and
+	// merges or the probe fails.
+	{
+		s := workload.KeyedLAVSetting()
+		deps := append(append([]dep.Dependency{}, s.StDeps()...), s.T...)
+		keyedI, keyedJ := workload.KeyedLAVInstance(400)
+		start := rel.Union(keyedI, keyedJ)
+		keyedSteps := map[bool]int{}
+		keyedMerges := map[bool]int{}
+		for _, rebuild := range []bool{false, true} {
+			rebuild := rebuild
+			var steps, merges, finds int
+			rec := record(fmt.Sprintf("keyed-chase/n=400/%s", engineName(rebuild)), &steps, nil, func(b *testing.B) {
+				for it := 0; it < b.N; it++ {
+					res, err := chase.Run(start, deps, chase.Options{RebuildMerges: rebuild})
+					if err != nil || res.Failed {
+						b.Fatalf("keyed chase failed=%v err=%v", res != nil && res.Failed, err)
+					}
+					steps, merges, finds = res.Steps, res.Merges, res.Finds
+				}
+			})
+			rec.Merges, rec.Finds = merges, finds
+			keyedSteps[rebuild] = steps
+			keyedMerges[rebuild] = merges
+			rep.Benchmarks = append(rep.Benchmarks, rec)
+		}
+		if keyedSteps[true] != keyedSteps[false] || keyedMerges[true] != keyedMerges[false] {
+			return nil, fmt.Errorf("keyed-chase engines diverged: rebuild %d steps/%d merges, uf %d steps/%d merges",
+				keyedSteps[true], keyedMerges[true], keyedSteps[false], keyedMerges[false])
+		}
+
+		// Warm keyed append: chase.Resume from the retained fixpoint +
+		// union-find versus the keyed-chase cold numbers above. Before
+		// the union-find engine this path always fell back.
+		prev, err := chase.Run(start, deps, chase.Options{})
+		if err != nil || prev.Failed {
+			return nil, fmt.Errorf("keyed resume base chase: failed=%v err=%v", prev != nil && prev.Failed, err)
+		}
+		delta := workload.KeyedLAVAppend(400, 16)
+		var steps, merges, finds int
+		rec := record("keyed-resume/n=400/append=16", &steps, nil, func(b *testing.B) {
+			for it := 0; it < b.N; it++ {
+				res, resumed, err := chase.Resume(prev, deps, delta, chase.Options{})
+				if err != nil || !resumed || res.Failed {
+					b.Fatalf("keyed resume: resumed=%v err=%v", resumed, err)
+				}
+				steps, merges, finds = res.Steps, res.Merges, res.Finds
+			}
+		})
+		rec.Merges, rec.Finds = merges, finds
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+	}
+
 	// Generic solver on the Theorem 3 clique reduction: tracks search
 	// nodes, the cost driver outside C_tract.
 	{
@@ -264,6 +325,13 @@ func modeName(naive bool) string {
 		return "naive"
 	}
 	return "delta"
+}
+
+func engineName(rebuild bool) string {
+	if rebuild {
+		return "rebuild"
+	}
+	return "uf"
 }
 
 // writeJSONReport runs the suite and writes the report to path.

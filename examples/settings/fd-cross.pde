@@ -1,0 +1,13 @@
+# A cross-relation equality constraint: T's second column must agree
+# with U's second column whenever their first columns match. Unlike a
+# key (a functional dependency within a single relation), this egd is
+# not key-shaped, so chase results are non-resumable — every append to
+# a served setting falls back to a full re-chase — and `pdx vet` warns
+# about the lost incremental path (compare the keyed example, whose
+# key-shaped egd resumes).
+setting fd-cross
+source A/2
+target T/2, U/2
+st: A(x,y) -> T(x,y)
+ts: T(x,y) -> A(x,y)
+t: T(x,y), U(x,z) -> y = z

@@ -1,10 +1,11 @@
 # A target schema with a key constraint: H's first column determines
-# its second. Legal and solvable, but the egd costs two guarantees and
-# `pdx vet` warns about both: the setting leaves C_tract (target
-# constraints must be empty, Definition 9), and chase results stop
-# being resumable — every append to a served setting falls back to a
-# full re-chase because the egd may merge values (chase.Resume requires
-# pure tgds).
+# its second. Legal and solvable. The egd still costs membership in
+# C_tract (target constraints must be empty, Definition 9), so `pdx
+# vet` warns that the solver uses the complete backtracking search —
+# but because the constraint is key-shaped, chase results remain
+# resumable: the union-find egd engine retains the merge classes, so
+# appends to a served setting continue incrementally instead of
+# re-chasing (see the fd-cross example for an egd shape that does not).
 setting keyed
 source E/2
 target H/2

@@ -75,6 +75,15 @@ type Options struct {
 	// so the knob exists only for the ablation benchmarks and the
 	// delta-vs-naive parity gates.
 	NaiveTriggers bool
+	// RebuildMerges reverts egd steps to the legacy rebuild engine:
+	// every merge rebuilds the whole instance (rel.ReplaceValue) and
+	// resets every delta watermark to a full rescan, instead of the
+	// union-find engine's in-place rewrite that preserves watermarks.
+	// Results are byte-identical either way — the knob exists for the
+	// ablation benchmarks and the union-find parity gates. Runs under
+	// RebuildMerges retain no union-find state, so their results are
+	// never resumable once an egd fired.
+	RebuildMerges bool
 	// Nulls supplies fresh labeled nulls; if nil, a source seeded past
 	// the nulls of the start instance is created.
 	Nulls *rel.NullSource
@@ -115,11 +124,23 @@ type Result struct {
 	// the previous Start and the appended facts). Resume re-chases from
 	// it whenever the incremental path is unsound.
 	Start *rel.Instance
-	// EgdFired reports that at least one egd merge was applied. A merge
-	// rewrites values in place, so the fixpoint's facts are not a
-	// superset of every intermediate state and Resume must fall back to
-	// a full re-chase from Start.
+	// EgdFired reports that at least one egd merge was applied. The
+	// fixpoint's facts are then not a superset of every intermediate
+	// state; Resume stays sound regardless, because it reasons from the
+	// fixpoint itself and canonicalizes appended facts through the
+	// retained union-find (see Resumable for the exact eligibility).
 	EgdFired bool
+	// UnionFind records the equivalence classes the run's egd merges
+	// created, with the surviving value of each class as its
+	// representative. It is nil when no merge happened or when the run
+	// used Options.RebuildMerges. Resume uses it to canonicalize
+	// appended facts; callers must treat it as read-only (Clone first).
+	UnionFind *rel.UnionFind
+	// Merges counts the egd merge steps applied; Finds counts the
+	// union-find lookups they and any resumed continuation performed.
+	// Both feed the pdxbench counters.
+	Merges int
+	Finds  int
 }
 
 func (o Options) maxSteps() int {
@@ -197,6 +218,27 @@ func RunSolutionAware(start *rel.Instance, deps []dep.Dependency, witness *rel.I
 	return st.run(deps, witness)
 }
 
+// mark is one dependency's semi-naive watermark: the per-relation
+// tuple-slot counts of its previous trigger collection (nil counts =
+// never collected, or invalidated: full rescan) plus the length of the
+// merge change log it had consumed at that point. Together they
+// identify exactly the facts the dependency has not yet seen: the new
+// segments past counts, and the old tuples the log records as rewritten
+// since logPos.
+type mark struct {
+	counts hom.Delta
+	logPos int
+}
+
+// changeEntry is one record of the merge change log: tuple slot idx of
+// relation rel was rewritten in place by an egd merge. The log is
+// append-only and shared by all dependencies; each consumes its own
+// suffix via mark.logPos.
+type changeEntry struct {
+	rel string
+	idx int
+}
+
 type state struct {
 	inst     *rel.Instance
 	start    *rel.Instance // the caller's start instance, reported on Result
@@ -207,35 +249,61 @@ type state struct {
 	steps    int
 	egdFired bool
 
+	// Union-find egd engine state: uf records the merge history (nil
+	// until the first merge, unless Resume seeded it); changedLog is
+	// the merge change log (entries may be stale — tombstoned or
+	// re-rewritten later — consumers re-filter against the live
+	// instance); merges counts merge steps in either engine.
+	uf         *rel.UnionFind
+	changedLog []changeEntry
+	merges     int
+
 	// Semi-naive bookkeeping, indexed by dependency position. marks[di]
-	// is the watermark of dependency di's previous trigger collection —
-	// the per-relation tuple counts of the instance it last enumerated
-	// against (nil = never collected, or invalidated by an egd merge:
-	// full rescan). Resume pre-seeds marks so the first round only
-	// enumerates triggers touching the appended facts. uvars[di] caches
-	// the sorted universal variables of tgd di; fired[di] is the
-	// oblivious chase's per-tgd set of already fired triggers, keyed by
-	// compact value keys instead of built strings.
-	marks []hom.Delta
+	// is the watermark of dependency di's previous trigger collection.
+	// The union-find engine keeps counts valid across merges (surviving
+	// tuples keep their slots) and routes merge rewrites through the
+	// change log, so marks are never reset; only the legacy rebuild
+	// engine (Options.RebuildMerges) still resets them to nil on any
+	// merge. Resume pre-seeds marks so the first round only enumerates
+	// triggers touching the appended facts. uvars[di] caches the sorted
+	// universal variables of tgd di; fired[di] is the oblivious chase's
+	// per-tgd set of already fired triggers, keyed by compact value keys
+	// instead of built strings.
+	marks []mark
 	uvars [][]string
 	fired []map[firedKey]bool
 
 	// Egd detection watermarks, indexed by dependency position.
-	// egdMarks[di] non-nil records the per-relation counts at the end of
+	// egdMarks[di] with non-nil counts records the state at the end of
 	// di's last clean pass (no active trigger). Between merges relations
 	// only grow, so if none of di's body relations has grown past the
-	// mark, the body join — and hence the trigger set — is unchanged and
-	// the pass is skipped without enumerating anything. Any merge resets
-	// every egd mark (the rebuild shuffles tuple lists and may create
-	// triggers without adding tuples). erels[di] caches di's body
-	// relation names.
-	egdMarks []hom.Delta
-	erels    [][]string
+	// mark and the change log shows no rewrite into them since, the body
+	// join — and hence the trigger set — is unchanged and the pass is
+	// skipped without enumerating anything. (Tombstoned tuples only ever
+	// leave the join, which cannot create a violation.) brels[di] caches
+	// di's body relation names, for every dependency kind.
+	egdMarks []mark
+	brels    [][]string
 }
 
-// result packages the run's current outcome.
+// result packages the run's current outcome. Tombstoned slots left by
+// in-place merges are compacted away here, so no caller ever observes
+// them; compaction preserves the facts and their relative order, only
+// the slot indexes shift (which is why watermarks must not outlive the
+// run).
 func (st *state) result() *Result {
-	return &Result{Instance: st.inst, Steps: st.steps, Start: st.start, EgdFired: st.egdFired}
+	res := &Result{
+		Instance:  st.inst.Compact(),
+		Steps:     st.steps,
+		Start:     st.start,
+		EgdFired:  st.egdFired,
+		UnionFind: st.uf,
+		Merges:    st.merges,
+	}
+	if st.uf != nil {
+		res.Finds = st.uf.Finds()
+	}
+	return res
 }
 
 // ctxErr returns a wrapped cancellation error when the chase context
@@ -253,20 +321,24 @@ func (st *state) ctxErr() error {
 }
 
 func (st *state) run(deps []dep.Dependency, witness *rel.Instance) (*Result, error) {
-	// Resume pre-seeds st.marks with the previous fixpoint's watermarks;
-	// a fresh run starts from nil marks (full first scan).
+	// Resume pre-seeds st.marks (and st.egdMarks) with the previous
+	// fixpoint's watermarks; a fresh run starts from zero marks (full
+	// first scan).
 	if st.marks == nil {
-		st.marks = make([]hom.Delta, len(deps))
+		st.marks = make([]mark, len(deps))
+	}
+	if st.egdMarks == nil {
+		st.egdMarks = make([]mark, len(deps))
 	}
 	st.uvars = make([][]string, len(deps))
-	st.egdMarks = make([]hom.Delta, len(deps))
-	st.erels = make([][]string, len(deps))
+	st.brels = make([][]string, len(deps))
 	if st.opts.Oblivious {
 		st.fired = make([]map[firedKey]bool, len(deps))
 	}
 	// Precompute per-dependency state up front so parallel speculation
 	// never lazily initializes shared maps mid-flight.
 	for di, d := range deps {
+		var body []dep.Atom
 		switch d := d.(type) {
 		case dep.TGD:
 			vs := append([]string(nil), d.UniversalVars()...)
@@ -275,13 +347,15 @@ func (st *state) run(deps []dep.Dependency, witness *rel.Instance) (*Result, err
 			if st.opts.Oblivious {
 				st.fired[di] = make(map[firedKey]bool)
 			}
+			body = d.Body
 		case dep.EGD:
-			seen := map[string]bool{}
-			for _, a := range d.Body {
-				if !seen[a.Rel] {
-					seen[a.Rel] = true
-					st.erels[di] = append(st.erels[di], a.Rel)
-				}
+			body = d.Body
+		}
+		seen := map[string]bool{}
+		for _, a := range body {
+			if !seen[a.Rel] {
+				seen[a.Rel] = true
+				st.brels[di] = append(st.brels[di], a.Rel)
 			}
 		}
 	}
@@ -321,24 +395,30 @@ func (st *state) run(deps []dep.Dependency, witness *rel.Instance) (*Result, err
 // byte-identical to the serial chase.
 //
 // Trigger collection is semi-naive: each tgd enumerates only triggers
-// that touch at least one fact added since its own previous collection
-// (its watermark in st.marks). This is lossless for the restricted
-// chase because head satisfaction is monotone under tgd-only
-// additions: a trigger whose facts all predate the watermark was, by
-// the end of that earlier collection's firing pass, either satisfied
-// (and stays satisfied) or fired (oblivious mode: recorded in
-// st.fired) — so the naive enumeration would have filtered it too.
-// Egd merges break the monotonicity and rebuild the instance
-// (shuffling tuple indexes), so any egd progress resets every
-// watermark to nil, a full rescan. A dependency's watermark advances
-// only when a collection is actually consumed: to the round-start
-// counts when its speculated list is used, to a fresh snapshot when it
-// re-collects after the round went dirty. Discarded speculations leave
-// the watermark untouched.
+// that touch at least one fact added — or rewritten by a merge — since
+// its own previous collection (its watermark in st.marks). This is
+// lossless for the restricted chase because satisfaction of a trigger
+// over unchanged old facts is preserved: tgd additions are monotone,
+// and an egd merge substitutes values, mapping the satisfying head
+// facts onto facts of the merged instance (the trigger's own values are
+// untouched — a binding whose values a merge rewrote has, by
+// definition, a changed tuple in it and is re-enumerated via the change
+// log). A trigger whose facts all predate the watermark unchanged was,
+// by the end of that earlier collection's firing pass, either satisfied
+// (and stays satisfied) or fired (oblivious mode: recorded in st.fired,
+// under a key built from values a merge never touched) — so the naive
+// enumeration would have filtered it too. Under Options.RebuildMerges
+// the legacy behavior remains: any egd progress resets every watermark
+// to nil, a full rescan. A dependency's watermark advances only when a
+// collection is actually consumed: to the round-start snapshot when its
+// speculated list is used, to a fresh snapshot when it re-collects
+// after the round went dirty. Discarded speculations leave the
+// watermark untouched.
 func (st *state) round(deps []dep.Dependency, witness *rel.Instance) (progressed, failed bool, failedOn string, err error) {
 	// Snapshot the round-start sizes once; the map is shared by every
 	// watermark taken from it and never mutated after this point.
 	roundStart := hom.Delta(st.inst.TupleCounts())
+	roundLog := len(st.changedLog)
 	spec := st.speculate(deps)
 	dirty := false
 	for di, d := range deps {
@@ -347,15 +427,15 @@ func (st *state) round(deps []dep.Dependency, witness *rel.Instance) (progressed
 			var triggers []hom.Binding
 			if spec != nil && !dirty {
 				triggers = spec[di]
-				st.marks[di] = roundStart
+				st.marks[di] = mark{counts: roundStart, logPos: roundLog}
 			} else if !dirty {
 				// Instance still equals the round start, so the shared
 				// snapshot doubles as this collection's watermark.
 				triggers = st.collectTriggers(di, d, st.marks[di])
-				st.marks[di] = roundStart
+				st.marks[di] = mark{counts: roundStart, logPos: roundLog}
 			} else {
 				triggers = st.collectTriggers(di, d, st.marks[di])
-				st.marks[di] = hom.Delta(st.inst.TupleCounts())
+				st.marks[di] = mark{counts: hom.Delta(st.inst.TupleCounts()), logPos: len(st.changedLog)}
 			}
 			p, e := st.fireTriggers(di, d, triggers, witness)
 			if e != nil {
@@ -378,22 +458,28 @@ func (st *state) round(deps []dep.Dependency, witness *rel.Instance) (progressed
 			if p {
 				progressed, dirty = true, true
 				st.egdFired = true
-				// Merges rewrote values in place and rebuilt the tuple
-				// lists: every watermark's old/new split is now
-				// meaningless, and satisfaction may have regressed.
-				for i := range st.marks {
-					st.marks[i] = nil
-					st.egdMarks[i] = nil
+				if st.opts.RebuildMerges {
+					// Legacy engine: merges rebuilt the instance and
+					// shuffled the tuple lists; every watermark's old/new
+					// split is now meaningless.
+					for i := range st.marks {
+						st.marks[i] = mark{}
+						st.egdMarks[i] = mark{}
+					}
 				}
+				// Union-find engine: merges rewrote tuples in place, slots
+				// and counts are untouched, and the rewrites are on the
+				// change log — marks stay valid as they are.
 			}
 			// The pass ended with no active trigger for d: record the
-			// counts it was clean at, so later rounds skip the body scan
-			// until one of d's relations grows (or a merge resets it).
+			// state it was clean at, so later rounds skip the body scan
+			// until one of d's relations grows or a merge rewrites into
+			// them (or, under RebuildMerges, any merge resets it).
 			if !st.opts.NaiveTriggers {
 				if p || dirty {
-					st.egdMarks[di] = hom.Delta(st.inst.TupleCounts())
+					st.egdMarks[di] = mark{counts: hom.Delta(st.inst.TupleCounts()), logPos: len(st.changedLog)}
 				} else {
-					st.egdMarks[di] = roundStart
+					st.egdMarks[di] = mark{counts: roundStart, logPos: roundLog}
 				}
 			}
 		default:
@@ -432,26 +518,71 @@ func (st *state) speculate(deps []dep.Dependency) [][]hom.Binding {
 	return spec
 }
 
+// changedSince assembles the merged-value delta a dependency must
+// re-enumerate: for each of its body relations, the sorted live tuple
+// slots the change log records as rewritten since the mark, restricted
+// to the mark's old segment (newer slots are covered by the count
+// delta). Entries tombstoned by later merges are dropped — a dead slot
+// matches nothing. Returns nil when the suffix holds nothing relevant.
+func (st *state) changedSince(m mark, rels []string) map[string][]int {
+	if m.logPos >= len(st.changedLog) {
+		return nil
+	}
+	want := make(map[string]bool, len(rels))
+	for _, name := range rels {
+		want[name] = true
+	}
+	var out map[string][]int
+	for _, e := range st.changedLog[m.logPos:] {
+		if !want[e.rel] || e.idx >= m.counts[e.rel] {
+			continue
+		}
+		if r := st.inst.Relation(e.rel); r == nil || !r.Live(e.idx) {
+			continue
+		}
+		if out == nil {
+			out = make(map[string][]int)
+		}
+		out[e.rel] = append(out[e.rel], e.idx)
+	}
+	for name, lst := range out {
+		sort.Ints(lst)
+		dedup := lst[:1]
+		for _, idx := range lst[1:] {
+			if idx != dedup[len(dedup)-1] {
+				dedup = append(dedup, idx)
+			}
+		}
+		out[name] = dedup
+	}
+	return out
+}
+
 // collectTriggers enumerates the triggers of d against the current
 // instance that were not already satisfied (restricted chase) or fired
 // (oblivious chase) at collection time, skipping — via the delta
-// watermark — triggers whose body facts all predate d's previous
-// collection. The enumeration and its satisfaction checks fan out
-// across workers inside hom.EnumerateDelta; the list comes back in the
-// serial full-enumeration order. Collection only reads st.inst,
-// st.marks, and st.fired, so concurrent collections for different
-// dependencies are safe (marks advance only in the serial round loop).
-func (st *state) collectTriggers(di int, d dep.TGD, delta hom.Delta) []hom.Binding {
+// watermark and the merge change log — triggers whose body facts all
+// predate d's previous collection unchanged. The enumeration and its
+// satisfaction checks fan out across workers inside
+// hom.EnumerateDeltaSpec; the list comes back in the serial
+// full-enumeration order. Collection only reads st.inst, st.marks,
+// st.changedLog, and st.fired, so concurrent collections for different
+// dependencies are safe (marks and the log advance only in the serial
+// round loop).
+func (st *state) collectTriggers(di int, d dep.TGD, m mark) []hom.Binding {
+	spec := hom.DeltaSpec{Old: m.counts}
 	if st.opts.NaiveTriggers {
-		delta = nil
+		spec = hom.DeltaSpec{}
+	} else if m.counts != nil {
+		spec.Changed = st.changedSince(m, st.brels[di])
 	}
 	if st.opts.Oblivious {
 		fired, vars := st.fired[di], st.uvars[di]
-		return hom.EnumerateDelta(d.Body, st.inst, nil, delta, st.hom, func(b hom.Binding) bool {
+		return hom.EnumerateDeltaSpec(d.Body, st.inst, nil, spec, st.hom, func(b hom.Binding) bool {
 			return !fired[makeFiredKey(vars, b)]
 		})
 	}
-	return hom.EnumerateDelta(d.Body, st.inst, nil, delta, st.hom, func(b hom.Binding) bool {
+	return hom.EnumerateDeltaSpec(d.Body, st.inst, nil, spec, st.hom, func(b hom.Binding) bool {
 		return !hom.Exists(d.Head, st.inst, b, st.hom)
 	})
 }
@@ -520,30 +651,72 @@ func (st *state) fire(d dep.TGD, b hom.Binding, witness *rel.Instance) error {
 }
 
 // egdSkip reports whether egd di's detection pass can be skipped: its
-// last clean pass recorded a watermark, no merge has invalidated it,
-// and none of the egd's body relations has grown since. Relations are
-// append-only between merges, so equal counts mean identical tuple
-// sets, an unchanged body join, and therefore no new trigger.
+// last clean pass recorded a watermark, none of the egd's body
+// relations has grown since, and the merge change log shows no rewrite
+// into them. Relations are append-only between merges, so equal counts
+// mean no added tuples; merges only rewrite logged slots or tombstone
+// tuples (which removes bindings from the body join, never creating a
+// violation) — so an unchanged watermark means an unchanged trigger
+// set. Under RebuildMerges any merge zeroed the mark, restoring the
+// legacy always-rescan behavior.
 func (st *state) egdSkip(di int, roundStart hom.Delta, dirty bool) bool {
-	if st.opts.NaiveTriggers || st.egdMarks[di] == nil {
+	m := st.egdMarks[di]
+	if st.opts.NaiveTriggers || m.counts == nil {
 		return false
 	}
 	cur := roundStart
 	if dirty {
 		cur = hom.Delta(st.inst.TupleCounts())
 	}
-	mark := st.egdMarks[di]
-	for _, r := range st.erels[di] {
-		if cur[r] > mark[r] {
+	for _, r := range st.brels[di] {
+		if cur[r] > m.counts[r] {
 			return false
+		}
+	}
+	for _, e := range st.changedLog[m.logPos:] {
+		for _, r := range st.brels[di] {
+			if e.rel == r {
+				return false
+			}
 		}
 	}
 	return true
 }
 
+// merge applies one egd merge step, replacing the null `from` by `to`
+// throughout the instance. The union-find engine records the class
+// merge, rewrites the affected tuples in place, and appends the
+// rewritten slots to the change log (in relation-name order, so the log
+// is deterministic); the legacy engine rebuilds the instance.
+func (st *state) merge(from, to rel.Value) {
+	st.merges++
+	if st.opts.RebuildMerges {
+		st.inst = st.inst.ReplaceValue(from, to)
+		return
+	}
+	if st.uf == nil {
+		st.uf = rel.NewUnionFind()
+	}
+	st.uf.Union(from, to)
+	changed := st.inst.MergeValue(from, to)
+	names := make([]string, 0, len(changed))
+	for name := range changed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, idx := range changed[name] {
+			st.changedLog = append(st.changedLog, changeEntry{rel: name, idx: idx})
+		}
+	}
+}
+
 // egdPass applies egd steps until d has no active trigger or the chase
-// fails. Each merge rebuilds the instance, so the pass restarts its
-// trigger scan after every step.
+// fails. A merge can create a violation lexicographically before the
+// current scan position (the rewritten tuples join differently), so the
+// pass restarts its trigger scan after every step — on the same
+// instance either engine produces, scanned in the same live-tuple
+// order, so the merge sequences of the two engines match exactly.
 func (st *state) egdPass(d dep.EGD) (progressed, failed bool, err error) {
 	for {
 		var l, r rel.Value
@@ -575,7 +748,7 @@ func (st *state) egdPass(d dep.EGD) (progressed, failed bool, err error) {
 		if from.IsConst() {
 			from, to = to, from
 		}
-		st.inst = st.inst.ReplaceValue(from, to)
+		st.merge(from, to)
 		progressed = true
 	}
 }

@@ -1,0 +1,171 @@
+package chase_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/chase"
+	"repro/internal/dep"
+	"repro/internal/hom"
+	"repro/internal/rel"
+	"repro/internal/workload"
+)
+
+// resultFingerprint captures every observable surface of a chase run
+// that the union-find engine promises to keep byte-identical to the
+// legacy rebuild-on-merge engine.
+type resultFingerprint struct {
+	inst     string
+	steps    int
+	failed   bool
+	failedOn string
+	egdFired bool
+	err      string
+}
+
+func fingerprint(res *chase.Result, err error) resultFingerprint {
+	fp := resultFingerprint{}
+	if err != nil {
+		fp.err = err.Error()
+	}
+	if res == nil {
+		return fp
+	}
+	fp.steps = res.Steps
+	fp.failed = res.Failed
+	fp.failedOn = res.FailedOn
+	fp.egdFired = res.EgdFired
+	if res.Instance != nil {
+		fp.inst = res.Instance.String()
+	}
+	return fp
+}
+
+// injectNullDrafts seeds key violations into a random layer instance:
+// for a handful of first-column values that already appear, it adds a
+// second fact with a labeled null in the dependent column. Restricted
+// chases only fire merges on violations present in (or derived from)
+// the start instance, so without these drafts most random trials never
+// exercise the merge path at all.
+func injectNullDrafts(rng *rand.Rand, inst *rel.Instance) {
+	next := 1
+	for _, name := range []string{"L0", "L1"} {
+		r := inst.Relation(name)
+		if r == nil || r.Len() == 0 {
+			continue
+		}
+		for d := 0; d < 1+rng.Intn(2); d++ {
+			key := r.TupleAt(rng.Intn(r.Len()))[0]
+			inst.Add(name, key, rel.Null(next))
+			next++
+			if rng.Intn(2) == 0 {
+				inst.Add(name, key, rel.Null(next))
+				next++
+			}
+		}
+	}
+}
+
+// TestEngineParityProperty is the parity property suite for the
+// union-find egd engine: over random egd-bearing settings and start
+// instances, the default engine and the RebuildMerges ablation must
+// produce byte-identical instances, step counts, failure verdicts, and
+// EgdFired flags — in restricted, oblivious, and solution-aware modes,
+// at Parallelism 1 and 4.
+func TestEngineParityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const trials = 40
+	merged := 0
+	for trial := 0; trial < trials; trial++ {
+		deps := workload.RandomWeaklyAcyclicDeps(rng)
+		inst := workload.RandomLayerInstance(rng)
+		injectNullDrafts(rng, inst)
+
+		// Solution-aware witness: the fixpoint of a plain restricted
+		// chase satisfies all deps and contains the start instance.
+		witness, werr := func() (*rel.Instance, error) {
+			res, err := chase.Run(inst, deps, chase.Options{})
+			if err != nil || res.Failed {
+				return nil, err
+			}
+			return res.Instance, nil
+		}()
+
+		for _, par := range []int{1, 4} {
+			for _, mode := range []string{"restricted", "oblivious", "solution-aware"} {
+				name := fmt.Sprintf("trial %d mode %s par %d", trial, mode, par)
+				run := func(opts chase.Options) (*chase.Result, error) {
+					switch mode {
+					case "oblivious":
+						opts.Oblivious = true
+						return chase.Run(inst, deps, opts)
+					case "solution-aware":
+						if witness == nil {
+							return nil, nil
+						}
+						return chase.RunSolutionAware(inst, deps, witness, opts)
+					default:
+						return chase.Run(inst, deps, opts)
+					}
+				}
+				if mode == "solution-aware" && (witness == nil || werr != nil) {
+					continue
+				}
+
+				ufRes, ufErr := run(chase.Options{Parallelism: par})
+				rbRes, rbErr := run(chase.Options{Parallelism: par, RebuildMerges: true})
+
+				got := fingerprint(ufRes, ufErr)
+				want := fingerprint(rbRes, rbErr)
+				if got != want {
+					t.Fatalf("%s: engines diverge:\n  uf:      %+v\n  rebuild: %+v", name, got, want)
+				}
+				if ufRes == nil || ufRes.Failed || ufErr != nil {
+					continue
+				}
+				if ufRes.Merges > 0 {
+					merged++
+					if ufRes.UnionFind == nil {
+						t.Fatalf("%s: merging run retained no union-find", name)
+					}
+				}
+				if rbRes.UnionFind != nil {
+					t.Fatalf("%s: rebuild run must not retain a union-find", name)
+				}
+				if !chase.Check(ufRes.Instance, deps, hom.Options{Parallelism: par}) {
+					t.Fatalf("%s: union-find fixpoint violates deps", name)
+				}
+			}
+		}
+	}
+	if merged == 0 {
+		t.Fatal("property suite never exercised the merge path; strengthen injectNullDrafts")
+	}
+}
+
+// TestEngineParityKeyedLAV pins parity on the structured egd-heavy
+// workload used by the benchmarks, where every person contributes
+// exactly one merge.
+func TestEngineParityKeyedLAV(t *testing.T) {
+	s := workload.KeyedLAVSetting()
+	deps := append(append([]dep.Dependency{}, s.StDeps()...), s.T...)
+	i, j := workload.KeyedLAVInstance(80)
+	start := rel.Union(i, j)
+	for _, par := range []int{1, 4} {
+		uf, err := chase.Run(start, deps, chase.Options{Parallelism: par})
+		if err != nil {
+			t.Fatalf("par %d: uf engine: %v", par, err)
+		}
+		rb, err := chase.Run(start, deps, chase.Options{Parallelism: par, RebuildMerges: true})
+		if err != nil {
+			t.Fatalf("par %d: rebuild engine: %v", par, err)
+		}
+		if got, want := fingerprint(uf, nil), fingerprint(rb, nil); got != want {
+			t.Fatalf("par %d: engines diverge:\n  uf:      %+v\n  rebuild: %+v", par, got, want)
+		}
+		if uf.Merges == 0 {
+			t.Fatalf("par %d: keyed LAV workload produced no merges", par)
+		}
+	}
+}

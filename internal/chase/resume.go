@@ -1,16 +1,27 @@
 package chase
 
 // Resuming a finished chase after new facts arrive. The append-only
-// watermark invariant (relations only grow while no egd merges, and the
-// old prefix is immutable) means a finished restricted chase over pure
-// tgds can continue from its own fixpoint: every trigger whose body
-// facts predate the fixpoint was satisfied when the run ended and stays
-// satisfied under further additions, so only triggers touching the
-// appended facts need enumeration. Whenever that reasoning does not
-// apply — an egd merged values during the previous run, egds (which
-// could fire) are present now, or the previous run was oblivious (its
-// fired sets are not retained) — Resume falls back to a full re-chase
-// from the previous run's true start united with the appended facts.
+// watermark invariant (the old prefix of every relation is immutable
+// except for in-place merge rewrites, which the change log records)
+// means a finished restricted chase can continue from its own fixpoint:
+// every trigger whose body facts predate the fixpoint was satisfied
+// when the run ended and stays satisfied under further additions, so
+// only triggers touching the appended facts need enumeration.
+//
+// With the union-find egd engine this extends to key-shaped egds
+// (dep.EGD.KeyShaped): the fixpoint satisfies every egd, so the egd
+// detection passes over old facts alone are clean, and the previous
+// run's merge history is retained as Result.UnionFind — appended facts
+// are canonicalized through it before landing, so a fact mentioning a
+// merged-away null joins the class its survivor represents. The
+// continuation then runs the ordinary chase with pre-seeded watermarks;
+// any new merges it performs rewrite old tuples in place and re-enter
+// them through the change log, exactly as in a cold run. Whenever that
+// reasoning does not apply — a non-key egd is present, the previous run
+// merged values but retained no union-find (legacy rebuild engine), the
+// run failed, or it was oblivious (fired sets are not retained) —
+// Resume falls back to a full re-chase from the previous run's true
+// start united with the appended facts.
 
 import (
 	"fmt"
@@ -20,33 +31,86 @@ import (
 	"repro/internal/rel"
 )
 
-// Resumable reports whether a previous chase result can be resumed
-// incrementally for the given dependencies and options. It requires a
-// successful restricted-chase fixpoint whose run never merged values,
-// and a dependency set in which no egd could fire (pure tgds).
-func Resumable(prev *Result, deps []dep.Dependency, opts Options) bool {
-	if prev == nil || prev.Instance == nil || prev.Failed || prev.EgdFired || opts.Oblivious {
-		return false
+// Fallback reasons reported by FallbackReason; the empty string means
+// the incremental path is sound. Servers aggregate these as metric
+// labels, so the strings are part of the observable surface.
+const (
+	// FallbackNone: resumable, no fallback.
+	FallbackNone = ""
+	// FallbackNoPrev: no previous result (or no retained fixpoint) to
+	// resume from.
+	FallbackNoPrev = "no-previous-result"
+	// FallbackFailed: the previous run failed; there is no fixpoint.
+	FallbackFailed = "failed"
+	// FallbackOblivious: oblivious chase requested; per-tgd fired sets
+	// are not retained across runs.
+	FallbackOblivious = "oblivious"
+	// FallbackEgd: an egd blocks the incremental path — a non-key-shaped
+	// egd is present, the legacy rebuild engine is selected, or the
+	// previous run merged values without retaining its union-find.
+	FallbackEgd = "egd"
+	// FallbackUnsupported: the dependency set contains kinds the chase
+	// cannot resume (disjunctive tgds).
+	FallbackUnsupported = "unsupported"
+)
+
+// FallbackReason explains why a previous chase result cannot be resumed
+// incrementally for the given dependencies and options, or returns
+// FallbackNone ("") when it can. The non-empty reasons are the Fallback*
+// constants; when several apply the most fundamental wins (no previous
+// result, then failure, then obliviousness, then dependency shape).
+func FallbackReason(prev *Result, deps []dep.Dependency, opts Options) string {
+	if prev == nil || prev.Instance == nil {
+		return FallbackNoPrev
+	}
+	if prev.Failed {
+		return FallbackFailed
+	}
+	if opts.Oblivious {
+		return FallbackOblivious
+	}
+	if prev.EgdFired && prev.UnionFind == nil {
+		return FallbackEgd
 	}
 	for _, d := range deps {
-		if _, ok := d.(dep.TGD); !ok {
-			return false
+		switch d := d.(type) {
+		case dep.TGD:
+		case dep.EGD:
+			if opts.RebuildMerges || !d.KeyShaped() {
+				return FallbackEgd
+			}
+		default:
+			return FallbackUnsupported
 		}
 	}
-	return true
+	return FallbackNone
+}
+
+// Resumable reports whether a previous chase result can be resumed
+// incrementally for the given dependencies and options. It requires a
+// successful restricted-chase fixpoint over tgds and key-shaped egds
+// (dep.EGD.KeyShaped), with the previous run's union-find retained
+// whenever it merged values. FallbackReason names the blocking
+// condition when this returns false.
+func Resumable(prev *Result, deps []dep.Dependency, opts Options) bool {
+	return FallbackReason(prev, deps, opts) == FallbackNone
 }
 
 // Resume continues a finished chase after appending the facts of
 // appended to its start. When the incremental path is sound (see
-// Resumable) it seeds every tgd's delta watermark with the previous
-// fixpoint's tuple counts, so the first round enumerates only triggers
-// touching the appended facts; otherwise it re-chases from
-// Union(prev.Start, appended). The returned bool reports which path
-// ran. Neither prev's instances nor appended are mutated, and the
-// result's Steps counts only the steps of this run. The resumed
-// fixpoint is a chase result of Union(prev.Start, appended): continuing
-// a terminated chase with more facts is itself a valid chase sequence
-// of the enlarged start.
+// Resumable) it seeds every dependency's delta watermark with the
+// previous fixpoint's tuple counts — so the first round enumerates only
+// triggers touching the appended facts — and canonicalizes each
+// appended fact through the previous run's union-find before adding it;
+// otherwise it re-chases from Union(prev.Start, appended). The returned
+// bool reports which path ran. Neither prev's instances nor appended
+// are mutated, and the result's Steps and Merges count only this run.
+// The resumed fixpoint is a chase result of Union(prev.Start, appended):
+// the previous sequence replayed on the enlarged start reaches the
+// fixpoint plus the canonicalized appended facts (the old merges
+// substitute through the appended facts exactly as Find does), and
+// continuing a terminated chase with more facts is itself a valid chase
+// sequence of the enlarged start.
 func Resume(prev *Result, deps []dep.Dependency, appended *rel.Instance, opts Options) (*Result, bool, error) {
 	for _, d := range deps {
 		if _, ok := d.(dep.DisjunctiveTGD); ok {
@@ -63,23 +127,42 @@ func Resume(prev *Result, deps []dep.Dependency, appended *rel.Instance, opts Op
 	}
 	inst := prev.Instance.Clone()
 	// The seed watermark is the fixpoint's counts, snapshotted before
-	// the appended facts land: every tgd "has already enumerated" the
-	// old prefix.
+	// the appended facts land: every dependency "has already seen" the
+	// old prefix — tgd triggers over it are satisfied, egd passes over
+	// it are clean — and the change log starts empty (logPos 0).
 	seed := hom.Delta(inst.TupleCounts())
+	uf := prev.UnionFind.Clone()
 	for _, f := range appended.Facts() {
-		inst.AddTuple(f.Rel, f.Args.Clone())
+		t := f.Args.Clone()
+		if uf != nil {
+			for i, v := range t {
+				t[i] = uf.Find(v)
+			}
+		}
+		inst.AddTuple(f.Rel, t)
+	}
+	nulls := opts.nulls(inst)
+	if uf != nil {
+		// Nulls merged away by the previous run no longer occur in the
+		// fixpoint; their labels must stay retired or Find would identify
+		// a fresh null with an old class.
+		nulls.Seen(uf.MaxNullID())
 	}
 	st := &state{
-		inst:   inst,
-		start:  start,
-		opts:   opts,
-		hom:    opts.homOpts(),
-		nulls:  opts.nulls(inst),
-		budget: opts.maxSteps(),
-		marks:  make([]hom.Delta, len(deps)),
+		inst:     inst,
+		start:    start,
+		opts:     opts,
+		hom:      opts.homOpts(),
+		nulls:    nulls,
+		budget:   opts.maxSteps(),
+		egdFired: prev.EgdFired,
+		uf:       uf,
+		marks:    make([]mark, len(deps)),
+		egdMarks: make([]mark, len(deps)),
 	}
 	for i := range st.marks {
-		st.marks[i] = seed
+		st.marks[i] = mark{counts: seed}
+		st.egdMarks[i] = mark{counts: seed}
 	}
 	res, err := st.run(deps, nil)
 	return res, true, err

@@ -111,10 +111,11 @@ func TestChaseResumeEmptyAppend(t *testing.T) {
 	}
 }
 
-// TestChaseResumeFallback: dependency sets containing an egd (which
-// could fire) and results from runs where an egd did fire both force
-// the fallback, and the fallback result is byte-identical to an
-// independent from-scratch chase of the union.
+// TestChaseResumeFallback: conditions that make the incremental path
+// unsound force the fallback — here, the legacy rebuild engine
+// (Options.RebuildMerges retains no union-find) — and the fallback
+// result is byte-identical to an independent from-scratch chase of the
+// union under the same options.
 func TestChaseResumeFallback(t *testing.T) {
 	rng := rand.New(rand.NewSource(97))
 	fellBack := 0
@@ -133,22 +134,26 @@ func TestChaseResumeFallback(t *testing.T) {
 		appended := workload.RandomLayerInstance(rng)
 		base.Freeze()
 		appended.Freeze()
-		prev, err := chase.Run(base, deps, chase.Options{})
+		opts := chase.Options{RebuildMerges: true}
+		prev, err := chase.Run(base, deps, opts)
 		if err != nil || prev.Failed {
 			continue
 		}
-		if chase.Resumable(prev, deps, chase.Options{}) {
-			t.Fatalf("trial %d: egd-bearing set reported resumable", trial)
+		if chase.Resumable(prev, deps, opts) {
+			t.Fatalf("trial %d: egd-bearing set under RebuildMerges reported resumable", trial)
 		}
-		res, resumed, err := chase.Resume(prev, deps, appended, chase.Options{})
+		if reason := chase.FallbackReason(prev, deps, opts); reason != chase.FallbackEgd {
+			t.Fatalf("trial %d: fallback reason = %q, want %q", trial, reason, chase.FallbackEgd)
+		}
+		res, resumed, err := chase.Resume(prev, deps, appended, opts)
 		if err != nil {
 			continue // budget exhaustion on the union is possible and fine
 		}
 		if resumed {
-			t.Fatalf("trial %d: egd-bearing set took the incremental path", trial)
+			t.Fatalf("trial %d: RebuildMerges resume took the incremental path", trial)
 		}
 		fellBack++
-		scratch, err := chase.Run(rel.Union(base, appended), deps, chase.Options{})
+		scratch, err := chase.Run(rel.Union(base, appended), deps, opts)
 		if err != nil {
 			t.Fatalf("trial %d: scratch chase errored after fallback succeeded: %v", trial, err)
 		}
@@ -162,6 +167,201 @@ func TestChaseResumeFallback(t *testing.T) {
 	}
 	if fellBack == 0 {
 		t.Fatal("no trial exercised the fallback path")
+	}
+}
+
+// TestChaseResumeKeyedProperty: egd-bearing random workloads — whose
+// egds are all key-shaped — now take the incremental path, and the
+// resumed fixpoint is a correct chase result of the enlarged start:
+// dependency-satisfying, containing the (canonicalized) union, and
+// hom-equivalent to a from-scratch chase of the union. Null labels and
+// merge interleavings may differ between the two runs, so the
+// comparison is mutual homomorphism.
+func TestChaseResumeKeyedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	resumedSome := false
+	for trial := 0; trial < 60; trial++ {
+		deps := workload.RandomWeaklyAcyclicDeps(rng)
+		hasEGD := false
+		for _, d := range deps {
+			if e, ok := d.(dep.EGD); ok {
+				hasEGD = true
+				if !e.KeyShaped() {
+					t.Fatalf("trial %d: workload egd %s is not key-shaped", trial, e.Label)
+				}
+			}
+		}
+		if !hasEGD {
+			continue
+		}
+		base := workload.RandomLayerInstance(rng)
+		appended := workload.RandomLayerInstance(rng)
+		base.Freeze()
+		appended.Freeze()
+		for _, par := range []int{1, 4} {
+			opts := chase.Options{Parallelism: par}
+			prev, err := chase.Run(base, deps, opts)
+			if err != nil || prev.Failed {
+				continue
+			}
+			if reason := chase.FallbackReason(prev, deps, opts); reason != chase.FallbackNone {
+				t.Fatalf("trial %d: keyed set not resumable, reason %q", trial, reason)
+			}
+			res, resumed, err := chase.Resume(prev, deps, appended, opts)
+			if err != nil {
+				continue // budget exhaustion on the union is possible and fine
+			}
+			if !resumed {
+				t.Fatalf("trial %d: keyed resume fell back to a full re-chase", trial)
+			}
+			resumedSome = true
+			scratch, err := chase.Run(rel.Union(base, appended), deps, opts)
+			if err != nil {
+				t.Fatalf("trial %d: scratch chase errored after resume succeeded: %v", trial, err)
+			}
+			if res.Failed != scratch.Failed {
+				t.Fatalf("trial %d: resumed failed=%v, scratch failed=%v", trial, res.Failed, scratch.Failed)
+			}
+			if res.Failed {
+				continue
+			}
+			if !chase.Check(res.Instance, deps, hom.Options{}) {
+				t.Fatalf("trial %d: resumed fixpoint violates dependencies\ndeps: %v\nresult:\n%s", trial, deps, res.Instance)
+			}
+			if !hom.InstanceHomExists(res.Instance, scratch.Instance, hom.Options{}) ||
+				!hom.InstanceHomExists(scratch.Instance, res.Instance, hom.Options{}) {
+				t.Fatalf("trial %d: resumed and scratch fixpoints not hom-equivalent\nresumed:\n%s\nscratch:\n%s",
+					trial, res.Instance, scratch.Instance)
+			}
+		}
+	}
+	if !resumedSome {
+		t.Fatal("no trial exercised the keyed incremental path")
+	}
+}
+
+// TestChaseResumeNonKeyEgdFallback: an egd that is not key-shaped (its
+// body joins two different relations) keeps the dependency set
+// resume-ineligible with reason "egd".
+func TestChaseResumeNonKeyEgdFallback(t *testing.T) {
+	deps := []dep.Dependency{dep.EGD{
+		Label: "cross-rel",
+		Body: []dep.Atom{
+			dep.NewAtom("L0", dep.Var("x"), dep.Var("y")),
+			dep.NewAtom("L1", dep.Var("x"), dep.Var("z")),
+		},
+		Left: "y", Right: "z",
+	}}
+	inst := rel.NewInstance()
+	inst.Add("L0", rel.Const("a"), rel.Null(1))
+	inst.Add("L1", rel.Const("a"), rel.Const("c"))
+	inst.Freeze()
+	prev, err := chase.Run(inst, deps, chase.Options{})
+	if err != nil || prev.Failed {
+		t.Fatalf("cross-rel chase: failed=%v err=%v", prev != nil && prev.Failed, err)
+	}
+	if reason := chase.FallbackReason(prev, deps, chase.Options{}); reason != chase.FallbackEgd {
+		t.Fatalf("non-key egd fallback reason = %q, want %q", reason, chase.FallbackEgd)
+	}
+	more := rel.NewInstance()
+	more.Add("L0", rel.Const("b"), rel.Const("d"))
+	more.Freeze()
+	if _, resumed, err := chase.Resume(prev, deps, more, chase.Options{}); err != nil || resumed {
+		t.Fatalf("non-key egd resume: resumed=%v err=%v", resumed, err)
+	}
+}
+
+// TestChaseResumePrevRebuildFallback: a previous run that merged values
+// under the legacy rebuild engine retained no union-find, so even with
+// the union-find engine selected now, its result cannot seed a resume.
+func TestChaseResumePrevRebuildFallback(t *testing.T) {
+	deps := []dep.Dependency{dep.EGD{
+		Label: "r-key",
+		Body: []dep.Atom{
+			dep.NewAtom("R", dep.Var("x"), dep.Var("y")),
+			dep.NewAtom("R", dep.Var("x"), dep.Var("z")),
+		},
+		Left: "y", Right: "z",
+	}}
+	inst := rel.NewInstance()
+	inst.Add("R", rel.Const("a"), rel.Null(1))
+	inst.Add("R", rel.Const("a"), rel.Const("c"))
+	inst.Freeze()
+	prev, err := chase.Run(inst, deps, chase.Options{RebuildMerges: true})
+	if err != nil || prev.Failed {
+		t.Fatal(err)
+	}
+	if !prev.EgdFired || prev.UnionFind != nil {
+		t.Fatalf("rebuild-engine run: EgdFired=%v UnionFind=%v", prev.EgdFired, prev.UnionFind)
+	}
+	if reason := chase.FallbackReason(prev, deps, chase.Options{}); reason != chase.FallbackEgd {
+		t.Fatalf("prev-rebuild fallback reason = %q, want %q", reason, chase.FallbackEgd)
+	}
+}
+
+// TestChaseResumeCanonicalizesAppended: an appended fact mentioning a
+// null the previous run merged away lands on the class representative,
+// and fresh nulls drawn by the resumed run never reuse a merged-away
+// label.
+func TestChaseResumeCanonicalizesAppended(t *testing.T) {
+	deps := []dep.Dependency{
+		dep.EGD{
+			Label: "r-key",
+			Body: []dep.Atom{
+				dep.NewAtom("R", dep.Var("x"), dep.Var("y")),
+				dep.NewAtom("R", dep.Var("x"), dep.Var("z")),
+			},
+			Left: "y", Right: "z",
+		},
+		dep.TGD{
+			Label: "s-wit",
+			Body:  []dep.Atom{dep.NewAtom("S", dep.Var("x"), dep.Var("x"))},
+			Head:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("u"))},
+		},
+	}
+	inst := rel.NewInstance()
+	inst.Add("R", rel.Const("a"), rel.Null(5))
+	inst.Add("R", rel.Const("a"), rel.Const("c"))
+	inst.Freeze()
+	prev, err := chase.Run(inst, deps, chase.Options{})
+	if err != nil || prev.Failed {
+		t.Fatal(err)
+	}
+	if !prev.EgdFired || prev.UnionFind == nil {
+		t.Fatalf("keyed run: EgdFired=%v UnionFind=%v", prev.EgdFired, prev.UnionFind)
+	}
+	more := rel.NewInstance()
+	more.Add("R", rel.Const("b"), rel.Null(5)) // mentions the merged-away null
+	more.Add("S", rel.Const("b"), rel.Const("b"))
+	more.Freeze()
+	res, resumed, err := chase.Resume(prev, deps, more, chase.Options{})
+	if err != nil || !resumed {
+		t.Fatalf("keyed resume: resumed=%v err=%v", resumed, err)
+	}
+	r := res.Instance.Relation("R")
+	wantFact := rel.Tuple{rel.Const("b"), rel.Const("c")}
+	foundCanon := false
+	for i := 0; i < r.Len(); i++ {
+		tup := r.TupleAt(i)
+		if tup[0] == rel.Const("b") {
+			if tup[1] == rel.Null(5) {
+				t.Fatal("appended fact kept the merged-away null _N5")
+			}
+			if tup[1] == wantFact[1] {
+				foundCanon = true
+			}
+		}
+	}
+	if !foundCanon {
+		t.Fatalf("appended fact was not canonicalized to R(b, c):\n%s", res.Instance)
+	}
+	tt := res.Instance.Relation("T")
+	if tt == nil || tt.Len() != 1 {
+		t.Fatalf("tgd did not fire exactly once on the appended S fact:\n%s", res.Instance)
+	}
+	fresh := tt.TupleAt(0)[1]
+	if !fresh.IsNull() || fresh.NullID() <= 5 {
+		t.Fatalf("fresh null %v does not clear the merged-away label _N5", fresh)
 	}
 }
 

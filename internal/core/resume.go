@@ -9,7 +9,9 @@ package core
 // resumed artifact never collides with the labels it already contains.
 // The returned bool reports whether every phase took the incremental
 // path; a false still returns a correct artifact (the fallback phases
-// re-chased from their true starts).
+// re-chased from their true starts), and the returned reason string —
+// one of the chase.Fallback* constants — names the first blocking
+// condition, for the server's cache metrics.
 
 import (
 	"fmt"
@@ -23,11 +25,11 @@ import (
 // from. The input trace is not mutated; the returned trace is a fresh
 // artifact ready for ExistsSolutionTractableFrom. Both phases are pure
 // tgds for any setting the tractable algorithm accepts, so the
-// incremental path always applies and the bool is true unless a
-// previous result was unexpectedly non-resumable.
-func ResumeCanonicalTractable(s *Setting, trace *TractableTrace, appended *rel.Instance, opts TractableOptions) (*TractableTrace, bool, error) {
+// incremental path always applies and the bool is true (reason "")
+// unless a previous result was unexpectedly non-resumable.
+func ResumeCanonicalTractable(s *Setting, trace *TractableTrace, appended *rel.Instance, opts TractableOptions) (*TractableTrace, bool, string, error) {
 	if trace == nil || trace.STResult == nil || trace.TSResult == nil {
-		return nil, false, fmt.Errorf("core: cannot resume a tractable trace without its chase results")
+		return nil, false, chase.FallbackNoPrev, fmt.Errorf("core: cannot resume a tractable trace without its chase results")
 	}
 	ns := &rel.NullSource{}
 	ns.SetState(trace.NullState)
@@ -43,7 +45,11 @@ func ResumeCanonicalTractable(s *Setting, trace *TractableTrace, appended *rel.I
 
 	res1, r1, err := chase.Resume(trace.STResult, s.StDeps(), appended, copts)
 	if err != nil {
-		return nil, false, fmt.Errorf("core: resuming Σst: %w", err)
+		return nil, false, chase.FallbackNone, fmt.Errorf("core: resuming Σst: %w", err)
+	}
+	reason := chase.FallbackNone
+	if !r1 {
+		reason = chase.FallbackReason(trace.STResult, s.StDeps(), copts)
 	}
 	jcan := res1.Instance.Restrict(s.Target)
 
@@ -52,7 +58,10 @@ func ResumeCanonicalTractable(s *Setting, trace *TractableTrace, appended *rel.I
 	// new target facts the delta.
 	res2, r2, err := chase.Resume(trace.TSResult, s.TsDeps(), jcan, copts)
 	if err != nil {
-		return nil, false, fmt.Errorf("core: resuming Σts: %w", err)
+		return nil, false, chase.FallbackNone, fmt.Errorf("core: resuming Σts: %w", err)
+	}
+	if !r2 && reason == chase.FallbackNone {
+		reason = chase.FallbackReason(trace.TSResult, s.TsDeps(), copts)
 	}
 	ican := res2.Instance.Restrict(s.Source)
 
@@ -68,18 +77,20 @@ func ResumeCanonicalTractable(s *Setting, trace *TractableTrace, appended *rel.I
 		NullState: ns.State(),
 	}
 	next.fillBlocks()
-	return next, r1 && r2, nil
+	return next, r1 && r2, reason, nil
 }
 
 // ResumeCanonicalTarget continues a ChaseCanonicalTarget after
 // appending facts. Σst is always pure tgds and resumes incrementally;
-// the Σt phase resumes only when it is egd-free and its previous run
-// neither failed nor merged — otherwise chase.Resume transparently
-// re-chases the new J_can from scratch, which also revalidates a
-// previously failing Σt chase. The input is not mutated.
-func ResumeCanonicalTarget(s *Setting, ct *CanonicalTarget, appended *rel.Instance, opts SolveOptions) (*CanonicalTarget, bool, error) {
+// the Σt phase resumes when its egds are all key-shaped and the
+// previous run retained its merge state (see chase.Resumable) —
+// otherwise chase.Resume transparently re-chases the new J_can from
+// scratch, which also revalidates a previously failing Σt chase. The
+// input is not mutated. The reason string names the first blocking
+// condition when the bool is false.
+func ResumeCanonicalTarget(s *Setting, ct *CanonicalTarget, appended *rel.Instance, opts SolveOptions) (*CanonicalTarget, bool, string, error) {
 	if ct == nil || ct.STResult == nil {
-		return nil, false, fmt.Errorf("core: cannot resume a canonical target without its chase results")
+		return nil, false, chase.FallbackNoPrev, fmt.Errorf("core: cannot resume a canonical target without its chase results")
 	}
 	opts.Hom = opts.homOpts()
 	ns := &rel.NullSource{}
@@ -88,7 +99,11 @@ func ResumeCanonicalTarget(s *Setting, ct *CanonicalTarget, appended *rel.Instan
 
 	res, r1, err := chase.Resume(ct.STResult, s.StDeps(), appended, copts)
 	if err != nil {
-		return nil, false, fmt.Errorf("core: resuming Σst: %w", err)
+		return nil, false, chase.FallbackNone, fmt.Errorf("core: resuming Σst: %w", err)
+	}
+	reason := chase.FallbackNone
+	if !r1 {
+		reason = chase.FallbackReason(ct.STResult, s.StDeps(), copts)
 	}
 	next := &CanonicalTarget{STResult: res}
 	jcan := res.Instance.Restrict(s.Target)
@@ -97,19 +112,22 @@ func ResumeCanonicalTarget(s *Setting, ct *CanonicalTarget, appended *rel.Instan
 	if len(s.T) > 0 {
 		tres, r2, err := chase.Resume(ct.TResult, s.T, jcan, copts)
 		if err != nil {
-			return nil, false, fmt.Errorf("core: resuming Σt: %w", err)
+			return nil, false, chase.FallbackNone, fmt.Errorf("core: resuming Σt: %w", err)
+		}
+		if !r2 && reason == chase.FallbackNone {
+			reason = chase.FallbackReason(ct.TResult, s.T, copts)
 		}
 		resumed = resumed && r2
 		next.TResult = tres
 		if tres.Failed {
 			next.TFailed = true
 			next.NullState = ns.State()
-			return next, resumed, nil
+			return next, resumed, reason, nil
 		}
 		jcan = tres.Instance
 	}
 	jcan.Freeze()
 	next.JCan = jcan
 	next.NullState = ns.State()
-	return next, resumed, nil
+	return next, resumed, reason, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/chase"
 	"repro/internal/core"
 	"repro/internal/dep"
 	"repro/internal/oracle"
@@ -45,7 +46,7 @@ func TestResumeCanonicalTractableProperty(t *testing.T) {
 		for round := 0; round < 3; round++ {
 			appended := randomLAVAppend(rng, round)
 			appended.Freeze()
-			next, resumed, err := core.ResumeCanonicalTractable(s, trace, appended, opts)
+			next, resumed, _, err := core.ResumeCanonicalTractable(s, trace, appended, opts)
 			if err != nil {
 				t.Fatalf("trial %d round %d: resume: %v", trial, round, err)
 			}
@@ -109,7 +110,7 @@ func TestResumeCanonicalTargetProperty(t *testing.T) {
 			i = rel.Union(i, appended.Restrict(s.Source))
 			j = rel.Union(j, appended.Restrict(s.Target))
 			appended.Freeze()
-			next, resumed, err := core.ResumeCanonicalTarget(s, ct, appended, opts)
+			next, resumed, _, err := core.ResumeCanonicalTarget(s, ct, appended, opts)
 			if err != nil {
 				t.Fatalf("trial %d round %d: resume: %v", trial, round, err)
 			}
@@ -150,13 +151,13 @@ func instWith(r string, vs ...rel.Value) *rel.Instance {
 	return in
 }
 
-// TestResumeCanonicalTargetEgdFallback pins the fallback rule: a
-// setting whose Σt egd fired during the base chase must not resume the
-// Σt phase incrementally, and the resumed artifact still solves
-// correctly.
-func TestResumeCanonicalTargetEgdFallback(t *testing.T) {
+// TestResumeCanonicalTargetKeyedResume pins the relaxed eligibility: a
+// setting whose Σt egd is key-shaped resumes the Σt phase
+// incrementally even though the egd fired during the base chase, and
+// the resumed artifact still solves correctly.
+func TestResumeCanonicalTargetKeyedResume(t *testing.T) {
 	s := &core.Setting{
-		Name:   "egd-fallback",
+		Name:   "keyed-resume",
 		Source: rel.SchemaOf("A", 1, "B", 2),
 		Target: rel.SchemaOf("T", 2),
 		ST: []dep.TGD{{
@@ -171,7 +172,67 @@ func TestResumeCanonicalTargetEgdFallback(t *testing.T) {
 		}},
 	}
 	i := instWith("A", rel.Const("a"))
+	// The labeled null makes the base Σt chase merge _N1 into b, so the
+	// previous result really carries merge state into the resume.
+	j := instWith("T", rel.Const("a"), rel.Null(1))
+	j.Add("T", rel.Const("a"), rel.Const("b"))
+	opts := core.SolveOptions{}
+	ct, err := core.ChaseCanonicalTarget(s, i, j, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct.TResult == nil || !ct.TResult.EgdFired {
+		t.Fatal("base chase did not exercise the Σt key egd")
+	}
+	if ct.TResult.UnionFind == nil {
+		t.Fatal("merged Σt run retained no union-find")
+	}
+	appended := instWith("A", rel.Const("c"))
+	appended.Freeze()
+	next, resumed, reason, err := core.ResumeCanonicalTarget(s, ct, appended, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resumed || reason != chase.FallbackNone {
+		t.Fatalf("key-shaped Σt egd fell back: resumed=%v reason=%q", resumed, reason)
+	}
+	i2 := rel.Union(i, appended)
+	gotOK, _, _, err := core.ExistsSolutionGenericFrom(s, i2, j, next, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOK, _, _, err := core.ExistsSolutionGeneric(s, i2, j, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotOK != wantOK {
+		t.Fatalf("resumed verdict %v, scratch %v", gotOK, wantOK)
+	}
+}
+
+// TestResumeCanonicalTargetEgdFallback pins the remaining fallback
+// rule: a Σt egd that is not key-shaped (its body joins two relations)
+// must not resume incrementally, the reason is "egd", and the resumed
+// artifact still solves correctly.
+func TestResumeCanonicalTargetEgdFallback(t *testing.T) {
+	s := &core.Setting{
+		Name:   "egd-fallback",
+		Source: rel.SchemaOf("A", 1, "B", 2),
+		Target: rel.SchemaOf("T", 2, "U", 2),
+		ST: []dep.TGD{{
+			Label: "st",
+			Body:  []dep.Atom{dep.NewAtom("A", dep.Var("x"))},
+			Head:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("u"))},
+		}},
+		T: []dep.Dependency{dep.EGD{
+			Label: "t-cross",
+			Body:  []dep.Atom{dep.NewAtom("T", dep.Var("x"), dep.Var("y")), dep.NewAtom("U", dep.Var("x"), dep.Var("z"))},
+			Left:  "y", Right: "z",
+		}},
+	}
+	i := instWith("A", rel.Const("a"))
 	j := instWith("T", rel.Const("a"), rel.Const("b"))
+	j.Add("U", rel.Const("a"), rel.Const("b"))
 	opts := core.SolveOptions{}
 	ct, err := core.ChaseCanonicalTarget(s, i, j, opts)
 	if err != nil {
@@ -179,12 +240,15 @@ func TestResumeCanonicalTargetEgdFallback(t *testing.T) {
 	}
 	appended := instWith("A", rel.Const("c"))
 	appended.Freeze()
-	next, resumed, err := core.ResumeCanonicalTarget(s, ct, appended, opts)
+	next, resumed, reason, err := core.ResumeCanonicalTarget(s, ct, appended, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if resumed {
-		t.Fatal("egd-bearing Σt reported a fully incremental resume")
+		t.Fatal("non-key Σt egd reported a fully incremental resume")
+	}
+	if reason != chase.FallbackEgd {
+		t.Fatalf("fallback reason = %q, want %q", reason, chase.FallbackEgd)
 	}
 	i2 := rel.Union(i, appended)
 	gotOK, _, _, err := core.ExistsSolutionGenericFrom(s, i2, j, next, opts)

@@ -308,6 +308,43 @@ func (d EGD) String() string {
 	return b.String()
 }
 
+// KeyShaped reports whether the egd has the shape of a key (functional
+// dependency) over a single relation: a body of exactly two atoms over
+// the same relation, all arguments variables, where each position
+// either shares one variable between the two atoms (a determinant
+// position) or holds two distinct variables, and the equated pair
+// Left/Right sits together at at least one position. Every egd emitted
+// by declaring a key takes this shape — one egd per dependent column.
+//
+// The shape is what makes key-only settings resume-eligible
+// (chase.Resumable): a key egd can only ever merge the dependent values
+// of two tuples agreeing on their shared positions, so a finished
+// fixpoint plus its union-find is a complete account of the merges, and
+// appended facts re-trigger exactly the passes the resume seeds cover.
+func (d EGD) KeyShaped() bool {
+	if len(d.Body) != 2 || d.Body[0].Rel != d.Body[1].Rel {
+		return false
+	}
+	a, b := d.Body[0], d.Body[1]
+	if len(a.Args) != len(b.Args) {
+		return false
+	}
+	pairAligned := false
+	for i := range a.Args {
+		ta, tb := a.Args[i], b.Args[i]
+		if ta.IsConst || tb.IsConst {
+			return false
+		}
+		if ta.Name == tb.Name {
+			continue // shared (determinant) position
+		}
+		if (ta.Name == d.Left && tb.Name == d.Right) || (ta.Name == d.Right && tb.Name == d.Left) {
+			pairAligned = true
+		}
+	}
+	return pairAligned
+}
+
 // Validate implements Dependency; egds have both sides over the same
 // schema, so head is ignored.
 func (d EGD) Validate(body, _ *rel.Schema) error {

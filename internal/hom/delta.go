@@ -16,10 +16,31 @@ import (
 // delta-constrained entry points then degrade to full enumeration.
 //
 // The chase maintains one Delta per dependency, recording the instance
-// sizes at the dependency's previous trigger collection; equality
-// merges (egd steps) rebuild the instance and shuffle tuple indexes, so
-// they must invalidate every watermark back to nil.
+// sizes at the dependency's previous trigger collection. Equality
+// merges (egd steps) rewrite tuples in place without shuffling indexes
+// (rel.Instance.MergeValue), so counts stay valid across merges; the
+// rewritten old tuples are carried separately as the Changed lists of a
+// DeltaSpec. Only the legacy rebuild path (chase.Options.RebuildMerges)
+// still invalidates watermarks back to nil.
 type Delta map[string]int
+
+// DeltaSpec is the full semi-naive watermark: the per-relation counts
+// splitting each relation into old and new segments, plus the
+// merged-value delta — for each relation, the sorted indexes of old
+// tuples whose content was rewritten by egd merges since the counts
+// were taken. A binding is "new" if it touches a new tuple or a changed
+// one; bindings over unchanged old tuples were either fired or
+// satisfied when the watermark was taken, and both properties survive
+// merges (substitution maps satisfied instances onto satisfied
+// instances).
+//
+// Changed lists must hold live (non-tombstoned) indexes strictly below
+// the corresponding Old count; a nil Old requests full enumeration
+// regardless of Changed.
+type DeltaSpec struct {
+	Old     Delta
+	Changed map[string][]int
+}
 
 // oldCount returns the old-segment length for the relation, clamped to
 // the relation's current size (a stale watermark must never make the
@@ -65,7 +86,31 @@ type deltaHit struct {
 // under opts.Parallelism and the merged result is re-sorted into the
 // serial enumeration order.
 func EnumerateDelta(atoms []dep.Atom, inst *rel.Instance, init Binding, delta Delta, opts Options, keep func(Binding) bool) []Binding {
-	if delta == nil {
+	return EnumerateDeltaSpec(atoms, inst, init, DeltaSpec{Old: delta}, opts, keep)
+}
+
+// deltaSlot is one pinned search of the semi-naive decomposition: atom
+// `atom` of the join order restricted either to the new segment of its
+// relation (changed == nil) or to the explicit changed-index list.
+type deltaSlot struct {
+	atom    int
+	changed []int
+}
+
+// EnumerateDeltaSpec is EnumerateDelta extended with the merged-value
+// delta: it returns every homomorphism that uses at least one new tuple
+// or one changed (merge-rewritten) tuple, in exactly the relative order
+// Enumerate produces them, and each such binding exactly once.
+//
+// The decomposition generalizes the textbook one: count slots pin atom
+// s to the delta segment and atoms before s to the old segment; changed
+// slots pin atom s to the changed-index list instead. Count slots are
+// mutually disjoint as before, but a binding can combine changed tuples
+// with new ones and so surface from several slots — the merged,
+// vector-sorted result is deduplicated by vector (equal vectors denote
+// the same binding).
+func EnumerateDeltaSpec(atoms []dep.Atom, inst *rel.Instance, init Binding, spec DeltaSpec, opts Options, keep func(Binding) bool) []Binding {
+	if spec.Old == nil {
 		return Enumerate(atoms, inst, init, opts, keep)
 	}
 	if len(atoms) == 0 {
@@ -79,8 +124,8 @@ func EnumerateDelta(atoms []dep.Atom, inst *rel.Instance, init Binding, delta De
 		if r == nil || r.Len() == 0 {
 			return nil // an empty body relation admits no homomorphism at all
 		}
-		old := delta.oldCount(r)
-		if old < r.Len() {
+		old := spec.Old.oldCount(r)
+		if old < r.Len() || len(spec.Changed[a.Rel]) > 0 {
 			hasNew = true
 		}
 		if old > 0 {
@@ -102,23 +147,26 @@ func EnumerateDelta(atoms []dep.Atom, inst *rel.Instance, init Binding, delta De
 	}
 	order := orderAtoms(atoms, base)
 
-	// Viable slots: the pinned atom needs a nonempty delta segment and
-	// every atom before it a nonempty old segment.
-	slots := make([]int, 0, len(order))
+	// Viable slots: the pinned atom needs a nonempty delta segment (or
+	// changed list) and every atom before it a nonempty old segment.
+	slots := make([]deltaSlot, 0, len(order))
 	for s := range order {
-		rs := inst.Relation(order[s].Rel)
-		if delta.oldCount(rs) == rs.Len() {
-			continue
-		}
 		ok := true
 		for i := 0; i < s; i++ {
-			if delta.oldCount(inst.Relation(order[i].Rel)) == 0 {
+			if spec.Old.oldCount(inst.Relation(order[i].Rel)) == 0 {
 				ok = false
 				break
 			}
 		}
-		if ok {
-			slots = append(slots, s)
+		if !ok {
+			continue
+		}
+		rs := inst.Relation(order[s].Rel)
+		if spec.Old.oldCount(rs) < rs.Len() {
+			slots = append(slots, deltaSlot{atom: s})
+		}
+		if ch := spec.Changed[order[s].Rel]; len(ch) > 0 {
+			slots = append(slots, deltaSlot{atom: s, changed: ch})
 		}
 	}
 	if len(slots) == 0 {
@@ -128,11 +176,11 @@ func EnumerateDelta(atoms []dep.Atom, inst *rel.Instance, init Binding, delta De
 	results := make([][]deltaHit, len(slots))
 	if degree := par.Degree(opts.Parallelism); degree > 1 && len(slots) > 1 {
 		par.Do(len(slots), degree, opts.Seed, func(k int) {
-			results[k] = enumerateSlot(order, inst, opts, base.Clone(), delta, slots[k], keep)
+			results[k] = enumerateSlot(order, inst, opts, base.Clone(), spec.Old, slots[k], keep)
 		})
 	} else {
 		for k, s := range slots {
-			results[k] = enumerateSlot(order, inst, opts, base, delta, s, keep)
+			results[k] = enumerateSlot(order, inst, opts, base, spec.Old, s, keep)
 		}
 	}
 	total := 0
@@ -144,18 +192,22 @@ func EnumerateDelta(atoms []dep.Atom, inst *rel.Instance, init Binding, delta De
 		hits = append(hits, rs...)
 	}
 	sort.Slice(hits, func(i, j int) bool { return lexLess(hits[i].vec, hits[j].vec) })
-	out := make([]Binding, len(hits))
+	out := make([]Binding, 0, len(hits))
 	for i, h := range hits {
-		out[i] = h.b
+		if i > 0 && lexEqual(hits[i-1].vec, h.vec) {
+			continue // same vector ⇒ same binding, surfaced by another slot
+		}
+		out = append(out, h.b)
 	}
 	return out
 }
 
 // enumerateSlot runs one slot of the semi-naive decomposition: a
-// backtracking search with atom `slot` pinned to the delta segment,
-// earlier atoms pinned to the old segment, later atoms unconstrained.
-// Each hit carries its tuple-index vector for the merge sort.
-func enumerateSlot(order []dep.Atom, inst *rel.Instance, opts Options, base Binding, delta Delta, slot int, keep func(Binding) bool) []deltaHit {
+// backtracking search with the slot atom pinned to the delta segment or
+// to the changed-index list, earlier atoms pinned to the old segment,
+// later atoms unconstrained. Each hit carries its tuple-index vector
+// for the merge sort.
+func enumerateSlot(order []dep.Atom, inst *rel.Instance, opts Options, base Binding, delta Delta, slot deltaSlot, keep func(Binding) bool) []deltaHit {
 	n := len(order)
 	low := make([]int, n)
 	high := make([]int, n)
@@ -165,9 +217,9 @@ func enumerateSlot(order []dep.Atom, inst *rel.Instance, opts Options, base Bind
 		low[i], high[i] = 0, maxInt
 		old := delta.oldCount(inst.Relation(a.Rel))
 		switch {
-		case i < slot:
+		case i < slot.atom:
 			high[i] = old
-		case i == slot:
+		case i == slot.atom && slot.changed == nil:
 			low[i] = old
 		}
 	}
@@ -175,6 +227,11 @@ func enumerateSlot(order []dep.Atom, inst *rel.Instance, opts Options, base Bind
 	s := newSearcher(inst, opts, false, nil)
 	defer s.release()
 	s.low, s.high, s.vec = low, high, vec
+	if slot.changed != nil {
+		only := make([][]int, n)
+		only[slot.atom] = slot.changed
+		s.only = only
+	}
 	s.fn = func(b Binding) bool {
 		if keep == nil || keep(b) {
 			hits = append(hits, deltaHit{vec: append([]int(nil), vec...), b: b.Clone()})
@@ -183,6 +240,16 @@ func enumerateSlot(order []dep.Atom, inst *rel.Instance, opts Options, base Bind
 	}
 	s.match(order, 0, base)
 	return hits
+}
+
+// lexEqual reports whether two tuple-index vectors are identical.
+func lexEqual(a, b []int) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // lexLess orders tuple-index vectors lexicographically; vectors of the

@@ -221,10 +221,14 @@ type searcher struct {
 	// low/high, when non-nil, constrain the tuple indexes tried at each
 	// depth to [low[i], high[i]) — the semi-naive enumeration pins atoms
 	// to the old or the new (delta) segment of their relation this way.
-	// vec, when non-nil, records the tuple index chosen at each depth,
-	// so complete bindings can be merged back into the order the
-	// unconstrained search would produce (see EnumerateDelta).
+	// only, when non-nil, pins a depth with a non-nil entry to exactly
+	// that sorted list of tuple indexes — the merged-value delta pins an
+	// atom to the tuples rewritten by egd merges this way. vec, when
+	// non-nil, records the tuple index chosen at each depth, so complete
+	// bindings can be merged back into the order the unconstrained
+	// search would produce (see EnumerateDeltaSpec).
 	low, high []int
+	only      [][]int
 	vec       []int
 
 	// ctxTick counts match calls between polls of opts.Ctx; canceled
@@ -265,13 +269,13 @@ func newSearcher(inst *rel.Instance, opts Options, clone bool, fn func(Binding) 
 	s := searcherPool.Get().(*searcher)
 	s.inst, s.opts, s.clone, s.fn = inst, opts, clone, fn
 	s.ctxTick, s.canceled = 0, false
-	s.low, s.high, s.vec = nil, nil, nil
+	s.low, s.high, s.only, s.vec = nil, nil, nil, nil
 	return s
 }
 
 func (s *searcher) release() {
 	s.inst, s.fn, s.opts.Ctx = nil, nil, nil
-	s.low, s.high, s.vec = nil, nil, nil
+	s.low, s.high, s.only, s.vec = nil, nil, nil, nil
 	searcherPool.Put(s)
 }
 
@@ -363,6 +367,14 @@ func (s *searcher) candidateTuples(r *rel.Relation, a dep.Atom, b Binding, depth
 			return nil
 		}
 	}
+	if s.only != nil {
+		if list := s.only[depth]; list != nil {
+			// Pinned to an explicit (sorted, live) index list; clip to the
+			// bounds like the position-index path does.
+			list = list[sort.SearchInts(list, lo):]
+			return list[:sort.SearchInts(list, hi)]
+		}
+	}
 	if !s.opts.NoIndex {
 		bestPos, bestVal, bestLen := -1, rel.Value{}, -1
 		for j, term := range a.Args {
@@ -396,7 +408,11 @@ func (s *searcher) candidateTuples(r *rel.Relation, a dep.Atom, b Binding, depth
 	}
 	all := s.allIdx[depth][:0]
 	for i := lo; i < hi; i++ {
-		all = append(all, i)
+		// Tuple slots tombstoned by egd merges stay in [0, Len) but must
+		// never match; the position-index path is clean by construction.
+		if r.Live(i) {
+			all = append(all, i)
+		}
 	}
 	s.allIdx[depth] = all
 	return all

@@ -306,13 +306,13 @@ func TestAnalyzersDeclareTheirChecks(t *testing.T) {
 }
 
 func TestVetResumeIneligible(t *testing.T) {
-	src := "setting keyed\n" +
-		"source E/2\n" +
-		"target H/2\n" +
-		"st: E(x,y) -> H(x,y)\n" +
-		"ts: H(x,y) -> E(x,y)\n" +
-		"t: H(x,y), H(x,z) -> y = z\n"
-	r := Vet(src, "keyed.pde")
+	src := "setting crossed\n" +
+		"source A/2\n" +
+		"target T/2, U/2\n" +
+		"st: A(x,y) -> T(x,y)\n" +
+		"ts: T(x,y) -> A(x,y)\n" +
+		"t: T(x,y), U(x,z) -> y = z\n"
+	r := Vet(src, "crossed.pde")
 	d := find(r, "resume-ineligible")
 	if len(d) != 1 {
 		t.Fatalf("got %d resume-ineligible diagnostics, want 1: %v", len(d), r.Diagnostics)
@@ -330,6 +330,18 @@ func TestVetResumeIneligible(t *testing.T) {
 		t.Errorf("witness vars = %v, want [y z]", got)
 	}
 
+	// A key-shaped egd stays silent: the union-find engine keeps keyed
+	// settings resume-eligible.
+	keyed := "setting keyed\n" +
+		"source E/2\n" +
+		"target H/2\n" +
+		"st: E(x,y) -> H(x,y)\n" +
+		"ts: H(x,y) -> E(x,y)\n" +
+		"t: H(x,y), H(x,z) -> y = z\n"
+	if d := find(Vet(keyed, "keyed.pde"), "resume-ineligible"); len(d) != 0 {
+		t.Errorf("key-shaped egd flagged non-resumable: %v", d)
+	}
+
 	// Pure target tgds stay silent: only egds break resumability.
 	pure := "setting pure\n" +
 		"source E/2\n" +
@@ -343,8 +355,9 @@ func TestVetResumeIneligible(t *testing.T) {
 }
 
 // TestVetResumeIneligibleOverExamples pins the check's behavior on the
-// shipped example settings: exactly the keyed example (the one with a
-// target egd) is flagged.
+// shipped example settings: exactly the fd-cross example (the one with
+// a non-key target egd) is flagged — the keyed example's key-shaped
+// egd is resume-eligible and stays silent.
 func TestVetResumeIneligibleOverExamples(t *testing.T) {
 	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "settings", "*.pde"))
 	if err != nil || len(files) == 0 {
@@ -364,7 +377,7 @@ func TestVetResumeIneligibleOverExamples(t *testing.T) {
 			flagged[filepath.Base(f)] = true
 		}
 	}
-	if !reflect.DeepEqual(flagged, map[string]bool{"keyed.pde": true}) {
-		t.Errorf("resume-ineligible flagged %v, want exactly keyed.pde", flagged)
+	if !reflect.DeepEqual(flagged, map[string]bool{"fd-cross.pde": true}) {
+		t.Errorf("resume-ineligible flagged %v, want exactly fd-cross.pde", flagged)
 	}
 }

@@ -8,16 +8,19 @@ import (
 
 // resumableAnalyzer warns when a setting cannot use the incremental
 // resume path of the chase (chase.Resume / the pdxd chased-instance
-// cache). The append-only watermark argument behind Resume holds only
-// for pure tgds: an egd among the target constraints means a previous
-// run may have merged values (Result.EgdFired) and, worse, that a
-// future run could — so Resumable rejects the setting up front and
-// every append degrades to a full re-chase. Serving workloads that
-// lean on the chase cache lose the incremental speedup silently; this
-// check makes the degradation visible at vet time.
+// cache). The union-find egd engine extends the append-only watermark
+// argument behind Resume to key-shaped egds (dep.EGD.KeyShaped): a
+// finished fixpoint plus its retained merge classes fully accounts for
+// what a key constraint did, so keyed settings resume incrementally.
+// Any other egd shape still defeats the argument — a previous run may
+// have merged values in ways the union-find seed cannot replay — so
+// chase.Resumable rejects the setting up front and every append
+// degrades to a full re-chase. Serving workloads that lean on the
+// chase cache lose the incremental speedup silently; this check makes
+// the degradation visible at vet time.
 var resumableAnalyzer = &Analyzer{
 	Name:   "resumable",
-	Doc:    "warn when egds make chase results non-resumable",
+	Doc:    "warn when non-key egds make chase results non-resumable",
 	Checks: []string{"resume-ineligible"},
 	Run:    runResumable,
 }
@@ -25,15 +28,15 @@ var resumableAnalyzer = &Analyzer{
 func runResumable(p *Pass) {
 	var egds []dep.EGD
 	for _, d := range p.Setting.T {
-		if e, ok := d.(dep.EGD); ok {
+		if e, ok := d.(dep.EGD); ok && !e.KeyShaped() {
 			egds = append(egds, e)
 		}
 	}
 	if len(egds) == 0 {
 		return
 	}
-	// One diagnostic per egd: each carries its own span, and fixing one
-	// does not fix the others.
+	// One diagnostic per non-key egd: each carries its own span, and
+	// fixing one does not fix the others.
 	for _, e := range egds {
 		p.Report(Diagnostic{
 			Check:    "resume-ineligible",
@@ -41,7 +44,7 @@ func runResumable(p *Pass) {
 			Line:     e.Span.Line,
 			Col:      e.Span.Col,
 			Message: fmt.Sprintf(
-				"target egd %s makes chase results non-resumable: appends fall back to a full re-chase (chase.Resume requires pure tgds), so the serving chase cache loses its incremental path",
+				"target egd %s is not key-shaped and makes chase results non-resumable: appends fall back to a full re-chase (chase.Resume resumes tgds and key egds only), so the serving chase cache loses its incremental path",
 				e.Label),
 			Witness: &Witness{TGD: e.Label, Vars: []string{e.Left, e.Right}},
 		})

@@ -17,8 +17,18 @@ type Relation struct {
 
 	// posIndex[i] maps a value to the indexes of tuples carrying that
 	// value at position i. Maintained incrementally by add; rebuilt by
-	// replaceValue.
+	// replaceValue. Lists hold live indexes only: mergeValue removes
+	// tombstoned tuples from every list they belong to.
 	posIndex []map[Value][]int
+
+	// dead marks tuple slots tombstoned by mergeValue: a merge that
+	// makes two tuples collide keeps the earlier copy and tombstones
+	// the later one instead of compacting, so surviving tuples keep
+	// their indexes (the chase's watermark invariant). dead is nil
+	// until the first tombstone and may be shorter than tuples —
+	// slots beyond its length are live. Compact drops dead slots.
+	dead  []bool
+	nDead int
 }
 
 func newRelation(name string, arity int) *Relation {
@@ -40,8 +50,18 @@ func (r *Relation) Name() string { return r.name }
 // Arity returns the arity of the relation.
 func (r *Relation) Arity() int { return r.arity }
 
-// Len returns the number of tuples.
+// Len returns the number of tuple slots, including tombstoned ones.
+// Tuple indexes range over [0, Len); use Live to skip dead slots.
 func (r *Relation) Len() int { return len(r.tuples) }
+
+// LiveLen returns the number of live (non-tombstoned) tuples.
+func (r *Relation) LiveLen() int { return len(r.tuples) - r.nDead }
+
+// Live reports whether the tuple slot at index i is live, i.e. not
+// tombstoned by a merge.
+func (r *Relation) Live(i int) bool {
+	return i >= len(r.dead) || !r.dead[i]
+}
 
 // Tuples returns the relation's tuples. The returned slice and its
 // tuples are owned by the relation and must not be mutated.
@@ -71,6 +91,11 @@ func (r *Relation) popLast() Tuple {
 	n := len(r.tuples)
 	if n == 0 {
 		panic("rel: popLast on empty relation")
+	}
+	if r.nDead > 0 {
+		// Backtracking solvers never run on merged (tombstoned)
+		// relations; refusing keeps the LIFO index argument intact.
+		panic("rel: popLast on relation with tombstoned tuples")
 	}
 	t := r.tuples[n-1]
 	r.tuples = r.tuples[:n-1]
@@ -105,6 +130,10 @@ func (r *Relation) clone() *Relation {
 		tuples:   append(make([]Tuple, 0, len(r.tuples)), r.tuples...),
 		seen:     make(map[string]int, len(r.seen)),
 		posIndex: make([]map[Value][]int, len(r.posIndex)),
+		nDead:    r.nDead,
+	}
+	if r.dead != nil {
+		c.dead = append(make([]bool, 0, len(r.dead)), r.dead...)
 	}
 	for k, v := range r.seen {
 		c.seen[k] = v
@@ -131,6 +160,108 @@ func (r *Relation) add(t Tuple) bool {
 		r.posIndex[i][v] = append(r.posIndex[i][v], idx)
 	}
 	return true
+}
+
+// removeFromIndex drops idx from the position-index list of v at
+// position pos. The list is sorted ascending (add appends monotonically
+// growing indexes and removals preserve order), so the slot is found by
+// binary search; a miss means the index is corrupted.
+func (r *Relation) removeFromIndex(pos int, v Value, idx int) {
+	lst := r.posIndex[pos][v]
+	at := sort.SearchInts(lst, idx)
+	if at >= len(lst) || lst[at] != idx {
+		panic("rel: position index corrupted during merge")
+	}
+	if len(lst) == 1 {
+		delete(r.posIndex[pos], v)
+		return
+	}
+	r.posIndex[pos][v] = append(lst[:at], lst[at+1:]...)
+}
+
+// insertIntoIndex adds idx to the position-index list of v at position
+// pos, keeping the list sorted.
+func (r *Relation) insertIntoIndex(pos int, v Value, idx int) {
+	lst := r.posIndex[pos][v]
+	at := sort.SearchInts(lst, idx)
+	lst = append(lst, 0)
+	copy(lst[at+1:], lst[at:])
+	lst[at] = idx
+	r.posIndex[pos][v] = lst
+}
+
+// tombstone marks the tuple slot at idx dead: its canonical key and
+// position-index entries are removed so lookups never see it, but the
+// slot itself stays so later tuples keep their indexes.
+func (r *Relation) tombstone(idx int) {
+	t := r.tuples[idx]
+	delete(r.seen, tupleKey(t))
+	for i, v := range t {
+		r.removeFromIndex(i, v, idx)
+	}
+	if len(r.dead) < len(r.tuples) {
+		grown := make([]bool, len(r.tuples))
+		copy(grown, r.dead)
+		r.dead = grown
+	}
+	r.dead[idx] = true
+	r.nDead++
+}
+
+// mergeValue rewrites every live tuple carrying from so it holds to
+// instead, in place. A rewrite that collides with an existing tuple
+// keeps the copy with the smaller index and tombstones the other —
+// exactly the first-occurrence-wins dedup a full rebuild (ReplaceValue)
+// performs, so the surviving tuples and their relative order match the
+// rebuild byte for byte, while surviving indexes stay put. It returns
+// the sorted indexes of live tuples whose content changed.
+func (r *Relation) mergeValue(from, to Value) []int {
+	var affected []int
+	for i := 0; i < r.arity; i++ {
+		affected = append(affected, r.posIndex[i][from]...)
+	}
+	if len(affected) == 0 {
+		return nil
+	}
+	sort.Ints(affected)
+	changed := make([]int, 0, len(affected))
+	prev := -1
+	for _, idx := range affected {
+		if idx == prev { // same tuple matched at several positions
+			continue
+		}
+		prev = idx
+		old := r.tuples[idx]
+		neu := old.Clone()
+		for i, v := range neu {
+			if v == from {
+				neu[i] = to
+			}
+		}
+		delete(r.seen, tupleKey(old))
+		k := tupleKey(neu)
+		if j, ok := r.seen[k]; ok {
+			if j < idx {
+				// The earlier copy survives unchanged; idx dies.
+				r.tombstone(idx)
+				continue
+			}
+			// idx survives the collision; the later copy dies.
+			// (j's key is k; tombstone removes it before rewrite
+			// re-binds k to idx.)
+			r.tombstone(j)
+		}
+		r.tuples[idx] = neu
+		r.seen[k] = idx
+		for i, v := range old {
+			if v == from {
+				r.removeFromIndex(i, v, idx)
+				r.insertIntoIndex(i, to, idx)
+			}
+		}
+		changed = append(changed, idx)
+	}
+	return changed
 }
 
 // Instance is a finite set of facts over a set of relations. The zero
@@ -237,7 +368,7 @@ func (inst *Instance) Contains(f Fact) bool {
 func (inst *Instance) RelationNames() []string {
 	names := make([]string, 0, len(inst.rels))
 	for n, r := range inst.rels {
-		if r.Len() > 0 {
+		if r.LiveLen() > 0 {
 			names = append(names, n)
 		}
 	}
@@ -245,11 +376,11 @@ func (inst *Instance) RelationNames() []string {
 	return names
 }
 
-// NumFacts returns the total number of facts.
+// NumFacts returns the total number of facts (live tuples).
 func (inst *Instance) NumFacts() int {
 	n := 0
 	for _, r := range inst.rels {
-		n += r.Len()
+		n += r.LiveLen()
 	}
 	return n
 }
@@ -257,13 +388,15 @@ func (inst *Instance) NumFacts() int {
 // IsEmpty reports whether the instance holds no facts.
 func (inst *Instance) IsEmpty() bool { return inst.NumFacts() == 0 }
 
-// TupleCounts returns the current tuple count of every relation, keyed
-// by name. Relations grow append-only (AddTuple appends; only
+// TupleCounts returns the current tuple slot count of every relation,
+// keyed by name. Relations grow append-only (AddTuple appends; only
 // RemoveLastTuple and the ReplaceValue/MapValues rebuilds disturb the
 // order), so a snapshot of the counts splits each relation into a
 // stable old prefix and a new suffix until the next non-append
 // mutation — this is the watermark the semi-naive chase keeps per
-// dependency (see hom.Delta). Empty relations are included.
+// dependency (see hom.Delta). Tombstoned slots are counted: MergeValue
+// keeps slot indexes stable precisely so these watermarks survive egd
+// merges. Empty relations are included.
 func (inst *Instance) TupleCounts() map[string]int {
 	counts := make(map[string]int, len(inst.rels))
 	for name, r := range inst.rels {
@@ -278,7 +411,11 @@ func (inst *Instance) TupleCounts() map[string]int {
 func (inst *Instance) Facts() []Fact {
 	out := make([]Fact, 0, inst.NumFacts())
 	for _, name := range inst.RelationNames() {
-		for _, t := range inst.rels[name].tuples {
+		r := inst.rels[name]
+		for i, t := range r.tuples {
+			if !r.Live(i) {
+				continue
+			}
 			out = append(out, Fact{Rel: name, Args: t})
 		}
 	}
@@ -334,7 +471,10 @@ func (inst *Instance) Restrict(s *Schema) *Instance {
 func (inst *Instance) ActiveDomain() map[Value]struct{} {
 	dom := make(map[Value]struct{})
 	for _, r := range inst.rels {
-		for _, t := range r.tuples {
+		for i, t := range r.tuples {
+			if !r.Live(i) {
+				continue
+			}
 			for _, v := range t {
 				dom[v] = struct{}{}
 			}
@@ -347,7 +487,10 @@ func (inst *Instance) ActiveDomain() map[Value]struct{} {
 func (inst *Instance) Nulls() map[Value]struct{} {
 	nulls := make(map[Value]struct{})
 	for _, r := range inst.rels {
-		for _, t := range r.tuples {
+		for i, t := range r.tuples {
+			if !r.Live(i) {
+				continue
+			}
 			for _, v := range t {
 				if v.IsNull() {
 					nulls[v] = struct{}{}
@@ -361,7 +504,10 @@ func (inst *Instance) Nulls() map[Value]struct{} {
 // HasNulls reports whether the instance contains any labeled null.
 func (inst *Instance) HasNulls() bool {
 	for _, r := range inst.rels {
-		for _, t := range r.tuples {
+		for i, t := range r.tuples {
+			if !r.Live(i) {
+				continue
+			}
 			for _, v := range t {
 				if v.IsNull() {
 					return true
@@ -385,6 +531,65 @@ func (inst *Instance) ReplaceValue(from, to Value) *Instance {
 			}
 		}
 		out.AddTuple(f.Rel, t)
+	}
+	return out
+}
+
+// MergeValue substitutes to for every occurrence of from, in place.
+// It is the union-find egd engine's counterpart of ReplaceValue: where
+// ReplaceValue rebuilds the whole instance (shuffling every tuple
+// index), MergeValue rewrites only the tuples that carry from and
+// tombstones rewrites that collide with an existing tuple (keeping the
+// copy with the smaller index, matching ReplaceValue's
+// first-occurrence-wins dedup). Surviving tuples keep their indexes,
+// so TupleCounts watermarks taken before the merge stay valid.
+//
+// The result maps each relation to the sorted indexes of live tuples
+// whose content changed; relations without changes are absent. The
+// chase feeds these indexes to hom.EnumerateDeltaSpec so only bindings
+// touching a merged class are re-enumerated.
+func (inst *Instance) MergeValue(from, to Value) map[string][]int {
+	inst.mutable("MergeValue")
+	if from == to {
+		return nil
+	}
+	var out map[string][]int
+	for name, r := range inst.rels {
+		if ch := r.mergeValue(from, to); len(ch) > 0 {
+			if out == nil {
+				out = make(map[string][]int)
+			}
+			out[name] = ch
+		}
+	}
+	return out
+}
+
+// Compact returns inst unchanged when no tuple slot is tombstoned, and
+// otherwise a fresh instance holding exactly the live tuples in their
+// current order. Facts (and hence String) render identically either
+// way; only the tuple indexes shift, so callers must not mix
+// pre-compaction watermarks with the compacted instance.
+func (inst *Instance) Compact() *Instance {
+	dirty := false
+	for _, r := range inst.rels {
+		if r.nDead > 0 {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		return inst
+	}
+	out := NewInstance()
+	for name, r := range inst.rels {
+		nr := newRelation(r.name, r.arity)
+		for i, t := range r.tuples {
+			if r.Live(i) {
+				nr.add(t)
+			}
+		}
+		out.rels[name] = nr
 	}
 	return out
 }

@@ -1,0 +1,199 @@
+package rel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestMergeValueRewritesInPlace(t *testing.T) {
+	inst := NewInstance()
+	inst.Add("E", Const("a"), Null(1))
+	inst.Add("E", Const("b"), Const("c"))
+	inst.Add("F", Null(1), Null(2))
+	changed := inst.MergeValue(Null(1), Const("x"))
+	wantE, wantF := []int{0}, []int{0}
+	if !equalInts(changed["E"], wantE) || !equalInts(changed["F"], wantF) {
+		t.Fatalf("changed = %v, want E:%v F:%v", changed, wantE, wantF)
+	}
+	if !inst.Contains(Fact{"E", Tuple{Const("a"), Const("x")}}) {
+		t.Error("rewritten E tuple missing")
+	}
+	if inst.Contains(Fact{"E", Tuple{Const("a"), Null(1)}}) {
+		t.Error("pre-merge E tuple still present")
+	}
+	// Untouched tuple keeps its index; indexes stay coherent.
+	r := inst.Relation("E")
+	if got := r.MatchingAt(0, Const("b")); len(got) != 1 || got[0] != 1 {
+		t.Errorf("untouched tuple index disturbed: %v", got)
+	}
+	if got := r.MatchingAt(1, Const("x")); len(got) != 1 || got[0] != 0 {
+		t.Errorf("index for merged-in value: %v", got)
+	}
+	if got := r.MatchingAt(1, Null(1)); len(got) != 0 {
+		t.Errorf("stale index entry for merged-away null: %v", got)
+	}
+}
+
+func TestMergeValueTombstonesCollisions(t *testing.T) {
+	inst := NewInstance()
+	inst.Add("E", Const("a"), Const("x")) // index 0: survivor of the collision below
+	inst.Add("E", Const("a"), Null(1))    // index 1: rewrites into index 0's tuple
+	inst.Add("E", Const("b"), Null(1))    // index 2: plain rewrite
+	changed := inst.MergeValue(Null(1), Const("x"))
+	if !equalInts(changed["E"], []int{2}) {
+		t.Fatalf("changed = %v, want E:[2]", changed)
+	}
+	r := inst.Relation("E")
+	if r.Len() != 3 || r.LiveLen() != 2 || inst.NumFacts() != 2 {
+		t.Fatalf("Len=%d LiveLen=%d NumFacts=%d, want 3/2/2", r.Len(), r.LiveLen(), inst.NumFacts())
+	}
+	if r.Live(1) {
+		t.Error("collided tuple not tombstoned")
+	}
+	if !r.Live(0) || !r.Live(2) {
+		t.Error("survivor tombstoned")
+	}
+	// The later-copy collision: a tuple already equal to a rewrite target
+	// with a LARGER index dies, and the smaller rewritten index survives.
+	inst2 := NewInstance()
+	inst2.Add("E", Const("a"), Null(1))    // index 0: rewrite survives
+	inst2.Add("E", Const("a"), Const("x")) // index 1: dies to index 0's rewrite
+	ch2 := inst2.MergeValue(Null(1), Const("x"))
+	if !equalInts(ch2["E"], []int{0}) {
+		t.Fatalf("changed = %v, want E:[0]", ch2)
+	}
+	r2 := inst2.Relation("E")
+	if r2.Live(1) || !r2.Live(0) {
+		t.Errorf("wrong collision survivor: live = [%v %v], want [true false]",
+			r2.Live(0), r2.Live(1))
+	}
+	// Compaction drops the dead slot and renders identically.
+	if got := inst2.Compact().NumFacts(); got != 1 {
+		t.Errorf("compacted facts = %d, want 1", got)
+	}
+}
+
+func TestCompactNoTombstonesReturnsSame(t *testing.T) {
+	inst := NewInstance()
+	inst.Add("E", Const("a"), Const("b"))
+	if inst.Compact() != inst {
+		t.Error("Compact of tombstone-free instance allocated a copy")
+	}
+}
+
+// TestMergeValueMatchesReplaceValue is the parity property the chase
+// engine rests on: a sequence of in-place merges followed by one final
+// compaction yields byte-for-byte the instance that the rebuild path
+// (ReplaceValue) produces, with live tuples in the same relative order.
+func TestMergeValueMatchesReplaceValue(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		merged := NewInstance()
+		pool := make([]Value, 0, 12)
+		for i := 0; i < 6; i++ {
+			pool = append(pool, Const(string(rune('a'+i))), Null(i+1))
+		}
+		rels := []string{"E", "F", "G"}
+		for n := 0; n < 30; n++ {
+			name := rels[rng.Intn(len(rels))]
+			ar := 2 + len(name)%2
+			tup := make(Tuple, ar)
+			for i := range tup {
+				tup[i] = pool[rng.Intn(len(pool))]
+			}
+			merged.AddTuple(name, tup)
+		}
+		rebuilt := merged.Clone()
+		for m := 0; m < 4; m++ {
+			from := Null(1 + rng.Intn(6))
+			to := pool[rng.Intn(len(pool))]
+			if from == to {
+				continue
+			}
+			merged.MergeValue(from, to)
+			rebuilt = rebuilt.ReplaceValue(from, to)
+		}
+		compact := merged.Compact()
+		if compact.String() != rebuilt.String() {
+			t.Fatalf("trial %d: merged/compacted instance diverges from rebuild:\n%s\n--- vs ---\n%s",
+				trial, compact.String(), rebuilt.String())
+		}
+		// Relative order of live tuples matches the rebuild, fact by fact.
+		cf, rf := compact.Facts(), rebuilt.Facts()
+		if len(cf) != len(rf) {
+			t.Fatalf("trial %d: fact counts diverge: %d vs %d", trial, len(cf), len(rf))
+		}
+		for i := range cf {
+			if cf[i].key() != rf[i].key() {
+				t.Fatalf("trial %d: fact order diverges at %d: %v vs %v", trial, i, cf[i], rf[i])
+			}
+		}
+		checkIndexCoherence(t, merged)
+	}
+}
+
+// checkIndexCoherence verifies that seen and posIndex agree exactly
+// with the live tuples.
+func checkIndexCoherence(t *testing.T, inst *Instance) {
+	t.Helper()
+	for _, name := range inst.RelationNames() {
+		r := inst.Relation(name)
+		live := 0
+		for i := 0; i < r.Len(); i++ {
+			if !r.Live(i) {
+				continue
+			}
+			live++
+			tup := r.TupleAt(i)
+			if got, ok := r.seen[tupleKey(tup)]; !ok || got != i {
+				t.Fatalf("%s: seen[%v] = %d,%v, want %d", name, tup, got, ok, i)
+			}
+			for p, v := range tup {
+				lst := r.MatchingAt(p, v)
+				at := sort.SearchInts(lst, i)
+				if at >= len(lst) || lst[at] != i {
+					t.Fatalf("%s: posIndex[%d][%v] missing live index %d: %v", name, p, v, i, lst)
+				}
+			}
+		}
+		if live != r.LiveLen() {
+			t.Fatalf("%s: LiveLen=%d but %d live slots", name, r.LiveLen(), live)
+		}
+		if len(r.seen) != live {
+			t.Fatalf("%s: seen has %d keys for %d live tuples", name, len(r.seen), live)
+		}
+		for p := 0; p < r.Arity(); p++ {
+			total := 0
+			for v, lst := range r.posIndex[p] {
+				if len(lst) == 0 {
+					t.Fatalf("%s: empty index list kept for %v at %d", name, v, p)
+				}
+				total += len(lst)
+				for _, idx := range lst {
+					if !r.Live(idx) {
+						t.Fatalf("%s: dead index %d in posIndex[%d][%v]", name, idx, p, v)
+					}
+					if r.TupleAt(idx)[p] != v {
+						t.Fatalf("%s: posIndex[%d][%v] points at tuple %v", name, p, v, r.TupleAt(idx))
+					}
+				}
+			}
+			if total != live {
+				t.Fatalf("%s: posIndex[%d] covers %d entries for %d live tuples", name, p, total, live)
+			}
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

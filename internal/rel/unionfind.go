@@ -1,0 +1,195 @@
+package rel
+
+import "sort"
+
+// UnionFind maintains the equivalence classes over values that egd
+// chase steps create: each merge "from = to" joins the two classes and
+// designates a surviving representative. The chase substitutes the
+// survivor into the instance eagerly (Instance.MergeValue), so the
+// union-find is not consulted on the instance hot path; it exists to
+//
+//   - remember the full merge history of a run, so a resumed chase can
+//     canonicalize newly appended facts through Find before adding them
+//     (a fact mentioning a merged-away null must land on the class
+//     representative the previous run substituted everywhere else), and
+//   - expose merge/find counters for the benchmark suite.
+//
+// The structure is the textbook one — path compression plus union by
+// rank — with one twist: the representative of a class is not the tree
+// root but an explicitly designated survivor value, because the chase's
+// substitution semantics (constants win; otherwise the merge target
+// survives) must not depend on tree shape.
+//
+// UnionFind is not safe for concurrent use.
+type UnionFind struct {
+	parent map[Value]Value // tree edges; values absent from the map are their own root
+	rank   map[Value]int
+	rep    map[Value]Value // tree root -> designated class representative
+	merges int
+	finds  int
+}
+
+// NewUnionFind returns an empty union-find: every value is initially in
+// its own singleton class with itself as representative.
+func NewUnionFind() *UnionFind {
+	return &UnionFind{
+		parent: make(map[Value]Value),
+		rank:   make(map[Value]int),
+		rep:    make(map[Value]Value),
+	}
+}
+
+// root returns the tree root of v's class, compressing the path.
+func (u *UnionFind) root(v Value) Value {
+	p, ok := u.parent[v]
+	if !ok || p == v {
+		return v
+	}
+	r := u.root(p)
+	u.parent[v] = r
+	return r
+}
+
+// Find returns the representative of v's equivalence class; a value
+// never merged is its own representative.
+func (u *UnionFind) Find(v Value) Value {
+	u.finds++
+	r := u.root(v)
+	if rep, ok := u.rep[r]; ok {
+		return rep
+	}
+	return r
+}
+
+// Union merges the classes of from and to and makes the representative
+// of to's class survive — unless from's class is represented by a
+// constant and to's is not, in which case the constant survives (a
+// labeled null can be identified with a constant, never the other way
+// around). It reports whether the two were in distinct classes. The
+// chase always calls Union with already-resolved values, so the
+// constant-wins clause is a safety net rather than a hot path.
+func (u *UnionFind) Union(from, to Value) bool {
+	ra, rb := u.root(from), u.root(to)
+	if ra == rb {
+		return false
+	}
+	survivor := u.repOf(rb)
+	if fromRep := u.repOf(ra); fromRep.IsConst() && !survivor.IsConst() {
+		survivor = fromRep
+	}
+	// Union by rank: hang the shallower tree under the deeper one.
+	if u.rank[ra] > u.rank[rb] {
+		ra, rb = rb, ra
+	} else if u.rank[ra] == u.rank[rb] {
+		u.rank[rb]++
+	}
+	u.parent[ra] = rb
+	delete(u.rep, ra)
+	u.rep[rb] = survivor
+	u.merges++
+	return true
+}
+
+func (u *UnionFind) repOf(root Value) Value {
+	if rep, ok := u.rep[root]; ok {
+		return rep
+	}
+	return root
+}
+
+// Merges returns the number of Union calls that joined distinct classes.
+func (u *UnionFind) Merges() int { return u.merges }
+
+// Finds returns the number of Find calls served so far.
+func (u *UnionFind) Finds() int { return u.finds }
+
+// Len returns the number of values that belong to a non-singleton class.
+func (u *UnionFind) Len() int { return len(u.parent) }
+
+// MaxNullID returns the largest labeled-null id occurring anywhere in
+// the union-find (members or representatives), or 0 when it holds no
+// nulls. A resumed chase seeds its null source past this mark: a null
+// merged away by a previous run no longer occurs in the compacted
+// fixpoint, but reissuing its label would make Find silently identify
+// the fresh null with the old class.
+func (u *UnionFind) MaxNullID() int {
+	max := 0
+	see := func(v Value) {
+		if v.IsNull() && v.NullID() > max {
+			max = v.NullID()
+		}
+	}
+	for v, p := range u.parent {
+		see(v)
+		see(p)
+	}
+	for root, rep := range u.rep {
+		see(root)
+		see(rep)
+	}
+	return max
+}
+
+// Snapshot returns the union-find's state as a canonical list of
+// (member, representative) pairs — one per value whose representative is
+// not itself — sorted by member. Two union-finds with the same classes
+// and representatives produce identical snapshots regardless of the
+// merge order that built them.
+func (u *UnionFind) Snapshot() [][2]Value {
+	// Non-trivial members are the keys of parent (non-roots) plus roots
+	// whose designated representative is another value.
+	members := make(map[Value]struct{}, len(u.parent)+len(u.rep))
+	for v := range u.parent {
+		members[v] = struct{}{}
+	}
+	for root := range u.rep {
+		members[root] = struct{}{}
+	}
+	out := make([][2]Value, 0, len(members))
+	for v := range members {
+		if rep := u.repOf(u.root(v)); rep != v {
+			out = append(out, [2]Value{v, rep})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0].Less(out[j][0]) })
+	return out
+}
+
+// UnionFindFromSnapshot reconstructs a union-find from a Snapshot. The
+// counters start at zero; only the classes and representatives are
+// restored.
+func UnionFindFromSnapshot(pairs [][2]Value) *UnionFind {
+	u := NewUnionFind()
+	for _, p := range pairs {
+		member, rep := p[0], p[1]
+		u.parent[member] = rep
+		u.parent[rep] = rep
+		u.rep[rep] = rep
+	}
+	return u
+}
+
+// Clone returns an independent copy: unions on either copy never affect
+// the other. Counters are copied as well.
+func (u *UnionFind) Clone() *UnionFind {
+	if u == nil {
+		return nil
+	}
+	c := &UnionFind{
+		parent: make(map[Value]Value, len(u.parent)),
+		rank:   make(map[Value]int, len(u.rank)),
+		rep:    make(map[Value]Value, len(u.rep)),
+		merges: u.merges,
+		finds:  u.finds,
+	}
+	for k, v := range u.parent {
+		c.parent[k] = v
+	}
+	for k, v := range u.rank {
+		c.rank[k] = v
+	}
+	for k, v := range u.rep {
+		c.rep[k] = v
+	}
+	return c
+}

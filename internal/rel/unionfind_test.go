@@ -1,0 +1,143 @@
+package rel
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func TestUnionFindBasics(t *testing.T) {
+	u := NewUnionFind()
+	n1, n2, n3 := Null(1), Null(2), Null(3)
+	if got := u.Find(n1); got != n1 {
+		t.Fatalf("Find on fresh value = %v, want %v", got, n1)
+	}
+	if !u.Union(n1, n2) {
+		t.Fatal("Union of distinct classes reported no-op")
+	}
+	if got := u.Find(n1); got != n2 {
+		t.Errorf("Find(n1) = %v, want survivor n2", got)
+	}
+	if got := u.Find(n2); got != n2 {
+		t.Errorf("Find(n2) = %v, want n2", got)
+	}
+	if u.Union(n2, n1) {
+		t.Error("Union within one class reported a merge")
+	}
+	// Chain another merge: the latest target survives for the whole class.
+	u.Union(n2, n3)
+	for _, v := range []Value{n1, n2, n3} {
+		if got := u.Find(v); got != n3 {
+			t.Errorf("Find(%v) = %v, want n3", v, got)
+		}
+	}
+	if u.Merges() != 2 {
+		t.Errorf("Merges = %d, want 2", u.Merges())
+	}
+	if u.Finds() == 0 {
+		t.Error("Finds counter never advanced")
+	}
+}
+
+func TestUnionFindConstantSurvives(t *testing.T) {
+	u := NewUnionFind()
+	n1, n2 := Null(1), Null(2)
+	c := Const("a")
+	u.Union(n1, c)
+	// Merging the constant-represented class into a null class must keep
+	// the constant, regardless of which side is the union target.
+	u.Union(c, n2)
+	for _, v := range []Value{n1, n2, c} {
+		if got := u.Find(v); got != c {
+			t.Errorf("Find(%v) = %v, want constant a", v, got)
+		}
+	}
+}
+
+func TestUnionFindPathCompressionAndRank(t *testing.T) {
+	u := NewUnionFind()
+	// Build a long chain; afterwards every Find must point straight at
+	// the root (parent map flattened by compression).
+	const n = 64
+	for i := 1; i < n; i++ {
+		u.Union(Null(i), Null(i+1))
+	}
+	for i := 1; i <= n; i++ {
+		if got := u.Find(Null(i)); got != Null(n) {
+			t.Fatalf("Find(_N%d) = %v, want _N%d", i, got, n)
+		}
+	}
+	for v, p := range u.parent {
+		r := u.root(v)
+		if p != r && u.root(p) != r {
+			t.Fatalf("parent chain of %v not compressed toward root", v)
+		}
+		if u.parent[v] != r {
+			t.Errorf("path not compressed for %v after Find", v)
+		}
+	}
+	// Union by rank keeps trees shallow: the max rank of a union-find
+	// with n elements is O(log n).
+	for v, rk := range u.rank {
+		if rk > 7 {
+			t.Errorf("rank[%v] = %d, exceeds log2(%d)", v, rk, n)
+		}
+	}
+}
+
+func TestUnionFindSnapshotRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		u := NewUnionFind()
+		pool := make([]Value, 20)
+		for i := range pool {
+			if i%4 == 0 {
+				pool[i] = Const(string(rune('a' + i)))
+			} else {
+				pool[i] = Null(i)
+			}
+		}
+		for m := 0; m < 15; m++ {
+			from := u.Find(pool[rng.Intn(len(pool))])
+			to := u.Find(pool[rng.Intn(len(pool))])
+			if from == to || (from.IsConst() && to.IsConst()) {
+				continue
+			}
+			if from.IsConst() { // mirror the chase's orientation
+				from, to = to, from
+			}
+			u.Union(from, to)
+		}
+		snap := u.Snapshot()
+		back := UnionFindFromSnapshot(snap)
+		for _, v := range pool {
+			if u.Find(v) != back.Find(v) {
+				t.Fatalf("trial %d: Find(%v) diverges after round-trip: %v vs %v",
+					trial, v, u.Find(v), back.Find(v))
+			}
+		}
+		if !reflect.DeepEqual(snap, back.Snapshot()) {
+			t.Fatalf("trial %d: snapshot not canonical across round-trip", trial)
+		}
+	}
+}
+
+func TestUnionFindClone(t *testing.T) {
+	u := NewUnionFind()
+	u.Union(Null(1), Null(2))
+	c := u.Clone()
+	c.Union(Null(2), Null(3))
+	if got := u.Find(Null(1)); got != Null(2) {
+		t.Errorf("original mutated by clone's union: Find(_N1) = %v", got)
+	}
+	if got := c.Find(Null(1)); got != Null(3) {
+		t.Errorf("clone Find(_N1) = %v, want _N3", got)
+	}
+	if u.Merges() != 1 || c.Merges() != 2 {
+		t.Errorf("merge counters: orig %d want 1, clone %d want 2", u.Merges(), c.Merges())
+	}
+	var nilUF *UnionFind
+	if nilUF.Clone() != nil {
+		t.Error("Clone of nil union-find not nil")
+	}
+}

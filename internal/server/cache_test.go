@@ -503,3 +503,82 @@ func TestWarmColdLatency(t *testing.T) {
 		t.Errorf("warm p50 %v is not ≥5x faster than cold %v", warmP50, coldDur)
 	}
 }
+
+// TestCacheKeyedResumeAndFallbackReasons: a key-shaped target egd no
+// longer forces append migrations to re-chase — the cache entry resumes
+// incrementally — while a non-key egd still falls back, and the
+// fallback counter carries the "egd" reason label.
+func TestCacheKeyedResumeAndFallbackReasons(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+
+	const keyed = `
+setting keyed
+source E/2
+target H/2
+st: E(x,y) -> H(x,y)
+ts: H(x,y) -> E(x,y)
+t: H(x,y), H(x,z) -> y = z
+`
+	reg, err := c.Register(ctx, keyed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := c.RegisterInstance(ctx, "E(a,b).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExistsSolution(ctx, client.SolveRequest{SettingID: reg.ID, SourceID: inst.ID}); err != nil {
+		t.Fatal(err)
+	}
+	app, err := c.AppendInstance(ctx, inst.ID, client.AppendRequest{Facts: "E(c,d)."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app.Migrated != 1 || app.Resumed != 1 || app.Fallbacks != 0 {
+		t.Fatalf("keyed append migration: %+v, want 1 entry resumed incrementally", app)
+	}
+	if metricsValue(t, c, "pdxd_chase_cache_resumes_total") != 1 {
+		t.Error("resume counter did not move for the keyed setting")
+	}
+	if metricsValue(t, c, `pdxd_chase_cache_fallbacks_total{reason="egd"}`) != 0 {
+		t.Error("keyed append was counted as an egd fallback")
+	}
+
+	// A cross-relation egd is not key-shaped: the append must fall back
+	// and be attributed to the "egd" reason.
+	const crossed = `
+setting crossed
+source A/2
+target T/2, U/2
+st: A(x,y) -> T(x,y)
+ts: T(x,y) -> A(x,y)
+t: T(x,y), U(x,z) -> y = z
+`
+	reg2, err := c.Register(ctx, crossed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst2, err := c.RegisterInstance(ctx, "A(a,b).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExistsSolution(ctx, client.SolveRequest{SettingID: reg2.ID, SourceID: inst2.ID}); err != nil {
+		t.Fatal(err)
+	}
+	app2, err := c.AppendInstance(ctx, inst2.ID, client.AppendRequest{Facts: "A(c,d)."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app2.Migrated != 1 || app2.Resumed != 0 || app2.Fallbacks != 1 {
+		t.Fatalf("crossed append migration: %+v, want 1 entry falling back", app2)
+	}
+	if metricsValue(t, c, `pdxd_chase_cache_fallbacks_total{reason="egd"}`) != 1 {
+		t.Error("egd-reason fallback counter did not move")
+	}
+	for _, reason := range []string{"failed", "oblivious", "other"} {
+		if v := metricsValue(t, c, fmt.Sprintf("pdxd_chase_cache_fallbacks_total{reason=%q}", reason)); v != 0 {
+			t.Errorf("fallback reason %q moved to %d, want 0", reason, v)
+		}
+	}
+}

@@ -6,7 +6,31 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/chase"
 )
+
+// fallbackLabels are the reason labels of
+// pdxd_chase_cache_fallbacks_total, in exposition order. The first
+// three mirror the chase.Fallback* constants; everything else
+// aggregates under "other".
+var fallbackLabels = [...]string{
+	chase.FallbackEgd,
+	chase.FallbackFailed,
+	chase.FallbackOblivious,
+	"other",
+}
+
+// fallback returns the counter for a chase fallback reason, mapping
+// unknown reasons to "other".
+func (m *metrics) fallback(reason string) *atomic.Int64 {
+	for i, l := range fallbackLabels[:len(fallbackLabels)-1] {
+		if reason == l {
+			return &m.cacheFallbacks[i]
+		}
+	}
+	return &m.cacheFallbacks[len(fallbackLabels)-1]
+}
 
 // metrics holds the daemon's counters and gauges, exposed in Prometheus
 // text format on /metrics without any external dependency. Gauges that
@@ -22,8 +46,14 @@ type metrics struct {
 	cacheHits      atomic.Int64 // solves served from a cached chased artifact
 	cacheMisses    atomic.Int64 // solves that had to chase from scratch
 	cacheResumes   atomic.Int64 // append migrations that resumed incrementally
-	cacheFallbacks atomic.Int64 // append migrations that re-chased fully
 	cacheEvictions atomic.Int64 // cache entries dropped (LRU or explicit)
+
+	// cacheFallbacks counts append migrations that re-chased fully,
+	// split by the chase's fallback reason (indexed per fallbackLabels):
+	// an egd blocks the incremental path, the previous chase failed, the
+	// chase is oblivious, or anything else (no previous result,
+	// unsupported dependency kinds).
+	cacheFallbacks [len(fallbackLabels)]atomic.Int64
 
 	mu        sync.Mutex
 	requests  map[string]int64 // route|status -> count
@@ -87,7 +117,10 @@ func (m *metrics) render(registrySize, instanceCount, cacheEntries int, cacheByt
 	fmt.Fprintf(&b, "# HELP pdxd_chase_cache_hits_total Solves served from a cached chased artifact.\n# TYPE pdxd_chase_cache_hits_total counter\npdxd_chase_cache_hits_total %d\n", m.cacheHits.Load())
 	fmt.Fprintf(&b, "# HELP pdxd_chase_cache_misses_total Solves that chased from scratch.\n# TYPE pdxd_chase_cache_misses_total counter\npdxd_chase_cache_misses_total %d\n", m.cacheMisses.Load())
 	fmt.Fprintf(&b, "# HELP pdxd_chase_cache_resumes_total Append migrations that resumed the chase incrementally.\n# TYPE pdxd_chase_cache_resumes_total counter\npdxd_chase_cache_resumes_total %d\n", m.cacheResumes.Load())
-	fmt.Fprintf(&b, "# HELP pdxd_chase_cache_fallbacks_total Append migrations that re-chased fully (egd or non-resumable state).\n# TYPE pdxd_chase_cache_fallbacks_total counter\npdxd_chase_cache_fallbacks_total %d\n", m.cacheFallbacks.Load())
+	b.WriteString("# HELP pdxd_chase_cache_fallbacks_total Append migrations that re-chased fully, by fallback reason.\n# TYPE pdxd_chase_cache_fallbacks_total counter\n")
+	for i, l := range fallbackLabels {
+		fmt.Fprintf(&b, "pdxd_chase_cache_fallbacks_total{reason=%q} %d\n", l, m.cacheFallbacks[i].Load())
+	}
 	fmt.Fprintf(&b, "# HELP pdxd_chase_cache_evictions_total Cache entries dropped by LRU bounds or explicit eviction.\n# TYPE pdxd_chase_cache_evictions_total counter\npdxd_chase_cache_evictions_total %d\n", m.cacheEvictions.Load())
 	fmt.Fprintf(&b, "# HELP pdxd_chase_cache_entries Cached chased artifacts.\n# TYPE pdxd_chase_cache_entries gauge\npdxd_chase_cache_entries %d\n", cacheEntries)
 	fmt.Fprintf(&b, "# HELP pdxd_chase_cache_bytes Approximate bytes held by the chase cache.\n# TYPE pdxd_chase_cache_bytes gauge\npdxd_chase_cache_bytes %d\n", cacheBytes)

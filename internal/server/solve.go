@@ -283,25 +283,26 @@ func (s *Server) migrateCache(ctx context.Context, baseID, childID string, delta
 			kind:      e.kind,
 		}
 		var resumed bool
+		var reason string
 		switch e.kind {
 		case kindTractable:
-			next, r, err := core.ResumeCanonicalTractable(c.Setting, e.value.(*core.TractableTrace), delta, s.tractableOpts(ctx))
+			next, r, why, err := core.ResumeCanonicalTractable(c.Setting, e.value.(*core.TractableTrace), delta, s.tractableOpts(ctx))
 			if err != nil {
 				s.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "cache migration failed",
 					slog.String("setting", e.settingID), slog.String("err", err.Error()))
 				continue
 			}
 			s.cache.put(meta, next, tractableBytes(next))
-			resumed = r
+			resumed, reason = r, why
 		case kindGeneric:
-			next, r, err := core.ResumeCanonicalTarget(c.Setting, e.value.(*core.CanonicalTarget), delta, s.solveOpts(ctx, 0))
+			next, r, why, err := core.ResumeCanonicalTarget(c.Setting, e.value.(*core.CanonicalTarget), delta, s.solveOpts(ctx, 0))
 			if err != nil {
 				s.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "cache migration failed",
 					slog.String("setting", e.settingID), slog.String("err", err.Error()))
 				continue
 			}
 			s.cache.put(meta, next, canonicalBytes(next))
-			resumed = r
+			resumed, reason = r, why
 		default:
 			continue
 		}
@@ -311,7 +312,7 @@ func (s *Server) migrateCache(ctx context.Context, baseID, childID string, delta
 			s.met.cacheResumes.Add(1)
 		} else {
 			fallbacks++
-			s.met.cacheFallbacks.Add(1)
+			s.met.fallback(reason).Add(1)
 		}
 	}
 	return migrated, resumes, fallbacks

@@ -64,6 +64,95 @@ func LAVInstance(n int, solvable bool, rng *rand.Rand) (*rel.Instance, *rel.Inst
 	return i, rel.NewInstance()
 }
 
+// KeyedLAVSetting is LAVSetting plus a key on the target: a Rec's
+// person and group determine its note. The key egd is key-shaped
+// (dep.EGD.KeyShaped), so the setting is resume-eligible under the
+// union-find egd engine while still leaving C_tract (non-empty Σt).
+// This is the generator family behind the egd-merge and keyed-resume
+// benchmarks.
+//
+//	Source: Person/2 (person, group), Member/2 (person, group)
+//	Target: Rec/3 (person, group, note)
+//	Σst: Person(x,g)            -> exists u: Rec(x,g,u)
+//	Σts: Rec(x,g,u)             -> Member(x,g)
+//	Σt:  Rec(x,g,u), Rec(x,g,v) -> u = v
+func KeyedLAVSetting() *core.Setting {
+	base := LAVSetting()
+	return &core.Setting{
+		Name:   "keyed-lav-records",
+		Source: base.Source,
+		Target: base.Target,
+		ST:     base.ST,
+		TS:     base.TS,
+		T: []dep.Dependency{dep.EGD{
+			Label: "rec-note-key",
+			Body: []dep.Atom{
+				dep.NewAtom("Rec", dep.Var("x"), dep.Var("g"), dep.Var("u")),
+				dep.NewAtom("Rec", dep.Var("x"), dep.Var("g"), dep.Var("v")),
+			},
+			Left: "u", Right: "v",
+		}},
+	}
+}
+
+// KeyedLAVInstance builds an egd-heavy instance pair for
+// KeyedLAVSetting: n persons, each in two groups (both memberships
+// present, so a solution exists), and a target pre-seeded with two
+// draft notes for every person's first group. The drafts violate the
+// key, so the chase performs one merge per person — alternating
+// null-into-null and null-into-constant merges — while the second
+// group's Rec facts come from Σst with fresh nulls and never violate
+// it. The chase of Union(i, j) therefore applies Θ(n) merges over a
+// Θ(n)-tuple Rec relation: the workload where rebuild-per-merge costs
+// Θ(n²) and the union-find engine stays near-linear.
+func KeyedLAVInstance(n int) (*rel.Instance, *rel.Instance) {
+	i := rel.NewInstance()
+	j := rel.NewInstance()
+	groups := n / 10
+	if groups < 1 {
+		groups = 1
+	}
+	for p := 0; p < n; p++ {
+		person := rel.Const(fmt.Sprintf("p%d", p))
+		g1 := rel.Const(fmt.Sprintf("g%d", p%groups))
+		g2 := rel.Const(fmt.Sprintf("g%d", (p+1)%groups))
+		i.Add("Person", person, g1)
+		i.Add("Person", person, g2)
+		i.Add("Member", person, g1)
+		i.Add("Member", person, g2)
+		// Two drafts for (person, g1): the key egd merges them. Even
+		// persons get two labeled nulls (null-into-null merge), odd ones
+		// a null and a constant note (null-into-constant merge).
+		j.Add("Rec", person, g1, rel.Null(2*p+1))
+		if p%2 == 0 {
+			j.Add("Rec", person, g1, rel.Null(2*p+2))
+		} else {
+			j.Add("Rec", person, g1, rel.Const(fmt.Sprintf("note%d", p)))
+		}
+	}
+	return i, j
+}
+
+// KeyedLAVAppend builds a batch of k fresh persons (ids starting at n)
+// over KeyedLAVSetting's source schema, each in one existing group with
+// the matching membership: the append workload for the keyed-resume
+// benchmark. The batch carries no drafts, so resuming it fires Σst and
+// re-checks the key without any new merge.
+func KeyedLAVAppend(n, k int) *rel.Instance {
+	a := rel.NewInstance()
+	groups := n / 10
+	if groups < 1 {
+		groups = 1
+	}
+	for p := n; p < n+k; p++ {
+		person := rel.Const(fmt.Sprintf("p%d", p))
+		g := rel.Const(fmt.Sprintf("g%d", p%groups))
+		a.Add("Person", person, g)
+		a.Add("Member", person, g)
+	}
+	return a
+}
+
 // FullSTSetting returns the Theorem 4 / Corollary 1 family: full
 // source-to-target tgds with join-heavy, existential target-to-source
 // tgds; a member of C_tract via conditions 1 and 2.2.

@@ -7,6 +7,8 @@ import (
 
 	"repro/internal/chase"
 	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/rel"
 	"repro/internal/workload"
 )
 
@@ -139,5 +141,53 @@ func TestGenomicScenario(t *testing.T) {
 	}
 	if got {
 		t.Error("dirty genomic instance should have no solution (unvouched annotation)")
+	}
+}
+
+func TestKeyedLAVSetting(t *testing.T) {
+	s := workload.KeyedLAVSetting()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Classify().InCtract {
+		t.Fatal("keyed setting must leave C_tract (non-empty Σt)")
+	}
+	e, ok := s.T[0].(dep.EGD)
+	if !ok || !e.KeyShaped() {
+		t.Fatalf("target constraint %v is not a key-shaped egd", s.T[0])
+	}
+}
+
+// TestKeyedLAVInstanceMerges: the generator really is egd-heavy — the
+// chase of Union(i, j) performs one merge per person and reaches a
+// clean fixpoint, and both engines agree byte-for-byte.
+func TestKeyedLAVInstanceMerges(t *testing.T) {
+	const n = 60
+	s := workload.KeyedLAVSetting()
+	i, j := workload.KeyedLAVInstance(n)
+	start := rel.Union(i, j)
+	deps := append(append([]dep.Dependency{}, s.StDeps()...), s.T...)
+	res, err := chase.Run(start, deps, chase.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed {
+		t.Fatalf("keyed chase failed on %s", res.FailedOn)
+	}
+	if res.Merges != n {
+		t.Fatalf("chase applied %d merges, want one per person (%d)", res.Merges, n)
+	}
+	if res.UnionFind == nil || res.UnionFind.Merges() != n {
+		t.Fatalf("union-find state not retained: %v", res.UnionFind)
+	}
+	legacy, err := chase.Run(start, deps, chase.Options{RebuildMerges: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Instance.String() != res.Instance.String() || legacy.Steps != res.Steps {
+		t.Fatal("rebuild and union-find engines diverged on the keyed workload")
+	}
+	if legacy.UnionFind != nil {
+		t.Fatal("rebuild engine retained a union-find")
 	}
 }

@@ -6,8 +6,8 @@
 //
 // Usage:
 //
-//	go run ./scripts -baseline BENCH_PR4.json -current /tmp/bench.json
-//	go run ./scripts -baseline BENCH_PR4.json -current /tmp/bench.json -threshold 0.40
+//	go run ./scripts -baseline BENCH_PR7.json -current /tmp/bench.json
+//	go run ./scripts -baseline BENCH_PR7.json -current /tmp/bench.json -threshold 0.40
 package main
 
 import (
@@ -25,6 +25,8 @@ type benchRecord struct {
 	BytesPerOp  int64  `json:"bytes_per_op"`
 	Steps       int    `json:"steps,omitempty"`
 	Nodes       int64  `json:"nodes,omitempty"`
+	Merges      int    `json:"merges,omitempty"`
+	Finds       int    `json:"finds,omitempty"`
 }
 
 type benchReport struct {
@@ -50,7 +52,7 @@ func load(path string) (*benchReport, error) {
 }
 
 func main() {
-	baseline := flag.String("baseline", "", "committed baseline JSON (e.g. BENCH_PR4.json)")
+	baseline := flag.String("baseline", "", "committed baseline JSON (e.g. BENCH_PR7.json)")
 	current := flag.String("current", "", "fresh pdxbench -json output to compare")
 	threshold := flag.Float64("threshold", 0.25, "max tolerated ns/op regression (0.25 = +25%)")
 	flag.Parse()
