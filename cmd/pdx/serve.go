@@ -7,12 +7,14 @@ import (
 	"log/slog"
 	"net"
 	"net/http"
+	"net/url"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/server"
+	"repro/internal/snap"
 )
 
 // cmdServe runs pdxd, the PDE serving daemon: an HTTP/JSON API over a
@@ -33,8 +35,26 @@ func cmdServe(args []string) error {
 	cacheMaxBytes := fs.Int64("cache-max-bytes", 0, "chase-cache byte budget (0 = 256 MiB, -1 = no byte bound)")
 	cacheMaxEntries := fs.Int("cache-max-entries", 0, "chase-cache entry budget (0 = 1024, -1 = disable the cache)")
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
+	snapshotDir := fs.String("snapshot-dir", "", "directory for durable chase-cache snapshots (empty = no persistence)")
+	warmFrom := fs.String("warm-from", "", "peer daemon base URL to pull cache snapshots from at startup (e.g. http://10.0.0.2:8642)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var warmURL *url.URL
+	if *warmFrom != "" {
+		u, err := url.Parse(*warmFrom)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return fmt.Errorf("-warm-from %q is not an http(s) base URL", *warmFrom)
+		}
+		warmURL = u
+	}
+	var snapshots *snap.Store
+	if *snapshotDir != "" {
+		s, err := snap.Open(*snapshotDir)
+		if err != nil {
+			return fmt.Errorf("snapshot dir: %w", err)
+		}
+		snapshots = s
 	}
 
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
@@ -48,7 +68,9 @@ func cmdServe(args []string) error {
 		Parallelism:     *parallelism,
 		CacheMaxBytes:   *cacheMaxBytes,
 		CacheMaxEntries: *cacheMaxEntries,
+		Snapshots:       snapshots,
 	})
+	defer srv.Close()
 	for _, file := range fs.Args() {
 		src, err := os.ReadFile(file)
 		if err != nil {
@@ -59,6 +81,20 @@ func cmdServe(args []string) error {
 			return fmt.Errorf("preloading %s: %w", file, err)
 		}
 		logger.Info("setting preloaded", "file", file, "id", c.ID, "name", c.Name, "strategy", c.Strategy)
+	}
+	// Warm start after preloading: a snapshot only installs when its
+	// setting is already registered.
+	if snapshots != nil {
+		loaded, failed := srv.LoadSnapshots()
+		logger.Info("snapshots loaded", "dir", snapshots.Dir(), "loaded", loaded, "rejected", failed)
+	}
+	if warmURL != nil {
+		pulled, skipped, err := srv.WarmFrom(context.Background(), warmURL.String())
+		if err != nil {
+			logger.Warn("warm transfer failed", "peer", warmURL.String(), "err", err.Error())
+		} else {
+			logger.Info("warm transfer", "peer", warmURL.String(), "pulled", pulled, "skipped", skipped)
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -85,6 +121,9 @@ func cmdServe(args []string) error {
 		if err := hs.Shutdown(sctx); err != nil {
 			return fmt.Errorf("drain: %w", err)
 		}
+		// Flush the write-behind snapshot queue before reporting the
+		// drain complete: every admitted solve has finished by now.
+		srv.Close()
 		logger.Info("drained")
 		return nil
 	}

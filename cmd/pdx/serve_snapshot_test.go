@@ -1,0 +1,230 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/snap"
+	"repro/pde/client"
+)
+
+// buildPdx compiles the pdx binary into a temp dir.
+func buildPdx(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "pdx")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("building pdx: %v", err)
+	}
+	return bin
+}
+
+// startServe launches `pdx serve` and waits for the listening banner,
+// returning the daemon base URL.
+func startServe(t *testing.T, bin string, stderr *bytes.Buffer, args ...string) (*exec.Cmd, string) {
+	t.Helper()
+	cmd := exec.Command(bin, append([]string{"serve"}, args...)...)
+	cmd.Stderr = stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+	})
+	lines := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(out)
+		if sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	var banner string
+	select {
+	case banner = <-lines:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon never announced its address; stderr:\n%s", stderr.String())
+	}
+	base := strings.TrimPrefix(banner, "pdxd listening on ")
+	if base == banner || !strings.HasPrefix(base, "http://") {
+		t.Fatalf("unexpected banner %q", banner)
+	}
+	return cmd, base
+}
+
+// sigtermAndWait drains the daemon and requires a clean exit.
+func sigtermAndWait(t *testing.T, cmd *exec.Cmd, stderr *bytes.Buffer) {
+	t.Helper()
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waited := make(chan error, 1)
+	go func() { waited <- cmd.Wait() }()
+	select {
+	case err := <-waited:
+		if err != nil {
+			t.Fatalf("daemon exited uncleanly: %v; stderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not drain within 30s; stderr:\n%s", stderr.String())
+	}
+}
+
+// TestServeRestartWarm is the restart-warm end-to-end check: solve,
+// SIGTERM, restart over the same -snapshot-dir, and the first solve of
+// the new process must already hit the cache.
+func TestServeRestartWarm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the pdx binary")
+	}
+	bin := buildPdx(t)
+	snapDir := filepath.Join(t.TempDir(), "snapshots")
+	setting := "../../examples/settings/server-smoke.pde"
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	var stderr1 bytes.Buffer
+	cmd1, base1 := startServe(t, bin, &stderr1, "-addr", "127.0.0.1:0", "-snapshot-dir", snapDir, setting)
+	c1 := client.New(base1)
+	settings, err := c1.Settings(ctx)
+	if err != nil || len(settings.Settings) != 1 {
+		t.Fatalf("settings: %+v, %v", settings, err)
+	}
+	settingID := settings.Settings[0].ID
+
+	facts, err := os.ReadFile("../../examples/corpus/triangle.facts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := c1.RegisterInstance(ctx, string(facts))
+	if err != nil {
+		t.Fatalf("register instance: %v", err)
+	}
+	res, err := c1.ExistsSolution(ctx, client.SolveRequest{SettingID: settingID, SourceID: inst.ID})
+	if err != nil || res.CacheHit {
+		t.Fatalf("first solve: %+v, %v", res, err)
+	}
+	sigtermAndWait(t, cmd1, &stderr1)
+
+	// The drain flushed the write-behind queue to disk.
+	store, err := snap.Open(snapDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keys, _ := store.List(); len(keys) == 0 {
+		t.Fatalf("no snapshots after drain; stderr:\n%s", stderr1.String())
+	}
+
+	var stderr2 bytes.Buffer
+	_, base2 := startServe(t, bin, &stderr2, "-addr", "127.0.0.1:0", "-snapshot-dir", snapDir, setting)
+	c2 := client.New(base2)
+	res, err = c2.ExistsSolution(ctx, client.SolveRequest{SettingID: settingID, SourceID: inst.ID})
+	if err != nil {
+		t.Fatalf("solve after restart: %v; stderr:\n%s", err, stderr2.String())
+	}
+	if !res.CacheHit {
+		t.Fatalf("first solve after restart was cold: %+v; stderr:\n%s", res, stderr2.String())
+	}
+	metrics, err := http.Get(base2 + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(metrics.Body)
+	metrics.Body.Close()
+	if !strings.Contains(string(body), "pdxd_snapshot_loads_total 1") {
+		t.Errorf("snapshot load counter missing from metrics:\n%s", body)
+	}
+}
+
+// TestServeWarmFromPeer drives the peer warm-transfer path through the
+// real binary: a second daemon started with -warm-from serves its first
+// solve from the peer's cache.
+func TestServeWarmFromPeer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the pdx binary")
+	}
+	bin := buildPdx(t)
+	setting := "../../examples/settings/server-smoke.pde"
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	var stderr1 bytes.Buffer
+	_, base1 := startServe(t, bin, &stderr1, "-addr", "127.0.0.1:0", setting)
+	c1 := client.New(base1)
+	settings, err := c1.Settings(ctx)
+	if err != nil || len(settings.Settings) != 1 {
+		t.Fatalf("settings: %+v, %v", settings, err)
+	}
+	settingID := settings.Settings[0].ID
+	facts, err := os.ReadFile("../../examples/corpus/triangle.facts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst, err := c1.RegisterInstance(ctx, string(facts))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c1.ExistsSolution(ctx, client.SolveRequest{SettingID: settingID, SourceID: inst.ID}); err != nil {
+		t.Fatalf("peer solve: %v", err)
+	}
+
+	var stderr2 bytes.Buffer
+	_, base2 := startServe(t, bin, &stderr2, "-addr", "127.0.0.1:0", "-warm-from", base1, setting)
+	c2 := client.New(base2)
+	res, err := c2.ExistsSolution(ctx, client.SolveRequest{SettingID: settingID, SourceID: inst.ID})
+	if err != nil {
+		t.Fatalf("solve on warmed daemon: %v; stderr:\n%s", err, stderr2.String())
+	}
+	if !res.CacheHit {
+		t.Fatalf("first solve after warm transfer was cold: %+v; stderr:\n%s", res, stderr2.String())
+	}
+}
+
+// TestServeFlagValidation pins the startup failures: an unusable
+// -snapshot-dir or a malformed -warm-from must abort with a clear error
+// before the daemon listens.
+func TestServeFlagValidation(t *testing.T) {
+	occupied := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(occupied, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := cmdServe([]string{"-snapshot-dir", occupied})
+	if err == nil || !strings.Contains(err.Error(), "snapshot dir") {
+		t.Fatalf("regular file as snapshot dir: %v", err)
+	}
+
+	newer := t.TempDir()
+	// A snapshot header claiming format version 2: a newer daemon owns
+	// this directory, so startup must refuse it.
+	head := append([]byte("\x89PDXSNAP"), 2)
+	name := strings.Repeat("a", 64) + ".pdxsnap"
+	if err := os.WriteFile(filepath.Join(newer, name), head, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = cmdServe([]string{"-snapshot-dir", newer})
+	if err == nil || !strings.Contains(err.Error(), "format version") {
+		t.Fatalf("newer-version snapshot dir: %v", err)
+	}
+
+	for _, bad := range []string{"not a url", "ftp://host", "host:8642", "http://"} {
+		if err := cmdServe([]string{"-warm-from", bad}); err == nil || !strings.Contains(err.Error(), "-warm-from") {
+			t.Fatalf("-warm-from %q: %v", bad, err)
+		}
+	}
+}

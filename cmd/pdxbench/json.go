@@ -20,7 +20,9 @@ import (
 	"repro/internal/graph"
 	"repro/internal/reductions"
 	"repro/internal/rel"
+	"repro/internal/snap"
 	"repro/internal/workload"
+	"repro/pde"
 )
 
 type benchRecord struct {
@@ -172,6 +174,40 @@ func jsonBenchSuite() (*benchReport, error) {
 					b.Fatalf("lav resume: resumed=%v err=%v", resumed, err)
 				}
 				steps = next.StepsST + next.StepsTS
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+
+		// Snapshot codec over the same warm trace: the encode is what the
+		// write-behind worker pays per cache fill, the decode (which
+		// revalidates the whole body and rebuilds the block
+		// decomposition) is the per-entry warm-start price.
+		se := &snap.Entry{
+			SettingID:  "sha256:bench-setting",
+			SourceID:   "sha256:bench-source",
+			TargetID:   "sha256:bench-target",
+			Kind:       snap.KindTractable,
+			SourceText: pde.FormatInstance(lavI),
+			TargetText: pde.FormatInstance(lavJ),
+			Tractable:  trace,
+		}
+		data, err := snap.Encode(se)
+		if err != nil {
+			return nil, fmt.Errorf("snapshot encode: %w", err)
+		}
+		rec = record("snapshot-save/n=1600", nil, nil, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := snap.Encode(se); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+		rec = record("snapshot-load/n=1600", nil, nil, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := snap.Decode(data); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 		rep.Benchmarks = append(rep.Benchmarks, rec)

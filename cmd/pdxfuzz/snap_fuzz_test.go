@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/snap"
+	"repro/internal/workload"
+	"repro/pde"
+)
+
+// seedSnapshots builds valid snapshot encodings covering both artifact
+// kinds, so the fuzzer starts from deep inside the format instead of
+// spending its budget rediscovering the magic and checksum.
+func seedSnapshots(f *testing.F) [][]byte {
+	f.Helper()
+	rng := rand.New(rand.NewSource(7))
+	var seeds [][]byte
+
+	li, lj := workload.LAVInstance(8, true, rng)
+	trace, err := core.ChaseCanonicalTractable(workload.LAVSetting(), li, lj, core.TractableOptions{})
+	if err != nil {
+		f.Fatalf("lav trace: %v", err)
+	}
+	data, err := snap.Encode(&snap.Entry{
+		SettingID: "sha256:s", SourceID: "sha256:i", TargetID: "sha256:j",
+		Kind:       snap.KindTractable,
+		SourceText: pde.FormatInstance(li), TargetText: pde.FormatInstance(lj),
+		Tractable: trace,
+	})
+	if err != nil {
+		f.Fatalf("encode tractable: %v", err)
+	}
+	seeds = append(seeds, data)
+
+	ki, kj := workload.KeyedLAVInstance(12)
+	ct, err := core.ChaseCanonicalTarget(workload.KeyedLAVSetting(), ki, kj, core.SolveOptions{})
+	if err != nil {
+		f.Fatalf("keyed canonical target: %v", err)
+	}
+	data, err = snap.Encode(&snap.Entry{
+		SettingID: "sha256:s", SourceID: "sha256:k", TargetID: "sha256:l",
+		Kind:       snap.KindGeneric,
+		SourceText: pde.FormatInstance(ki), TargetText: pde.FormatInstance(kj),
+		Generic: ct,
+	})
+	if err != nil {
+		f.Fatalf("encode generic: %v", err)
+	}
+	seeds = append(seeds, data)
+	return seeds
+}
+
+// FuzzSnapshotDecode pins the codec's two load-bearing guarantees on
+// arbitrary input: Decode never panics, and anything it accepts
+// re-encodes byte-identically (the canonical-form invariant the peer
+// warm-transfer protocol relies on).
+func FuzzSnapshotDecode(f *testing.F) {
+	for _, seed := range seedSnapshots(f) {
+		f.Add(seed)
+		// Truncations and a bit flip steer the corpus toward the
+		// validation branches.
+		f.Add(seed[:len(seed)/2])
+		mut := append([]byte(nil), seed...)
+		mut[len(mut)/3] ^= 1
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("\x89PDXSNAP"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e, err := snap.Decode(data)
+		if err != nil {
+			return
+		}
+		again, err := snap.Encode(e)
+		if err != nil {
+			t.Fatalf("decoded entry does not re-encode: %v", err)
+		}
+		if !bytes.Equal(data, again) {
+			t.Fatalf("accepted input is not canonical: %d bytes in, %d bytes out", len(data), len(again))
+		}
+	})
+}

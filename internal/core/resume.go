@@ -76,7 +76,7 @@ func ResumeCanonicalTractable(s *Setting, trace *TractableTrace, appended *rel.I
 		TSResult:  res2,
 		NullState: ns.State(),
 	}
-	next.fillBlocks()
+	next.FillBlocks()
 	return next, r1 && r2, reason, nil
 }
 

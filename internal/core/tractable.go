@@ -228,14 +228,15 @@ func canonicalInstances(s *Setting, i, j *rel.Instance, opts TractableOptions) (
 		TSResult:  res2,
 		NullState: nulls.State(),
 	}
-	trace.fillBlocks()
+	trace.FillBlocks()
 	return trace, nil
 }
 
-// fillBlocks computes the block decomposition of ICan and the derived
+// FillBlocks computes the block decomposition of ICan and the derived
 // statistics. It runs eagerly so the decomposition is part of the
-// cacheable chase work, not the per-solve verdict phase.
-func (t *TractableTrace) fillBlocks() {
+// cacheable chase work, not the per-solve verdict phase; snapshot
+// decoding calls it to rebuild the derived fields a stored trace omits.
+func (t *TractableTrace) FillBlocks() {
 	t.BlockList = hom.Blocks(t.ICan)
 	t.Blocks = len(t.BlockList)
 	t.MaxBlockNulls = 0

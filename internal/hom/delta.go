@@ -24,6 +24,18 @@ import (
 // still invalidates watermarks back to nil.
 type Delta map[string]int
 
+// Names returns the watermark's relation names in sorted order — the
+// deterministic iteration the codec and the exposition paths need when
+// walking a Delta.
+func (d Delta) Names() []string {
+	names := make([]string, 0, len(d))
+	for n := range d {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
 // DeltaSpec is the full semi-naive watermark: the per-relation counts
 // splitting each relation into old and new segments, plus the
 // merged-value delta — for each relation, the sorted indexes of old

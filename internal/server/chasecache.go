@@ -36,11 +36,17 @@ type cacheEntry struct {
 	srcID     string
 	tgtID     string
 	kind      cacheKind
-	value     any
-	bytes     int64
-	done      bool          // computation finished (value/err valid)
-	err       error         // leader's failure, observed by waiters once
-	ready     chan struct{} // closed when done flips true
+	// srcInst and tgtInst are the resolved instances behind srcID/tgtID,
+	// retained so the snapshot store can serialize the entry with the
+	// canonical texts a warm start validates against. Both are immutable
+	// once the entry is done.
+	srcInst *pde.Instance
+	tgtInst *pde.Instance
+	value   any
+	bytes   int64
+	done    bool          // computation finished (value/err valid)
+	err     error         // leader's failure, observed by waiters once
+	ready   chan struct{} // closed when done flips true
 }
 
 // chaseCache is the LRU, single-flight store of chased artifacts keyed
@@ -115,6 +121,8 @@ func (c *chaseCache) getOrCompute(ctx context.Context, key string, meta cacheEnt
 			srcID:     meta.srcID,
 			tgtID:     meta.tgtID,
 			kind:      meta.kind,
+			srcInst:   meta.srcInst,
+			tgtInst:   meta.tgtInst,
 			ready:     make(chan struct{}),
 		}
 		c.items[key] = c.lru.PushFront(e)
@@ -154,6 +162,8 @@ func (c *chaseCache) put(meta cacheEntry, value any, bytes int64) {
 		srcID:     meta.srcID,
 		tgtID:     meta.tgtID,
 		kind:      meta.kind,
+		srcInst:   meta.srcInst,
+		tgtInst:   meta.tgtInst,
 		value:     value,
 		bytes:     bytes,
 		done:      true,
@@ -252,17 +262,28 @@ func (c *chaseCache) removeLocked(key string) {
 
 // instanceBytes approximates the heap footprint of an instance for the
 // cache's byte accounting: per-fact map/slice overhead plus the value
-// strings. Precision is not the point — bounding growth is.
+// strings. Precision is not the point — bounding growth is. Only live
+// tuples count: egd merges tombstone tuples in place rather than
+// deleting them, and an accounting that charged tombstoned slots would
+// inflate pdxd_chase_cache_bytes after every keyed-egd chase. The walk
+// reads relations directly (LiveLen/Live/TupleAt) instead of
+// materializing Facts(), so accounting an entry does not itself
+// allocate a copy of the instance.
 func instanceBytes(inst *pde.Instance) int64 {
 	if inst == nil {
 		return 0
 	}
 	var n int64
-	for _, f := range inst.Facts() {
-		n += 48 // tuple header + index slots
-		n += int64(len(f.Rel))
-		for _, v := range f.Args {
-			n += 16 + int64(len(v.String()))
+	for _, name := range inst.RelationNames() {
+		r := inst.Relation(name)
+		n += int64(r.LiveLen()) * int64(48+len(name))
+		for i := 0; i < r.Len(); i++ {
+			if !r.Live(i) {
+				continue
+			}
+			for _, v := range r.TupleAt(i) {
+				n += 16 + int64(len(v.String()))
+			}
 		}
 	}
 	return n

@@ -55,6 +55,11 @@ type metrics struct {
 	// unsupported dependency kinds).
 	cacheFallbacks [len(fallbackLabels)]atomic.Int64
 
+	snapshotSaves      atomic.Int64 // snapshots written to the store
+	snapshotLoads      atomic.Int64 // snapshots loaded and installed at warm start
+	snapshotLoadErrors atomic.Int64 // snapshots rejected at load (corrupt, unregistered, mismatched)
+	warmTransfers      atomic.Int64 // snapshots pulled from a peer and installed
+
 	mu        sync.Mutex
 	requests  map[string]int64 // route|status -> count
 	durMillis map[string]int64 // route -> cumulative handler milliseconds
@@ -124,5 +129,9 @@ func (m *metrics) render(registrySize, instanceCount, cacheEntries int, cacheByt
 	fmt.Fprintf(&b, "# HELP pdxd_chase_cache_evictions_total Cache entries dropped by LRU bounds or explicit eviction.\n# TYPE pdxd_chase_cache_evictions_total counter\npdxd_chase_cache_evictions_total %d\n", m.cacheEvictions.Load())
 	fmt.Fprintf(&b, "# HELP pdxd_chase_cache_entries Cached chased artifacts.\n# TYPE pdxd_chase_cache_entries gauge\npdxd_chase_cache_entries %d\n", cacheEntries)
 	fmt.Fprintf(&b, "# HELP pdxd_chase_cache_bytes Approximate bytes held by the chase cache.\n# TYPE pdxd_chase_cache_bytes gauge\npdxd_chase_cache_bytes %d\n", cacheBytes)
+	fmt.Fprintf(&b, "# HELP pdxd_snapshot_saves_total Snapshots written to the snapshot store.\n# TYPE pdxd_snapshot_saves_total counter\npdxd_snapshot_saves_total %d\n", m.snapshotSaves.Load())
+	fmt.Fprintf(&b, "# HELP pdxd_snapshot_loads_total Snapshots loaded and installed at warm start.\n# TYPE pdxd_snapshot_loads_total counter\npdxd_snapshot_loads_total %d\n", m.snapshotLoads.Load())
+	fmt.Fprintf(&b, "# HELP pdxd_snapshot_load_errors_total Snapshots rejected at load time.\n# TYPE pdxd_snapshot_load_errors_total counter\npdxd_snapshot_load_errors_total %d\n", m.snapshotLoadErrors.Load())
+	fmt.Fprintf(&b, "# HELP pdxd_snapshot_warm_transfers_total Snapshots pulled from a peer and installed.\n# TYPE pdxd_snapshot_warm_transfers_total counter\npdxd_snapshot_warm_transfers_total %d\n", m.warmTransfers.Load())
 	return b.String()
 }

@@ -9,9 +9,11 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/snap"
 	"repro/pde"
 	"repro/pde/client"
 )
@@ -46,6 +48,11 @@ type Config struct {
 	// CacheMaxEntries bounds the number of cached chased artifacts;
 	// 0 means 1024, negative disables the cache entirely.
 	CacheMaxEntries int
+	// Snapshots, when non-nil, persists completed cache entries to disk
+	// (write-behind) and enables warm starts (LoadSnapshots) and peer
+	// warm transfer (WarmFrom, the /v1/cache endpoints). nil disables
+	// persistence.
+	Snapshots *snap.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -87,6 +94,13 @@ type Server struct {
 	sem      chan struct{} // admission slots, cap MaxInFlight
 	mux      *http.ServeMux
 	draining atomic.Bool
+
+	// Write-behind snapshot machinery (nil/idle without cfg.Snapshots).
+	snapQ      chan *cacheEntry
+	snapDone   chan struct{}
+	snapMu     sync.Mutex // guards snapClosed against concurrent saveAsync/Close
+	snapClosed bool
+	closeOnce  sync.Once
 }
 
 // New builds a Server with empty registries and an empty chase cache.
@@ -111,8 +125,15 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/certain-answers", s.route("certain-answers", s.handleCertain))
 	s.mux.HandleFunc("POST /v1/classify", s.route("classify", s.handleClassify))
 	s.mux.HandleFunc("POST /v1/vet", s.route("vet", s.handleVet))
+	s.mux.HandleFunc("GET /v1/cache/keys", s.route("cache-keys", s.handleCacheKeys))
+	s.mux.HandleFunc("GET /v1/cache/entries/{key}", s.route("cache-entry", s.handleCacheEntry))
 	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealth))
 	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
+	if s.cfg.Snapshots != nil {
+		s.snapQ = make(chan *cacheEntry, snapQueueLen)
+		s.snapDone = make(chan struct{})
+		go s.snapWorker()
+	}
 	return s
 }
 

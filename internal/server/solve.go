@@ -66,7 +66,7 @@ func canonicalBytes(ct *core.CanonicalTarget) int64 {
 // trace for the pair.
 func (s *Server) tractableArtifact(ctx context.Context, c *Compiled, p *solvePair) (*core.TractableTrace, bool, error) {
 	key := cacheKey(c.ID, p.srcID, p.tgtID, kindTractable)
-	meta := cacheEntry{key: key, settingID: c.ID, srcID: p.srcID, tgtID: p.tgtID, kind: kindTractable}
+	meta := cacheEntry{key: key, settingID: c.ID, srcID: p.srcID, tgtID: p.tgtID, kind: kindTractable, srcInst: p.i, tgtInst: p.j}
 	v, hit, err := s.cache.getOrCompute(ctx, key, meta, func() (any, int64, error) {
 		tr, err := core.ChaseCanonicalTractable(c.Setting, p.i, p.j, s.tractableOpts(ctx))
 		if err != nil {
@@ -77,6 +77,9 @@ func (s *Server) tractableArtifact(ctx context.Context, c *Compiled, p *solvePai
 	if err != nil {
 		return nil, false, err
 	}
+	if !hit {
+		s.snapshotFill(key)
+	}
 	return v.(*core.TractableTrace), hit, nil
 }
 
@@ -84,7 +87,7 @@ func (s *Server) tractableArtifact(ctx context.Context, c *Compiled, p *solvePai
 // target for the pair.
 func (s *Server) genericArtifact(ctx context.Context, c *Compiled, p *solvePair, sopts core.SolveOptions) (*core.CanonicalTarget, bool, error) {
 	key := cacheKey(c.ID, p.srcID, p.tgtID, kindGeneric)
-	meta := cacheEntry{key: key, settingID: c.ID, srcID: p.srcID, tgtID: p.tgtID, kind: kindGeneric}
+	meta := cacheEntry{key: key, settingID: c.ID, srcID: p.srcID, tgtID: p.tgtID, kind: kindGeneric, srcInst: p.i, tgtInst: p.j}
 	v, hit, err := s.cache.getOrCompute(ctx, key, meta, func() (any, int64, error) {
 		ct, err := core.ChaseCanonicalTarget(c.Setting, p.i, p.j, sopts)
 		if err != nil {
@@ -95,7 +98,21 @@ func (s *Server) genericArtifact(ctx context.Context, c *Compiled, p *solvePair,
 	if err != nil {
 		return nil, false, err
 	}
+	if !hit {
+		s.snapshotFill(key)
+	}
 	return v.(*core.CanonicalTarget), hit, nil
+}
+
+// snapshotFill enqueues the freshly computed entry under key for the
+// write-behind snapshot worker (no-op without a snapshot store).
+func (s *Server) snapshotFill(key string) {
+	if s.cfg.Snapshots == nil {
+		return
+	}
+	if e, ok := s.cacheEntryByKey(key); ok {
+		s.saveAsync(e)
+	}
 }
 
 // solveExists runs the SOL(P) verdict from the cached fixpoint,
@@ -245,7 +262,7 @@ func (s *Server) handleInstanceAppend(w http.ResponseWriter, r *http.Request) {
 		Created: created,
 	}
 	if delta.NumFacts() > 0 {
-		out.Migrated, out.Resumed, out.Fallbacks = s.migrateCache(ctx, base.ID, child.ID, delta)
+		out.Migrated, out.Resumed, out.Fallbacks = s.migrateCache(ctx, base.ID, child, delta)
 	}
 	s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "instance appended",
 		slog.String("base", base.ID), slog.String("id", child.ID),
@@ -259,7 +276,7 @@ func (s *Server) handleInstanceAppend(w http.ResponseWriter, r *http.Request) {
 // Entries whose setting is gone or whose schema the delta does not fit
 // are skipped (the new instance simply starts cold for them); resume
 // errors (deadline, budget) likewise skip the entry.
-func (s *Server) migrateCache(ctx context.Context, baseID, childID string, delta *pde.Instance) (migrated, resumes, fallbacks int) {
+func (s *Server) migrateCache(ctx context.Context, baseID string, child *StoredInstance, delta *pde.Instance) (migrated, resumes, fallbacks int) {
 	for _, e := range s.cache.entries() {
 		if e.srcID != baseID && e.tgtID != baseID {
 			continue
@@ -269,11 +286,12 @@ func (s *Server) migrateCache(ctx context.Context, baseID, childID string, delta
 			continue
 		}
 		newSrc, newTgt := e.srcID, e.tgtID
+		newSrcInst, newTgtInst := e.srcInst, e.tgtInst
 		if newSrc == baseID {
-			newSrc = childID
+			newSrc, newSrcInst = child.ID, child.Inst
 		}
 		if newTgt == baseID {
-			newTgt = childID
+			newTgt, newTgtInst = child.ID, child.Inst
 		}
 		meta := cacheEntry{
 			key:       cacheKey(e.settingID, newSrc, newTgt, e.kind),
@@ -281,6 +299,8 @@ func (s *Server) migrateCache(ctx context.Context, baseID, childID string, delta
 			srcID:     newSrc,
 			tgtID:     newTgt,
 			kind:      e.kind,
+			srcInst:   newSrcInst,
+			tgtInst:   newTgtInst,
 		}
 		var resumed bool
 		var reason string
@@ -307,6 +327,7 @@ func (s *Server) migrateCache(ctx context.Context, baseID, childID string, delta
 			continue
 		}
 		migrated++
+		s.snapshotFill(meta.key)
 		if resumed {
 			resumes++
 			s.met.cacheResumes.Add(1)

@@ -1,0 +1,159 @@
+package snap
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// fileExt is the extension of snapshot files inside a Store directory.
+const fileExt = ".pdxsnap"
+
+// Store is a directory of snapshot files, one per cache entry, named
+// "<Key>.pdxsnap". Writes are atomic (temp file + fsync + rename), so a
+// crash mid-save never leaves a torn snapshot behind — readers see
+// either the old bytes or the new ones. The Store itself performs no
+// locking: pdxd funnels all writes through one write-behind goroutine.
+type Store struct {
+	dir string
+}
+
+// Open prepares dir as a snapshot directory: it creates it if missing,
+// probes that it is writable, and scans the headers of existing
+// snapshot files. A file carrying a newer format version is an error —
+// a newer daemon owns that directory, and silently ignoring (or later
+// clobbering) its snapshots would corrupt the newer fleet's warm state.
+// Files with unreadable headers are left for Load to reject
+// individually.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("snap: creating snapshot dir: %w", err)
+	}
+	probe, err := os.CreateTemp(dir, ".probe-*")
+	if err != nil {
+		return nil, fmt.Errorf("snap: snapshot dir %s is not writable: %w", dir, err)
+	}
+	name := probe.Name()
+	probe.Close()
+	if err := os.Remove(name); err != nil {
+		return nil, fmt.Errorf("snap: snapshot dir %s is not writable: %w", dir, err)
+	}
+	s := &Store{dir: dir}
+	keys, err := s.List()
+	if err != nil {
+		return nil, err
+	}
+	for _, key := range keys {
+		head := make([]byte, len(magic)+10) // magic + maximal uvarint
+		f, err := os.Open(s.path(key))
+		if err != nil {
+			continue // racing deletion; Load will report if it matters
+		}
+		n, _ := f.Read(head)
+		f.Close()
+		v, err := HeaderVersion(head[:n])
+		if err != nil {
+			continue
+		}
+		if v > Version {
+			return nil, fmt.Errorf("snap: %s has format version %d, this build reads %d; refusing the snapshot dir", s.path(key), v, Version)
+		}
+	}
+	return s, nil
+}
+
+// Dir returns the directory backing the store.
+func (s *Store) Dir() string { return s.dir }
+
+// validKey reports whether key has the shape Key produces: 64 lowercase
+// hex characters. Everything else is rejected before it can touch the
+// filesystem — keys arrive over the warm-transfer API from peers.
+func validKey(key string) bool {
+	if len(key) != 64 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) path(key string) string {
+	return filepath.Join(s.dir, key+fileExt)
+}
+
+// List returns the keys of the stored snapshots, sorted. File names
+// that do not look like snapshot keys are ignored.
+func (s *Store) List() ([]string, error) {
+	ents, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("snap: listing snapshot dir: %w", err)
+	}
+	var keys []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, fileExt) {
+			continue
+		}
+		key := strings.TrimSuffix(name, fileExt)
+		if validKey(key) {
+			keys = append(keys, key)
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Save atomically writes one snapshot under its key.
+func (s *Store) Save(key string, data []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("snap: invalid snapshot key %q", key)
+	}
+	f, err := os.CreateTemp(s.dir, ".tmp-*")
+	if err != nil {
+		return fmt.Errorf("snap: saving snapshot: %w", err)
+	}
+	tmp := f.Name()
+	if _, err := f.Write(data); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, s.path(key))
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("snap: saving snapshot %s: %w", key, err)
+	}
+	return nil
+}
+
+// Load reads one snapshot's bytes. The caller decodes and validates.
+func (s *Store) Load(key string) ([]byte, error) {
+	if !validKey(key) {
+		return nil, fmt.Errorf("snap: invalid snapshot key %q", key)
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, fmt.Errorf("snap: loading snapshot %s: %w", key, err)
+	}
+	return data, nil
+}
+
+// Remove deletes one snapshot; a missing file is not an error.
+func (s *Store) Remove(key string) error {
+	if !validKey(key) {
+		return fmt.Errorf("snap: invalid snapshot key %q", key)
+	}
+	if err := os.Remove(s.path(key)); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("snap: removing snapshot %s: %w", key, err)
+	}
+	return nil
+}

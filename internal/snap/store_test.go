@@ -1,0 +1,139 @@
+package snap_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/snap"
+)
+
+func testKey(b byte) string {
+	return strings.Repeat(string([]byte{b}), 64)
+}
+
+func TestStoreSaveLoadListRemove(t *testing.T) {
+	dir := t.TempDir()
+	s, err := snap.Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if s.Dir() != dir {
+		t.Fatalf("dir: %s", s.Dir())
+	}
+	keys, err := s.List()
+	if err != nil || len(keys) != 0 {
+		t.Fatalf("fresh list: %v, %v", keys, err)
+	}
+
+	ka, kb := testKey('a'), testKey('b')
+	if err := s.Save(kb, []byte("beta")); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if err := s.Save(ka, []byte("alpha")); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	if err := s.Save(ka, []byte("alpha2")); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	keys, err = s.List()
+	if err != nil || len(keys) != 2 || keys[0] != ka || keys[1] != kb {
+		t.Fatalf("list: %v, %v", keys, err)
+	}
+	data, err := s.Load(ka)
+	if err != nil || string(data) != "alpha2" {
+		t.Fatalf("load: %q, %v", data, err)
+	}
+	if err := s.Remove(ka); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if err := s.Remove(ka); err != nil {
+		t.Fatalf("double remove: %v", err)
+	}
+	if _, err := s.Load(ka); err == nil {
+		t.Fatal("load after remove succeeded")
+	}
+
+	// No stray temp files survive the save cycle.
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), ".tmp-") || strings.HasPrefix(e.Name(), ".probe-") {
+			t.Fatalf("stray temp file %s", e.Name())
+		}
+	}
+}
+
+func TestStoreRejectsInvalidKeys(t *testing.T) {
+	s, err := snap.Open(t.TempDir())
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for _, key := range []string{"", "short", testKey('A'), testKey('z'), "../" + testKey('a')[3:], testKey('a') + "x"} {
+		if err := s.Save(key, []byte("x")); err == nil {
+			t.Fatalf("save accepted key %q", key)
+		}
+		if _, err := s.Load(key); err == nil {
+			t.Fatalf("load accepted key %q", key)
+		}
+		if err := s.Remove(key); err == nil {
+			t.Fatalf("remove accepted key %q", key)
+		}
+	}
+}
+
+func TestStoreListIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := snap.Open(dir)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for _, name := range []string{"README", "short.pdxsnap", testKey('A') + ".pdxsnap", testKey('c') + ".bak"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Save(testKey('d'), []byte("x")); err != nil {
+		t.Fatalf("save: %v", err)
+	}
+	keys, err := s.List()
+	if err != nil || len(keys) != 1 || keys[0] != testKey('d') {
+		t.Fatalf("list: %v, %v", keys, err)
+	}
+}
+
+// TestOpenRejectsUnwritableDir uses an existing regular file as the
+// directory path — the one unwritability mode that holds even when the
+// tests run as root (permission bits do not).
+func TestOpenRejectsUnwritableDir(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.Open(path); err == nil {
+		t.Fatal("open accepted a regular file as snapshot dir")
+	}
+}
+
+func TestOpenRefusesNewerFormatVersion(t *testing.T) {
+	dir := t.TempDir()
+	data := buildEntry(t)
+	newer := append([]byte(nil), data...)
+	newer[8] = snap.Version + 1 // version byte sits after the 8-byte magic
+	if err := os.WriteFile(filepath.Join(dir, testKey('e')+".pdxsnap"), newer, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.Open(dir); err == nil || !strings.Contains(err.Error(), "format version") {
+		t.Fatalf("open of newer-version dir: %v", err)
+	}
+
+	// The same bytes under the current version are fine to open (Load
+	// still validates bodies individually).
+	ok := t.TempDir()
+	if err := os.WriteFile(filepath.Join(ok, testKey('e')+".pdxsnap"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := snap.Open(ok); err != nil {
+		t.Fatalf("open of current-version dir: %v", err)
+	}
+}

@@ -247,6 +247,23 @@ type VetResponse struct {
 	Diagnostics []Diagnostic `json:"diagnostics,omitempty"`
 }
 
+// CacheKeySummary describes one cache entry available for warm
+// transfer. Key is the snapshot key (the hex sha256 of the composite
+// cache identity) addressing /v1/cache/entries/{key}.
+type CacheKeySummary struct {
+	Key       string `json:"key"`
+	SettingID string `json:"setting_id"`
+	SourceID  string `json:"source_id"`
+	TargetID  string `json:"target_id"`
+	Kind      string `json:"kind"`
+}
+
+// CacheKeysResponse lists the transferable cache entries, sorted by
+// key.
+type CacheKeysResponse struct {
+	Keys []CacheKeySummary `json:"keys"`
+}
+
 // HealthResponse reports daemon liveness.
 type HealthResponse struct {
 	Status    string `json:"status"`

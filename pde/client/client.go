@@ -117,6 +117,45 @@ func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
 	return out, err
 }
 
+// CacheKeys lists the daemon's cache entries available for warm
+// transfer.
+func (c *Client) CacheKeys(ctx context.Context) (CacheKeysResponse, error) {
+	var out CacheKeysResponse
+	err := c.do(ctx, http.MethodGet, "/v1/cache/keys", nil, &out)
+	return out, err
+}
+
+// CacheEntry fetches one cache entry in the binary snapshot wire
+// format (decode with internal/snap). The key comes from CacheKeys.
+func (c *Client) CacheEntry(ctx context.Context, key string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/cache/entries/"+url.PathEscape(key), nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: GET /v1/cache/entries: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 256<<20))
+	if err != nil {
+		return nil, fmt.Errorf("client: reading snapshot: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var eb errorBody
+		if err := json.Unmarshal(data, &eb); err == nil && eb.Error != nil {
+			eb.Error.Status = resp.StatusCode
+			return nil, eb.Error
+		}
+		return nil, &APIError{
+			Code:    CodeInternal,
+			Message: fmt.Sprintf("non-JSON error response: %.200s", data),
+			Status:  resp.StatusCode,
+		}
+	}
+	return data, nil
+}
+
 func (c *Client) post(ctx context.Context, path string, in, out any) error {
 	return c.do(ctx, http.MethodPost, path, in, out)
 }

@@ -2,8 +2,10 @@
 # serve-smoke.sh — end-to-end smoke of pdxd over plain curl: build pdx,
 # start the daemon on an ephemeral port, register the smoke setting,
 # POST the corpus instances, check the EXP-EX1 verdicts and the certain
-# answers, then SIGTERM and verify a clean drain. Run from the repo
-# root; CI runs this after the test suite.
+# answers, then SIGTERM and verify a clean drain. A second daemon then
+# restarts over the same -snapshot-dir and must serve its first solve
+# straight from the persisted chase cache. Run from the repo root; CI
+# runs this after the test suite.
 set -euo pipefail
 
 workdir=$(mktemp -d)
@@ -11,7 +13,8 @@ trap 'kill "$pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
 
 go build -o "$workdir/pdx" ./cmd/pdx
 
-"$workdir/pdx" serve -addr 127.0.0.1:0 >"$workdir/stdout" 2>"$workdir/stderr" &
+"$workdir/pdx" serve -addr 127.0.0.1:0 -snapshot-dir "$workdir/snapshots" \
+  >"$workdir/stdout" 2>"$workdir/stderr" &
 pid=$!
 
 for _ in $(seq 1 100); do
@@ -108,4 +111,36 @@ curl -sS "$base/metrics" | grep -q '^pdxd_chase_cache_resumes_total 1$' || {
 kill -TERM "$pid"
 wait "$pid" || { echo "FAIL: daemon exited uncleanly"; cat "$workdir/stderr"; exit 1; }
 grep -q '"msg":"drained"' "$workdir/stderr" || { echo "FAIL: no drain log"; exit 1; }
+
+# Warm restart: the drain flushed the write-behind queue, so a second
+# daemon over the same -snapshot-dir (with the setting preloaded, since
+# snapshots only install for registered settings) must answer its first
+# solve-by-id from the restored cache.
+ls "$workdir/snapshots"/*.pdxsnap >/dev/null 2>&1 || {
+  echo "FAIL: drain left no snapshot files"; exit 1; }
+
+"$workdir/pdx" serve -addr 127.0.0.1:0 -snapshot-dir "$workdir/snapshots" \
+  examples/settings/server-smoke.pde >"$workdir/stdout2" 2>"$workdir/stderr2" &
+pid=$!
+for _ in $(seq 1 100); do
+  grep -q "pdxd listening on " "$workdir/stdout2" 2>/dev/null && break
+  kill -0 "$pid" 2>/dev/null || { echo "restarted daemon died:"; cat "$workdir/stderr2"; exit 1; }
+  sleep 0.1
+done
+base=$(sed -n 's/^pdxd listening on //p' "$workdir/stdout2")
+[ -n "$base" ] || { echo "no listen banner after restart"; cat "$workdir/stderr2"; exit 1; }
+echo "restarted daemon at $base"
+
+loads=$(curl -sS "$base/metrics" | sed -n 's/^pdxd_snapshot_loads_total \([0-9]*\)$/\1/p')
+[ -n "$loads" ] && [ "$loads" -ge 1 ] || {
+  echo "FAIL: restarted daemon loaded no snapshots"; cat "$workdir/stderr2"; exit 1; }
+warm=$(curl -sS -X POST "$base/v1/exists-solution" \
+  -d "{\"setting_id\":\"$id\",\"source_id\":\"$newid\"}")
+case "$warm" in
+  *'"cache_hit":true'*) echo "ok: first solve after restart was warm ($loads snapshots loaded)" ;;
+  *) echo "FAIL: first solve after restart was cold: $warm"; exit 1 ;;
+esac
+
+kill -TERM "$pid"
+wait "$pid" || { echo "FAIL: restarted daemon exited uncleanly"; cat "$workdir/stderr2"; exit 1; }
 echo "serve smoke passed"
