@@ -7,6 +7,7 @@
 //
 //	pdx solve    -setting FILE -source FILE [-target FILE] [-witness] [-force-generic]
 //	pdx certain  -setting FILE -source FILE [-target FILE] -queries FILE
+//	pdx compile  -setting FILE -queries FILE [-verify -source FILE [-target FILE]]
 //	pdx classify -setting FILE
 //	pdx vet      -setting FILE [-json]
 //	pdx chase    -setting FILE -source FILE [-target FILE]
@@ -25,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"reflect"
 
 	"repro/internal/core"
 	"repro/internal/datalog"
@@ -50,6 +52,8 @@ func main() {
 		err = cmdSolve(os.Args[2:])
 	case "certain":
 		err = cmdCertain(os.Args[2:])
+	case "compile":
+		err = cmdCompile(os.Args[2:])
 	case "classify":
 		err = cmdClassify(os.Args[2:])
 	case "vet":
@@ -83,6 +87,7 @@ func usage() {
 commands:
   solve     decide the existence-of-solutions problem SOL(P)
   certain   compute certain answers of target queries
+  compile   compile certain-answer queries to chase-free evaluation plans
   classify  decide membership in the tractable class C_tract
   vet       run the static-analysis checks over a setting file
   chase     print the canonical instances J_can and I_can
@@ -225,6 +230,75 @@ func cmdCertain(args []string) error {
 		for _, t := range res.Answers {
 			fmt.Fprintf(stdout, "  %s\n", t)
 		}
+	}
+	return nil
+}
+
+func cmdCompile(args []string) error {
+	fs := flag.NewFlagSet("compile", flag.ExitOnError)
+	var in inputs
+	in.register(fs)
+	queries := fs.String("queries", "", "query file (required)")
+	verify := fs.Bool("verify", false, "evaluate each plan and cross-check against the chase-backed path (needs -source)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := in.load(*verify); err != nil {
+		return err
+	}
+	if *queries == "" {
+		return fmt.Errorf("-queries is required")
+	}
+	text, err := os.ReadFile(*queries)
+	if err != nil {
+		return err
+	}
+	qs, err := pde.ParseQueries(string(text))
+	if err != nil {
+		return fmt.Errorf("parsing %s: %w", *queries, err)
+	}
+	sp, err := pde.CompileSettingPlan(in.settingV)
+	if err != nil {
+		if reason := pde.CompiledFallbackReason(err); reason != "" {
+			fmt.Fprintf(stdout, "setting %s: not compilable (%s)\n", in.settingV.Name, reason)
+			exit(3) // same convention as solve: distinguishable for scripting
+			return nil
+		}
+		return err
+	}
+	fmt.Fprintf(stdout, "setting %s: compilable\n", in.settingV.Name)
+	for _, q := range qs {
+		plan, err := sp.CompileQuery(q)
+		if err != nil {
+			if reason := pde.CompiledFallbackReason(err); reason != "" {
+				fmt.Fprintf(stdout, "%s: not compilable (%s)\n", q[0].Name, reason)
+				continue
+			}
+			return err
+		}
+		fmt.Fprintln(stdout, plan.String())
+		if !*verify {
+			continue
+		}
+		got, err := plan.Eval(in.sourceV, in.targetV, pde.CompiledEvalOptions{})
+		if err != nil {
+			return fmt.Errorf("%s: evaluating plan: %w", q[0].Name, err)
+		}
+		var want pde.CertainResult
+		if q[0].IsBoolean() {
+			want, err = pde.CertainBool(in.settingV, in.sourceV, in.targetV, q, pde.Options{})
+		} else {
+			want, err = pde.CertainAnswers(in.settingV, in.sourceV, in.targetV, q, pde.Options{})
+		}
+		if err != nil {
+			return fmt.Errorf("%s: chase-backed check: %w", q[0].Name, err)
+		}
+		if got.SolutionExists != want.SolutionExists || got.Certain != want.Certain ||
+			!reflect.DeepEqual(got.Answers, want.Answers) {
+			return fmt.Errorf("%s: compiled result diverges from chase-backed path:\ncompiled: %+v\nchased:   %+v",
+				q[0].Name, got, want)
+		}
+		fmt.Fprintf(stdout, "%s: verified against chase-backed path (%d answer(s))\n", q[0].Name, len(got.Answers))
 	}
 	return nil
 }

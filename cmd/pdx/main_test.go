@@ -215,3 +215,47 @@ func TestCmdDatalog(t *testing.T) {
 		t.Error("missing -edb accepted")
 	}
 }
+
+func TestCmdCompile(t *testing.T) {
+	setting, source, queries := fixtures(t)
+	out, code := capture(t)
+	if err := cmdCompile([]string{"-setting", setting, "-queries", queries, "-verify", "-source", source}); err != nil {
+		t.Fatal(err)
+	}
+	if *code != -1 {
+		t.Errorf("exit called with %d on a compilable setting", *code)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"setting example1: compilable",
+		"plan q: open",
+		"q: verified against chase-backed path (1 answer(s))",
+		"qb: verified against chase-backed path (0 answer(s))",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestCmdCompileFallback(t *testing.T) {
+	dir := t.TempDir()
+	setting := writeFile(t, dir, "keyed.pde", `
+setting keyed
+source E/2
+target H/2
+st: E(x,y) -> H(x,y)
+t: H(x,y), H(x,z) -> y = z
+`)
+	queries := writeFile(t, dir, "q.cq", "q(x,y) :- H(x,y)")
+	out, code := capture(t)
+	if err := cmdCompile([]string{"-setting", setting, "-queries", queries}); err != nil {
+		t.Fatal(err)
+	}
+	if *code != 3 {
+		t.Errorf("exit code = %d, want 3", *code)
+	}
+	if !strings.Contains(out.String(), "setting keyed: not compilable (target-deps)") {
+		t.Errorf("output = %q", out.String())
+	}
+}

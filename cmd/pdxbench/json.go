@@ -14,10 +14,12 @@ import (
 	"runtime"
 	"testing"
 
+	"repro/internal/certain"
 	"repro/internal/chase"
 	"repro/internal/core"
 	"repro/internal/dep"
 	"repro/internal/graph"
+	"repro/internal/qplan"
 	"repro/internal/reductions"
 	"repro/internal/rel"
 	"repro/internal/snap"
@@ -211,6 +213,109 @@ func jsonBenchSuite() (*benchReport, error) {
 			}
 		})
 		rep.Benchmarks = append(rep.Benchmarks, rec)
+	}
+
+	// Certain answers on the LAV workload: the warm chase-backed path
+	// (canonical artifact precomputed, the way pdxd answered repeats
+	// before plan compilation) versus the compiled plan that skips the
+	// chase entirely. Open queries whose certain answers are non-empty
+	// are out of reach for the enumeration path at this size (the
+	// intersection never empties, so it must walk adom^nulls image
+	// solutions), so the head-to-head record is a Boolean point query
+	// falsified by the first image solution — the warm path's best
+	// case. Results must agree exactly.
+	{
+		s := workload.LAVSetting()
+		qb := certain.UCQ{{Name: "qb", Body: []dep.Atom{
+			dep.NewAtom("Rec", dep.Cst("p0"), dep.Cst("g-none"), dep.Var("u"))}}}
+		ct, err := core.ChaseCanonicalTarget(s, lavI, lavJ, core.SolveOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("lav certain artifact: %w", err)
+		}
+		var warm, compiled certain.Result
+		rec := record("certain-warm/n=1600", nil, nil, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := certain.Boolean(s, lavI, lavJ, qb, certain.Options{Canonical: ct})
+				if err != nil {
+					b.Fatal(err)
+				}
+				warm = res
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+		if warm.Certain || !warm.SolutionExists || warm.SolutionsExamined != 1 {
+			return nil, fmt.Errorf("certain-warm did not falsify on the first solution: %+v", warm)
+		}
+
+		plan, err := qplan.Compile(s, qb)
+		if err != nil {
+			return nil, fmt.Errorf("lav certain compile: %w", err)
+		}
+		rec = record("certain-compiled/n=1600", nil, nil, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := plan.Eval(lavI, lavJ, qplan.EvalOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				compiled = res
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+		if compiled.Certain != warm.Certain || compiled.SolutionExists != warm.SolutionExists {
+			return nil, fmt.Errorf("certain paths diverged: warm %+v, compiled %+v", warm, compiled)
+		}
+
+		// Batch serving slice: 256 open point queries answered from
+		// cached plans — the solution probes run once, then each query
+		// is one indexed scan. This is the per-request work of
+		// /v1/certain-answers/batch after the plan cache warms. The
+		// enumeration path cannot cross-check these at this size, so
+		// the answers are verified against the generator's ground
+		// truth (each person's group in the source instance).
+		sp, err := qplan.CompileSetting(s)
+		if err != nil {
+			return nil, fmt.Errorf("lav setting plan: %w", err)
+		}
+		const nq = 256
+		plans := make([]*qplan.Plan, nq)
+		persons := make([]string, nq)
+		for k := 0; k < nq; k++ {
+			persons[k] = fmt.Sprintf("p%d", k*5+1)
+			q := certain.UCQ{{
+				Name: fmt.Sprintf("q%d", k),
+				Head: []string{"g"},
+				Body: []dep.Atom{dep.NewAtom("Rec",
+					dep.Cst(persons[k]), dep.Var("g"), dep.Var("u"))},
+			}}
+			if plans[k], err = sp.CompileQuery(q); err != nil {
+				return nil, fmt.Errorf("batch query %d: %w", k, err)
+			}
+		}
+		results := make([]certain.Result, nq)
+		rec = record("certain-batch/n=1600/q=256", nil, nil, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ex, err := sp.SolutionExists(lavI, lavJ, qplan.EvalOptions{})
+				if err != nil || !ex {
+					b.Fatalf("batch probes: ex=%v err=%v", ex, err)
+				}
+				for k := range plans {
+					if results[k], err = plans[k].EvalGiven(ex, lavI, lavJ, qplan.EvalOptions{}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+		groups := map[string]string{}
+		for _, t := range lavI.Relation("Person").Tuples() {
+			groups[t[0].ConstText()] = t[1].ConstText()
+		}
+		for k := range results {
+			if len(results[k].Answers) != 1 || results[k].Answers[0][0].ConstText() != groups[persons[k]] {
+				return nil, fmt.Errorf("batch query %d: got %v, want group %q of %s",
+					k, results[k].Answers, groups[persons[k]], persons[k])
+			}
+		}
 	}
 
 	// Deep recursion: one tgd layer per round, where naive trigger

@@ -94,19 +94,19 @@ func (q CQ) String() string {
 // containing labeled nulls are included; callers computing certain
 // answers filter them out (certain answers are tuples of constants).
 func (q CQ) Eval(inst *rel.Instance, opts hom.Options) []rel.Tuple {
-	seen := make(map[string]rel.Tuple)
+	seen := make(map[rel.TupleKey]bool)
+	var out []rel.Tuple
 	hom.ForEach(q.Body, inst, nil, opts, func(b hom.Binding) bool {
 		t := make(rel.Tuple, len(q.Head))
 		for i, h := range q.Head {
 			t[i] = b[h]
 		}
-		seen[tupleKeyOf(t)] = t
+		if k := rel.KeyOf(t); !seen[k] {
+			seen[k] = true
+			out = append(out, t)
+		}
 		return true
 	})
-	out := make([]rel.Tuple, 0, len(seen))
-	for _, t := range seen {
-		out = append(out, t)
-	}
 	sortTuples(out)
 	return out
 }
@@ -137,15 +137,15 @@ func (u UCQ) Validate(target *rel.Schema) error {
 
 // Eval returns the union of the disjuncts' answers.
 func (u UCQ) Eval(inst *rel.Instance, opts hom.Options) []rel.Tuple {
-	seen := make(map[string]rel.Tuple)
+	seen := make(map[rel.TupleKey]bool)
+	var out []rel.Tuple
 	for _, q := range u {
 		for _, t := range q.Eval(inst, opts) {
-			seen[tupleKeyOf(t)] = t
+			if k := rel.KeyOf(t); !seen[k] {
+				seen[k] = true
+				out = append(out, t)
+			}
 		}
-	}
-	out := make([]rel.Tuple, 0, len(seen))
-	for _, t := range seen {
-		out = append(out, t)
 	}
 	sortTuples(out)
 	return out
@@ -219,14 +219,14 @@ func Boolean(s *core.Setting, i, j *rel.Instance, q UCQ, opts Options) (Result, 
 // queries: the constant tuples in q(J') for every solution J'.
 func Answers(s *core.Setting, i, j *rel.Instance, q UCQ, opts Options) (Result, error) {
 	res := Result{}
-	var inter map[string]rel.Tuple
+	var inter map[rel.TupleKey]rel.Tuple
 	_, err := opts.forEach(s, i, j, func(sol *rel.Instance) bool {
 		res.SolutionExists = true
 		res.SolutionsExamined++
-		cur := make(map[string]rel.Tuple)
+		cur := make(map[rel.TupleKey]rel.Tuple)
 		for _, t := range q.Eval(sol, opts.Solve.Hom) {
 			if tupleGround(t) {
-				cur[tupleKeyOf(t)] = t
+				cur[rel.KeyOf(t)] = t
 			}
 		}
 		if inter == nil {
@@ -258,8 +258,6 @@ func tupleGround(t rel.Tuple) bool {
 	}
 	return true
 }
-
-func tupleKeyOf(t rel.Tuple) string { return t.String() }
 
 func sortTuples(ts []rel.Tuple) {
 	sort.Slice(ts, func(a, b int) bool { return ts[a].String() < ts[b].String() })

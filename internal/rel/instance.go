@@ -13,7 +13,7 @@ type Relation struct {
 	name   string
 	arity  int
 	tuples []Tuple
-	seen   map[string]int // canonical tuple key -> index into tuples
+	seen   map[TupleKey]int // canonical tuple key -> index into tuples
 
 	// posIndex[i] maps a value to the indexes of tuples carrying that
 	// value at position i. Maintained incrementally by add; rebuilt by
@@ -35,7 +35,7 @@ func newRelation(name string, arity int) *Relation {
 	r := &Relation{
 		name:     name,
 		arity:    arity,
-		seen:     make(map[string]int),
+		seen:     make(map[TupleKey]int),
 		posIndex: make([]map[Value][]int, arity),
 	}
 	for i := range r.posIndex {
@@ -69,7 +69,7 @@ func (r *Relation) Tuples() []Tuple { return r.tuples }
 
 // Contains reports whether the tuple is present.
 func (r *Relation) Contains(t Tuple) bool {
-	_, ok := r.seen[tupleKey(t)]
+	_, ok := r.seen[KeyOf(t)]
 	return ok
 }
 
@@ -99,7 +99,7 @@ func (r *Relation) popLast() Tuple {
 	}
 	t := r.tuples[n-1]
 	r.tuples = r.tuples[:n-1]
-	delete(r.seen, tupleKey(t))
+	delete(r.seen, KeyOf(t))
 	for i, v := range t {
 		lst := r.posIndex[i][v]
 		if len(lst) == 0 || lst[len(lst)-1] != n-1 {
@@ -117,18 +117,18 @@ func (r *Relation) popLast() Tuple {
 // clone returns a structural copy of the relation. The containers —
 // the tuple slice, the seen map, the position-index maps and their
 // index lists — are copied, so either copy can add or pop tuples
-// without disturbing the other; the stored Tuple arrays and the key
-// strings are shared, which is safe because tuples are never mutated
-// in place once added (add stores a private Clone; popLast only drops
-// the last entry). Compared with re-adding every fact, this skips the
-// per-tuple key construction and tuple copy that dominate chase-side
-// instance cloning.
+// without disturbing the other; the stored Tuple arrays are shared,
+// which is safe because tuples are never mutated in place once added
+// (add stores a private Clone; popLast only drops the last entry).
+// Compared with re-adding every fact, this skips the per-tuple key
+// construction and tuple copy that dominate chase-side instance
+// cloning.
 func (r *Relation) clone() *Relation {
 	c := &Relation{
 		name:     r.name,
 		arity:    r.arity,
 		tuples:   append(make([]Tuple, 0, len(r.tuples)), r.tuples...),
-		seen:     make(map[string]int, len(r.seen)),
+		seen:     make(map[TupleKey]int, len(r.seen)),
 		posIndex: make([]map[Value][]int, len(r.posIndex)),
 		nDead:    r.nDead,
 	}
@@ -149,17 +149,33 @@ func (r *Relation) clone() *Relation {
 }
 
 func (r *Relation) add(t Tuple) bool {
-	k := tupleKey(t)
+	k := KeyOf(t)
 	if _, ok := r.seen[k]; ok {
 		return false
 	}
+	r.insert(k, t.Clone())
+	return true
+}
+
+// addOwned is add for tuples whose ownership transfers to the relation:
+// the defensive copy is skipped, so the caller must never mutate t
+// afterwards.
+func (r *Relation) addOwned(t Tuple) bool {
+	k := KeyOf(t)
+	if _, ok := r.seen[k]; ok {
+		return false
+	}
+	r.insert(k, t)
+	return true
+}
+
+func (r *Relation) insert(k TupleKey, t Tuple) {
 	idx := len(r.tuples)
-	r.tuples = append(r.tuples, t.Clone())
+	r.tuples = append(r.tuples, t)
 	r.seen[k] = idx
 	for i, v := range t {
 		r.posIndex[i][v] = append(r.posIndex[i][v], idx)
 	}
-	return true
 }
 
 // removeFromIndex drops idx from the position-index list of v at
@@ -195,7 +211,7 @@ func (r *Relation) insertIntoIndex(pos int, v Value, idx int) {
 // slot itself stays so later tuples keep their indexes.
 func (r *Relation) tombstone(idx int) {
 	t := r.tuples[idx]
-	delete(r.seen, tupleKey(t))
+	delete(r.seen, KeyOf(t))
 	for i, v := range t {
 		r.removeFromIndex(i, v, idx)
 	}
@@ -238,8 +254,8 @@ func (r *Relation) mergeValue(from, to Value) []int {
 				neu[i] = to
 			}
 		}
-		delete(r.seen, tupleKey(old))
-		k := tupleKey(neu)
+		delete(r.seen, KeyOf(old))
+		k := KeyOf(neu)
 		if j, ok := r.seen[k]; ok {
 			if j < idx {
 				// The earlier copy survives unchanged; idx dies.
@@ -309,16 +325,61 @@ func (inst *Instance) mutable(op string) {
 
 // AddTuple inserts the fact R(t) and reports whether it was newly added.
 func (inst *Instance) AddTuple(relName string, t Tuple) bool {
-	inst.mutable("AddTuple")
+	return inst.relFor(relName, len(t), "AddTuple").add(t)
+}
+
+// AddOwnedTuple is AddTuple for callers that transfer ownership of t:
+// the tuple is stored without the defensive copy, so the caller must
+// never mutate it afterwards. Decoders that build instances from
+// freshly allocated memory use it to avoid doubling their tuple
+// allocations.
+func (inst *Instance) AddOwnedTuple(relName string, t Tuple) bool {
+	return inst.relFor(relName, len(t), "AddOwnedTuple").addOwned(t)
+}
+
+// Reserve pre-sizes the relation for n tuples of the given arity,
+// creating it if absent: the tuple slice, the dedup map, and the
+// position-index maps are allocated once instead of growing
+// incrementally. Loaders that know tuple counts up front (the snapshot
+// decoder) call it before inserting.
+func (inst *Instance) Reserve(relName string, arity, n int) {
+	inst.mutable("Reserve")
 	r, ok := inst.rels[relName]
 	if !ok {
-		r = newRelation(relName, len(t))
+		r = &Relation{
+			name:     relName,
+			arity:    arity,
+			tuples:   make([]Tuple, 0, n),
+			seen:     make(map[TupleKey]int, n),
+			posIndex: make([]map[Value][]int, arity),
+		}
+		for i := range r.posIndex {
+			r.posIndex[i] = make(map[Value][]int, n)
+		}
+		inst.rels[relName] = r
+		return
+	}
+	if r.arity != arity {
+		panic(fmt.Sprintf("rel: arity mismatch reserving %s/%d in relation of arity %d", relName, arity, r.arity))
+	}
+	if free := cap(r.tuples) - len(r.tuples); free < n {
+		grown := make([]Tuple, len(r.tuples), len(r.tuples)+n)
+		copy(grown, r.tuples)
+		r.tuples = grown
+	}
+}
+
+func (inst *Instance) relFor(relName string, arity int, op string) *Relation {
+	inst.mutable(op)
+	r, ok := inst.rels[relName]
+	if !ok {
+		r = newRelation(relName, arity)
 		inst.rels[relName] = r
 	}
-	if r.arity != len(t) {
-		panic(fmt.Sprintf("rel: arity mismatch adding %s/%d to relation of arity %d", relName, len(t), r.arity))
+	if r.arity != arity {
+		panic(fmt.Sprintf("rel: arity mismatch adding %s/%d to relation of arity %d", relName, arity, r.arity))
 	}
-	return r.add(t)
+	return r
 }
 
 // AddFact inserts the fact and reports whether it was newly added.

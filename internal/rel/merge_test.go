@@ -146,7 +146,7 @@ func checkIndexCoherence(t *testing.T, inst *Instance) {
 			}
 			live++
 			tup := r.TupleAt(i)
-			if got, ok := r.seen[tupleKey(tup)]; !ok || got != i {
+			if got, ok := r.seen[KeyOf(tup)]; !ok || got != i {
 				t.Fatalf("%s: seen[%v] = %d,%v, want %d", name, tup, got, ok, i)
 			}
 			for p, v := range tup {

@@ -155,6 +155,34 @@ func (t Tuple) String() string {
 	return s + ")"
 }
 
+// tupleKeyInline is how many leading values a TupleKey holds directly;
+// longer tuples spill the remainder into an encoded string.
+const tupleKeyInline = 4
+
+// TupleKey is a compact comparable key identifying a tuple's exact
+// value sequence, for map-based deduplication without the per-call
+// allocations of a string encoding: tuples of arity ≤ 4 key with zero
+// allocations. Two keys are == exactly when the tuples are equal
+// value-for-value.
+type TupleKey struct {
+	n      int
+	inline [tupleKeyInline]Value
+	rest   string
+}
+
+// KeyOf returns the comparable key of the tuple.
+func KeyOf(t Tuple) TupleKey {
+	k := TupleKey{n: len(t)}
+	for i, v := range t {
+		if i == tupleKeyInline {
+			k.rest = tupleKey(t[tupleKeyInline:])
+			break
+		}
+		k.inline[i] = v
+	}
+	return k
+}
+
 // Fact is a tuple tagged with the relation it belongs to.
 type Fact struct {
 	Rel  string

@@ -190,3 +190,56 @@ func TestTupleKeyInjectiveProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestKeyOfInjectiveProperty(t *testing.T) {
+	// Property: KeyOf keys are equal exactly when the tuples are equal,
+	// across the inline/spill boundary.
+	mk := func(codes []uint8) Tuple {
+		t := make(Tuple, len(codes))
+		for i, c := range codes {
+			if c%2 == 0 {
+				t[i] = Const(string(rune('a' + c%26)))
+			} else {
+				t[i] = Null(int(c))
+			}
+		}
+		return t
+	}
+	f := func(a, b []uint8) bool {
+		ta, tb := mk(a), mk(b)
+		sameKey := KeyOf(ta) == KeyOf(tb)
+		same := len(ta) == len(tb)
+		if same {
+			for i := range ta {
+				if ta[i] != tb[i] {
+					same = false
+					break
+				}
+			}
+		}
+		return sameKey == same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyOfZeroAllocsInline(t *testing.T) {
+	// The certain-answer hot loops key every candidate tuple; tuples up
+	// to the inline width must key without allocating.
+	tup := Tuple{Const("a"), Null(2), Const("b"), Const("c")}
+	if avg := testing.AllocsPerRun(100, func() {
+		_ = KeyOf(tup)
+	}); avg != 0 {
+		t.Fatalf("KeyOf(arity-4) allocates %.1f per run, want 0", avg)
+	}
+	seen := make(map[TupleKey]bool, 4)
+	seen[KeyOf(tup)] = true
+	if avg := testing.AllocsPerRun(100, func() {
+		if !seen[KeyOf(tup)] {
+			t.Fatal("lookup miss")
+		}
+	}); avg != 0 {
+		t.Fatalf("map lookup by KeyOf allocates %.1f per run, want 0", avg)
+	}
+}

@@ -195,8 +195,9 @@ func TestCacheHitAppendEndToEnd(t *testing.T) {
 		t.Fatalf("no-op append: %+v, %v", noop, err)
 	}
 
-	// Certain answers by ID builds (and then reuses) the generic
-	// artifact.
+	// Certain answers by ID: this setting is in the compilable
+	// fragment, so both calls run the compiled plan and never touch the
+	// chase cache; the second is served by the cached query plan.
 	ca1, err := c.CertainAnswers(ctx, client.CertainRequest{SettingID: reg.ID, SourceID: app.ID, Query: "q(x,y) :- H(x,y)"})
 	if err != nil {
 		t.Fatal(err)
@@ -205,8 +206,12 @@ func TestCacheHitAppendEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if ca1.CacheHit || !ca2.CacheHit || len(ca2.Answers) != 1 || ca2.Answers[0][0] != "a" || ca2.Answers[0][1] != "c" {
-		t.Fatalf("certain: first=%+v second=%+v, want warm hit with [a c]", ca1, ca2)
+	if !ca1.Compiled || !ca2.Compiled || ca1.CacheHit || ca2.CacheHit ||
+		len(ca2.Answers) != 1 || ca2.Answers[0][0] != "a" || ca2.Answers[0][1] != "c" {
+		t.Fatalf("certain: first=%+v second=%+v, want compiled answers [a c] with no chase", ca1, ca2)
+	}
+	if metricsValue(t, c, "pdxd_plan_cache_misses_total") != 1 || metricsValue(t, c, "pdxd_plan_cache_hits_total") != 1 {
+		t.Error("plan cache counters did not record one miss then one hit")
 	}
 
 	// Instance listing and health see all three instances.

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/chase"
+	"repro/internal/qplan"
 )
 
 // fallbackLabels are the reason labels of
@@ -30,6 +31,22 @@ func (m *metrics) fallback(reason string) *atomic.Int64 {
 		}
 	}
 	return &m.cacheFallbacks[len(fallbackLabels)-1]
+}
+
+// compiledFallbackLabels are the reason labels of
+// pdxd_certain_compiled_fallbacks_total: the qplan fallback taxonomy
+// plus "other" for anything unexpected.
+var compiledFallbackLabels = append(append([]string{}, qplan.FallbackReasons...), "other")
+
+// compiledFallback returns the counter for a compiled-path fallback
+// reason, mapping unknown reasons to "other".
+func (m *metrics) compiledFallback(reason string) *atomic.Int64 {
+	for i, l := range compiledFallbackLabels[:len(compiledFallbackLabels)-1] {
+		if reason == l {
+			return &m.compiledFallbacks[i]
+		}
+	}
+	return &m.compiledFallbacks[len(compiledFallbackLabels)-1]
 }
 
 // metrics holds the daemon's counters and gauges, exposed in Prometheus
@@ -55,6 +72,13 @@ type metrics struct {
 	// unsupported dependency kinds).
 	cacheFallbacks [len(fallbackLabels)]atomic.Int64
 
+	planHits   atomic.Int64 // certain-answer requests served by a cached compiled plan
+	planMisses atomic.Int64 // compiled plans built (and cached) on demand
+	// compiledFallbacks counts certain-answer requests that fell back
+	// from the compiled path to solution enumeration, by qplan fallback
+	// reason (indexed per compiledFallbackLabels; sized in newMetrics).
+	compiledFallbacks []atomic.Int64
+
 	snapshotSaves      atomic.Int64 // snapshots written to the store
 	snapshotLoads      atomic.Int64 // snapshots loaded and installed at warm start
 	snapshotLoadErrors atomic.Int64 // snapshots rejected at load (corrupt, unregistered, mismatched)
@@ -68,9 +92,10 @@ type metrics struct {
 
 func newMetrics() *metrics {
 	return &metrics{
-		requests:  make(map[string]int64),
-		durMillis: make(map[string]int64),
-		durCount:  make(map[string]int64),
+		compiledFallbacks: make([]atomic.Int64, len(compiledFallbackLabels)),
+		requests:          make(map[string]int64),
+		durMillis:         make(map[string]int64),
+		durCount:          make(map[string]int64),
 	}
 }
 
@@ -129,6 +154,12 @@ func (m *metrics) render(registrySize, instanceCount, cacheEntries int, cacheByt
 	fmt.Fprintf(&b, "# HELP pdxd_chase_cache_evictions_total Cache entries dropped by LRU bounds or explicit eviction.\n# TYPE pdxd_chase_cache_evictions_total counter\npdxd_chase_cache_evictions_total %d\n", m.cacheEvictions.Load())
 	fmt.Fprintf(&b, "# HELP pdxd_chase_cache_entries Cached chased artifacts.\n# TYPE pdxd_chase_cache_entries gauge\npdxd_chase_cache_entries %d\n", cacheEntries)
 	fmt.Fprintf(&b, "# HELP pdxd_chase_cache_bytes Approximate bytes held by the chase cache.\n# TYPE pdxd_chase_cache_bytes gauge\npdxd_chase_cache_bytes %d\n", cacheBytes)
+	fmt.Fprintf(&b, "# HELP pdxd_plan_cache_hits_total Certain-answer requests served by a cached compiled plan.\n# TYPE pdxd_plan_cache_hits_total counter\npdxd_plan_cache_hits_total %d\n", m.planHits.Load())
+	fmt.Fprintf(&b, "# HELP pdxd_plan_cache_misses_total Compiled plans built on demand.\n# TYPE pdxd_plan_cache_misses_total counter\npdxd_plan_cache_misses_total %d\n", m.planMisses.Load())
+	b.WriteString("# HELP pdxd_certain_compiled_fallbacks_total Certain-answer requests that fell back to solution enumeration, by reason.\n# TYPE pdxd_certain_compiled_fallbacks_total counter\n")
+	for i, l := range compiledFallbackLabels {
+		fmt.Fprintf(&b, "pdxd_certain_compiled_fallbacks_total{reason=%q} %d\n", l, m.compiledFallbacks[i].Load())
+	}
 	fmt.Fprintf(&b, "# HELP pdxd_snapshot_saves_total Snapshots written to the snapshot store.\n# TYPE pdxd_snapshot_saves_total counter\npdxd_snapshot_saves_total %d\n", m.snapshotSaves.Load())
 	fmt.Fprintf(&b, "# HELP pdxd_snapshot_loads_total Snapshots loaded and installed at warm start.\n# TYPE pdxd_snapshot_loads_total counter\npdxd_snapshot_loads_total %d\n", m.snapshotLoads.Load())
 	fmt.Fprintf(&b, "# HELP pdxd_snapshot_load_errors_total Snapshots rejected at load time.\n# TYPE pdxd_snapshot_load_errors_total counter\npdxd_snapshot_load_errors_total %d\n", m.snapshotLoadErrors.Load())

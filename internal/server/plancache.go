@@ -1,0 +1,122 @@
+package server
+
+// planCache holds compiled certain-answer query plans, keyed by setting
+// ID plus the canonical text of the query. Compiling a plan is cheap
+// next to a chase but not free (unfolding is exponential in the worst
+// case, bounded by the disjunct budget), and serving workloads ask the
+// same queries repeatedly — so plans are cached LRU with hit/miss
+// counters feeding /metrics.
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"strings"
+	"sync"
+
+	"repro/pde"
+)
+
+// planCacheMaxEntries bounds the number of cached query plans. Plans
+// are small (a few disjuncts of a few atoms), so a count bound
+// suffices.
+const planCacheMaxEntries = 4096
+
+type planKey struct {
+	settingID string
+	queryHash string
+}
+
+// queryHash returns the cache key component of a query: the hex sha256
+// of its canonical text, so formatting differences never split cache
+// entries.
+func queryHash(q pde.UCQ) string {
+	var b strings.Builder
+	for _, cq := range q {
+		b.WriteString(cq.String())
+		b.WriteByte('\n')
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+type planCacheEntry struct {
+	key  planKey
+	plan *pde.Plan
+	err  error // non-nil for queries the setting plan refuses (plan-too-large)
+}
+
+// planCache is a mutex-guarded LRU. Negative results (a typed
+// compile-time fallback for this particular query) are cached too, so
+// repeated over-budget queries don't recompile the unfolding each time.
+type planCache struct {
+	mu    sync.Mutex
+	max   int
+	items map[planKey]*list.Element
+	order *list.List // front = most recently used
+}
+
+func newPlanCache(max int) *planCache {
+	return &planCache{
+		max:   max,
+		items: make(map[planKey]*list.Element),
+		order: list.New(),
+	}
+}
+
+// get returns the cached plan or compiles (and caches) it. hit reports
+// whether the plan came from the cache. err is the compile error, if
+// any — cached alongside the plan.
+func (pc *planCache) get(c *Compiled, q pde.UCQ) (plan *pde.Plan, hit bool, err error) {
+	key := planKey{settingID: c.ID, queryHash: queryHash(q)}
+	pc.mu.Lock()
+	if el, ok := pc.items[key]; ok {
+		pc.order.MoveToFront(el)
+		e := el.Value.(*planCacheEntry)
+		pc.mu.Unlock()
+		return e.plan, true, e.err
+	}
+	pc.mu.Unlock()
+
+	// Compile outside the lock: plans are deterministic, so two racing
+	// compilations of the same key produce interchangeable values.
+	plan, err = c.Plan.CompileQuery(q)
+	e := &planCacheEntry{key: key, plan: plan, err: err}
+
+	pc.mu.Lock()
+	if el, ok := pc.items[key]; ok {
+		// Lost the race; the first insert wins.
+		pc.order.MoveToFront(el)
+		have := el.Value.(*planCacheEntry)
+		pc.mu.Unlock()
+		return have.plan, true, have.err
+	}
+	pc.items[key] = pc.order.PushFront(e)
+	for len(pc.items) > pc.max {
+		last := pc.order.Back()
+		pc.order.Remove(last)
+		delete(pc.items, last.Value.(*planCacheEntry).key)
+	}
+	pc.mu.Unlock()
+	return plan, false, err
+}
+
+// evictSetting drops every cached plan of one setting (registry
+// eviction).
+func (pc *planCache) evictSetting(settingID string) {
+	pc.mu.Lock()
+	for key, el := range pc.items {
+		if key.settingID == settingID {
+			pc.order.Remove(el)
+			delete(pc.items, key)
+		}
+	}
+	pc.mu.Unlock()
+}
+
+// len returns the number of cached plans.
+func (pc *planCache) len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.items)
+}

@@ -34,6 +34,15 @@ type Compiled struct {
 	Strategy string
 	// Warnings counts non-error vet diagnostics seen at registration.
 	Warnings int
+	// Plan is the compiled certain-answer setting plan (origin table
+	// plus solution probes), non-nil when the setting is in the
+	// compilable C_tract fragment; certain-answer requests then skip the
+	// chase entirely.
+	Plan *pde.SettingPlan
+	// PlanFallback is why Plan is nil ("" when it is set); surfaced as
+	// the fallback_reason of certain-answer responses and a metric
+	// label.
+	PlanFallback string
 }
 
 // Registry is the concurrent compiled-setting store. Registration is
@@ -74,7 +83,7 @@ func Compile(src string) (*Compiled, error) {
 	}
 	text := pde.FormatSetting(s)
 	sum := sha256.Sum256([]byte(text))
-	return &Compiled{
+	c := &Compiled{
 		ID:       "sha256:" + hex.EncodeToString(sum[:]),
 		Name:     s.Name,
 		Text:     text,
@@ -82,7 +91,21 @@ func Compile(src string) (*Compiled, error) {
 		Report:   cls,
 		Strategy: strategy,
 		Warnings: warns,
-	}, nil
+	}
+	plan, err := pde.CompileSettingPlan(s)
+	if err != nil {
+		reason := pde.CompiledFallbackReason(err)
+		if reason == "" {
+			// Not a fragment refusal: the setting already passed Validate,
+			// so this is unreachable; refuse registration rather than mask
+			// it.
+			return nil, fmt.Errorf("compiling certain-answer plan: %w", err)
+		}
+		c.PlanFallback = reason
+		return c, nil
+	}
+	c.Plan = plan
+	return c, nil
 }
 
 // Register compiles the setting and stores it under its content hash.

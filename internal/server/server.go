@@ -90,6 +90,7 @@ type Server struct {
 	reg      *Registry
 	inst     *InstanceRegistry
 	cache    *chaseCache
+	plans    *planCache
 	met      *metrics
 	sem      chan struct{} // admission slots, cap MaxInFlight
 	mux      *http.ServeMux
@@ -112,6 +113,7 @@ func New(cfg Config) *Server {
 		met:  newMetrics(),
 	}
 	s.cache = newChaseCache(s.cfg.CacheMaxBytes, s.cfg.CacheMaxEntries, s.met)
+	s.plans = newPlanCache(planCacheMaxEntries)
 	s.sem = make(chan struct{}, s.cfg.MaxInFlight)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/settings", s.route("settings-register", s.handleRegister))
@@ -123,6 +125,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/instances/{id}/append", s.route("instances-append", s.handleInstanceAppend))
 	s.mux.HandleFunc("POST /v1/exists-solution", s.route("exists-solution", s.handleExists))
 	s.mux.HandleFunc("POST /v1/certain-answers", s.route("certain-answers", s.handleCertain))
+	s.mux.HandleFunc("POST /v1/certain-answers/batch", s.route("certain-answers-batch", s.handleCertainBatch))
 	s.mux.HandleFunc("POST /v1/classify", s.route("classify", s.handleClassify))
 	s.mux.HandleFunc("POST /v1/vet", s.route("vet", s.handleVet))
 	s.mux.HandleFunc("GET /v1/cache/keys", s.route("cache-keys", s.handleCacheKeys))
@@ -380,6 +383,7 @@ func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.cache.evictMatching(func(e *cacheEntry) bool { return e.settingID == id })
+	s.plans.evictSetting(id)
 	writeJSON(w, http.StatusOK, map[string]string{"evicted": id})
 }
 
@@ -455,20 +459,22 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 	defer release()
 
 	start := time.Now()
-	res, hit, err := s.solveCertain(ctx, c, p, qs[0])
+	oc, err := s.solveCertain(ctx, c, p, qs[0])
 	if err != nil {
 		status, code := solveError(err)
 		writeErr(w, status, code, "certain answers: %v", err)
 		return
 	}
 	out := client.CertainResponse{
-		SolutionExists:    res.SolutionExists,
-		Certain:           res.Certain,
-		SolutionsExamined: res.SolutionsExamined,
-		CacheHit:          hit,
+		SolutionExists:    oc.res.SolutionExists,
+		Certain:           oc.res.Certain,
+		SolutionsExamined: oc.res.SolutionsExamined,
+		CacheHit:          oc.cacheHit,
+		Compiled:          oc.compiled,
+		FallbackReason:    oc.fallback,
 		ElapsedMillis:     time.Since(start).Milliseconds(),
 	}
-	for _, t := range res.Answers {
+	for _, t := range oc.res.Answers {
 		row := make([]string, len(t))
 		for k, v := range t {
 			row[k] = v.String()
@@ -477,6 +483,66 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "certain",
 		slog.String("setting", c.ID), slog.Int("answers", len(out.Answers)),
+		slog.Bool("compiled", oc.compiled),
+		slog.Int64("elapsed_ms", out.ElapsedMillis))
+	writeJSON(w, http.StatusOK, out)
+}
+
+// maxBatchQueries bounds one batch request; beyond it the request is
+// rejected up front rather than admitted and half-served.
+const maxBatchQueries = 4096
+
+func (s *Server) handleCertainBatch(w http.ResponseWriter, r *http.Request) {
+	var req client.CertainBatchRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if len(req.Queries) == 0 {
+		writeErr(w, http.StatusBadRequest, client.CodeBadRequest, "batch has no queries")
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeErr(w, http.StatusBadRequest, client.CodeBadRequest, "batch has %d queries, max %d", len(req.Queries), maxBatchQueries)
+		return
+	}
+	c, p, ok := s.solveInput(w, req.SettingID, req.Source, req.SourceID, req.Target, req.TargetID)
+	if !ok {
+		return
+	}
+	queries := make([]pde.UCQ, len(req.Queries))
+	for n, text := range req.Queries {
+		qs, err := pde.ParseQueries(text)
+		if err != nil || len(qs) != 1 {
+			if err == nil {
+				err = fmt.Errorf("want exactly one query, got %d", len(qs))
+			}
+			writeErr(w, http.StatusBadRequest, client.CodeBadRequest, "parsing query %d: %v", n, err)
+			return
+		}
+		if err := qs[0].Validate(c.Setting.Target); err != nil {
+			writeErr(w, http.StatusBadRequest, client.CodeBadRequest, "query %d: %v", n, err)
+			return
+		}
+		queries[n] = qs[0]
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.DeadlineMillis))
+	defer cancel()
+	release := s.admit(ctx, w)
+	if release == nil {
+		return
+	}
+	defer release()
+
+	start := time.Now()
+	out, err := s.solveCertainBatch(ctx, c, p, queries)
+	if err != nil {
+		status, code := solveError(err)
+		writeErr(w, status, code, "certain answers: %v", err)
+		return
+	}
+	out.ElapsedMillis = time.Since(start).Milliseconds()
+	s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "certain batch",
+		slog.String("setting", c.ID), slog.Int("queries", len(queries)),
 		slog.Int64("elapsed_ms", out.ElapsedMillis))
 	writeJSON(w, http.StatusOK, out)
 }

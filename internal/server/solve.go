@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/certain"
 	"repro/internal/core"
+	"repro/internal/qplan"
 	"repro/pde"
 	"repro/pde/client"
 )
@@ -154,14 +155,72 @@ func (s *Server) solveExists(ctx context.Context, c *Compiled, p *solvePair, wit
 	return res, hit, nil
 }
 
-// solveCertain runs a certain-answers computation from the cached
-// canonical target. Certain answers always enumerate image solutions,
-// so this uses the generic artifact even for tractable settings.
-func (s *Server) solveCertain(ctx context.Context, c *Compiled, p *solvePair, q pde.UCQ) (certain.Result, bool, error) {
+// planOpts builds the compiled-plan evaluation options for one request.
+func (s *Server) planOpts(ctx context.Context) qplan.EvalOptions {
+	return qplan.EvalOptions{Parallelism: s.cfg.Parallelism, Ctx: ctx}
+}
+
+// certainOutcome is one certain-answers result plus how it was
+// produced: from a compiled plan (compiled, no chase at all), or by
+// solution enumeration (cacheHit reports whether the chase was cached;
+// fallback is the non-empty reason when a compiled setting declined).
+type certainOutcome struct {
+	res      certain.Result
+	cacheHit bool
+	compiled bool
+	fallback string
+}
+
+// solveCertain answers one certain-answers request: the compiled plan
+// path when the setting is in the compilable fragment, the
+// enumeration path from the cached canonical target otherwise (with
+// the fallback reason counted and surfaced).
+func (s *Server) solveCertain(ctx context.Context, c *Compiled, p *solvePair, q pde.UCQ) (certainOutcome, error) {
+	reason := c.PlanFallback
+	if c.Plan != nil {
+		plan, cerr := s.queryPlan(c, q)
+		if cerr == nil {
+			res, err := plan.Eval(p.i, p.j, s.planOpts(ctx))
+			if err == nil {
+				return certainOutcome{res: res, compiled: true}, nil
+			}
+			if reason = pde.CompiledFallbackReason(err); reason == "" {
+				return certainOutcome{}, err
+			}
+		} else if reason = pde.CompiledFallbackReason(cerr); reason == "" {
+			return certainOutcome{}, cerr
+		}
+	}
+	s.met.compiledFallback(reason).Add(1)
+	res, hit, err := s.enumerateCertain(ctx, c, p, q, nil)
+	return certainOutcome{res: res, cacheHit: hit, fallback: reason}, err
+}
+
+// queryPlan fetches (or compiles and caches) the compiled plan for one
+// query of a compilable setting, counting plan-cache traffic.
+func (s *Server) queryPlan(c *Compiled, q pde.UCQ) (*pde.Plan, error) {
+	plan, hit, err := s.plans.get(c, q)
+	if hit {
+		s.met.planHits.Add(1)
+	} else {
+		s.met.planMisses.Add(1)
+	}
+	return plan, err
+}
+
+// enumerateCertain runs the enumeration path from the cached canonical
+// target. Certain answers enumerate image solutions, so this uses the
+// generic artifact even for tractable settings. A non-nil ct reuses an
+// artifact the caller already fetched (batch mode).
+func (s *Server) enumerateCertain(ctx context.Context, c *Compiled, p *solvePair, q pde.UCQ, ct *core.CanonicalTarget) (certain.Result, bool, error) {
 	sopts := s.solveOpts(ctx, 0)
-	ct, hit, err := s.genericArtifact(ctx, c, p, sopts)
-	if err != nil {
-		return certain.Result{}, false, err
+	hit := true
+	if ct == nil {
+		var err error
+		ct, hit, err = s.genericArtifact(ctx, c, p, sopts)
+		if err != nil {
+			return certain.Result{}, false, err
+		}
 	}
 	copts := certain.Options{Solve: sopts, Canonical: ct}
 	if q[0].IsBoolean() {
@@ -337,4 +396,90 @@ func (s *Server) migrateCache(ctx context.Context, baseID string, child *StoredI
 		}
 	}
 	return migrated, resumes, fallbacks
+}
+
+// solveCertainBatch answers many queries over one instance pair,
+// sharing the per-pair work: the setting's solution probes run at most
+// once (every compiled plan evaluates against that verdict), and the
+// queries that fall off the compiled path share one chased artifact.
+func (s *Server) solveCertainBatch(ctx context.Context, c *Compiled, p *solvePair, queries []pde.UCQ) (client.CertainBatchResponse, error) {
+	out := client.CertainBatchResponse{Results: make([]client.CertainBatchResult, len(queries))}
+
+	// Lazy shared state: neither the probes nor the chase run unless
+	// some query needs them.
+	var (
+		probesDone bool
+		solExists  bool
+		probeErr   error
+		ct         *core.CanonicalTarget
+	)
+	probes := func() (bool, error) {
+		if !probesDone {
+			probesDone = true
+			solExists, probeErr = c.Plan.SolutionExists(p.i, p.j, s.planOpts(ctx))
+		}
+		return solExists, probeErr
+	}
+	artifact := func() (*core.CanonicalTarget, error) {
+		if ct == nil {
+			a, hit, err := s.genericArtifact(ctx, c, p, s.solveOpts(ctx, 0))
+			if err != nil {
+				return nil, err
+			}
+			ct, out.CacheHit = a, hit
+		}
+		return ct, nil
+	}
+
+	for n, q := range queries {
+		reason := c.PlanFallback
+		if c.Plan != nil {
+			plan, cerr := s.queryPlan(c, q)
+			if cerr == nil {
+				ex, err := probes()
+				if err == nil {
+					var res certain.Result
+					if res, err = plan.EvalGiven(ex, p.i, p.j, s.planOpts(ctx)); err == nil {
+						out.Results[n] = batchResult(q, res, true, "")
+						continue
+					}
+				}
+				if reason = pde.CompiledFallbackReason(err); reason == "" {
+					return out, err
+				}
+			} else if reason = pde.CompiledFallbackReason(cerr); reason == "" {
+				return out, cerr
+			}
+		}
+		s.met.compiledFallback(reason).Add(1)
+		a, err := artifact()
+		if err != nil {
+			return out, err
+		}
+		res, _, err := s.enumerateCertain(ctx, c, p, q, a)
+		if err != nil {
+			return out, err
+		}
+		out.Results[n] = batchResult(q, res, false, reason)
+	}
+	return out, nil
+}
+
+// batchResult converts one certain-answers result to its wire form.
+func batchResult(q pde.UCQ, res certain.Result, compiled bool, fallback string) client.CertainBatchResult {
+	r := client.CertainBatchResult{
+		Name:           q[0].Name,
+		SolutionExists: res.SolutionExists,
+		Certain:        res.Certain,
+		Compiled:       compiled,
+		FallbackReason: fallback,
+	}
+	for _, t := range res.Answers {
+		row := make([]string, len(t))
+		for k, v := range t {
+			row[k] = v.String()
+		}
+		r.Answers = append(r.Answers, row)
+	}
+	return r
 }

@@ -396,6 +396,10 @@ type reader struct {
 	buf []byte
 	off int
 	err error
+	// interned dedups constant Values across the whole snapshot: chase
+	// artifacts repeat the same constants in fixpoints, starts, and
+	// canonical instances, so decoding allocates each text once.
+	interned map[string]rel.Value
 }
 
 func (r *reader) fail(sentinel error, format string, args ...any) {
@@ -488,13 +492,37 @@ func (r *reader) value(what string) rel.Value {
 	case r.err != nil:
 		return rel.Value{}
 	case tag == tagConst:
-		return rel.Const(r.str(what + " constant"))
+		return r.constValue(what + " constant")
 	case tag == tagNull:
 		return rel.Null(r.count(what+" null id", maxCounter))
 	default:
 		r.fail(ErrCorrupt, "unknown %s tag %d", what, tag)
 		return rel.Value{}
 	}
+}
+
+// constValue reads a constant's text and returns its interned Value:
+// the map lookup keyed by the raw bytes allocates nothing on a hit.
+func (r *reader) constValue(what string) rel.Value {
+	v := r.uvarint(what + " length")
+	if r.err != nil {
+		return rel.Value{}
+	}
+	if v > uint64(r.remaining()) {
+		r.fail(ErrTruncated, "%s of %d bytes with %d remaining", what, v, r.remaining())
+		return rel.Value{}
+	}
+	b := r.buf[r.off : r.off+int(v)]
+	r.off += int(v)
+	if val, ok := r.interned[string(b)]; ok {
+		return val
+	}
+	if r.interned == nil {
+		r.interned = make(map[string]rel.Value)
+	}
+	val := rel.Const(string(b))
+	r.interned[val.ConstText()] = val
+	return val
 }
 
 func (r *reader) instance(what string) *rel.Instance {
@@ -530,15 +558,22 @@ func (r *reader) instance(what string) *rel.Instance {
 			r.fail(ErrTruncated, "%s relation %q claims %d tuples of arity %d", what, name, n, arity)
 			break
 		}
+		// n is bounded by the remaining input, so the slab and the
+		// reserved containers are sized by trusted counts. The slab
+		// backs every tuple of the relation; ownership transfers to the
+		// instance via AddOwnedTuple.
+		inst.Reserve(name, arity, n)
+		slab := make(rel.Tuple, n*arity)
 		for t := 0; t < n && r.err == nil; t++ {
-			tup := make(rel.Tuple, arity)
+			tup := slab[:arity:arity]
+			slab = slab[arity:]
 			for a := 0; a < arity; a++ {
 				tup[a] = r.value(what)
 			}
 			if r.err != nil {
 				break
 			}
-			if !inst.AddTuple(name, tup) {
+			if !inst.AddOwnedTuple(name, tup) {
 				r.fail(ErrCorrupt, "%s relation %q holds a duplicate tuple", what, name)
 			}
 		}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/certain"
 	"repro/internal/core"
 	"repro/internal/dep"
 	"repro/internal/rel"
@@ -431,4 +432,173 @@ func RandomLayerInstance(rng *rand.Rand) *rel.Instance {
 		inst.Add("L1", dom[rng.Intn(len(dom))], dom[rng.Intn(len(dom))])
 	}
 	return inst
+}
+
+// compilableVars is the variable pool of the random compilable-fragment
+// generator.
+var compilableVars = []string{"x", "y", "z", "w"}
+
+// RandomCompilableSetting generates a random setting inside the
+// compiled-plan fragment (package qplan): in C_tract via conditions 1
+// and 2.1 (single-literal Σts bodies with all-distinct variables), no
+// target constraints, and no marked variable in any Σts head, so the
+// canonical target's nulls can never be forced to constants. The
+// source-to-target side is unconstrained — full and LAV tgds, joins,
+// multi-atom heads, repeated existentials — which is what exercises the
+// unfolding.
+func RandomCompilableSetting(rng *rand.Rand) *core.Setting {
+	source := rel.SchemaOf("S1", 1, "S2", 2, "S3", 3)
+	target := rel.SchemaOf("T1", 1, "T2", 2, "T3", 3)
+	srcRels := []struct {
+		name  string
+		arity int
+	}{{"S1", 1}, {"S2", 2}, {"S3", 3}}
+	tgtRels := []struct {
+		name  string
+		arity int
+	}{{"T1", 1}, {"T2", 2}, {"T3", 3}}
+
+	s := &core.Setting{Name: "random-compilable", Source: source, Target: target}
+	nST := 1 + rng.Intn(3)
+	for k := 0; k < nST; k++ {
+		var body []dep.Atom
+		var bodyVars []string
+		for b := 0; b < 1+rng.Intn(2); b++ {
+			r := srcRels[rng.Intn(len(srcRels))]
+			args := make([]dep.Term, r.arity)
+			for i := range args {
+				v := compilableVars[rng.Intn(len(compilableVars))]
+				args[i] = dep.Var(v)
+				bodyVars = append(bodyVars, v)
+			}
+			body = append(body, dep.NewAtom(r.name, args...))
+		}
+		var head []dep.Atom
+		for h := 0; h < 1+rng.Intn(2); h++ {
+			r := tgtRels[rng.Intn(len(tgtRels))]
+			args := make([]dep.Term, r.arity)
+			for i := range args {
+				if rng.Intn(10) < 6 {
+					args[i] = dep.Var(bodyVars[rng.Intn(len(bodyVars))])
+				} else {
+					// Existential; reusing e1/e2 across positions and
+					// head atoms links nulls within the trigger.
+					args[i] = dep.Var(fmt.Sprintf("e%d", 1+rng.Intn(2)))
+				}
+			}
+			head = append(head, dep.NewAtom(r.name, args...))
+		}
+		s.ST = append(s.ST, dep.TGD{Label: fmt.Sprintf("st%d", k), Body: body, Head: head})
+	}
+
+	markedPos := dep.MarkedPositions(s.ST)
+	nTS := 1 + rng.Intn(2)
+	for k := 0; k < nTS; k++ {
+		r := tgtRels[rng.Intn(len(tgtRels))]
+		args := make([]dep.Term, r.arity)
+		var safe []string // body vars at unmarked positions only
+		for i := range args {
+			v := fmt.Sprintf("b%d", i)
+			args[i] = dep.Var(v)
+			if !markedPos[dep.Position{Rel: r.name, Idx: i}] {
+				safe = append(safe, v)
+			}
+		}
+		body := []dep.Atom{dep.NewAtom(r.name, args...)}
+		hr := srcRels[rng.Intn(len(srcRels))]
+		hargs := make([]dep.Term, hr.arity)
+		for i := range hargs {
+			switch {
+			case len(safe) > 0 && rng.Intn(10) < 7:
+				hargs[i] = dep.Var(safe[rng.Intn(len(safe))])
+			case rng.Intn(2) == 0:
+				hargs[i] = dep.Cst([]string{"a", "b"}[rng.Intn(2)])
+			default:
+				// Existential in the ts head: allowed (it is searched
+				// for in I, never bound to a target null).
+				hargs[i] = dep.Var(fmt.Sprintf("f%d", 1+rng.Intn(2)))
+			}
+		}
+		s.TS = append(s.TS, dep.TGD{Label: fmt.Sprintf("ts%d", k), Body: body, Head: []dep.Atom{dep.NewAtom(hr.name, hargs...)}})
+	}
+	return s
+}
+
+// RandomCompilableInstance generates a small (I, J) pair for
+// RandomCompilableSetting — small enough that the chase-backed
+// image-solution enumeration stays cheap, so parity suites can compare
+// it against the compiled path.
+func RandomCompilableInstance(rng *rand.Rand) (*rel.Instance, *rel.Instance) {
+	dom := []rel.Value{rel.Const("a"), rel.Const("b"), rel.Const("c")}
+	pick := func() rel.Value { return dom[rng.Intn(len(dom))] }
+	i := rel.NewInstance()
+	for f := 0; f < 1+rng.Intn(3); f++ {
+		switch rng.Intn(3) {
+		case 0:
+			i.Add("S1", pick())
+		case 1:
+			i.Add("S2", pick(), pick())
+		default:
+			i.Add("S3", pick(), pick(), pick())
+		}
+	}
+	j := rel.NewInstance()
+	for f := 0; f < rng.Intn(3); f++ {
+		switch rng.Intn(3) {
+		case 0:
+			j.Add("T1", pick())
+		case 1:
+			j.Add("T2", pick(), pick())
+		default:
+			j.Add("T3", pick(), pick(), pick())
+		}
+	}
+	i.Freeze()
+	j.Freeze()
+	return i, j
+}
+
+// RandomTargetQuery generates a random UCQ over the target schema of
+// RandomCompilableSetting: 1–2 disjuncts of 1–2 atoms each, an
+// occasional constant, and (for open queries) a shared head arity of
+// 1–2 variables.
+func RandomTargetQuery(rng *rand.Rand, boolean bool) certain.UCQ {
+	tgtRels := []struct {
+		name  string
+		arity int
+	}{{"T1", 1}, {"T2", 2}, {"T3", 3}}
+	headArity := 0
+	if !boolean {
+		headArity = 1 + rng.Intn(2)
+	}
+	var u certain.UCQ
+	for d := 0; d < 1+rng.Intn(2); d++ {
+		var body []dep.Atom
+		var vars []string
+		for b := 0; b < 1+rng.Intn(2); b++ {
+			r := tgtRels[rng.Intn(len(tgtRels))]
+			args := make([]dep.Term, r.arity)
+			for i := range args {
+				if rng.Intn(10) < 8 {
+					v := compilableVars[rng.Intn(len(compilableVars))]
+					args[i] = dep.Var(v)
+					vars = append(vars, v)
+				} else {
+					args[i] = dep.Cst([]string{"a", "b"}[rng.Intn(2)])
+				}
+			}
+			body = append(body, dep.NewAtom(r.name, args...))
+		}
+		if len(vars) == 0 {
+			// Guarantee at least one variable so open heads resolve.
+			body = append(body, dep.NewAtom("T1", dep.Var("x")))
+			vars = append(vars, "x")
+		}
+		head := make([]string, headArity)
+		for i := range head {
+			head[i] = vars[rng.Intn(len(vars))]
+		}
+		u = append(u, certain.CQ{Name: "q", Head: head, Body: body})
+	}
+	return u
 }

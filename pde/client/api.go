@@ -199,6 +199,51 @@ type CertainResponse struct {
 	SolutionsExamined int `json:"solutions_examined,omitempty"`
 	// CacheHit reports that the enumeration started from a cached
 	// chased instance.
+	CacheHit bool `json:"cache_hit,omitempty"`
+	// Compiled reports that a compiled plan answered the query without
+	// chasing or enumerating solutions.
+	Compiled bool `json:"compiled,omitempty"`
+	// FallbackReason is why the compiled path declined and the
+	// enumeration ran instead ("" when the compiled path ran).
+	FallbackReason string `json:"fallback_reason,omitempty"`
+	ElapsedMillis  int64  `json:"elapsed_ms"`
+}
+
+// CertainBatchRequest asks for the certain answers of many queries
+// over one (setting, I, J) triple in a single round trip. Compiled
+// settings run their solution probes once and evaluate every query
+// against the same verdict.
+type CertainBatchRequest struct {
+	SettingID string `json:"setting_id"`
+	// Source/SourceID and Target/TargetID resolve exactly as in
+	// SolveRequest.
+	Source   string `json:"source,omitempty"`
+	SourceID string `json:"source_id,omitempty"`
+	Target   string `json:"target,omitempty"`
+	TargetID string `json:"target_id,omitempty"`
+	// Queries holds one conjunctive query per entry, "q(x,y) :- H(x,y)"
+	// syntax.
+	Queries        []string `json:"queries"`
+	DeadlineMillis int64    `json:"deadline_ms,omitempty"`
+}
+
+// CertainBatchResult is the per-query result of a batch call.
+type CertainBatchResult struct {
+	// Name is the query's head name.
+	Name           string     `json:"name"`
+	SolutionExists bool       `json:"solution_exists"`
+	Certain        bool       `json:"certain"`
+	Answers        [][]string `json:"answers,omitempty"`
+	Compiled       bool       `json:"compiled,omitempty"`
+	FallbackReason string     `json:"fallback_reason,omitempty"`
+}
+
+// CertainBatchResponse reports a batch certain-answers computation.
+type CertainBatchResponse struct {
+	// Results holds one entry per request query, in request order.
+	Results []CertainBatchResult `json:"results"`
+	// CacheHit reports that an enumeration fallback started from a
+	// cached chased instance (always false when every query compiled).
 	CacheHit      bool  `json:"cache_hit,omitempty"`
 	ElapsedMillis int64 `json:"elapsed_ms"`
 }

@@ -95,6 +95,14 @@ func (c *Client) CertainAnswers(ctx context.Context, req CertainRequest) (Certai
 	return out, err
 }
 
+// CertainBatch computes the certain answers of many queries over one
+// instance pair in a single round trip.
+func (c *Client) CertainBatch(ctx context.Context, req CertainBatchRequest) (CertainBatchResponse, error) {
+	var out CertainBatchResponse
+	err := c.post(ctx, "/v1/certain-answers/batch", req, &out)
+	return out, err
+}
+
 // Classify reports C_tract membership of a registered or inline
 // setting.
 func (c *Client) Classify(ctx context.Context, req ClassifyRequest) (ClassifyResponse, error) {

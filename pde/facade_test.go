@@ -204,3 +204,88 @@ func TestParallelismKnobEndToEnd(t *testing.T) {
 		t.Errorf("certain answers: serial %v parallel %v, want exactly [(a, c)]", ca.Answers, cb.Answers)
 	}
 }
+
+// lavExample is a setting inside the compilable C_tract fragment: the
+// st-tgd invents a null per person, and the ts obligation touches only
+// the constant positions.
+const lavExample = `
+setting lav
+source Person/2, Member/2
+target Rec/3
+st: Person(x,g) -> exists u: Rec(x,g,u)
+ts: Rec(x,g,u) -> Member(x,g)
+`
+
+func TestCertainCompiledOption(t *testing.T) {
+	s := mustSetting(t, lavExample)
+	i, err := pde.ParseInstance("Person(p1,g1). Person(p2,g1). Member(p1,g1). Member(p2,g1).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := pde.NewInstance()
+	qs, err := pde.ParseQueries("q(x,g) :- Rec(x,g,u)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := qs[0]
+
+	plain, err := pde.CertainAnswers(s, i, j, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compiled, err := pde.CertainAnswers(s, i, j, q, pde.Options{Compiled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !compiled.Compiled || compiled.FallbackReason != "" {
+		t.Fatalf("compiled path did not run: %+v", compiled)
+	}
+	if len(compiled.Answers) != 2 || len(plain.Answers) != len(compiled.Answers) {
+		t.Fatalf("answers differ: compiled %v, plain %v", compiled.Answers, plain.Answers)
+	}
+	for k := range plain.Answers {
+		if plain.Answers[k].String() != compiled.Answers[k].String() {
+			t.Fatalf("answers differ at %d: compiled %v, plain %v", k, compiled.Answers, plain.Answers)
+		}
+	}
+	if got := pde.ClassifyCompilable(s); got != "" {
+		t.Fatalf("ClassifyCompilable = %q, want compilable", got)
+	}
+}
+
+func TestCertainCompiledFallback(t *testing.T) {
+	// A target egd pushes the setting outside the compilable fragment:
+	// the call must fall back to enumeration and say why.
+	s := mustSetting(t, `
+setting keyed
+source Person/2
+target Rec/2
+st: Person(x,g) -> Rec(x,g)
+t: Rec(x,g), Rec(x,h) -> g = h
+`)
+	i, err := pde.ParseInstance("Person(p1,g1).")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := pde.NewInstance()
+	qs, err := pde.ParseQueries("q(x,g) :- Rec(x,g)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pde.CertainAnswers(s, i, j, qs[0], pde.Options{Compiled: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Compiled || res.FallbackReason != "target-deps" {
+		t.Fatalf("want enumeration fallback with reason target-deps, got %+v", res)
+	}
+	if !res.SolutionExists || len(res.Answers) != 1 {
+		t.Fatalf("fallback result wrong: %+v", res)
+	}
+	if got := pde.ClassifyCompilable(s); got != "target-deps" {
+		t.Fatalf("ClassifyCompilable = %q", got)
+	}
+	if _, err := pde.CompileCertain(s, qs[0]); pde.CompiledFallbackReason(err) != "target-deps" {
+		t.Fatalf("CompileCertain err = %v", err)
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"repro/internal/depparse"
 	"repro/internal/lint"
 	"repro/internal/par"
+	"repro/internal/qplan"
 	"repro/internal/rel"
 )
 
@@ -104,6 +105,14 @@ type (
 	TractableOptions = core.TractableOptions
 	// VetReport is the result of a static-analysis pass over a setting.
 	VetReport = lint.Report
+	// Plan is a compiled certain-answer plan; see CompileCertain.
+	Plan = qplan.Plan
+	// SettingPlan is the per-setting half of a compiled plan: the origin
+	// table and solution probes shared by every query plan of a setting.
+	SettingPlan = qplan.SettingPlan
+	// CompiledEvalOptions tunes direct evaluation of a compiled plan
+	// (Plan.Eval); the zero value is serial with no cancellation.
+	CompiledEvalOptions = qplan.EvalOptions
 	// Diagnostic is one vet finding with a stable check ID, a severity,
 	// a file:line:col position, and a machine-readable witness.
 	Diagnostic = lint.Diagnostic
@@ -117,6 +126,42 @@ const (
 	SeverityWarn  = lint.SeverityWarn
 	SeverityInfo  = lint.SeverityInfo
 )
+
+// CompiledFallbackReasons lists every reason the compiled
+// certain-answer path may decline a setting, query, or instance pair
+// (see Options.Compiled); stable strings, suitable as metric labels.
+var CompiledFallbackReasons = qplan.FallbackReasons
+
+// ClassifyCompilable reports why the compiled certain-answer path
+// declines the setting, or "" when CompileSettingPlan succeeds.
+func ClassifyCompilable(s *Setting) string { return qplan.ClassifySetting(s) }
+
+// CompileSettingPlan compiles the setting's origin table and solution
+// probes once, for reuse across queries (see SettingPlan.CompileQuery).
+// Settings outside the compilable fragment return an error whose
+// CompiledFallbackReason is non-empty.
+func CompileSettingPlan(s *Setting) (*SettingPlan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return qplan.CompileSetting(s)
+}
+
+// CompileCertain compiles a certain-answer plan for the query over the
+// setting: evaluation over (I, J) returns exactly the answers of
+// CertainBool / CertainAnswers without chasing or enumerating
+// solutions. Settings outside the compilable fragment return an error
+// whose CompiledFallbackReason is non-empty.
+func CompileCertain(s *Setting, q UCQ) (*Plan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return qplan.Compile(s, q)
+}
+
+// CompiledFallbackReason extracts the fallback reason from an error of
+// the compiled path, or "" for nil and for genuine errors.
+func CompiledFallbackReason(err error) string { return qplan.ReasonOf(err) }
 
 // Const returns the constant with the given text.
 func Const(s string) Value { return rel.Const(s) }
@@ -204,6 +249,15 @@ type Options struct {
 	// either way; the knob exists for ablation benchmarks and parity
 	// gates. Folded into Solve and Tractable.
 	NaiveChase bool
+	// Compiled makes CertainBool and CertainAnswers try the compiled
+	// plan path first (package qplan): for settings in the compilable
+	// C_tract fragment the chase and solution enumeration are skipped
+	// entirely. Outside the fragment the call falls back to the
+	// enumeration path automatically and reports why in
+	// CertainResult.FallbackReason. Results are byte-identical on both
+	// paths (SolutionsExamined excepted: the compiled path examines
+	// none).
+	Compiled bool
 	// Solve configures the generic solver.
 	Solve SolveOptions
 	// Tractable configures the Figure 3 algorithm.
@@ -348,8 +402,16 @@ type CertainResult struct {
 	// Answers holds the certain tuples for open queries, sorted.
 	Answers []Tuple
 	// SolutionsExamined counts the image solutions the evaluator
-	// enumerated before settling the verdict.
+	// enumerated before settling the verdict; always 0 on the compiled
+	// path.
 	SolutionsExamined int
+	// Compiled reports that the compiled plan path produced the result
+	// (Options.Compiled was set and the setting compiled).
+	Compiled bool
+	// FallbackReason is why the compiled path declined when
+	// Options.Compiled was set but the enumeration path ran; "" when the
+	// compiled path ran or was not requested.
+	FallbackReason string
 }
 
 // CertainBool computes certain(q, (I, J)) for a Boolean union of
@@ -368,11 +430,45 @@ func certainBool(s *Setting, i, j *Instance, q UCQ, o Options) (CertainResult, e
 	if err := prepareCertain(s, i, j, q); err != nil {
 		return CertainResult{}, err
 	}
+	var fallback string
+	if o.Compiled {
+		out, done, err := certainCompiled(s, i, j, q, o)
+		if done {
+			return out, err
+		}
+		fallback = out.FallbackReason
+	}
 	res, err := certain.Boolean(s, i, j, q, certain.Options{Solve: o.Solve})
 	if err != nil {
 		return CertainResult{}, err
 	}
-	return CertainResult{SolutionExists: res.SolutionExists, Certain: res.Certain, SolutionsExamined: res.SolutionsExamined}, nil
+	return CertainResult{SolutionExists: res.SolutionExists, Certain: res.Certain, SolutionsExamined: res.SolutionsExamined, FallbackReason: fallback}, nil
+}
+
+// certainCompiled runs the compiled plan path. done reports that the
+// returned result (or error) is final; otherwise the caller must run
+// the enumeration path, carrying out.FallbackReason into its result.
+func certainCompiled(s *Setting, i, j *Instance, q UCQ, o Options) (out CertainResult, done bool, err error) {
+	p, err := qplan.Compile(s, q)
+	if err != nil {
+		if reason := qplan.ReasonOf(err); reason != "" {
+			return CertainResult{FallbackReason: reason}, false, nil
+		}
+		return CertainResult{}, true, err
+	}
+	res, err := p.Eval(i, j, qplan.EvalOptions{Parallelism: o.Solve.Parallelism, Seed: o.Solve.Seed, Ctx: o.Solve.Ctx})
+	if err != nil {
+		if reason := qplan.ReasonOf(err); reason != "" {
+			return CertainResult{FallbackReason: reason}, false, nil
+		}
+		return CertainResult{}, true, err
+	}
+	return CertainResult{
+		SolutionExists: res.SolutionExists,
+		Certain:        res.Certain,
+		Answers:        res.Answers,
+		Compiled:       true,
+	}, true, nil
 }
 
 // CertainAnswers computes the certain answers of an open union of
@@ -391,11 +487,19 @@ func certainAnswers(s *Setting, i, j *Instance, q UCQ, o Options) (CertainResult
 	if err := prepareCertain(s, i, j, q); err != nil {
 		return CertainResult{}, err
 	}
+	var fallback string
+	if o.Compiled {
+		out, done, err := certainCompiled(s, i, j, q, o)
+		if done {
+			return out, err
+		}
+		fallback = out.FallbackReason
+	}
 	res, err := certain.Answers(s, i, j, q, certain.Options{Solve: o.Solve})
 	if err != nil {
 		return CertainResult{}, err
 	}
-	return CertainResult{SolutionExists: res.SolutionExists, Answers: res.Answers, SolutionsExamined: res.SolutionsExamined}, nil
+	return CertainResult{SolutionExists: res.SolutionExists, Answers: res.Answers, SolutionsExamined: res.SolutionsExamined, FallbackReason: fallback}, nil
 }
 
 func prepareCertain(s *Setting, i, j *Instance, q UCQ) error {

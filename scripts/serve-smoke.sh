@@ -59,6 +59,28 @@ case "$answers" in
   *'"answers":[["a","c"]]'*) echo "ok: certain answers = [[a,c]]" ;;
   *) echo "FAIL: certain answers response: $answers"; exit 1 ;;
 esac
+case "$answers" in
+  *'"compiled":true'*) echo "ok: certain answers served by the compiled plan" ;;
+  *) echo "FAIL: certain answers did not use the compiled plan: $answers"; exit 1 ;;
+esac
+
+# Batch certain answers: two queries in one round trip, both served
+# from compiled plans (this setting is in the compilable fragment).
+batch=$(curl -sS -X POST "$base/v1/certain-answers/batch" \
+  -d "{\"setting_id\":\"$id\",\"source\":$(json_text examples/corpus/triangle.facts),\"queries\":[\"q1(x,y) :- H(x,y)\",\"q2 :- H(x,y)\"]}")
+case "$batch" in
+  *'"answers":[["a","c"]]'*) ;;
+  *) echo "FAIL: batch certain answers response: $batch"; exit 1 ;;
+esac
+case "$batch" in
+  *'"compiled":false'*) echo "FAIL: batch fell back to enumeration: $batch"; exit 1 ;;
+  *'"compiled":true'*) echo "ok: batch certain answers compiled, [[a,c]] for q1" ;;
+  *) echo "FAIL: batch certain answers response: $batch"; exit 1 ;;
+esac
+plan_misses=$(curl -sS "$base/metrics" | sed -n 's/^pdxd_plan_cache_misses_total \([0-9]*\)$/\1/p')
+[ -n "$plan_misses" ] && [ "$plan_misses" -ge 1 ] || {
+  echo "FAIL: plan cache counters missing from /metrics"; exit 1; }
+echo "ok: plan cache compiled $plan_misses plan(s)"
 
 # Chased-instance cache: register the path instance, solve twice by ID
 # (the repeat must bump the cache-hit counter), append the closing edge,
@@ -103,9 +125,13 @@ esac
 check_exists_by_id "$newid" true
 echo "ok: re-solve after append (triangle closed -> solution exists)"
 
-curl -sS "$base/metrics" | grep -q '^pdxd_registry_settings 1$' || {
+# One scrape, checked offline: grep -q on a curl pipe trips pipefail
+# once the body outgrows the pipe buffer (grep exits at the match,
+# curl gets EPIPE).
+metrics=$(curl -sS "$base/metrics")
+printf '%s\n' "$metrics" | grep -q '^pdxd_registry_settings 1$' || {
   echo "FAIL: metrics missing registry gauge"; exit 1; }
-curl -sS "$base/metrics" | grep -q '^pdxd_chase_cache_resumes_total 1$' || {
+printf '%s\n' "$metrics" | grep -q '^pdxd_chase_cache_resumes_total 1$' || {
   echo "FAIL: metrics missing resume counter"; exit 1; }
 
 kill -TERM "$pid"
