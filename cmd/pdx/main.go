@@ -14,7 +14,8 @@
 //	pdx check    -setting FILE -source FILE [-target FILE] -candidate FILE
 //	pdx repair   -setting FILE -source FILE [-target FILE] [-queries FILE]
 //	pdx datalog  -program FILE -edb FILE [-idb-only]
-//	pdx serve    [-addr HOST:PORT] [-max-inflight N] [-max-queue N] [SETTING.pde ...]
+//	pdx serve    [-addr HOST:PORT] [-max-inflight N] [-max-queue N] [-cluster-self URL -cluster-peers URLS] [SETTING.pde ...]
+//	pdx cluster-status [-addr URL] [-setting-id ID -source-id ID [-target-id ID]] [-owner-only] [-json]
 //
 // File formats are documented in the repository README and on
 // pde.ParseSetting / pde.ParseInstance / pde.ParseQueries.
@@ -68,6 +69,8 @@ func main() {
 		err = cmdDatalog(os.Args[2:])
 	case "serve":
 		err = cmdServe(os.Args[2:])
+	case "cluster-status":
+		err = cmdClusterStatus(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -95,6 +98,8 @@ commands:
   repair    compute maximal repairable subsets of the target instance
   datalog   evaluate a positive Datalog program over an instance
   serve     run pdxd, the HTTP/JSON serving daemon
+  cluster-status
+            query a pdxd shard's ring view and locate cache-key owners
 `)
 }
 

@@ -37,6 +37,10 @@ func cmdServe(args []string) error {
 	drainTimeout := fs.Duration("drain-timeout", 15*time.Second, "how long shutdown waits for in-flight requests")
 	snapshotDir := fs.String("snapshot-dir", "", "directory for durable chase-cache snapshots (empty = no persistence)")
 	warmFrom := fs.String("warm-from", "", "peer daemon base URL to pull cache snapshots from at startup (e.g. http://10.0.0.2:8642)")
+	clusterSelf := fs.String("cluster-self", "", "this shard's advertised base URL; enables cluster mode with -cluster-peers")
+	clusterPeers := fs.String("cluster-peers", "", "comma-separated base URLs of every shard in the fleet (including or excluding this one; both work)")
+	clusterVNodes := fs.Int("cluster-vnodes", 0, "virtual nodes per ring member (0 = 64)")
+	clusterProbe := fs.Duration("cluster-probe", 0, "peer health-probe interval (0 = 2s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -47,6 +51,10 @@ func cmdServe(args []string) error {
 			return fmt.Errorf("-warm-from %q is not an http(s) base URL", *warmFrom)
 		}
 		warmURL = u
+	}
+	clusterCfg, err := clusterConfig(*clusterSelf, *clusterPeers, *clusterVNodes, *clusterProbe)
+	if err != nil {
+		return err
 	}
 	var snapshots *snap.Store
 	if *snapshotDir != "" {
@@ -69,6 +77,7 @@ func cmdServe(args []string) error {
 		CacheMaxBytes:   *cacheMaxBytes,
 		CacheMaxEntries: *cacheMaxEntries,
 		Snapshots:       snapshots,
+		Cluster:         clusterCfg,
 	})
 	defer srv.Close()
 	for _, file := range fs.Args() {

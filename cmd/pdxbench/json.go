@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/certain"
 	"repro/internal/chase"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dep"
 	"repro/internal/graph"
@@ -417,6 +418,63 @@ func jsonBenchSuite() (*benchReport, error) {
 		})
 		rec.Merges, rec.Finds = merges, finds
 		rep.Benchmarks = append(rep.Benchmarks, rec)
+	}
+
+	// Cluster routing: the per-request placement lookup every sharded
+	// pdxd pays to decide owner-vs-proxy, and the liveness flip that
+	// rebuilds the placement on a ring change. The failover record's
+	// Nodes field pins the relocation volume when one of three shards
+	// dies — the fleet's handoff bill, which consistent hashing bounds
+	// near 1/N. Keys that stay with a surviving owner must not move at
+	// all, or the probe fails.
+	{
+		members := []string{
+			"http://10.0.0.1:8642", "http://10.0.0.2:8642", "http://10.0.0.3:8642",
+		}
+		ring, err := cluster.New(members[0], members[1:], 0)
+		if err != nil {
+			return nil, fmt.Errorf("cluster ring: %w", err)
+		}
+		for _, m := range members[1:] {
+			ring.SetAlive(m, true)
+		}
+		keys := workload.ClusterKeys(4096)
+		before := make([]string, len(keys))
+		for i, k := range keys {
+			before[i] = ring.Owner(k)
+		}
+		var sink string
+		rec := record("cluster-ring/shards=3/owner-lookup", nil, nil, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sink = ring.Owner(keys[i%len(keys)])
+			}
+		})
+		_ = sink
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+
+		ring.SetAlive(members[2], false)
+		var moved int64
+		for i, k := range keys {
+			after := ring.Owner(k)
+			if after == before[i] {
+				continue
+			}
+			if before[i] != members[2] {
+				return nil, fmt.Errorf("cluster-ring: key with a surviving owner relocated on failover")
+			}
+			moved++
+		}
+		ring.SetAlive(members[2], true)
+		rec = record("cluster-ring/shards=3/failover-rebuild", nil, &moved, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ring.SetAlive(members[2], false)
+				ring.SetAlive(members[2], true)
+			}
+		})
+		rep.Benchmarks = append(rep.Benchmarks, rec)
+		if lo, hi := int64(len(keys)/6), int64(len(keys)/2); moved < lo || moved > hi {
+			return nil, fmt.Errorf("cluster-ring: failover relocated %d of %d keys, want near 1/3", moved, len(keys))
+		}
 	}
 
 	// Generic solver on the Theorem 3 clique reduction: tracks search

@@ -1,0 +1,381 @@
+package server
+
+// Cluster mode: consistent-hash routing of solve traffic across a
+// static fleet of pdxd shards, over the snapshot wire format PR 8
+// introduced for warm transfer.
+//
+// Every shard accepts every request. After a solve resolves its cache
+// identity (setting hash, source hash, target hash), the shard looks
+// the identity up on the ring (internal/cluster): the owner computes,
+// everyone else proxies the request to the owner via the typed client
+// with the instances inlined as canonical text. A proxied request
+// carries client.ForwardedHeader, and a shard receiving that header
+// always computes locally — the one-hop guard that keeps transiently
+// disagreeing ring views from proxying in circles. The cluster-level
+// single-flight follows from composition: the owner's chase cache is
+// already single-flight per key, and proxied requests block on the
+// owner's HTTP response, so one chase serves the whole fleet no matter
+// how many shards the same request storm lands on.
+//
+// Membership is the static -cluster-peers list; liveness comes from a
+// health-probe loop. On every ring change (a peer died or came back),
+// each shard scans its cache for entries whose owner is now some other
+// live shard and hands them off over the snapshot wire format
+// (PUT /v1/cache/entries/{key}); the receiver re-validates exactly like
+// a warm start. A shard whose owner is unreachable computes locally
+// rather than failing the request — availability degrades to extra
+// compute, never to an error the client can see.
+
+import (
+	"context"
+	"errors"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/snap"
+	"repro/pde"
+	"repro/pde/client"
+)
+
+// ClusterConfig enables sharded serving. The zero value of each field
+// picks a sensible default; Self and Peers are required.
+type ClusterConfig struct {
+	// Self is the base URL this shard advertises to the fleet (its ring
+	// identity), e.g. "http://10.0.0.1:8642".
+	Self string
+	// Peers is the static fleet membership (base URLs). It may or may
+	// not include Self; membership cannot change at runtime, only
+	// liveness can.
+	Peers []string
+	// VNodes is the virtual-node count per member; 0 means
+	// cluster.DefaultVNodes.
+	VNodes int
+	// ProbeInterval is the health-probe period; 0 means 2s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one health probe; 0 means 1s.
+	ProbeTimeout time.Duration
+}
+
+func (c ClusterConfig) withDefaults() ClusterConfig {
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = time.Second
+	}
+	return c
+}
+
+// clusterState is the runtime half of ClusterConfig: the ring, one
+// forwarded client per peer, and the monitor goroutine's lifecycle.
+type clusterState struct {
+	cfg      ClusterConfig
+	ring     *cluster.Ring
+	peerURLs []string // sorted members minus self; the probe order
+	clients  map[string]*client.Client
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// newClusterState validates the config and builds the ring. The local
+// member starts alive, every peer starts dead until its first
+// successful probe.
+func newClusterState(cfg ClusterConfig) (*clusterState, error) {
+	cfg = cfg.withDefaults()
+	ring, err := cluster.New(cfg.Self, cfg.Peers, cfg.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	st := &clusterState{
+		cfg:     cfg,
+		ring:    ring,
+		clients: make(map[string]*client.Client),
+		stop:    make(chan struct{}),
+		done:    make(chan struct{}),
+	}
+	for _, m := range ring.Members() {
+		if m.Self {
+			continue
+		}
+		st.peerURLs = append(st.peerURLs, m.URL)
+		// Every cluster-internal request is forwarded-marked: proxies,
+		// handoffs, and setting broadcasts must never trigger a second
+		// hop or a re-broadcast on the receiving shard.
+		st.clients[m.URL] = client.New(m.URL).Forwarded()
+	}
+	return st, nil
+}
+
+// clusterMonitor is the liveness loop: probe every peer, update the
+// ring, and rebalance misplaced cache entries after every change. One
+// goroutine per server; Close stops it.
+func (s *Server) clusterMonitor() {
+	defer close(s.cluster.done)
+	t := time.NewTicker(s.cluster.cfg.ProbeInterval)
+	defer t.Stop()
+	s.clusterProbe()
+	for {
+		select {
+		case <-s.cluster.stop:
+			return
+		case <-t.C:
+			s.clusterProbe()
+		}
+	}
+}
+
+// clusterProbe runs one health round over the peers (in sorted order,
+// so probe traffic is deterministic) and rebalances if the ring moved.
+func (s *Server) clusterProbe() {
+	changed := false
+	for _, url := range s.cluster.peerURLs {
+		ctx, cancel := context.WithTimeout(context.Background(), s.cluster.cfg.ProbeTimeout)
+		_, err := s.cluster.clients[url].Health(ctx)
+		cancel()
+		if s.cluster.ring.SetAlive(url, err == nil) {
+			changed = true
+			s.met.clusterRingChanges.Add(1)
+			s.cfg.Logger.LogAttrs(context.Background(), slog.LevelInfo, "cluster ring change",
+				slog.String("peer", url), slog.Bool("alive", err == nil),
+				slog.Uint64("version", s.cluster.ring.Version()),
+				slog.Int("alive_members", s.cluster.ring.AliveCount()))
+		}
+	}
+	if changed {
+		s.clusterRebalance()
+	}
+}
+
+// clusterRebalance hands off every completed cache entry whose owner is
+// now another live shard, then drops the local copy. Runs only from the
+// monitor goroutine, so scans never overlap. Failures leave the entry
+// in place — the next ring change (or this peer's next death) retries.
+func (s *Server) clusterRebalance() {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	for _, e := range s.cache.entries() {
+		owner := s.cluster.ring.Owner(cluster.Key(e.settingID, e.srcID, e.tgtID))
+		if owner == s.cluster.ring.Self() {
+			continue
+		}
+		if !s.handoffEntry(ctx, owner, e) {
+			continue
+		}
+		s.met.clusterHandoffs.Add(1)
+		key := e.key
+		s.cache.evictMatching(func(x *cacheEntry) bool { return x.key == key })
+	}
+}
+
+// handoffEntry pushes one cache entry to its owner over the snapshot
+// wire format. When the owner rejects it for lack of the setting, the
+// setting is registered there (forwarded, so the owner does not
+// re-broadcast) and the push retried once.
+func (s *Server) handoffEntry(ctx context.Context, owner string, e *cacheEntry) bool {
+	cl := s.cluster.clients[owner]
+	se := snapEntry(e)
+	if cl == nil || se == nil {
+		return false
+	}
+	data, err := snap.Encode(se)
+	if err != nil {
+		s.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "handoff encode failed",
+			slog.String("key", snapKeyOf(e)), slog.String("err", err.Error()))
+		return false
+	}
+	key := snapKeyOf(e)
+	err = cl.PushCacheEntry(ctx, key, data)
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) && apiErr.Code == client.CodeNotFound {
+		if c := s.reg.Get(e.settingID); c != nil {
+			if _, rerr := cl.Register(ctx, c.Text); rerr == nil {
+				err = cl.PushCacheEntry(ctx, key, data)
+			}
+		}
+	}
+	if err != nil {
+		s.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "handoff push failed",
+			slog.String("key", key), slog.String("owner", owner), slog.String("err", err.Error()))
+		return false
+	}
+	s.cfg.Logger.LogAttrs(ctx, slog.LevelInfo, "cache entry handed off",
+		slog.String("key", key), slog.String("owner", owner))
+	return true
+}
+
+// countOwnerCompute records a fleet-attributable chase: a cache-miss
+// compute on a clustered shard (the ring made this shard responsible,
+// or the forwarding guard did). Single-node daemons skip the counter —
+// ownership is not a concept they have.
+func (s *Server) countOwnerCompute() {
+	if s.cluster != nil {
+		s.met.clusterOwnerComputes.Add(1)
+	}
+}
+
+// clusterOwner decides where a solve for the given cache identity runs.
+// A nil client means local: single-node mode, this shard owns the key,
+// or the request was already forwarded once (hop guard).
+func (s *Server) clusterOwner(r *http.Request, settingID, srcID, tgtID string) (string, *client.Client) {
+	if s.cluster == nil || r.Header.Get(client.ForwardedHeader) != "" {
+		return "", nil
+	}
+	owner := s.cluster.ring.Owner(cluster.Key(settingID, srcID, tgtID))
+	if owner == s.cluster.ring.Self() {
+		return "", nil
+	}
+	return owner, s.cluster.clients[owner]
+}
+
+// proxyCall runs one forwarded request against the owner, healing the
+// owner's missing setting (register, retry once) — the only not-found a
+// fully inlined solve can produce.
+func (s *Server) proxyCall(ctx context.Context, cl *client.Client, c *Compiled, call func() error) error {
+	err := call()
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) && apiErr.Code == client.CodeNotFound {
+		if _, rerr := cl.Register(ctx, c.Text); rerr == nil {
+			err = call()
+		}
+	}
+	return err
+}
+
+// finishProxy reports a proxied outcome to the caller. A transport
+// failure (owner unreachable; no APIError to relay) returns false and
+// writes nothing — the caller computes locally, and the monitor marks
+// the peer dead on its next probe. Owner-side API errors relay as-is:
+// the owner already computed (or refused) authoritatively.
+func (s *Server) finishProxy(w http.ResponseWriter, r *http.Request, owner string, err error, write func()) bool {
+	if err == nil {
+		s.met.clusterProxied.Add(1)
+		write()
+		return true
+	}
+	var apiErr *client.APIError
+	if errors.As(err, &apiErr) {
+		s.met.clusterProxied.Add(1)
+		writeErr(w, apiErr.Status, apiErr.Code, "%s", apiErr.Message)
+		return true
+	}
+	s.cfg.Logger.LogAttrs(r.Context(), slog.LevelWarn, "cluster proxy failed, computing locally",
+		slog.String("owner", owner), slog.String("err", err.Error()))
+	return false
+}
+
+// proxyDeadline bounds a proxied round trip: the owner applies the
+// request's own solve deadline, this margin covers the extra hop.
+func (s *Server) proxyDeadline(requestedMillis int64) time.Duration {
+	return s.deadline(requestedMillis) + 5*time.Second
+}
+
+// proxyExists relays an exists-solution request to the owner with the
+// resolved instances inlined as canonical text (the owner hashes them
+// back to the same cache identity, whether or not it has them
+// registered). Reports whether the response was written.
+func (s *Server) proxyExists(w http.ResponseWriter, r *http.Request, owner string, cl *client.Client, c *Compiled, p *solvePair, req client.SolveRequest) bool {
+	ctx, cancel := context.WithTimeout(r.Context(), s.proxyDeadline(req.DeadlineMillis))
+	defer cancel()
+	fwd := req
+	fwd.Source, fwd.SourceID = pde.FormatInstance(p.i), ""
+	fwd.Target, fwd.TargetID = pde.FormatInstance(p.j), ""
+	var out client.SolveResponse
+	err := s.proxyCall(ctx, cl, c, func() (cerr error) {
+		out, cerr = cl.ExistsSolution(ctx, fwd)
+		return cerr
+	})
+	return s.finishProxy(w, r, owner, err, func() { writeJSON(w, http.StatusOK, out) })
+}
+
+// proxyCertain relays a certain-answers request to the owner.
+func (s *Server) proxyCertain(w http.ResponseWriter, r *http.Request, owner string, cl *client.Client, c *Compiled, p *solvePair, req client.CertainRequest) bool {
+	ctx, cancel := context.WithTimeout(r.Context(), s.proxyDeadline(req.DeadlineMillis))
+	defer cancel()
+	fwd := req
+	fwd.Source, fwd.SourceID = pde.FormatInstance(p.i), ""
+	fwd.Target, fwd.TargetID = pde.FormatInstance(p.j), ""
+	var out client.CertainResponse
+	err := s.proxyCall(ctx, cl, c, func() (cerr error) {
+		out, cerr = cl.CertainAnswers(ctx, fwd)
+		return cerr
+	})
+	return s.finishProxy(w, r, owner, err, func() { writeJSON(w, http.StatusOK, out) })
+}
+
+// proxyCertainBatch relays a batch certain-answers request to the
+// owner.
+func (s *Server) proxyCertainBatch(w http.ResponseWriter, r *http.Request, owner string, cl *client.Client, c *Compiled, p *solvePair, req client.CertainBatchRequest) bool {
+	ctx, cancel := context.WithTimeout(r.Context(), s.proxyDeadline(req.DeadlineMillis))
+	defer cancel()
+	fwd := req
+	fwd.Source, fwd.SourceID = pde.FormatInstance(p.i), ""
+	fwd.Target, fwd.TargetID = pde.FormatInstance(p.j), ""
+	var out client.CertainBatchResponse
+	err := s.proxyCall(ctx, cl, c, func() (cerr error) {
+		out, cerr = cl.CertainBatch(ctx, fwd)
+		return cerr
+	})
+	return s.finishProxy(w, r, owner, err, func() { writeJSON(w, http.StatusOK, out) })
+}
+
+// clusterBroadcastSetting pushes a freshly registered setting to every
+// live peer, so proxied and handed-off traffic lands on shards that
+// already know it. Best-effort: a peer that misses the broadcast is
+// healed on first contact by proxyCall/handoffEntry's register-retry.
+func (s *Server) clusterBroadcastSetting(r *http.Request, c *Compiled) {
+	if s.cluster == nil || r.Header.Get(client.ForwardedHeader) != "" {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, url := range s.cluster.peerURLs {
+		if !s.cluster.ring.Alive(url) {
+			continue
+		}
+		if _, err := s.cluster.clients[url].Register(ctx, c.Text); err != nil {
+			s.cfg.Logger.LogAttrs(ctx, slog.LevelWarn, "setting broadcast failed",
+				slog.String("peer", url), slog.String("id", c.ID), slog.String("err", err.Error()))
+		}
+	}
+}
+
+// emptyInstanceID is the content hash of the empty instance — the
+// target-side identity of every solve that omits its target.
+var emptyInstanceID = sync.OnceValue(func() string {
+	inst, err := pde.ParseInstance("")
+	if err != nil {
+		// The empty text is always parsable; reaching this is a parser
+		// regression, not a runtime condition.
+		panic("server: parsing the empty instance: " + err.Error())
+	}
+	return instanceID(pde.FormatInstance(inst))
+})
+
+// handleClusterStatus reports this shard's ring view, and resolves an
+// owner when the query carries a cache identity (setting_id plus
+// source_id; target_id defaults to the empty instance).
+func (s *Server) handleClusterStatus(w http.ResponseWriter, r *http.Request) {
+	var out client.ClusterStatusResponse
+	if s.cluster == nil {
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	out.Enabled = true
+	out.Self = s.cluster.ring.Self()
+	out.Version = s.cluster.ring.Version()
+	for _, m := range s.cluster.ring.Members() {
+		out.Members = append(out.Members, client.ClusterMemberStatus{URL: m.URL, Alive: m.Alive, Self: m.Self})
+	}
+	q := r.URL.Query()
+	if sid, src := q.Get("setting_id"), q.Get("source_id"); sid != "" && src != "" {
+		tgt := q.Get("target_id")
+		if tgt == "" {
+			tgt = emptyInstanceID()
+		}
+		out.Owner = s.cluster.ring.Owner(cluster.Key(sid, src, tgt))
+	}
+	writeJSON(w, http.StatusOK, out)
+}

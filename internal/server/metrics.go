@@ -84,6 +84,11 @@ type metrics struct {
 	snapshotLoadErrors atomic.Int64 // snapshots rejected at load (corrupt, unregistered, mismatched)
 	warmTransfers      atomic.Int64 // snapshots pulled from a peer and installed
 
+	clusterProxied       atomic.Int64 // solves forwarded to (and answered by) the owning shard
+	clusterOwnerComputes atomic.Int64 // chases computed here as the ring owner (cache misses while clustered)
+	clusterHandoffs      atomic.Int64 // cache entries pushed to their new owner after a ring change
+	clusterRingChanges   atomic.Int64 // liveness transitions observed on the ring
+
 	mu        sync.Mutex
 	requests  map[string]int64 // route|status -> count
 	durMillis map[string]int64 // route -> cumulative handler milliseconds
@@ -164,5 +169,9 @@ func (m *metrics) render(registrySize, instanceCount, cacheEntries int, cacheByt
 	fmt.Fprintf(&b, "# HELP pdxd_snapshot_loads_total Snapshots loaded and installed at warm start.\n# TYPE pdxd_snapshot_loads_total counter\npdxd_snapshot_loads_total %d\n", m.snapshotLoads.Load())
 	fmt.Fprintf(&b, "# HELP pdxd_snapshot_load_errors_total Snapshots rejected at load time.\n# TYPE pdxd_snapshot_load_errors_total counter\npdxd_snapshot_load_errors_total %d\n", m.snapshotLoadErrors.Load())
 	fmt.Fprintf(&b, "# HELP pdxd_snapshot_warm_transfers_total Snapshots pulled from a peer and installed.\n# TYPE pdxd_snapshot_warm_transfers_total counter\npdxd_snapshot_warm_transfers_total %d\n", m.warmTransfers.Load())
+	fmt.Fprintf(&b, "# HELP pdxd_cluster_proxied_total Solves forwarded to the owning shard.\n# TYPE pdxd_cluster_proxied_total counter\npdxd_cluster_proxied_total %d\n", m.clusterProxied.Load())
+	fmt.Fprintf(&b, "# HELP pdxd_cluster_owner_computes_total Chases computed on this shard as the ring owner.\n# TYPE pdxd_cluster_owner_computes_total counter\npdxd_cluster_owner_computes_total %d\n", m.clusterOwnerComputes.Load())
+	fmt.Fprintf(&b, "# HELP pdxd_cluster_handoffs_total Cache entries pushed to their new owner after a ring change.\n# TYPE pdxd_cluster_handoffs_total counter\npdxd_cluster_handoffs_total %d\n", m.clusterHandoffs.Load())
+	fmt.Fprintf(&b, "# HELP pdxd_cluster_ring_changes_total Liveness transitions observed on the ring.\n# TYPE pdxd_cluster_ring_changes_total counter\npdxd_cluster_ring_changes_total %d\n", m.clusterRingChanges.Load())
 	return b.String()
 }

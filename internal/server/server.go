@@ -53,6 +53,10 @@ type Config struct {
 	// warm transfer (WarmFrom, the /v1/cache endpoints). nil disables
 	// persistence.
 	Snapshots *snap.Store
+	// Cluster, when non-nil, shards solve traffic across a fleet of
+	// daemons over a consistent-hash ring (see cluster.go). nil serves
+	// single-node.
+	Cluster *ClusterConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +99,7 @@ type Server struct {
 	sem      chan struct{} // admission slots, cap MaxInFlight
 	mux      *http.ServeMux
 	draining atomic.Bool
+	cluster  *clusterState // nil without cfg.Cluster
 
 	// Write-behind snapshot machinery (nil/idle without cfg.Snapshots).
 	snapQ      chan *cacheEntry
@@ -105,6 +110,9 @@ type Server struct {
 }
 
 // New builds a Server with empty registries and an empty chase cache.
+// It panics on an invalid cluster config (empty self or peer URL) — a
+// deployment error callers should validate before constructing the
+// server.
 func New(cfg Config) *Server {
 	s := &Server{
 		cfg:  cfg.withDefaults(),
@@ -130,12 +138,22 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/vet", s.route("vet", s.handleVet))
 	s.mux.HandleFunc("GET /v1/cache/keys", s.route("cache-keys", s.handleCacheKeys))
 	s.mux.HandleFunc("GET /v1/cache/entries/{key}", s.route("cache-entry", s.handleCacheEntry))
+	s.mux.HandleFunc("PUT /v1/cache/entries/{key}", s.route("cache-push", s.handleCachePush))
+	s.mux.HandleFunc("GET /v1/cluster", s.route("cluster-status", s.handleClusterStatus))
 	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealth))
 	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
 	if s.cfg.Snapshots != nil {
 		s.snapQ = make(chan *cacheEntry, snapQueueLen)
 		s.snapDone = make(chan struct{})
 		go s.snapWorker()
+	}
+	if s.cfg.Cluster != nil {
+		st, err := newClusterState(*s.cfg.Cluster)
+		if err != nil {
+			panic("server: invalid cluster config: " + err.Error())
+		}
+		s.cluster = st
+		go s.clusterMonitor()
 	}
 	return s
 }
@@ -352,6 +370,9 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	if created {
 		status = http.StatusCreated
 	}
+	if created {
+		s.clusterBroadcastSetting(r, c)
+	}
 	s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "setting registered",
 		slog.String("id", c.ID), slog.String("name", c.Name),
 		slog.String("strategy", c.Strategy), slog.Bool("created", created))
@@ -395,6 +416,13 @@ func (s *Server) handleExists(w http.ResponseWriter, r *http.Request) {
 	c, p, ok := s.solveInput(w, req.SettingID, req.Source, req.SourceID, req.Target, req.TargetID)
 	if !ok {
 		return
+	}
+	// Cluster routing happens before admission: a proxied solve spends
+	// this shard's time waiting on the owner, not computing.
+	if owner, cl := s.clusterOwner(r, c.ID, p.srcID, p.tgtID); cl != nil {
+		if s.proxyExists(w, r, owner, cl, c, p, req) {
+			return
+		}
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.DeadlineMillis))
 	defer cancel()
@@ -449,6 +477,11 @@ func (s *Server) handleCertain(w http.ResponseWriter, r *http.Request) {
 	if err := qs[0].Validate(c.Setting.Target); err != nil {
 		writeErr(w, http.StatusBadRequest, client.CodeBadRequest, "query: %v", err)
 		return
+	}
+	if owner, cl := s.clusterOwner(r, c.ID, p.srcID, p.tgtID); cl != nil {
+		if s.proxyCertain(w, r, owner, cl, c, p, req) {
+			return
+		}
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.DeadlineMillis))
 	defer cancel()
@@ -524,6 +557,11 @@ func (s *Server) handleCertainBatch(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		queries[n] = qs[0]
+	}
+	if owner, cl := s.clusterOwner(r, c.ID, p.srcID, p.tgtID); cl != nil {
+		if s.proxyCertainBatch(w, r, owner, cl, c, p, req) {
+			return
+		}
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), s.deadline(req.DeadlineMillis))
 	defer cancel()
@@ -627,4 +665,8 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	entries, bytes := s.cache.stats()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
 	_, _ = io.WriteString(w, s.met.render(s.reg.Len(), s.inst.Len(), entries, bytes))
+	if s.cluster != nil {
+		fmt.Fprintf(w, "# HELP pdxd_cluster_peers_alive Ring members this shard currently sees as up (including itself).\n# TYPE pdxd_cluster_peers_alive gauge\npdxd_cluster_peers_alive %d\n",
+			s.cluster.ring.AliveCount())
+	}
 }

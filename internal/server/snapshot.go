@@ -14,7 +14,9 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"sort"
@@ -24,6 +26,12 @@ import (
 	"repro/pde"
 	"repro/pde/client"
 )
+
+// errSettingUnregistered marks a snapshot rejected only because its
+// setting is not in the local registry. A cluster peer pushing a
+// handoff entry can heal this (register the setting, retry); every
+// other rejection is final.
+var errSettingUnregistered = errors.New("setting is not registered")
 
 // snapQueueLen bounds the write-behind queue. A full queue drops the
 // save (with a warning): the entry is still served from memory and will
@@ -116,11 +124,16 @@ func (s *Server) saveSnapshot(e *cacheEntry) {
 	s.met.snapshotSaves.Add(1)
 }
 
-// Close flushes the write-behind queue and stops the worker. Idempotent
-// and safe without a snapshot store. Call after the HTTP server has
-// shut down so every admitted solve has had its chance to enqueue.
+// Close stops the cluster monitor, then flushes the write-behind queue
+// and stops its worker. Idempotent and safe without a snapshot store or
+// cluster. Call after the HTTP server has shut down so every admitted
+// solve has had its chance to enqueue.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
+		if s.cluster != nil {
+			close(s.cluster.stop)
+			<-s.cluster.done
+		}
 		if s.cfg.Snapshots == nil {
 			return
 		}
@@ -194,7 +207,7 @@ func (s *Server) installSnapshot(key string, e *snap.Entry, fromPeer bool) error
 	}
 	c := s.reg.Get(e.SettingID)
 	if c == nil {
-		return fmt.Errorf("setting %s is not registered", e.SettingID)
+		return fmt.Errorf("setting %s: %w", e.SettingID, errSettingUnregistered)
 	}
 	src, err := s.adoptInstance(e.SourceText, e.SourceID, "source")
 	if err != nil {
@@ -324,6 +337,36 @@ func (s *Server) handleCacheKeys(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Slice(out.Keys, func(i, j int) bool { return out.Keys[i].Key < out.Keys[j].Key })
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCachePush installs one pushed cache entry (cluster handoff).
+// The body is the binary snapshot wire format; it is re-validated
+// exactly like a warm start — checksum, key/identity hash agreement,
+// instance-text hashes, schema fit — before anything is installed, so a
+// push is never more trusted than a disk load. A snapshot whose setting
+// is unknown here is rejected with 404, telling the pusher to register
+// the setting and retry.
+func (s *Server) handleCachePush(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	data, err := io.ReadAll(io.LimitReader(r.Body, 256<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, client.CodeBadRequest, "reading snapshot body: %v", err)
+		return
+	}
+	e, derr := snap.Decode(data)
+	if derr == nil {
+		derr = s.installSnapshot(key, e, true)
+	}
+	if derr != nil {
+		s.met.snapshotLoadErrors.Add(1)
+		status, code := http.StatusUnprocessableEntity, client.CodeUnprocessable
+		if errors.Is(derr, errSettingUnregistered) {
+			status, code = http.StatusNotFound, client.CodeNotFound
+		}
+		writeErr(w, status, code, "installing pushed snapshot: %v", derr)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"installed": key})
 }
 
 // handleCacheEntry serves one cache entry in the snapshot wire format.

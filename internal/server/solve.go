@@ -79,6 +79,7 @@ func (s *Server) tractableArtifact(ctx context.Context, c *Compiled, p *solvePai
 		return nil, false, err
 	}
 	if !hit {
+		s.countOwnerCompute()
 		s.snapshotFill(key)
 	}
 	return v.(*core.TractableTrace), hit, nil
@@ -100,6 +101,7 @@ func (s *Server) genericArtifact(ctx context.Context, c *Compiled, p *solvePair,
 		return nil, false, err
 	}
 	if !hit {
+		s.countOwnerCompute()
 		s.snapshotFill(key)
 	}
 	return v.(*core.CanonicalTarget), hit, nil

@@ -8,14 +8,41 @@
 package workload
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/certain"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dep"
 	"repro/internal/rel"
 )
+
+// ClusterKeys generates n deterministic ring-placement keys shaped
+// exactly like the chase-cache identities pdxd shards: sha256-hex
+// content IDs for the setting, the source instance, and the target
+// instance, combined by cluster.Key. The population models a serving
+// fleet — eight registered settings, each solved against many distinct
+// source instances and the empty target — so placement benchmarks see
+// the real key distribution rather than sequential strings.
+func ClusterKeys(n int) []string {
+	contentID := func(text string) string {
+		sum := sha256.Sum256([]byte(text))
+		return "sha256:" + hex.EncodeToString(sum[:])
+	}
+	emptyTgt := contentID("instance:empty")
+	settings := make([]string, 8)
+	for s := range settings {
+		settings[s] = contentID(fmt.Sprintf("setting:%d", s))
+	}
+	keys := make([]string, n)
+	for i := 0; i < n; i++ {
+		keys[i] = cluster.Key(settings[i%len(settings)], contentID(fmt.Sprintf("instance:%d", i)), emptyTgt)
+	}
+	return keys
+}
 
 // LAVSetting returns the Theorem 4 / Corollary 2 family: arbitrary
 // source-to-target tgds (with existentials) and LAV target-to-source

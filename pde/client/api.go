@@ -309,6 +309,36 @@ type CacheKeysResponse struct {
 	Keys []CacheKeySummary `json:"keys"`
 }
 
+// ClusterMemberStatus describes one shard of a pdxd cluster.
+type ClusterMemberStatus struct {
+	// URL is the member's advertised base URL (its ring identity).
+	URL string `json:"url"`
+	// Alive reports whether the responding daemon currently sees the
+	// member as up (dead members take no placements).
+	Alive bool `json:"alive"`
+	// Self marks the responding daemon's own entry.
+	Self bool `json:"self,omitempty"`
+}
+
+// ClusterStatusResponse reports a daemon's view of the ring: the
+// static membership with liveness, the placement version (bumped on
+// every liveness change), and — when the request carried a cache
+// identity — the shard owning that identity.
+type ClusterStatusResponse struct {
+	// Enabled is false for a single-node daemon (all other fields are
+	// then zero).
+	Enabled bool `json:"enabled"`
+	// Self is the responding daemon's advertised base URL.
+	Self string `json:"self,omitempty"`
+	// Version is the current placement version.
+	Version uint64 `json:"version,omitempty"`
+	// Members is the static membership, sorted by URL.
+	Members []ClusterMemberStatus `json:"members,omitempty"`
+	// Owner is the base URL of the shard owning the queried
+	// (setting_id, source_id, target_id) identity, when one was sent.
+	Owner string `json:"owner,omitempty"`
+}
+
 // HealthResponse reports daemon liveness.
 type HealthResponse struct {
 	Status    string `json:"status"`

@@ -11,10 +11,17 @@ import (
 	"strings"
 )
 
+// ForwardedHeader marks a request that already crossed one shard of a
+// pdxd cluster. A daemon receiving it computes locally even when the
+// ring says another shard owns the key — the one-hop guard that keeps
+// transiently disagreeing ring views from proxying in circles.
+const ForwardedHeader = "X-Pdxd-Forwarded"
+
 // Client talks to a pdxd daemon.
 type Client struct {
 	base string
 	http *http.Client
+	hdr  http.Header // extra headers applied to every request; nil for none
 }
 
 // New returns a client for the daemon at base (e.g.
@@ -32,6 +39,32 @@ func New(base string, hc ...*http.Client) *Client {
 
 // Base returns the daemon base URL the client talks to.
 func (c *Client) Base() string { return c.base }
+
+// WithHeader returns a copy of the client that sends the given header
+// on every request (the original client is unchanged). Cluster shards
+// use it to stamp ForwardedHeader on proxied traffic.
+func (c *Client) WithHeader(key, value string) *Client {
+	out := &Client{base: c.base, http: c.http, hdr: make(http.Header, len(c.hdr)+1)}
+	for k, vs := range c.hdr {
+		out.hdr[k] = vs
+	}
+	out.hdr.Set(key, value)
+	return out
+}
+
+// Forwarded returns a copy of the client whose requests carry the
+// cluster forwarding mark, so the receiving shard answers locally
+// instead of proxying again.
+func (c *Client) Forwarded() *Client { return c.WithHeader(ForwardedHeader, "1") }
+
+// applyHeaders stamps the client's extra headers onto a request.
+func (c *Client) applyHeaders(req *http.Request) {
+	for k, vs := range c.hdr {
+		for _, v := range vs {
+			req.Header.Set(k, v)
+		}
+	}
+}
 
 // Register compiles and registers a setting, returning its registry ID.
 func (c *Client) Register(ctx context.Context, settingText string) (RegisterResponse, error) {
@@ -133,6 +166,61 @@ func (c *Client) CacheKeys(ctx context.Context) (CacheKeysResponse, error) {
 	return out, err
 }
 
+// ClusterStatus reports the daemon's ring membership. When settingID
+// and sourceID are non-empty the response also names the shard owning
+// that cache identity (targetID empty means the empty target instance).
+func (c *Client) ClusterStatus(ctx context.Context, settingID, sourceID, targetID string) (ClusterStatusResponse, error) {
+	path := "/v1/cluster"
+	if settingID != "" || sourceID != "" || targetID != "" {
+		q := url.Values{}
+		q.Set("setting_id", settingID)
+		q.Set("source_id", sourceID)
+		if targetID != "" {
+			q.Set("target_id", targetID)
+		}
+		path += "?" + q.Encode()
+	}
+	var out ClusterStatusResponse
+	err := c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// PushCacheEntry hands one cache entry, in the binary snapshot wire
+// format, to the daemon (cluster rebalancing handoff). The receiver
+// re-validates the snapshot exactly like a warm start before
+// installing it.
+func (c *Client) PushCacheEntry(ctx context.Context, key string, data []byte) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut,
+		c.base+"/v1/cache/entries/"+url.PathEscape(key), bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("client: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	c.applyHeaders(req)
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: PUT /v1/cache/entries: %w", err)
+	}
+	defer resp.Body.Close()
+	data, err = io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return fmt.Errorf("client: reading response: %w", err)
+	}
+	if resp.StatusCode < 200 || resp.StatusCode >= 300 {
+		var eb errorBody
+		if err := json.Unmarshal(data, &eb); err == nil && eb.Error != nil {
+			eb.Error.Status = resp.StatusCode
+			return eb.Error
+		}
+		return &APIError{
+			Code:    CodeInternal,
+			Message: fmt.Sprintf("non-JSON error response: %.200s", data),
+			Status:  resp.StatusCode,
+		}
+	}
+	return nil
+}
+
 // CacheEntry fetches one cache entry in the binary snapshot wire
 // format (decode with internal/snap). The key comes from CacheKeys.
 func (c *Client) CacheEntry(ctx context.Context, key string) ([]byte, error) {
@@ -140,6 +228,7 @@ func (c *Client) CacheEntry(ctx context.Context, key string) ([]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("client: %w", err)
 	}
+	c.applyHeaders(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, fmt.Errorf("client: GET /v1/cache/entries: %w", err)
@@ -187,6 +276,7 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	c.applyHeaders(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return fmt.Errorf("client: %s %s: %w", method, path, err)

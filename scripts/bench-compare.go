@@ -4,9 +4,13 @@
 // -threshold slower in ns/op. Names only in one run are reported but
 // never gate, so adding or retiring benchmarks doesn't break the gate.
 //
+// Without -baseline the highest-numbered BENCH_PR<k>.json in the
+// repository root is used, so landing a fresh baseline automatically
+// retargets the gate — no CI edit per PR.
+//
 // Usage:
 //
-//	go run ./scripts -baseline BENCH_PR7.json -current /tmp/bench.json
+//	go run ./scripts -current /tmp/bench.json
 //	go run ./scripts -baseline BENCH_PR7.json -current /tmp/bench.json -threshold 0.40
 package main
 
@@ -15,7 +19,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"regexp"
 	"sort"
+	"strconv"
 )
 
 type benchRecord struct {
@@ -36,6 +43,48 @@ type benchReport struct {
 	Benchmarks []benchRecord `json:"benchmarks"`
 }
 
+// baselinePattern matches committed baseline file names, capturing the
+// PR number.
+var baselinePattern = regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+
+// latestBaseline picks the name with the highest BENCH_PR<k>.json
+// number from a directory listing (numerically, so PR10 beats PR9).
+// Non-matching names are ignored; ok is false when nothing matches.
+func latestBaseline(names []string) (best string, ok bool) {
+	bestK := -1
+	for _, n := range names {
+		m := baselinePattern.FindStringSubmatch(filepath.Base(n))
+		if m == nil {
+			continue
+		}
+		k, err := strconv.Atoi(m[1])
+		if err != nil || k <= bestK {
+			continue
+		}
+		best, bestK = n, k
+	}
+	return best, bestK >= 0
+}
+
+// findBaseline scans dir for the latest committed baseline.
+func findBaseline(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	name, ok := latestBaseline(names)
+	if !ok {
+		return "", fmt.Errorf("no BENCH_PR<k>.json baseline in %s", dir)
+	}
+	return filepath.Join(dir, name), nil
+}
+
 func load(path string) (*benchReport, error) {
 	buf, err := os.ReadFile(path)
 	if err != nil {
@@ -52,13 +101,23 @@ func load(path string) (*benchReport, error) {
 }
 
 func main() {
-	baseline := flag.String("baseline", "", "committed baseline JSON (e.g. BENCH_PR7.json)")
+	baseline := flag.String("baseline", "", "committed baseline JSON (empty = highest-numbered BENCH_PR<k>.json in -baseline-dir)")
+	baselineDir := flag.String("baseline-dir", ".", "directory scanned for BENCH_PR<k>.json when -baseline is empty")
 	current := flag.String("current", "", "fresh pdxbench -json output to compare")
 	threshold := flag.Float64("threshold", 0.25, "max tolerated ns/op regression (0.25 = +25%)")
 	flag.Parse()
-	if *baseline == "" || *current == "" {
-		fmt.Fprintln(os.Stderr, "bench-compare: -baseline and -current are required")
+	if *current == "" {
+		fmt.Fprintln(os.Stderr, "bench-compare: -current is required")
 		os.Exit(2)
+	}
+	if *baseline == "" {
+		found, err := findBaseline(*baselineDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench-compare: %v\n", err)
+			os.Exit(2)
+		}
+		*baseline = found
+		fmt.Printf("baseline: %s (latest committed)\n", found)
 	}
 
 	base, err := load(*baseline)

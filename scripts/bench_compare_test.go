@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+// TestLatestBaseline pins the auto-selection rule CI relies on: the
+// numerically highest BENCH_PR<k>.json wins, everything else in the
+// repository root is ignored.
+func TestLatestBaseline(t *testing.T) {
+	for _, tc := range []struct {
+		names  []string
+		want   string
+		wantOK bool
+	}{
+		// Numeric, not lexicographic: PR10 beats PR9.
+		{[]string{"BENCH_PR4.json", "BENCH_PR10.json", "BENCH_PR9.json"}, "BENCH_PR10.json", true},
+		{[]string{"BENCH_PR9.json", "BENCH_PR8.json"}, "BENCH_PR9.json", true},
+		{[]string{"BENCH_PR7.json"}, "BENCH_PR7.json", true},
+		// Near-miss names never match: wrong case, missing number,
+		// wrong extension, extra prefix or suffix.
+		{[]string{
+			"bench_pr5.json", "BENCH_PRx.json", "BENCH_PR.json",
+			"BENCH_PR5.json.bak", "OLD_BENCH_PR5.json", "BENCH_PR5.txt",
+			"README.md", "go.mod",
+		}, "", false},
+		// Matches mixed into noise still win.
+		{[]string{"README.md", "BENCH_PR2.json", "scripts", "BENCH_PR11.json", "BENCH_PR3.json.orig"}, "BENCH_PR11.json", true},
+		{nil, "", false},
+	} {
+		got, ok := latestBaseline(tc.names)
+		if got != tc.want || ok != tc.wantOK {
+			t.Errorf("latestBaseline(%v) = %q, %v; want %q, %v", tc.names, got, ok, tc.want, tc.wantOK)
+		}
+	}
+}
